@@ -1,0 +1,60 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Ablation: cache filter variants. The paper's cache baseline records the
+// interval's first value [21]; Lazaridis & Mehrotra's variants [18] choose
+// the midrange (optimal for piece-wise constant under L-infinity) or the
+// mean. Midrange accepts any run whose spread is <= 2 epsilon, so it
+// should dominate the first-value rule in compression.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "datagen/random_walk.h"
+#include "datagen/sea_surface.h"
+
+namespace plastream {
+namespace {
+
+void RunAblation() {
+  std::printf("Ablation: cache filter variants (first / midrange / mean)\n\n");
+
+  const Signal sst = bench::ValueOrDie(
+      GenerateSeaSurfaceTemperature(SeaSurfaceOptions{}), "sst");
+
+  const FilterKind kinds[] = {FilterKind::kCache, FilterKind::kCacheMidrange,
+                              FilterKind::kCacheMean};
+  Table table({"precision (%range)", "first", "midrange", "mean",
+               "avg err first", "avg err midrange", "avg err mean"});
+  std::vector<double> last_ratios;
+  for (const double pct : {0.5, 1.0, 3.16, 10.0}) {
+    const FilterOptions options =
+        FilterOptions::Scalar(sst.Range(0) * pct / 100.0);
+    std::vector<double> row;
+    std::vector<double> errors;
+    for (const FilterKind kind : kinds) {
+      const auto run = RunFilter(kind, options, sst);
+      bench::CheckOk(run.status(), FilterKindName(kind).data());
+      row.push_back(run->compression.ratio);
+      errors.push_back(100.0 * run->error.avg_error_overall / sst.Range(0));
+    }
+    last_ratios = row;
+    row.insert(row.end(), errors.begin(), errors.end());
+    table.AddNumericRow(FormatDouble(pct, 3), row);
+  }
+  table.PrintStdout();
+
+  std::printf("\nshape checks:\n");
+  std::printf("  midrange >= first-value compression: %s (%.2f vs %.2f at "
+              "10%%)\n",
+              last_ratios[1] >= last_ratios[0] ? "yes" : "NO", last_ratios[1],
+              last_ratios[0]);
+}
+
+}  // namespace
+}  // namespace plastream
+
+int main() {
+  plastream::RunAblation();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Ablation: the slide filter's three bound-update strategies (full-hull
+// linear scan per Lemma 4.3, chain-restricted binary search per the
+// paper's reference [6], and the non-optimized all-points scan) produce
+// identical output, so this bench isolates their cost on long filtering
+// intervals. A smooth low-noise walk with a generous precision width keeps
+// intervals long, which is where the strategies separate.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/slide_filter.h"
+#include "datagen/random_walk.h"
+
+namespace plastream {
+namespace {
+
+const Signal& SmoothWalk() {
+  static const Signal* signal = [] {
+    RandomWalkOptions o;
+    o.count = 50000;
+    o.decrease_probability = 0.45;
+    o.max_delta = 0.5;
+    o.seed = 99;
+    auto result = GenerateRandomWalk(o);
+    return new Signal(std::move(result).value());
+  }();
+  return *signal;
+}
+
+const SlideHullMode kModes[] = {
+    SlideHullMode::kConvexHull,
+    SlideHullMode::kChainBinary,
+    SlideHullMode::kAllPoints,
+};
+const char* kModeNames[] = {"convex-hull", "chain-binary", "all-points"};
+
+void BM_SlideHullStrategy(benchmark::State& state) {
+  const Signal& signal = SmoothWalk();
+  const SlideHullMode mode = kModes[state.range(0)];
+  const FilterOptions options = FilterOptions::Scalar(4.0);
+
+  size_t max_hull = 0;
+  for (auto _ : state) {
+    auto filter = SlideFilter::Create(options, mode).value();
+    for (const DataPoint& p : signal.points) {
+      benchmark::DoNotOptimize(filter->Append(p));
+    }
+    benchmark::DoNotOptimize(filter->Finish());
+    max_hull = filter->max_hull_vertices();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(signal.size()));
+  state.SetLabel(std::string(kModeNames[state.range(0)]) +
+                 " max_hull=" + std::to_string(max_hull));
+}
+
+void RegisterAll() {
+  for (int m = 0; m < 3; ++m) {
+    benchmark::RegisterBenchmark("ablation/slide_hull_strategy",
+                                 BM_SlideHullStrategy)
+        ->Arg(m)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace plastream
+
+int main(int argc, char** argv) {
+  plastream::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

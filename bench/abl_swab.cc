@@ -1,0 +1,83 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Ablation: SWAB-style buffered segmentation (Keogh et al. [16]) vs the
+// online filters. SWAB's lookahead buffer places boundaries with hindsight
+// at the cost of a bounded lag; the paper's Section 6 suggests swing/slide
+// as drop-in replacements for its online component. Here we compare
+// segment counts (disconnected recordings = 2 per segment for SWAB).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/swab.h"
+#include "datagen/random_walk.h"
+#include "datagen/sea_surface.h"
+#include "eval/metrics.h"
+
+namespace plastream {
+namespace {
+
+double SwabRatio(const Signal& signal, double eps, size_t capacity) {
+  SwabOptions options;
+  options.base = FilterOptions::Scalar(eps);
+  options.buffer_capacity = capacity;
+  auto swab = bench::ValueOrDie(SwabSegmenter::Create(options), "swab");
+  for (const DataPoint& p : signal.points) {
+    bench::CheckOk(swab->Append(p), "append");
+  }
+  bench::CheckOk(swab->Finish(), "finish");
+  const auto segments = swab->TakeSegments();
+  const auto report = ComputeCompression(
+      signal.size(), segments, RecordingCostModel::kPiecewiseLinear);
+  return report.ratio;
+}
+
+void RunAblation() {
+  std::printf("Ablation: SWAB buffered segmentation vs online filters\n\n");
+
+  RandomWalkOptions o;
+  o.count = 10000;
+  o.decrease_probability = 0.35;
+  o.max_delta = 1.0;
+  o.seed = 17;
+  const Signal walk = bench::ValueOrDie(GenerateRandomWalk(o), "walk");
+  const Signal sst = bench::ValueOrDie(
+      GenerateSeaSurfaceTemperature(SeaSurfaceOptions{}), "sst");
+
+  Table table({"signal", "eps", "linear", "swing", "slide", "swab(cap 32)",
+               "swab(cap 128)"});
+  struct Case {
+    const Signal* signal;
+    const char* name;
+    double eps;
+  };
+  for (const Case& c : {Case{&walk, "walk", 1.0},
+                        Case{&sst, "sst", sst.Range(0) * 0.02}}) {
+    std::vector<double> row;
+    for (const FilterKind kind :
+         {FilterKind::kLinear, FilterKind::kSwing, FilterKind::kSlide}) {
+      const auto run = RunFilter(kind, FilterOptions::Scalar(c.eps), *c.signal);
+      bench::CheckOk(run.status(), FilterKindName(kind).data());
+      row.push_back(run->compression.ratio);
+    }
+    row.push_back(SwabRatio(*c.signal, c.eps, 32));
+    row.push_back(SwabRatio(*c.signal, c.eps, 128));
+    std::vector<std::string> cells{c.name, FormatDouble(c.eps, 3)};
+    for (const double v : row) cells.push_back(FormatDouble(v, 4));
+    table.AddRow(cells);
+  }
+  table.PrintStdout();
+
+  std::printf("\nnote: SWAB emits disconnected segments (2 recordings "
+              "each); the slide filter's junctions let it stay competitive "
+              "while remaining strictly online.\n");
+}
+
+}  // namespace
+}  // namespace plastream
+
+int main() {
+  plastream::RunAblation();
+  return 0;
+}

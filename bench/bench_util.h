@@ -1,0 +1,59 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Shared helpers for the figure benches: every bench prints the series its
+// paper figure plots as an aligned table, plus the qualitative "shape"
+// facts EXPERIMENTS.md tracks.
+
+#ifndef PLASTREAM_BENCH_BENCH_UTIL_H_
+#define PLASTREAM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+
+namespace plastream::bench {
+
+/// Aborts the bench with a message when a Result/Status operation failed.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T ValueOrDie(Result<T> result, const char* what) {
+  CheckOk(result.status(), what);
+  return std::move(result).value();
+}
+
+/// Runs the four paper filters over `signal` and returns their compression
+/// ratios in PaperFilterKinds() order.
+inline std::vector<double> PaperCompressionRatios(const Signal& signal,
+                                                  const FilterOptions& options) {
+  std::vector<double> ratios;
+  for (const FilterKind kind : PaperFilterKinds()) {
+    const auto run = RunFilter(kind, options, signal);
+    CheckOk(run.status(), FilterKindName(kind).data());
+    ratios.push_back(run->compression.ratio);
+  }
+  return ratios;
+}
+
+/// Header row for per-filter tables.
+inline std::vector<std::string> PaperFilterHeaders(std::string x_label) {
+  std::vector<std::string> headers{std::move(x_label)};
+  for (const FilterKind kind : PaperFilterKinds()) {
+    headers.emplace_back(FilterKindName(kind));
+  }
+  return headers;
+}
+
+}  // namespace plastream::bench
+
+#endif  // PLASTREAM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,84 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Figure 13: filtering overhead — processing time per data point on the
+// sea surface temperature signal while varying the precision width from
+// 0.1% to 100% of the range. Includes the non-optimized slide filter (no
+// convex-hull reduction). Paper shape: cache, linear, swing and the
+// optimized slide are flat (a few microseconds per point on 2009 hardware;
+// proportionally faster here), while the non-optimized slide grows with
+// the precision width because wider bounds mean longer filtering intervals
+// and it rescans every interval point.
+//
+// google-benchmark reports wall time per processed point via
+// SetItemsProcessed; compare shapes across filters, not absolute numbers.
+
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "datagen/sea_surface.h"
+#include "eval/runner.h"
+
+namespace plastream {
+namespace {
+
+const Signal& SstSignal() {
+  static const Signal* signal = [] {
+    auto result = GenerateSeaSurfaceTemperature(SeaSurfaceOptions{});
+    return new Signal(std::move(result).value());
+  }();
+  return *signal;
+}
+
+// x-axis of the paper's Figure 13: precision width as % of range.
+const double kPrecisionPct[] = {0.1, 0.316, 1.0, 3.16, 10.0, 31.6, 100.0};
+
+// The five series of the figure.
+const FilterKind kKinds[] = {
+    FilterKind::kCache, FilterKind::kLinear, FilterKind::kSwing,
+    FilterKind::kSlideNonOptimized, FilterKind::kSlide,
+};
+
+void BM_FilterOverhead(benchmark::State& state) {
+  const Signal& signal = SstSignal();
+  const FilterKind kind = kKinds[state.range(0)];
+  const double pct = kPrecisionPct[state.range(1)];
+  const FilterOptions options =
+      FilterOptions::Scalar(signal.Range(0) * pct / 100.0);
+
+  for (auto _ : state) {
+    auto filter = MakeFilter(kind, options).value();
+    for (const DataPoint& p : signal.points) {
+      benchmark::DoNotOptimize(filter->Append(p));
+    }
+    benchmark::DoNotOptimize(filter->Finish());
+    auto segments = filter->TakeSegments();
+    benchmark::DoNotOptimize(segments.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(signal.size()));
+  state.SetLabel(std::string(FilterKindName(kind)) + " @ " +
+                 FormatDouble(pct, 3) + "%range");
+}
+
+void RegisterAll() {
+  for (size_t k = 0; k < std::size(kKinds); ++k) {
+    for (size_t e = 0; e < std::size(kPrecisionPct); ++e) {
+      benchmark::RegisterBenchmark("fig13/overhead", BM_FilterOverhead)
+          ->Args({static_cast<int64_t>(k), static_cast<int64_t>(e)})
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace plastream
+
+int main(int argc, char** argv) {
+  plastream::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

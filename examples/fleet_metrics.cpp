@@ -1,0 +1,86 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Cluster-monitoring scenario (the paper's Section 5.4 question): a host
+// exports five correlated utilization metrics. Should the collector
+// compress them as one 5-dimensional stream or as five scalar streams?
+// Joint compression starts a new segment whenever ANY metric breaks its
+// bound, but records the timestamp once; independent compression repeats
+// the timestamp per metric. The paper's (d+1)/2d accounting decides.
+//
+//   $ ./build/examples/fleet_metrics
+
+#include <cstdio>
+#include <vector>
+
+#include "core/slide_filter.h"
+#include "datagen/correlated_walk.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+
+using namespace plastream;
+
+namespace {
+
+constexpr size_t kMetrics = 5;
+constexpr size_t kSamples = 20000;
+constexpr double kEpsilon = 1.0;  // one utilization-point tolerance
+
+Signal Column(const Signal& signal, size_t dim) {
+  Signal out;
+  out.points.reserve(signal.size());
+  for (const DataPoint& p : signal.points) {
+    out.points.push_back(DataPoint::Scalar(p.t, p.x[dim]));
+  }
+  return out;
+}
+
+double JointRatio(const Signal& signal) {
+  const auto run = RunFilter(FilterKind::kSlide,
+                             FilterOptions::Uniform(kMetrics, kEpsilon),
+                             signal)
+                       .value();
+  return run.compression.ratio;
+}
+
+double IndependentAdjustedRatio(const Signal& signal) {
+  double sum = 0.0;
+  for (size_t dim = 0; dim < kMetrics; ++dim) {
+    const auto run = RunFilter(FilterKind::kSlide,
+                               FilterOptions::Scalar(kEpsilon),
+                               Column(signal, dim))
+                         .value();
+    sum += run.compression.ratio;
+  }
+  return IndependentToJointRatio(sum / kMetrics, kMetrics);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Joint vs independent compression of %zu correlated host "
+              "metrics (slide filter, eps=%.1f)\n\n",
+              kMetrics, kEpsilon);
+  std::printf("%-12s %14s %22s %s\n", "correlation", "joint ratio",
+              "independent adjusted", "recommendation");
+
+  for (const double rho : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    CorrelatedWalkOptions o;
+    o.count = kSamples;
+    o.dimensions = kMetrics;
+    o.correlation = rho;
+    o.decrease_probability = 0.5;
+    o.max_delta = 3.3;
+    o.seed = 2026;
+    const Signal signal = *GenerateCorrelatedWalk(o);
+    const double joint = JointRatio(signal);
+    const double independent = IndependentAdjustedRatio(signal);
+    std::printf("%-12.1f %14.3f %22.3f %s\n", rho, joint, independent,
+                joint > independent ? "compress jointly"
+                                    : "compress independently");
+  }
+
+  std::printf("\nRule of thumb from the paper: correlated fleets (rho "
+              "above ~0.5-0.7) benefit from joint compression because one "
+              "shared timestamp amortizes across all dimensions.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// End-to-end monitoring pipeline: a FilterBank ingests keyed metric
+// streams, the compressed segments land in per-stream SegmentStores, and a
+// "dashboard" answers range queries — value lookups, windowed aggregates,
+// and threshold-breach reports — directly from the compressed
+// representation, with the filter's ε as a hard accuracy bound.
+//
+//   $ ./build/examples/monitoring_dashboard
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "core/segment_store.h"
+#include "core/slide_filter.h"
+#include "datagen/random_walk.h"
+#include "eval/runner.h"
+#include "stream/filter_bank.h"
+
+using namespace plastream;
+
+namespace {
+
+constexpr double kEpsilon = 0.5;  // metric units
+constexpr size_t kSamples = 20000;
+
+Signal HostMetric(uint64_t seed, double base, double jitter) {
+  RandomWalkOptions o;
+  o.count = kSamples;
+  o.decrease_probability = 0.48;
+  o.max_delta = jitter;
+  o.x0 = base;
+  o.seed = seed;
+  return *GenerateRandomWalk(o);
+}
+
+}  // namespace
+
+int main() {
+  // --- ingestion ---------------------------------------------------------
+  FilterBank bank([](std::string_view) -> Result<std::unique_ptr<Filter>> {
+    return MakeFilter(FilterKind::kSlide, FilterOptions::Scalar(kEpsilon));
+  });
+
+  const std::map<std::string, Signal> raw{
+      {"web-1.cpu", HostMetric(11, 35.0, 0.8)},
+      {"web-2.cpu", HostMetric(12, 30.0, 0.7)},
+      {"db-1.iops", HostMetric(13, 120.0, 2.0)},
+  };
+  for (size_t j = 0; j < kSamples; ++j) {
+    for (const auto& [key, signal] : raw) {
+      if (!bank.Append(key, signal.points[j]).ok()) return 1;
+    }
+  }
+  (void)bank.FinishAll();
+
+  const auto stats = bank.Stats();
+  std::printf("ingested %zu points across %zu streams -> %zu segments\n\n",
+              stats.points, stats.streams, stats.segments);
+
+  // --- archive -----------------------------------------------------------
+  std::map<std::string, SegmentStore> archive;
+  for (const std::string& key : bank.Keys()) {
+    auto [it, inserted] = archive.emplace(key, SegmentStore(1));
+    (void)it->second.AppendAll(bank.TakeSegments(key).value());
+    std::printf("%-10s %6zu segments for %zu samples (%.1fx fewer "
+                "objects)\n",
+                key.c_str(), it->second.segment_count(), kSamples,
+                static_cast<double>(kSamples) /
+                    static_cast<double>(it->second.segment_count()));
+  }
+
+  // --- dashboard queries --------------------------------------------------
+  std::printf("\ndashboard (every answer within +/-%.2f of the raw "
+              "signal):\n",
+              kEpsilon);
+  const SegmentStore& web1 = archive.at("web-1.cpu");
+  std::printf("  web-1.cpu @ t=12345: %.2f\n",
+              web1.ValueAt(12345.0, 0).value());
+  const auto hour = web1.Aggregate(6000.0, 9600.0, 0).value();
+  std::printf("  web-1.cpu window [6000, 9600]: mean %.2f, min %.2f, "
+              "max %.2f (from %zu segments)\n",
+              hour.mean, hour.min, hour.max, hour.segments_touched);
+
+  const auto& db = archive.at("db-1.iops");
+  const auto full = db.Aggregate(db.t_min(), db.t_max(), 0).value();
+  const double alert = full.mean + 6.0;
+  const auto breaches =
+      db.IntervalsAbove(alert, db.t_min(), db.t_max(), 0);
+  std::printf("  db-1.iops above %.1f: %zu intervals", alert,
+              breaches.size());
+  if (!breaches.empty()) {
+    std::printf(", first at [%.0f, %.0f]", breaches.front().first,
+                breaches.front().second);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Small numerically-careful statistics helpers shared by datagen (signal
+// calibration), eval (error metrics) and the tests (distribution checks).
+
+#ifndef PLASTREAM_COMMON_STATS_H_
+#define PLASTREAM_COMMON_STATS_H_
+
+#include <cstddef>
+#include <span>
+
+namespace plastream {
+
+/// Compensated (Kahan–Neumaier) accumulator. Sums long series of doubles
+/// without the drift a naive accumulator exhibits; used by the incremental
+/// least-squares sums in the swing and slide filters.
+class KahanSum {
+ public:
+  /// Adds one term.
+  void Add(double value);
+
+  /// The compensated total so far.
+  double Total() const { return sum_ + compensation_; }
+
+  /// Resets to zero.
+  void Reset() {
+    sum_ = 0.0;
+    compensation_ = 0.0;
+  }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// Streaming mean/variance/extrema in one pass (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Folds one observation in.
+  void Add(double value);
+
+  /// Number of observations.
+  size_t count() const { return count_; }
+  /// Mean of the observations (0 when empty).
+  double Mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Population variance (0 for fewer than 2 observations).
+  double Variance() const;
+  /// Standard deviation derived from Variance().
+  double StdDev() const;
+  /// Smallest observation (+inf when empty).
+  double Min() const { return min_; }
+  /// Largest observation (-inf when empty).
+  double Max() const { return max_; }
+  /// Max() - Min() (0 when empty).
+  double Range() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_;
+  double max_;
+};
+
+/// Pearson correlation of two equally-sized series. Returns 0 when either
+/// series is constant or the spans are empty/mismatched.
+double PearsonCorrelation(std::span<const double> a, std::span<const double> b);
+
+/// Sample mean of a span (0 when empty).
+double Mean(std::span<const double> values);
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_COMMON_STATS_H_

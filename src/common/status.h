@@ -1,0 +1,103 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Exception-free error handling in the RocksDB style. Library code returns a
+// Status (or a Result<T>, see result.h) instead of throwing; callers decide
+// whether an error is fatal.
+
+#ifndef PLASTREAM_COMMON_STATUS_H_
+#define PLASTREAM_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace plastream {
+
+/// Machine-readable category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller passed a malformed value (bad ε, NaN, ...).
+  kOutOfOrder = 2,        ///< Timestamp not strictly increasing.
+  kFailedPrecondition = 3,///< Operation not legal in the object's current state.
+  kNotFound = 4,          ///< Lookup missed (file, column, time range).
+  kIOError = 5,           ///< Filesystem / stream failure.
+  kCorruption = 6,        ///< Serialized data failed validation.
+  kUnimplemented = 7,     ///< Feature intentionally not provided.
+  kInternal = 8,          ///< Invariant violation inside the library (a bug).
+};
+
+/// Human-readable name of a StatusCode ("InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Result of an operation: either OK or a code plus a context message.
+///
+/// Status is cheap to copy in the OK case (no allocation) and carries a
+/// heap-allocated message only on error. It is annotated [[nodiscard]] so
+/// ignored failures show up as compiler warnings.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per non-OK code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfOrder(std::string msg) {
+    return Status(StatusCode::kOutOfOrder, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the status is OK.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status code.
+  StatusCode code() const { return code_; }
+
+  /// The context message (empty for OK).
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller. Mirrors the RocksDB/Arrow macro.
+#define PLASTREAM_RETURN_NOT_OK(expr)            \
+  do {                                           \
+    ::plastream::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_COMMON_STATUS_H_

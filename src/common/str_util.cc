@@ -1,0 +1,59 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "common/str_util.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace plastream {
+
+std::vector<std::string> SplitString(std::string_view input, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= input.size(); ++i) {
+    if (i == input.size() || input[i] == sep) {
+      out.emplace_back(input.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view TrimWhitespace(std::string_view input) {
+  size_t begin = 0;
+  size_t end = input.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+bool ParseDouble(std::string_view input, double* out) {
+  const std::string_view trimmed = TrimWhitespace(input);
+  if (trimmed.empty()) return false;
+  // std::from_chars<double> is available in libstdc++ 11+; it rejects
+  // trailing garbage for us.
+  const char* first = trimmed.data();
+  const char* last = trimmed.data() + trimmed.size();
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) return false;
+  *out = value;
+  return true;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+  return std::string(buf);
+}
+
+}  // namespace plastream

@@ -1,0 +1,30 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// String helpers used by the CSV codec and the table printers.
+
+#ifndef PLASTREAM_COMMON_STR_UTIL_H_
+#define PLASTREAM_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace plastream {
+
+/// Splits `input` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> SplitString(std::string_view input, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view input);
+
+/// Parses a double, rejecting trailing garbage and empty strings.
+/// On success stores the value in *out and returns true.
+bool ParseDouble(std::string_view input, double* out);
+
+/// Formats a double with `precision` significant digits, trimming a
+/// trailing ".0" tail ("3.1600" -> "3.16", "5.0000" -> "5").
+std::string FormatDouble(double value, int precision = 6);
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_COMMON_STR_UTIL_H_

@@ -1,0 +1,116 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "core/cache_filter.h"
+
+#include <algorithm>
+
+namespace plastream {
+
+Result<std::unique_ptr<CacheFilter>> CacheFilter::Create(FilterOptions options,
+                                                         CacheValueMode mode,
+                                                         SegmentSink* sink) {
+  PLASTREAM_RETURN_NOT_OK(ValidateFilterOptions(options));
+  return std::unique_ptr<CacheFilter>(
+      new CacheFilter(std::move(options), mode, sink));
+}
+
+CacheFilter::CacheFilter(FilterOptions options, CacheValueMode mode,
+                         SegmentSink* sink)
+    : Filter(std::move(options), sink), mode_(mode) {}
+
+bool CacheFilter::Accepts(const DataPoint& point) const {
+  for (size_t i = 0; i < dimensions(); ++i) {
+    const double eps = epsilon(i);
+    const double v = point.x[i];
+    switch (mode_) {
+      case CacheValueMode::kFirst:
+        if (std::abs(v - first_[i]) > eps) return false;
+        break;
+      case CacheValueMode::kMidrange: {
+        // Representable by the midrange iff the value spread stays <= 2ε.
+        const double lo = std::min(min_[i], v);
+        const double hi = std::max(max_[i], v);
+        if (hi - lo > 2.0 * eps) return false;
+        break;
+      }
+      case CacheValueMode::kMean: {
+        // The new mean must stay within ε of every point, i.e. of the
+        // updated extrema.
+        const double lo = std::min(min_[i], v);
+        const double hi = std::max(max_[i], v);
+        const double mean =
+            (sum_[i] + v) / static_cast<double>(count_ + 1);
+        if (hi - mean > eps || mean - lo > eps) return false;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+void CacheFilter::Absorb(const DataPoint& point) {
+  t_last_ = point.t;
+  ++count_;
+  for (size_t i = 0; i < dimensions(); ++i) {
+    min_[i] = std::min(min_[i], point.x[i]);
+    max_[i] = std::max(max_[i], point.x[i]);
+    sum_[i] += point.x[i];
+  }
+}
+
+void CacheFilter::CloseInterval() {
+  std::vector<double> value(dimensions());
+  for (size_t i = 0; i < dimensions(); ++i) {
+    switch (mode_) {
+      case CacheValueMode::kFirst:
+        value[i] = first_[i];
+        break;
+      case CacheValueMode::kMidrange:
+        value[i] = 0.5 * (min_[i] + max_[i]);
+        break;
+      case CacheValueMode::kMean:
+        value[i] = sum_[i] / static_cast<double>(count_);
+        break;
+    }
+  }
+  Segment seg;
+  seg.t_start = t_first_;
+  seg.t_end = t_last_;
+  seg.x_start = value;
+  seg.x_end = std::move(value);
+  seg.connected_to_prev = false;
+  Emit(std::move(seg));
+  interval_open_ = false;
+}
+
+void CacheFilter::OpenInterval(const DataPoint& point) {
+  interval_open_ = true;
+  t_first_ = point.t;
+  t_last_ = point.t;
+  count_ = 1;
+  first_ = point.x;
+  min_ = point.x;
+  max_ = point.x;
+  sum_ = point.x;
+}
+
+Status CacheFilter::AppendValidated(const DataPoint& point) {
+  if (!interval_open_) {
+    OpenInterval(point);
+    return Status::OK();
+  }
+  if (Accepts(point)) {
+    Absorb(point);
+    return Status::OK();
+  }
+  CloseInterval();
+  OpenInterval(point);
+  return Status::OK();
+}
+
+Status CacheFilter::FinishImpl() {
+  if (interval_open_) CloseInterval();
+  return Status::OK();
+}
+
+}  // namespace plastream

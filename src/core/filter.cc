@@ -1,0 +1,83 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "core/filter.h"
+
+#include <cmath>
+#include <string>
+
+namespace plastream {
+
+Status ValidateFilterOptions(const FilterOptions& options) {
+  if (options.epsilon.empty()) {
+    return Status::InvalidArgument(
+        "FilterOptions.epsilon is empty: at least one dimension is required");
+  }
+  for (size_t i = 0; i < options.epsilon.size(); ++i) {
+    const double eps = options.epsilon[i];
+    if (!std::isfinite(eps) || eps < 0.0) {
+      return Status::InvalidArgument(
+          "FilterOptions.epsilon[" + std::to_string(i) +
+          "] must be finite and non-negative");
+    }
+  }
+  return Status::OK();
+}
+
+Filter::Filter(FilterOptions options, SegmentSink* sink)
+    : options_(std::move(options)), sink_(sink) {}
+
+Status Filter::Append(const DataPoint& point) {
+  if (finished_) {
+    return Status::FailedPrecondition("Append after Finish");
+  }
+  if (point.x.size() != dimensions()) {
+    return Status::InvalidArgument(
+        "point has " + std::to_string(point.x.size()) +
+        " dimensions, filter expects " + std::to_string(dimensions()));
+  }
+  if (!std::isfinite(point.t)) {
+    return Status::InvalidArgument("non-finite timestamp");
+  }
+  for (double v : point.x) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("non-finite value at t=" +
+                                     std::to_string(point.t));
+    }
+  }
+  if (has_last_time_ && point.t <= last_time_) {
+    return Status::OutOfOrder("timestamp " + std::to_string(point.t) +
+                              " not greater than previous " +
+                              std::to_string(last_time_));
+  }
+  PLASTREAM_RETURN_NOT_OK(AppendValidated(point));
+  has_last_time_ = true;
+  last_time_ = point.t;
+  ++points_seen_;
+  return Status::OK();
+}
+
+Status Filter::Finish() {
+  if (finished_) return Status::OK();
+  PLASTREAM_RETURN_NOT_OK(FinishImpl());
+  finished_ = true;
+  return Status::OK();
+}
+
+std::vector<Segment> Filter::TakeSegments() {
+  std::vector<Segment> out = std::move(pending_out_);
+  pending_out_.clear();
+  return out;
+}
+
+void Filter::Emit(Segment segment) {
+  if (sink_ != nullptr) sink_->OnSegment(segment);
+  pending_out_.push_back(std::move(segment));
+  ++segments_emitted_;
+}
+
+void Filter::EmitProvisional(ProvisionalLine line) {
+  extra_recordings_ += line.recording_cost;
+  if (sink_ != nullptr) sink_->OnProvisionalLine(line);
+}
+
+}  // namespace plastream

@@ -1,0 +1,141 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// The filter interface shared by cache, linear, swing and slide filters.
+//
+// A Filter consumes a stream of data points one at a time and produces a
+// piece-wise linear (or constant) approximation as a stream of Segments,
+// guaranteeing |x_ij - approximation_i(t_j)| <= epsilon_i for every input
+// point and every dimension i (the paper's L-infinity precision contract).
+
+#ifndef PLASTREAM_CORE_FILTER_H_
+#define PLASTREAM_CORE_FILTER_H_
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/segment_sink.h"
+#include "core/types.h"
+
+namespace plastream {
+
+/// Configuration shared by every filter.
+struct FilterOptions {
+  /// Per-dimension precision width ε_i (>= 0, finite). The vector's size
+  /// fixes the stream's dimensionality d. ε_i = 0 requests exact fitting in
+  /// that dimension (only collinear runs are merged).
+  std::vector<double> epsilon;
+
+  /// Upper bound m_max_lag on data points the filter may buffer before the
+  /// receiver must be updated. 0 means unbounded (the paper's default for
+  /// the compression experiments). Honored by the swing and slide filters;
+  /// cache and linear filters are lag-free by construction because their
+  /// current prediction line is fully determined by already-transmitted
+  /// recordings plus at most the first two points of the open segment.
+  size_t max_lag = 0;
+
+  /// Convenience factory for a uniform-ε d-dimensional configuration.
+  static FilterOptions Uniform(size_t dims, double eps) {
+    FilterOptions opts;
+    opts.epsilon.assign(dims, eps);
+    return opts;
+  }
+  /// Convenience factory for 1-dimensional streams.
+  static FilterOptions Scalar(double eps) { return Uniform(1, eps); }
+};
+
+/// Validates a FilterOptions instance (dimensionality >= 1, finite
+/// non-negative epsilons).
+Status ValidateFilterOptions(const FilterOptions& options);
+
+/// Base class of all filters. Not thread-safe; one instance per stream.
+///
+/// Lifecycle: construct -> Append(point)* -> Finish(). Finish flushes the
+/// open filtering interval; appending after Finish is an error. Segments
+/// are pushed to the sink passed at construction (if any) and are always
+/// also retrievable via TakeSegments().
+class Filter {
+ public:
+  /// `sink` may be null; it is borrowed, not owned, and must outlive the
+  /// filter.
+  explicit Filter(FilterOptions options, SegmentSink* sink = nullptr);
+  virtual ~Filter() = default;
+
+  Filter(const Filter&) = delete;
+  Filter& operator=(const Filter&) = delete;
+
+  /// Consumes one data point.
+  ///
+  /// Errors: InvalidArgument for non-finite values or dimensionality
+  /// mismatch, OutOfOrder for non-increasing timestamps, FailedPrecondition
+  /// after Finish(). On error the filter state is unchanged and the stream
+  /// may continue with a corrected point.
+  Status Append(const DataPoint& point);
+
+  /// Flushes the open interval and finalizes the approximation.
+  /// Idempotent; appending afterwards is an error.
+  Status Finish();
+
+  /// Segments finalized so far (drained; repeated calls return only new
+  /// segments). Available whether or not a sink was provided.
+  std::vector<Segment> TakeSegments();
+
+  /// Human-readable filter family name ("swing", "slide", ...).
+  virtual std::string_view name() const = 0;
+
+  /// How this filter's recordings are counted.
+  virtual RecordingCostModel cost_model() const {
+    return RecordingCostModel::kPiecewiseLinear;
+  }
+
+  /// The configuration the filter was created with.
+  const FilterOptions& options() const { return options_; }
+
+  /// Stream dimensionality d (== options().epsilon.size()).
+  size_t dimensions() const { return options_.epsilon.size(); }
+
+  /// Number of points accepted so far.
+  size_t points_seen() const { return points_seen_; }
+
+  /// Number of segments emitted so far.
+  size_t segments_emitted() const { return segments_emitted_; }
+
+  /// Recordings charged on top of the emitted segments (provisional
+  /// max-lag line commits).
+  size_t extra_recordings() const { return extra_recordings_; }
+
+  /// True once Finish() has run.
+  bool finished() const { return finished_; }
+
+ protected:
+  /// Core per-point logic; input is already validated.
+  virtual Status AppendValidated(const DataPoint& point) = 0;
+
+  /// Flush logic; runs exactly once.
+  virtual Status FinishImpl() = 0;
+
+  /// Emits a finalized segment to the buffer and the sink.
+  void Emit(Segment segment);
+
+  /// Emits a provisional line commit and charges its recording cost.
+  void EmitProvisional(ProvisionalLine line);
+
+  /// ε_i accessor for subclasses.
+  double epsilon(size_t dim) const { return options_.epsilon[dim]; }
+
+ private:
+  FilterOptions options_;
+  SegmentSink* sink_ = nullptr;
+  std::vector<Segment> pending_out_;
+  size_t points_seen_ = 0;
+  size_t segments_emitted_ = 0;
+  size_t extra_recordings_ = 0;
+  bool finished_ = false;
+  bool has_last_time_ = false;
+  double last_time_ = 0.0;
+};
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_CORE_FILTER_H_

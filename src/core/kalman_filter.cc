@@ -1,0 +1,135 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "core/kalman_filter.h"
+
+#include <cmath>
+
+namespace plastream {
+
+Result<std::unique_ptr<KalmanFilter>> KalmanFilter::Create(
+    FilterOptions options, KalmanOptions kalman, SegmentSink* sink) {
+  PLASTREAM_RETURN_NOT_OK(ValidateFilterOptions(options));
+  if (!(kalman.process_noise > 0.0) || !std::isfinite(kalman.process_noise)) {
+    return Status::InvalidArgument("process_noise must be positive");
+  }
+  if (!(kalman.measurement_noise > 0.0) ||
+      !std::isfinite(kalman.measurement_noise)) {
+    return Status::InvalidArgument("measurement_noise must be positive");
+  }
+  return std::unique_ptr<KalmanFilter>(
+      new KalmanFilter(std::move(options), kalman, sink));
+}
+
+KalmanFilter::KalmanFilter(FilterOptions options, KalmanOptions kalman,
+                           SegmentSink* sink)
+    : Filter(std::move(options), sink), kalman_(kalman) {
+  dims_.resize(dimensions());
+  segment_start_x_.resize(dimensions());
+  segment_velocity_.resize(dimensions());
+}
+
+void KalmanFilter::Predict(double dt) {
+  // x' = F x with F = [[1, dt], [0, 1]]; P' = F P F^T + Q, with the
+  // standard white-acceleration Q scaled by process_noise.
+  const double q = kalman_.process_noise;
+  const double dt2 = dt * dt;
+  const double dt3 = dt2 * dt;
+  for (DimState& s : dims_) {
+    s.position += s.velocity * dt;
+    const double p00 = s.p00 + 2.0 * dt * s.p01 + dt2 * s.p11 + q * dt3 / 3.0;
+    const double p01 = s.p01 + dt * s.p11 + q * dt2 / 2.0;
+    const double p11 = s.p11 + q * dt;
+    s.p00 = p00;
+    s.p01 = p01;
+    s.p11 = p11;
+  }
+}
+
+void KalmanFilter::Correct(size_t dim, double measurement) {
+  DimState& s = dims_[dim];
+  const double innovation = measurement - s.position;
+  const double denom = s.p00 + kalman_.measurement_noise;
+  const double k0 = s.p00 / denom;
+  const double k1 = s.p01 / denom;
+  s.position += k0 * innovation;
+  s.velocity += k1 * innovation;
+  const double p00 = (1.0 - k0) * s.p00;
+  const double p01 = (1.0 - k0) * s.p01;
+  const double p11 = s.p11 - k1 * s.p01;
+  s.p00 = p00;
+  s.p01 = p01;
+  s.p11 = p11;
+}
+
+void KalmanFilter::EmitCurrent() {
+  Segment seg;
+  seg.t_start = segment_start_t_;
+  seg.t_end = t_last_;
+  seg.x_start = segment_start_x_;
+  seg.x_end.resize(dimensions());
+  for (size_t i = 0; i < dimensions(); ++i) {
+    seg.x_end[i] = segment_start_x_[i] +
+                   segment_velocity_[i] * (t_last_ - segment_start_t_);
+  }
+  seg.connected_to_prev = false;
+  Emit(std::move(seg));
+}
+
+Status KalmanFilter::AppendValidated(const DataPoint& point) {
+  if (!have_state_) {
+    have_state_ = true;
+    for (size_t i = 0; i < dimensions(); ++i) {
+      dims_[i].position = point.x[i];
+      dims_[i].velocity = 0.0;
+      dims_[i].p00 = kalman_.measurement_noise;
+      dims_[i].p01 = 0.0;
+      dims_[i].p11 = 1.0;
+      segment_start_x_[i] = point.x[i];
+      segment_velocity_[i] = 0.0;
+    }
+    segment_start_t_ = point.t;
+    t_state_ = point.t;
+    t_last_ = point.t;
+    return Status::OK();
+  }
+
+  // Roll the shared state to the new sample time and gate.
+  Predict(point.t - t_state_);
+  t_state_ = point.t;
+  bool within = true;
+  for (size_t i = 0; i < dimensions() && within; ++i) {
+    within = std::abs(point.x[i] - dims_[i].position) <= epsilon(i);
+  }
+  if (within) {
+    // Receiver predicts this sample itself; no update on either side.
+    t_last_ = point.t;
+    return Status::OK();
+  }
+
+  // Gating violation: close the rolled-out segment at the previous sample
+  // and transmit the measurement.
+  EmitCurrent();
+  for (size_t i = 0; i < dimensions(); ++i) {
+    Correct(i, point.x[i]);
+    // Pin the position to the transmitted measurement: the corrected
+    // position retains (1 - gain) of a possibly large innovation, which
+    // would break the L-infinity contract for the violating sample itself.
+    // The velocity keeps its Kalman-smoothed estimate — the part that
+    // actually improves over the linear filter's two-point slope.
+    dims_[i].position = point.x[i];
+  }
+  segment_start_t_ = point.t;
+  for (size_t i = 0; i < dimensions(); ++i) {
+    segment_start_x_[i] = dims_[i].position;
+    segment_velocity_[i] = dims_[i].velocity;
+  }
+  t_last_ = point.t;
+  return Status::OK();
+}
+
+Status KalmanFilter::FinishImpl() {
+  if (have_state_) EmitCurrent();
+  return Status::OK();
+}
+
+}  // namespace plastream

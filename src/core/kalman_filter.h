@@ -1,0 +1,89 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Error-gated Kalman predictive filter: the related-work baseline of Jain,
+// Chang & Wang (SIGMOD 2004, the paper's reference [15]), adapted to the
+// paper's dual-filter protocol.
+//
+// Transmitter and receiver run mirrored constant-velocity Kalman filters.
+// While the actual measurement stays within ε_i of the prediction in every
+// dimension, nothing is sent and BOTH sides roll the state forward by pure
+// time updates — so the reconstructed trajectory between recordings is a
+// straight line (position advancing with the frozen velocity estimate),
+// which is exactly a disconnected PLA segment. On a gating violation the
+// measurement is transmitted (one recording of d+1 fields plus the
+// refreshed velocity — costed like a disconnected segment), both sides
+// apply the Kalman measurement update, and a new segment starts.
+//
+// Versus the linear filter, the velocity estimate blends history across
+// segments instead of trusting the first two points, making the filter
+// robust to measurement noise; versus swing/slide it maintains a single
+// model, which is the gap the paper's contributions exploit (Section 6:
+// "Kalman filters are also incapable of simulating the swing and slide
+// filters since each of them maintain multiple prediction models
+// simultaneously").
+
+#ifndef PLASTREAM_CORE_KALMAN_FILTER_H_
+#define PLASTREAM_CORE_KALMAN_FILTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/filter.h"
+
+namespace plastream {
+
+/// Tuning knobs of the constant-velocity model.
+struct KalmanOptions {
+  /// Process noise intensity (how quickly the true velocity may drift).
+  double process_noise = 1e-3;
+  /// Measurement noise variance.
+  double measurement_noise = 1e-2;
+};
+
+/// Kalman-prediction filter with the paper's L-infinity gating contract.
+class KalmanFilter : public Filter {
+ public:
+  /// Validates options and constructs the filter. `sink` may be null.
+  static Result<std::unique_ptr<KalmanFilter>> Create(
+      FilterOptions options, KalmanOptions kalman = KalmanOptions{},
+      SegmentSink* sink = nullptr);
+
+  std::string_view name() const override { return "kalman"; }
+
+ protected:
+  Status AppendValidated(const DataPoint& point) override;
+  Status FinishImpl() override;
+
+ private:
+  KalmanFilter(FilterOptions options, KalmanOptions kalman,
+               SegmentSink* sink);
+
+  // Per-dimension constant-velocity state [position, velocity] with
+  // covariance [[p00, p01], [p01, p11]].
+  struct DimState {
+    double position = 0.0;
+    double velocity = 0.0;
+    double p00 = 1.0, p01 = 0.0, p11 = 1.0;
+  };
+
+  // Rolls every dimension forward by dt (time update).
+  void Predict(double dt);
+  // Folds a measurement in (measurement update), one dimension.
+  void Correct(size_t dim, double measurement);
+  // Emits the current segment ending at the prediction for t_last_.
+  void EmitCurrent();
+
+  KalmanOptions kalman_;
+  bool have_state_ = false;
+  double segment_start_t_ = 0.0;
+  std::vector<double> segment_start_x_;
+  std::vector<double> segment_velocity_;  // frozen slope of the open segment
+  double t_state_ = 0.0;                  // time the state refers to
+  double t_last_ = 0.0;                   // last accepted sample time
+  std::vector<DimState> dims_;
+};
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_CORE_KALMAN_FILTER_H_

@@ -1,0 +1,105 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "core/linear_filter.h"
+
+#include <cmath>
+
+namespace plastream {
+
+Result<std::unique_ptr<LinearFilter>> LinearFilter::Create(
+    FilterOptions options, LinearMode mode, SegmentSink* sink) {
+  PLASTREAM_RETURN_NOT_OK(ValidateFilterOptions(options));
+  return std::unique_ptr<LinearFilter>(
+      new LinearFilter(std::move(options), mode, sink));
+}
+
+LinearFilter::LinearFilter(FilterOptions options, LinearMode mode,
+                           SegmentSink* sink)
+    : Filter(std::move(options), sink), mode_(mode) {}
+
+double LinearFilter::Predict(double t, size_t i) const {
+  return anchor_x_[i] + slope_[i] * (t - anchor_t_);
+}
+
+bool LinearFilter::Accepts(const DataPoint& point) const {
+  for (size_t i = 0; i < dimensions(); ++i) {
+    if (std::abs(point.x[i] - Predict(point.t, i)) > epsilon(i)) return false;
+  }
+  return true;
+}
+
+void LinearFilter::EmitCurrent(bool connected) {
+  Segment seg;
+  seg.t_start = anchor_t_;
+  seg.t_end = t_last_;
+  seg.x_start = anchor_x_;
+  seg.x_end.resize(dimensions());
+  for (size_t i = 0; i < dimensions(); ++i) {
+    seg.x_end[i] = slope_defined_ ? Predict(t_last_, i) : anchor_x_[i];
+  }
+  seg.connected_to_prev = connected;
+  Emit(std::move(seg));
+}
+
+Status LinearFilter::AppendValidated(const DataPoint& point) {
+  if (!have_anchor_) {
+    // First point of the stream, or of a disconnected segment.
+    have_anchor_ = true;
+    slope_defined_ = false;
+    anchor_t_ = point.t;
+    anchor_x_ = point.x;
+    t_last_ = point.t;
+    return Status::OK();
+  }
+  if (!slope_defined_) {
+    // The second point the segment represents fixes the slope (Section 2.2:
+    // "the slope of the line is defined by the first two data points it
+    // represents").
+    slope_.resize(dimensions());
+    for (size_t i = 0; i < dimensions(); ++i) {
+      slope_[i] = (point.x[i] - anchor_x_[i]) / (point.t - anchor_t_);
+    }
+    slope_defined_ = true;
+    t_last_ = point.t;
+    return Status::OK();
+  }
+  if (Accepts(point)) {
+    t_last_ = point.t;
+    return Status::OK();
+  }
+  // Violation: terminate the current segment at its prediction for t_last_.
+  const bool was_shared = anchor_is_shared_;
+  std::vector<double> terminal(dimensions());
+  for (size_t i = 0; i < dimensions(); ++i) terminal[i] = Predict(t_last_, i);
+  const double terminal_t = t_last_;
+  EmitCurrent(/*connected=*/was_shared);
+
+  if (mode_ == LinearMode::kConnected) {
+    // The terminal point and the violating point define the next line.
+    anchor_t_ = terminal_t;
+    anchor_x_ = std::move(terminal);
+    anchor_is_shared_ = true;
+    slope_.resize(dimensions());
+    for (size_t i = 0; i < dimensions(); ++i) {
+      slope_[i] = (point.x[i] - anchor_x_[i]) / (point.t - anchor_t_);
+    }
+    slope_defined_ = true;
+    t_last_ = point.t;
+  } else {
+    // Disconnected: restart from the violating point; the next point will
+    // fix the slope.
+    anchor_t_ = point.t;
+    anchor_x_ = point.x;
+    anchor_is_shared_ = false;
+    slope_defined_ = false;
+    t_last_ = point.t;
+  }
+  return Status::OK();
+}
+
+Status LinearFilter::FinishImpl() {
+  if (have_anchor_) EmitCurrent(/*connected=*/anchor_is_shared_);
+  return Status::OK();
+}
+
+}  // namespace plastream

@@ -1,0 +1,73 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Linear filter: the piece-wise *linear* baseline of Section 2.2
+// (Dilman & Raz, Jain et al., Keogh et al.).
+//
+// The filter maintains a single prediction line per segment, whose slope is
+// fixed by the first two points the segment represents. Points within ε_i
+// of the line per dimension are filtered out. On a violation the segment is
+// terminated at the line's value at the last represented point:
+//  - connected mode: that terminal point plus the violating point define
+//    the next segment's line (one recording per segment);
+//  - disconnected mode: the violating point and its successor define the
+//    next line (two recordings per segment, more placement freedom).
+
+#ifndef PLASTREAM_CORE_LINEAR_FILTER_H_
+#define PLASTREAM_CORE_LINEAR_FILTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/filter.h"
+
+namespace plastream {
+
+/// Segment-joining policy of a linear filter.
+enum class LinearMode {
+  kConnected,
+  kDisconnected,
+};
+
+/// Piece-wise linear single-line predictive filter.
+class LinearFilter : public Filter {
+ public:
+  /// Validates options and constructs the filter. `sink` may be null.
+  static Result<std::unique_ptr<LinearFilter>> Create(
+      FilterOptions options, LinearMode mode = LinearMode::kConnected,
+      SegmentSink* sink = nullptr);
+
+  std::string_view name() const override { return "linear"; }
+
+  /// The joining policy in use.
+  LinearMode mode() const { return mode_; }
+
+ protected:
+  Status AppendValidated(const DataPoint& point) override;
+  Status FinishImpl() override;
+
+ private:
+  LinearFilter(FilterOptions options, LinearMode mode, SegmentSink* sink);
+
+  // True when `point` lies within ε of the current line in every dimension.
+  bool Accepts(const DataPoint& point) const;
+  // Line value at time t, dimension i.
+  double Predict(double t, size_t i) const;
+  // Emits the current segment ending at the line's value at t_last_.
+  void EmitCurrent(bool connected);
+
+  LinearMode mode_;
+  // Segment state. anchor_* is the line's start; slope_ is set once the
+  // second point of the segment arrives (slope_defined_).
+  bool have_anchor_ = false;
+  bool slope_defined_ = false;
+  bool anchor_is_shared_ = false;  // anchor equals previous segment's end
+  double anchor_t_ = 0.0;
+  std::vector<double> anchor_x_;
+  std::vector<double> slope_;
+  double t_last_ = 0.0;
+};
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_CORE_LINEAR_FILTER_H_

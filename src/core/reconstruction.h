@@ -1,0 +1,69 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Receiver-side reconstruction: turns the segment stream produced by a
+// filter back into an evaluable function of time. This is what a DSMS or
+// storage repository would query instead of the raw signal, and it is the
+// object against which the paper's precision guarantee (Theorems 3.1/4.1)
+// is stated and tested.
+
+#ifndef PLASTREAM_CORE_RECONSTRUCTION_H_
+#define PLASTREAM_CORE_RECONSTRUCTION_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/types.h"
+
+namespace plastream {
+
+/// An immutable piece-wise linear function assembled from segments.
+class PiecewiseLinearFunction {
+ public:
+  /// Builds from a validated segment chain (see ValidateSegmentChain).
+  static Result<PiecewiseLinearFunction> Make(std::vector<Segment> segments);
+
+  /// Number of segments.
+  size_t segment_count() const { return segments_.size(); }
+
+  /// Dimensionality d (0 when empty).
+  size_t dimensions() const {
+    return segments_.empty() ? 0 : segments_.front().dimensions();
+  }
+
+  /// The underlying segments in time order.
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  /// Index of the segment whose [t_start, t_end] range contains t, if any.
+  /// Junction times shared by two connected segments resolve to the earlier
+  /// segment (both give the same value there).
+  std::optional<size_t> FindSegment(double t) const;
+
+  /// True when some segment covers t.
+  bool Covers(double t) const { return FindSegment(t).has_value(); }
+
+  /// Value of dimension `dim` at time t.
+  /// Errors with NotFound when no segment covers t (disconnected gaps carry
+  /// no data points, but arbitrary query times may land in them).
+  Result<double> Evaluate(double t, size_t dim) const;
+
+  /// Values of all dimensions at time t.
+  Result<std::vector<double>> EvaluateAll(double t) const;
+
+  /// Earliest covered time. Requires at least one segment.
+  double t_min() const { return segments_.front().t_start; }
+  /// Latest covered time. Requires at least one segment.
+  double t_max() const { return segments_.back().t_end; }
+
+ private:
+  explicit PiecewiseLinearFunction(std::vector<Segment> segments)
+      : segments_(std::move(segments)) {}
+
+  std::vector<Segment> segments_;
+};
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_CORE_RECONSTRUCTION_H_

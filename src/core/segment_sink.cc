@@ -1,0 +1,8 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "core/segment_sink.h"
+
+// SegmentSink is header-only today; this translation unit anchors the
+// vtable so the class has a single home object file.
+
+namespace plastream {}  // namespace plastream

@@ -1,0 +1,76 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Consumers of filter output. Filters push finalized segments (and, under a
+// max-lag bound, provisional line commits) into a SegmentSink; the stream
+// transport, the metrics code and plain in-memory collection are all sinks.
+
+#ifndef PLASTREAM_CORE_SEGMENT_SINK_H_
+#define PLASTREAM_CORE_SEGMENT_SINK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+
+namespace plastream {
+
+/// A provisional line transmitted when the max-lag bound forces the filter
+/// to commit to a line before its segment can be finalized (paper, Sections
+/// 3.3 / 4.3). The eventual Segment emitted for the interval is guaranteed
+/// to lie on this line.
+struct ProvisionalLine {
+  /// Anchor time of the committed line.
+  double t = 0.0;
+  /// Line value per dimension at the anchor time.
+  std::vector<double> x;
+  /// Line slope per dimension.
+  std::vector<double> slope;
+  /// Transmission cost in recordings (1 when the anchor was already known
+  /// to the receiver, 2 for a fresh disconnected line).
+  size_t recording_cost = 0;
+};
+
+/// Receives filter output in stream order.
+class SegmentSink {
+ public:
+  virtual ~SegmentSink() = default;
+
+  /// Called for every finalized segment, in time order.
+  virtual void OnSegment(const Segment& segment) = 0;
+
+  /// Called when a max-lag freeze commits a line early. Default: ignore.
+  virtual void OnProvisionalLine(const ProvisionalLine& line) { (void)line; }
+};
+
+/// Collects segments into a vector; the default sink for library users that
+/// just want the approximation.
+class CollectingSink : public SegmentSink {
+ public:
+  void OnSegment(const Segment& segment) override {
+    segments_.push_back(segment);
+  }
+  void OnProvisionalLine(const ProvisionalLine& line) override {
+    provisional_.push_back(line);
+  }
+
+  /// Segments received so far, in emission order.
+  const std::vector<Segment>& segments() const { return segments_; }
+  /// Provisional max-lag commits received so far.
+  const std::vector<ProvisionalLine>& provisional_lines() const {
+    return provisional_;
+  }
+  /// Moves the collected segments out and clears the sink.
+  std::vector<Segment> TakeSegments() {
+    std::vector<Segment> out = std::move(segments_);
+    segments_.clear();
+    return out;
+  }
+
+ private:
+  std::vector<Segment> segments_;
+  std::vector<ProvisionalLine> provisional_;
+};
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_CORE_SEGMENT_SINK_H_

@@ -1,0 +1,174 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "core/segment_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace plastream {
+
+SegmentStore::SegmentStore(size_t dimensions) : dimensions_(dimensions) {}
+
+Status SegmentStore::Append(const Segment& segment) {
+  if (segment.x_start.size() != dimensions_ ||
+      segment.x_end.size() != dimensions_) {
+    return Status::InvalidArgument("segment dimensionality mismatch");
+  }
+  if (!(segment.t_start <= segment.t_end)) {
+    return Status::InvalidArgument("segment with t_start > t_end");
+  }
+  for (size_t i = 0; i < dimensions_; ++i) {
+    if (!std::isfinite(segment.x_start[i]) ||
+        !std::isfinite(segment.x_end[i])) {
+      return Status::InvalidArgument("segment with non-finite value");
+    }
+  }
+  if (!segments_.empty()) {
+    const Segment& prev = segments_.back();
+    if (segment.t_start < prev.t_end) {
+      return Status::OutOfOrder("segment overlaps the stored chain");
+    }
+    if (segment.connected_to_prev) {
+      if (segment.t_start != prev.t_end) {
+        return Status::InvalidArgument(
+            "connected segment does not share the previous end time");
+      }
+      for (size_t i = 0; i < dimensions_; ++i) {
+        if (segment.x_start[i] != prev.x_end[i]) {
+          return Status::InvalidArgument(
+              "connected segment does not share the previous end value");
+        }
+      }
+    }
+  } else if (segment.connected_to_prev) {
+    return Status::InvalidArgument("first segment marked connected");
+  }
+  segments_.push_back(segment);
+  return Status::OK();
+}
+
+Status SegmentStore::AppendAll(std::span<const Segment> segments) {
+  for (const Segment& segment : segments) {
+    PLASTREAM_RETURN_NOT_OK(Append(segment));
+  }
+  return Status::OK();
+}
+
+size_t SegmentStore::LowerBound(double t) const {
+  const auto it = std::lower_bound(
+      segments_.begin(), segments_.end(), t,
+      [](const Segment& seg, double time) { return seg.t_end < time; });
+  return static_cast<size_t>(it - segments_.begin());
+}
+
+Result<double> SegmentStore::ValueAt(double t, size_t dim) const {
+  if (dim >= dimensions_) {
+    return Status::InvalidArgument("dimension out of range");
+  }
+  const size_t idx = LowerBound(t);
+  if (idx == segments_.size() || segments_[idx].t_start > t) {
+    return Status::NotFound("no segment covers t=" + std::to_string(t));
+  }
+  return segments_[idx].ValueAt(t, dim);
+}
+
+Result<SegmentStore::RangeAggregate> SegmentStore::Aggregate(
+    double t_begin, double t_end, size_t dim) const {
+  if (dim >= dimensions_) {
+    return Status::InvalidArgument("dimension out of range");
+  }
+  if (!(t_begin <= t_end)) {
+    return Status::InvalidArgument("reversed aggregate range");
+  }
+  RangeAggregate agg;
+  bool any = false;
+  for (size_t idx = LowerBound(t_begin); idx < segments_.size(); ++idx) {
+    const Segment& seg = segments_[idx];
+    if (seg.t_start > t_end) break;
+    // Clip the segment to the query range.
+    const double a = std::max(seg.t_start, t_begin);
+    const double b = std::min(seg.t_end, t_end);
+    if (a > b) continue;
+    const double va = seg.ValueAt(a, dim);
+    const double vb = seg.ValueAt(b, dim);
+    if (!any) {
+      agg.min = std::min(va, vb);
+      agg.max = std::max(va, vb);
+      any = true;
+    } else {
+      agg.min = std::min({agg.min, va, vb});
+      agg.max = std::max({agg.max, va, vb});
+    }
+    // Linear pieces: extrema at clip endpoints, integral by trapezoid.
+    agg.integral += 0.5 * (va + vb) * (b - a);
+    agg.covered_duration += b - a;
+    ++agg.segments_touched;
+  }
+  if (!any) {
+    return Status::NotFound("aggregate range touches no segment");
+  }
+  agg.mean = agg.covered_duration > 0.0
+                 ? agg.integral / agg.covered_duration
+                 : 0.5 * (agg.min + agg.max);  // instant query on a point
+  return agg;
+}
+
+std::vector<std::pair<double, double>> SegmentStore::IntervalsAbove(
+    double threshold, double t_begin, double t_end, size_t dim) const {
+  std::vector<std::pair<double, double>> out;
+  if (dim >= dimensions_ || !(t_begin <= t_end)) return out;
+
+  bool open = false;
+  double open_start = 0.0;
+  double last_covered = 0.0;
+  auto close_interval = [&](double at) {
+    if (open && at > open_start) out.emplace_back(open_start, at);
+    open = false;
+  };
+
+  for (size_t idx = LowerBound(t_begin); idx < segments_.size(); ++idx) {
+    const Segment& seg = segments_[idx];
+    if (seg.t_start > t_end) break;
+    const double a = std::max(seg.t_start, t_begin);
+    const double b = std::min(seg.t_end, t_end);
+    if (a > b) continue;
+    // A coverage gap (or a disconnected jump) ends any open interval.
+    if (open && a > last_covered) close_interval(last_covered);
+
+    const double va = seg.ValueAt(a, dim);
+    const double vb = seg.ValueAt(b, dim);
+    const bool above_a = va > threshold;
+    const bool above_b = vb > threshold;
+    if (above_a != above_b && b > a) {
+      // One crossing strictly inside the clipped piece.
+      const double cross = a + (threshold - va) / (vb - va) * (b - a);
+      if (above_a) {
+        if (!open) {
+          open = true;
+          open_start = a;
+        }
+        close_interval(cross);
+      } else {
+        close_interval(a);  // terminates any stale state; no-op when closed
+        open = true;
+        open_start = cross;
+      }
+    } else if (above_a && above_b) {
+      if (!open) {
+        // Degenerate double-crossing inside one linear piece is impossible;
+        // the piece is entirely above.
+        open = true;
+        open_start = a;
+      }
+    } else if (b > a) {
+      // Entirely at/below threshold.
+      close_interval(a);
+    }
+    last_covered = b;
+  }
+  close_interval(last_covered);
+  return out;
+}
+
+}  // namespace plastream

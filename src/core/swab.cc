@@ -1,0 +1,157 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "core/swab.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace plastream {
+
+Result<std::unique_ptr<SwabSegmenter>> SwabSegmenter::Create(
+    SwabOptions options, SegmentSink* sink) {
+  PLASTREAM_RETURN_NOT_OK(ValidateFilterOptions(options.base));
+  if (options.buffer_capacity < 2) {
+    return Status::InvalidArgument("SwabOptions.buffer_capacity must be >= 2");
+  }
+  return std::unique_ptr<SwabSegmenter>(
+      new SwabSegmenter(std::move(options), sink));
+}
+
+SwabSegmenter::SwabSegmenter(SwabOptions options, SegmentSink* sink)
+    : options_(std::move(options)), sink_(sink) {}
+
+SwabSegmenter::FitLine SwabSegmenter::Fit(size_t begin, size_t end,
+                                          size_t dim) const {
+  FitLine fit;
+  fit.base_t = buffer_[begin].t;
+  const size_t n = end - begin;
+  if (n == 1) {
+    fit.x0 = buffer_[begin].x[dim];
+    return fit;
+  }
+  // Ordinary least squares, centered at the run's first point.
+  double st = 0.0, sx = 0.0, stt = 0.0, sxt = 0.0;
+  for (size_t j = begin; j < end; ++j) {
+    const double dt = buffer_[j].t - fit.base_t;
+    const double dx = buffer_[j].x[dim] - buffer_[begin].x[dim];
+    st += dt;
+    sx += dx;
+    stt += dt * dt;
+    sxt += dx * dt;
+  }
+  const double nn = static_cast<double>(n);
+  const double denom = stt - st * st / nn;
+  fit.slope = denom > 0.0 ? (sxt - st * sx / nn) / denom : 0.0;
+  fit.x0 = buffer_[begin].x[dim] + (sx - fit.slope * st) / nn;
+  return fit;
+}
+
+bool SwabSegmenter::WithinBound(size_t begin, size_t end) const {
+  const size_t d = options_.base.epsilon.size();
+  for (size_t dim = 0; dim < d; ++dim) {
+    const FitLine fit = Fit(begin, end, dim);
+    const double eps = options_.base.epsilon[dim];
+    for (size_t j = begin; j < end; ++j) {
+      if (std::abs(buffer_[j].x[dim] - fit.ValueAt(buffer_[j].t)) > eps) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<size_t> SwabSegmenter::SegmentBuffer() const {
+  // Classic bottom-up: start from minimal runs, repeatedly merge the
+  // adjacent pair whose merged fit stays within the bound, preferring the
+  // merge with the most points (greedy on coverage). Buffer sizes are
+  // small, so the O(k^2 * n) cost is irrelevant next to clarity.
+  std::vector<size_t> bounds;  // run starts; sentinel at buffer size
+  for (size_t i = 0; i < buffer_.size(); i += 2) bounds.push_back(i);
+  bounds.push_back(buffer_.size());
+
+  bool merged = true;
+  while (merged && bounds.size() > 2) {
+    merged = false;
+    size_t best = 0;
+    size_t best_span = 0;
+    for (size_t k = 0; k + 2 < bounds.size(); ++k) {
+      const size_t begin = bounds[k];
+      const size_t end = bounds[k + 2];
+      if (!WithinBound(begin, end)) continue;
+      if (end - begin > best_span) {
+        best_span = end - begin;
+        best = k + 1;
+        merged = true;
+      }
+    }
+    if (merged) bounds.erase(bounds.begin() + static_cast<long>(best));
+  }
+  return bounds;
+}
+
+void SwabSegmenter::EmitPrefix(size_t end) {
+  const size_t d = options_.base.epsilon.size();
+  Segment seg;
+  seg.t_start = buffer_.front().t;
+  seg.t_end = buffer_[end - 1].t;
+  seg.x_start.resize(d);
+  seg.x_end.resize(d);
+  for (size_t dim = 0; dim < d; ++dim) {
+    const FitLine fit = Fit(0, end, dim);
+    seg.x_start[dim] = fit.ValueAt(seg.t_start);
+    seg.x_end[dim] = fit.ValueAt(seg.t_end);
+  }
+  seg.connected_to_prev = false;
+  if (sink_ != nullptr) sink_->OnSegment(seg);
+  pending_out_.push_back(std::move(seg));
+  ++segments_emitted_;
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(end));
+}
+
+Status SwabSegmenter::Append(const DataPoint& point) {
+  if (finished_) return Status::FailedPrecondition("Append after Finish");
+  if (point.x.size() != options_.base.epsilon.size()) {
+    return Status::InvalidArgument("point dimensionality mismatch");
+  }
+  if (!std::isfinite(point.t)) {
+    return Status::InvalidArgument("non-finite timestamp");
+  }
+  for (double v : point.x) {
+    if (!std::isfinite(v)) return Status::InvalidArgument("non-finite value");
+  }
+  if (has_last_time_ && point.t <= last_time_) {
+    return Status::OutOfOrder("timestamp not increasing");
+  }
+  has_last_time_ = true;
+  last_time_ = point.t;
+
+  buffer_.push_back(point);
+  if (buffer_.size() >= options_.buffer_capacity) {
+    const std::vector<size_t> bounds = SegmentBuffer();
+    // Emit the leftmost run; with a single run, emit half the buffer to
+    // guarantee progress.
+    const size_t cut = bounds.size() > 2 ? bounds[1] : buffer_.size() / 2;
+    EmitPrefix(std::max<size_t>(cut, 1));
+  }
+  return Status::OK();
+}
+
+Status SwabSegmenter::Finish() {
+  if (finished_) return Status::OK();
+  while (!buffer_.empty()) {
+    const std::vector<size_t> bounds = SegmentBuffer();
+    EmitPrefix(bounds.size() > 2 ? bounds[1] : buffer_.size());
+  }
+  finished_ = true;
+  return Status::OK();
+}
+
+std::vector<Segment> SwabSegmenter::TakeSegments() {
+  std::vector<Segment> out = std::move(pending_out_);
+  pending_out_.clear();
+  return out;
+}
+
+}  // namespace plastream

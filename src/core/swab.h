@@ -1,0 +1,93 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// SWAB-style buffered segmentation (Keogh, Chu, Hart & Pazzani, ICDM 2001),
+// adapted to the paper's error-bounded setting.
+//
+// The paper's Section 6 remarks that "the swing and slide filters can
+// replace the linear filter in the SWAB algorithm"; this module provides
+// the SWAB side of that composition. A bounded buffer of recent points is
+// segmented bottom-up: adjacent runs are merged while the least-squares fit
+// of the merged run keeps every point within ε_i per dimension. When the
+// buffer fills, the leftmost (stable) segment is emitted and its points
+// leave the buffer, keeping the method online with bounded delay.
+//
+// Compared to the pure online filters, SWAB trades a larger lag and higher
+// per-point cost for segment boundaries chosen with lookahead.
+
+#ifndef PLASTREAM_CORE_SWAB_H_
+#define PLASTREAM_CORE_SWAB_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/filter.h"
+
+namespace plastream {
+
+/// Configuration for SwabSegmenter.
+struct SwabOptions {
+  /// Per-dimension precision widths (same contract as FilterOptions).
+  FilterOptions base;
+  /// Maximum buffered points before the leftmost segment is forced out.
+  /// Also bounds the transmitter->receiver lag.
+  size_t buffer_capacity = 64;
+};
+
+/// Error-bounded bottom-up segmenter over a sliding buffer.
+///
+/// Mirrors the Filter lifecycle (Append*/Finish/TakeSegments) but is not a
+/// Filter subclass: its guarantees come from buffered lookahead rather than
+/// online candidate maintenance, and it emits disconnected segments only.
+class SwabSegmenter {
+ public:
+  /// Validates options and constructs the segmenter. `sink` may be null.
+  static Result<std::unique_ptr<SwabSegmenter>> Create(
+      SwabOptions options, SegmentSink* sink = nullptr);
+
+  /// Consumes one data point (same validation rules as Filter::Append).
+  Status Append(const DataPoint& point);
+
+  /// Flushes all buffered points into final segments.
+  Status Finish();
+
+  /// Drains the segments finalized so far.
+  std::vector<Segment> TakeSegments();
+
+  /// Number of segments emitted so far.
+  size_t segments_emitted() const { return segments_emitted_; }
+
+ private:
+  SwabSegmenter(SwabOptions options, SegmentSink* sink);
+
+  // Least-squares fit of buffer points [begin, end) in one dimension;
+  // returns {intercept at buffer_[begin].t, slope}.
+  struct FitLine {
+    double base_t = 0.0;
+    double x0 = 0.0;
+    double slope = 0.0;
+    double ValueAt(double t) const { return x0 + slope * (t - base_t); }
+  };
+  FitLine Fit(size_t begin, size_t end, size_t dim) const;
+  // True when the fit of [begin, end) respects ε in every dimension.
+  bool WithinBound(size_t begin, size_t end) const;
+  // Bottom-up segmentation of the whole buffer; returns boundary indices
+  // (run-start offsets, ending with buffer size).
+  std::vector<size_t> SegmentBuffer() const;
+  // Emits points [0, end) as one segment and drops them from the buffer.
+  void EmitPrefix(size_t end);
+
+  SwabOptions options_;
+  SegmentSink* sink_;
+  std::deque<DataPoint> buffer_;
+  std::vector<Segment> pending_out_;
+  size_t segments_emitted_ = 0;
+  bool finished_ = false;
+  bool has_last_time_ = false;
+  double last_time_ = 0.0;
+};
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_CORE_SWAB_H_

@@ -1,0 +1,195 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "core/swing_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace plastream {
+
+Result<std::unique_ptr<SwingFilter>> SwingFilter::Create(FilterOptions options,
+                                                         SegmentSink* sink) {
+  PLASTREAM_RETURN_NOT_OK(ValidateFilterOptions(options));
+  return std::unique_ptr<SwingFilter>(
+      new SwingFilter(std::move(options), sink));
+}
+
+SwingFilter::SwingFilter(FilterOptions options, SegmentSink* sink)
+    : Filter(std::move(options), sink) {
+  const size_t d = dimensions();
+  slope_u_.resize(d);
+  slope_l_.resize(d);
+  s1_.resize(d);
+  frozen_slope_.resize(d);
+}
+
+double SwingFilter::BoundAt(double slope, double t, size_t i) const {
+  return pivot_x_[i] + slope * (t - pivot_t_);
+}
+
+bool SwingFilter::Violates(const DataPoint& point) const {
+  for (size_t i = 0; i < dimensions(); ++i) {
+    const double eps = epsilon(i);
+    if (frozen_) {
+      // Linear-filter mode along the committed line.
+      const double pred = BoundAt(frozen_slope_[i], point.t, i);
+      if (std::abs(point.x[i] - pred) > eps) return true;
+      continue;
+    }
+    if (point.x[i] > BoundAt(slope_u_[i], point.t, i) + eps) return true;
+    if (point.x[i] < BoundAt(slope_l_[i], point.t, i) - eps) return true;
+  }
+  return false;
+}
+
+double SwingFilter::ClampedLsqSlope(size_t i) const {
+  const double s2 = s2_.Total();
+  // s2 == 0 only for an empty interval, which CloseInterval never sees with
+  // bounds defined; guard anyway and fall back to the feasible midpoint.
+  double slope = s2 > 0.0 ? s1_[i].Total() / s2
+                          : 0.5 * (slope_l_[i] + slope_u_[i]);
+  return std::clamp(slope, slope_l_[i], slope_u_[i]);
+}
+
+void SwingFilter::Accumulate(const DataPoint& point) {
+  const double dt = point.t - pivot_t_;
+  s2_.Add(dt * dt);
+  for (size_t i = 0; i < dimensions(); ++i) {
+    s1_[i].Add((point.x[i] - pivot_x_[i]) * dt);
+  }
+}
+
+void SwingFilter::CloseInterval() {
+  // Recording at t_k = t_{j-1} (Algorithm 1, line 8): on the line through
+  // the pivot with the clamped least-squares slope. In frozen mode the line
+  // was already committed.
+  Segment seg;
+  seg.t_start = pivot_t_;
+  seg.t_end = t_last_;
+  seg.x_start = pivot_x_;
+  seg.x_end.resize(dimensions());
+  for (size_t i = 0; i < dimensions(); ++i) {
+    const double slope = frozen_ ? frozen_slope_[i] : ClampedLsqSlope(i);
+    seg.x_end[i] = BoundAt(slope, t_last_, i);
+  }
+  seg.connected_to_prev = !first_segment_;
+  first_segment_ = false;
+
+  // The new pivot is the recording just made.
+  pivot_t_ = seg.t_end;
+  pivot_x_ = seg.x_end;
+  Emit(std::move(seg));
+
+  bounds_defined_ = false;
+  frozen_ = false;
+  interval_points_ = 0;
+  s2_.Reset();
+  for (auto& sum : s1_) sum.Reset();
+  unreported_ = 0;  // The recording brings the receiver fully up to date.
+}
+
+void SwingFilter::StartBounds(const DataPoint& point) {
+  for (size_t i = 0; i < dimensions(); ++i) {
+    const double dt = point.t - pivot_t_;
+    slope_u_[i] = (point.x[i] + epsilon(i) - pivot_x_[i]) / dt;
+    slope_l_[i] = (point.x[i] - epsilon(i) - pivot_x_[i]) / dt;
+  }
+  bounds_defined_ = true;
+}
+
+void SwingFilter::Freeze() {
+  // Commit the clamped-LSQ line and update the receiver (Section 3.3). The
+  // pivot is already known to the receiver, so the commit costs a single
+  // recording-equivalent (the slope vector).
+  for (size_t i = 0; i < dimensions(); ++i) {
+    frozen_slope_[i] = ClampedLsqSlope(i);
+  }
+  ProvisionalLine line;
+  line.t = pivot_t_;
+  line.x = pivot_x_;
+  line.slope = frozen_slope_;
+  line.recording_cost = 1;
+  EmitProvisional(std::move(line));
+  frozen_ = true;
+  unreported_ = 0;
+}
+
+Status SwingFilter::AppendValidated(const DataPoint& point) {
+  if (!have_pivot_) {
+    // Algorithm 1, lines 1-2: the first point is recorded as (t_0', X_0')
+    // and becomes the pivot of the first interval.
+    have_pivot_ = true;
+    pivot_t_ = point.t;
+    pivot_x_ = point.x;
+    t_last_ = point.t;
+    x_last_ = point.x;
+    return Status::OK();
+  }
+  if (!bounds_defined_) {
+    // Algorithm 1, line 3 / line 9: the first point after a recording
+    // defines the initial bounds.
+    StartBounds(point);
+    Accumulate(point);
+    t_last_ = point.t;
+    x_last_ = point.x;
+    interval_points_ = 1;
+    ++unreported_;
+    return Status::OK();
+  }
+
+  if (Violates(point)) {
+    CloseInterval();
+    StartBounds(point);
+    Accumulate(point);
+    t_last_ = point.t;
+    x_last_ = point.x;
+    interval_points_ = 1;
+    ++unreported_;
+    return Status::OK();
+  }
+
+  // Filtering mechanism (Algorithm 1, lines 14-18).
+  if (!frozen_) {
+    for (size_t i = 0; i < dimensions(); ++i) {
+      const double eps = epsilon(i);
+      const double dt = point.t - pivot_t_;
+      if (point.x[i] > BoundAt(slope_l_[i], point.t, i) + eps) {
+        // Swing l up through (pivot, point - ε).
+        slope_l_[i] = (point.x[i] - eps - pivot_x_[i]) / dt;
+      }
+      if (point.x[i] < BoundAt(slope_u_[i], point.t, i) - eps) {
+        // Swing u down through (pivot, point + ε).
+        slope_u_[i] = (point.x[i] + eps - pivot_x_[i]) / dt;
+      }
+    }
+    Accumulate(point);
+    ++unreported_;
+  }
+  t_last_ = point.t;
+  x_last_ = point.x;
+  ++interval_points_;
+
+  if (!frozen_ && options().max_lag > 0 && unreported_ >= options().max_lag) {
+    Freeze();
+  }
+  return Status::OK();
+}
+
+Status SwingFilter::FinishImpl() {
+  if (!have_pivot_) return Status::OK();  // Empty stream.
+  if (!bounds_defined_) {
+    // Single-point stream: emit the recorded point as a degenerate segment.
+    Segment seg;
+    seg.t_start = pivot_t_;
+    seg.t_end = pivot_t_;
+    seg.x_start = pivot_x_;
+    seg.x_end = pivot_x_;
+    seg.connected_to_prev = false;
+    Emit(std::move(seg));
+    return Status::OK();
+  }
+  CloseInterval();
+  return Status::OK();
+}
+
+}  // namespace plastream

@@ -1,0 +1,113 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "core/types.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/str_util.h"
+
+namespace plastream {
+
+double Segment::ValueAt(double t, size_t dim) const {
+  if (IsPoint()) return x_start[dim];
+  const double w = (t - t_start) / (t_end - t_start);
+  return x_start[dim] + w * (x_end[dim] - x_start[dim]);
+}
+
+std::vector<double> Segment::ValueAt(double t) const {
+  std::vector<double> out(dimensions());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = ValueAt(t, i);
+  return out;
+}
+
+std::string Segment::ToString() const {
+  std::string out = "[" + FormatDouble(t_start) + ", " + FormatDouble(t_end) + "] (";
+  for (size_t i = 0; i < x_start.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += FormatDouble(x_start[i]);
+  }
+  out += ") -> (";
+  for (size_t i = 0; i < x_end.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += FormatDouble(x_end[i]);
+  }
+  out += connected_to_prev ? ") connected" : ") disconnected";
+  return out;
+}
+
+size_t CountRecordings(const std::vector<Segment>& segments,
+                       RecordingCostModel model, size_t extra_recordings) {
+  size_t count = extra_recordings;
+  for (const Segment& seg : segments) {
+    switch (model) {
+      case RecordingCostModel::kPiecewiseConstant:
+        count += 1;
+        break;
+      case RecordingCostModel::kPiecewiseLinear:
+        if (seg.IsPoint()) {
+          count += 1;
+        } else {
+          count += seg.connected_to_prev ? 1 : 2;
+        }
+        break;
+    }
+  }
+  return count;
+}
+
+Status ValidateSegmentChain(const std::vector<Segment>& segments) {
+  for (size_t k = 0; k < segments.size(); ++k) {
+    const Segment& seg = segments[k];
+    if (seg.x_start.size() != seg.x_end.size()) {
+      return Status::Corruption("segment " + std::to_string(k) +
+                                ": start/end dimensionality mismatch");
+    }
+    if (!(seg.t_start <= seg.t_end)) {
+      return Status::Corruption("segment " + std::to_string(k) +
+                                ": t_start > t_end");
+    }
+    for (double v : seg.x_start) {
+      if (!std::isfinite(v)) {
+        return Status::Corruption("segment " + std::to_string(k) +
+                                  ": non-finite start value");
+      }
+    }
+    for (double v : seg.x_end) {
+      if (!std::isfinite(v)) {
+        return Status::Corruption("segment " + std::to_string(k) +
+                                  ": non-finite end value");
+      }
+    }
+    if (k == 0) {
+      if (seg.connected_to_prev) {
+        return Status::Corruption("first segment marked connected");
+      }
+      continue;
+    }
+    const Segment& prev = segments[k - 1];
+    if (seg.dimensions() != prev.dimensions()) {
+      return Status::Corruption("segment " + std::to_string(k) +
+                                ": dimensionality differs from predecessor");
+    }
+    if (seg.t_start < prev.t_end) {
+      return Status::Corruption("segment " + std::to_string(k) +
+                                ": overlaps predecessor");
+    }
+    if (seg.connected_to_prev) {
+      if (seg.t_start != prev.t_end) {
+        return Status::Corruption("segment " + std::to_string(k) +
+                                  ": connected but start time differs");
+      }
+      for (size_t i = 0; i < seg.dimensions(); ++i) {
+        if (seg.x_start[i] != prev.x_end[i]) {
+          return Status::Corruption("segment " + std::to_string(k) +
+                                    ": connected but start value differs");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace plastream

@@ -1,0 +1,89 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Value types of the filtering problem (paper, Section 2.1): data points of
+// a d-dimensional stream, the line segments of the produced approximation,
+// and the recording-cost conventions used to measure compression.
+
+#ifndef PLASTREAM_CORE_TYPES_H_
+#define PLASTREAM_CORE_TYPES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace plastream {
+
+/// One sample of a d-dimensional signal: (t_j, X_j) with X_j = (x_1j..x_dj).
+struct DataPoint {
+  /// Sample time. Filters require strictly increasing times per stream.
+  double t = 0.0;
+  /// One value per dimension; size is the stream's dimensionality d.
+  std::vector<double> x;
+
+  DataPoint() = default;
+  DataPoint(double time, std::vector<double> values)
+      : t(time), x(std::move(values)) {}
+
+  /// Convenience constructor for 1-dimensional streams.
+  static DataPoint Scalar(double time, double value) {
+    return DataPoint(time, {value});
+  }
+
+  bool operator==(const DataPoint&) const = default;
+};
+
+/// One line segment g^k of the piece-wise linear approximation.
+///
+/// The segment spans [t_start, t_end] and interpolates linearly between
+/// x_start and x_end in every dimension. `connected_to_prev` is true when
+/// the segment's start point coincides with the previous segment's end
+/// point, in which case transmitting it costs one recording instead of two
+/// (paper, Section 2.1).
+struct Segment {
+  double t_start = 0.0;
+  double t_end = 0.0;
+  std::vector<double> x_start;
+  std::vector<double> x_end;
+  bool connected_to_prev = false;
+
+  /// Dimensionality d of the segment.
+  size_t dimensions() const { return x_start.size(); }
+
+  /// True for a zero-length (single recording) segment.
+  bool IsPoint() const { return t_start == t_end; }
+
+  /// Linear interpolation of dimension `dim` at time `t`.
+  /// For point segments, returns the point's value regardless of t.
+  double ValueAt(double t, size_t dim) const;
+
+  /// Linear interpolation of every dimension at time `t`.
+  std::vector<double> ValueAt(double t) const;
+
+  /// Debug representation, e.g. "[0, 4] (1, 2) -> (3, 4) connected".
+  std::string ToString() const;
+};
+
+/// How transmitted recordings are counted for a filter family.
+enum class RecordingCostModel {
+  /// Piece-wise constant output (cache filters): one recording per segment.
+  kPiecewiseConstant,
+  /// Piece-wise linear output: one recording for a connected segment, two
+  /// for a disconnected one (a point segment costs one).
+  kPiecewiseLinear,
+};
+
+/// Recordings needed to transmit `segments` under `model`. Adds
+/// `extra_recordings` to account for provisional max-lag line commits.
+size_t CountRecordings(const std::vector<Segment>& segments,
+                       RecordingCostModel model, size_t extra_recordings = 0);
+
+/// Validates a segment chain: monotone non-decreasing times within and
+/// across segments, consistent dimensionality, and exact start/end sharing
+/// wherever connected_to_prev is set.
+Status ValidateSegmentChain(const std::vector<Segment>& segments);
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_CORE_TYPES_H_

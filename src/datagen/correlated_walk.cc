@@ -1,0 +1,72 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "datagen/correlated_walk.h"
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace plastream {
+
+Result<Signal> GenerateCorrelatedWalk(const CorrelatedWalkOptions& options) {
+  if (options.count == 0) {
+    return Status::InvalidArgument("CorrelatedWalkOptions.count must be > 0");
+  }
+  if (options.dimensions == 0) {
+    return Status::InvalidArgument(
+        "CorrelatedWalkOptions.dimensions must be >= 1");
+  }
+  if (options.correlation < 0.0 || options.correlation > 1.0) {
+    return Status::InvalidArgument(
+        "CorrelatedWalkOptions.correlation must be in [0, 1]");
+  }
+  if (options.decrease_probability < 0.0 ||
+      options.decrease_probability > 1.0) {
+    return Status::InvalidArgument(
+        "CorrelatedWalkOptions.decrease_probability must be in [0, 1]");
+  }
+  if (!(options.dt > 0.0) || !std::isfinite(options.dt)) {
+    return Status::InvalidArgument("CorrelatedWalkOptions.dt must be positive");
+  }
+  if (options.max_delta < 0.0 || !std::isfinite(options.max_delta)) {
+    return Status::InvalidArgument(
+        "CorrelatedWalkOptions.max_delta must be non-negative and finite");
+  }
+
+  Rng rng(options.seed);
+  const size_t d = options.dimensions;
+  // Each dimension reuses the tick's common step with probability
+  // sqrt(correlation): two dimensions then share the step with probability
+  // correlation, which (with independent zero-mean draws otherwise) makes
+  // the pairwise Pearson step correlation equal `correlation`.
+  const double share_probability = std::sqrt(options.correlation);
+  Signal signal;
+  signal.points.reserve(options.count);
+  std::vector<double> values(d, options.x0);
+  for (size_t j = 0; j < options.count; ++j) {
+    if (j > 0) {
+      // The tick's common step, shared by correlated dimensions.
+      const double common_magnitude = rng.Uniform(0.0, options.max_delta);
+      const bool common_decrease =
+          rng.Bernoulli(options.decrease_probability);
+      const double common_step =
+          common_decrease ? -common_magnitude : common_magnitude;
+      for (size_t i = 0; i < d; ++i) {
+        if (rng.Bernoulli(share_probability)) {
+          values[i] += common_step;
+        } else {
+          const double magnitude = rng.Uniform(0.0, options.max_delta);
+          const bool decrease = rng.Bernoulli(options.decrease_probability);
+          values[i] += decrease ? -magnitude : magnitude;
+        }
+      }
+    }
+    signal.points.emplace_back(
+        options.t0 + static_cast<double>(j) * options.dt, values);
+  }
+  return signal;
+}
+
+}  // namespace plastream

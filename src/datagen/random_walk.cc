@@ -1,0 +1,44 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "datagen/random_walk.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace plastream {
+
+Result<Signal> GenerateRandomWalk(const RandomWalkOptions& options) {
+  if (options.count == 0) {
+    return Status::InvalidArgument("RandomWalkOptions.count must be > 0");
+  }
+  if (options.decrease_probability < 0.0 ||
+      options.decrease_probability > 1.0) {
+    return Status::InvalidArgument(
+        "RandomWalkOptions.decrease_probability must be in [0, 1]");
+  }
+  if (!(options.dt > 0.0) || !std::isfinite(options.dt)) {
+    return Status::InvalidArgument("RandomWalkOptions.dt must be positive");
+  }
+  if (options.max_delta < 0.0 || !std::isfinite(options.max_delta)) {
+    return Status::InvalidArgument(
+        "RandomWalkOptions.max_delta must be non-negative and finite");
+  }
+
+  Rng rng(options.seed);
+  Signal signal;
+  signal.points.reserve(options.count);
+  double value = options.x0;
+  for (size_t j = 0; j < options.count; ++j) {
+    if (j > 0) {
+      const double magnitude = rng.Uniform(0.0, options.max_delta);
+      const bool decrease = rng.Bernoulli(options.decrease_probability);
+      value += decrease ? -magnitude : magnitude;
+    }
+    signal.points.push_back(DataPoint::Scalar(
+        options.t0 + static_cast<double>(j) * options.dt, value));
+  }
+  return signal;
+}
+
+}  // namespace plastream

@@ -1,0 +1,43 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// The paper's Section 5.3 synthetic workload: a random-walk-like signal
+// where each step decreases with probability p (else increases) by a
+// magnitude drawn from U(0, x). The two knobs p ("degree of monotonicity",
+// Figure 9) and x ("magnitude of change per data point", Figure 10) control
+// how linear-friendly the signal is.
+
+#ifndef PLASTREAM_DATAGEN_RANDOM_WALK_H_
+#define PLASTREAM_DATAGEN_RANDOM_WALK_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "datagen/signal.h"
+
+namespace plastream {
+
+/// Parameters of the Section 5.3 random walk.
+struct RandomWalkOptions {
+  /// Number of samples n.
+  size_t count = 10000;
+  /// Probability that a step decreases the value (paper's p in [0, 0.5]:
+  /// 0 = monotonically increasing, 0.5 = oscillating).
+  double decrease_probability = 0.5;
+  /// Step magnitudes are U(0, max_delta) (paper's x).
+  double max_delta = 1.0;
+  /// First sample time and value.
+  double t0 = 0.0;
+  double x0 = 0.0;
+  /// Time between samples.
+  double dt = 1.0;
+  /// RNG seed; equal seeds give identical signals.
+  uint64_t seed = 42;
+};
+
+/// Generates a 1-dimensional random walk. Errors on invalid parameters
+/// (count == 0, p outside [0,1], non-positive dt, negative max_delta).
+Result<Signal> GenerateRandomWalk(const RandomWalkOptions& options);
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_DATAGEN_RANDOM_WALK_H_

@@ -1,0 +1,82 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "datagen/sea_surface.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace plastream {
+namespace {
+
+constexpr double kMinutesPerDay = 24.0 * 60.0;
+
+}  // namespace
+
+Result<Signal> GenerateSeaSurfaceTemperature(
+    const SeaSurfaceOptions& options) {
+  if (options.count == 0) {
+    return Status::InvalidArgument("SeaSurfaceOptions.count must be > 0");
+  }
+  if (!(options.dt_minutes > 0.0) || !std::isfinite(options.dt_minutes)) {
+    return Status::InvalidArgument(
+        "SeaSurfaceOptions.dt_minutes must be positive");
+  }
+  if (options.quantization < 0.0 || !std::isfinite(options.quantization)) {
+    return Status::InvalidArgument(
+        "SeaSurfaceOptions.quantization must be non-negative");
+  }
+
+  Rng rng(options.seed);
+  const size_t n = options.count;
+
+  // Slow weather drift: a heavily smoothed random walk (two cascaded
+  // exponential smoothers over white noise), normalized to drift_scale.
+  std::vector<double> drift(n);
+  {
+    double raw = 0.0, s1 = 0.0, s2 = 0.0;
+    const double alpha = 0.02;  // ~8 h memory at 10-minute sampling
+    double sum = 0.0, sum_sq = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      raw += rng.Gaussian();
+      s1 += alpha * (raw - s1);
+      s2 += alpha * (s1 - s2);
+      drift[j] = s2;
+      sum += s2;
+      sum_sq += s2 * s2;
+    }
+    const double mean = sum / static_cast<double>(n);
+    const double var = sum_sq / static_cast<double>(n) - mean * mean;
+    const double scale = var > 0.0 ? options.drift_scale / std::sqrt(var) : 0.0;
+    for (double& v : drift) v = (v - mean) * scale;
+  }
+
+  // Diurnal phase jitter makes days differ from one another, keeping the
+  // trace from looking periodic (the paper stresses "no regular pattern").
+  const double phase = rng.Uniform(0.0, 2.0 * M_PI);
+  const double phase2 = rng.Uniform(0.0, 2.0 * M_PI);
+
+  Signal signal;
+  signal.points.reserve(n);
+  double ar_noise = 0.0;
+  const double ar_coeff = 0.7;
+  for (size_t j = 0; j < n; ++j) {
+    const double t = static_cast<double>(j) * options.dt_minutes;
+    const double day_angle = 2.0 * M_PI * t / kMinutesPerDay;
+    const double diurnal =
+        0.5 * options.diurnal_amplitude *
+        (std::sin(day_angle + phase) +
+         0.35 * std::sin(2.0 * day_angle + phase2));
+    ar_noise = ar_coeff * ar_noise +
+               rng.Gaussian(0.0, options.noise_sigma);
+    double value = options.mean_celsius + drift[j] + diurnal + ar_noise;
+    if (options.quantization > 0.0) {
+      value = std::round(value / options.quantization) * options.quantization;
+    }
+    signal.points.push_back(DataPoint::Scalar(t, value));
+  }
+  return signal;
+}
+
+}  // namespace plastream

@@ -1,0 +1,56 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Synthetic stand-in for the paper's real data set: sea surface temperature
+// from NOAA's Tropical Atmosphere Ocean (TAO) array (McPhaden [20]), 1285
+// samples at a 10-minute interval spanning about 9 days in the 20.5-24.5 °C
+// band (paper Figure 6).
+//
+// The original trace is not redistributable here, so this generator
+// synthesizes a signal matching the properties the paper's experiments
+// depend on (see DESIGN.md "Substitutions"):
+//  - bounded ~4 °C range with irregular rises and falls ("continuously goes
+//    up and down with no regular pattern"),
+//  - a diurnal cycle plus slower multi-day weather drift,
+//  - sensor-grade quantization, producing the flat stretches that make the
+//    cache filter competitive (Section 5.2),
+//  - smooth multi-point trends between turning points, which swing/slide
+//    exploit.
+
+#ifndef PLASTREAM_DATAGEN_SEA_SURFACE_H_
+#define PLASTREAM_DATAGEN_SEA_SURFACE_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "datagen/signal.h"
+
+namespace plastream {
+
+/// Parameters of the synthetic TAO-like sea-surface-temperature trace.
+/// Defaults reproduce the paper's setup.
+struct SeaSurfaceOptions {
+  /// Number of samples (paper: 1285).
+  size_t count = 1285;
+  /// Sampling interval in minutes (paper: 10).
+  double dt_minutes = 10.0;
+  /// Mean temperature in °C.
+  double mean_celsius = 22.5;
+  /// Peak-to-peak amplitude of the diurnal (24 h) cycle in °C.
+  double diurnal_amplitude = 0.9;
+  /// Standard deviation of the slow weather drift component in °C.
+  double drift_scale = 1.1;
+  /// Standard deviation of high-frequency sensor noise in °C.
+  double noise_sigma = 0.03;
+  /// Sensor quantization step in °C (0 disables quantization).
+  double quantization = 0.05;
+  /// RNG seed.
+  uint64_t seed = 7;
+};
+
+/// Generates the synthetic sea-surface-temperature signal (1-dimensional,
+/// time in minutes).
+Result<Signal> GenerateSeaSurfaceTemperature(const SeaSurfaceOptions& options);
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_DATAGEN_SEA_SURFACE_H_

@@ -1,0 +1,104 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "datagen/shapes.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace plastream {
+namespace {
+
+Status ValidateCommon(size_t count, double dt) {
+  if (count == 0) return Status::InvalidArgument("count must be > 0");
+  if (!(dt > 0.0) || !std::isfinite(dt)) {
+    return Status::InvalidArgument("dt must be positive and finite");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Signal> GenerateLine(size_t count, double intercept, double slope,
+                            double t0, double dt) {
+  PLASTREAM_RETURN_NOT_OK(ValidateCommon(count, dt));
+  Signal signal;
+  signal.points.reserve(count);
+  for (size_t j = 0; j < count; ++j) {
+    const double t = t0 + static_cast<double>(j) * dt;
+    signal.points.push_back(DataPoint::Scalar(t, intercept + slope * t));
+  }
+  return signal;
+}
+
+Result<Signal> GenerateSine(size_t count, double amplitude, double period,
+                            double offset, double t0, double dt) {
+  PLASTREAM_RETURN_NOT_OK(ValidateCommon(count, dt));
+  if (!(period > 0.0)) {
+    return Status::InvalidArgument("period must be positive");
+  }
+  Signal signal;
+  signal.points.reserve(count);
+  for (size_t j = 0; j < count; ++j) {
+    const double t = t0 + static_cast<double>(j) * dt;
+    signal.points.push_back(DataPoint::Scalar(
+        t, offset + amplitude * std::sin(2.0 * M_PI * t / period)));
+  }
+  return signal;
+}
+
+Result<Signal> GenerateSteps(size_t count, size_t level_length, double jump,
+                             uint64_t seed, double t0, double dt) {
+  PLASTREAM_RETURN_NOT_OK(ValidateCommon(count, dt));
+  if (level_length == 0) {
+    return Status::InvalidArgument("level_length must be > 0");
+  }
+  Rng rng(seed);
+  Signal signal;
+  signal.points.reserve(count);
+  double level = 0.0;
+  for (size_t j = 0; j < count; ++j) {
+    if (j > 0 && j % level_length == 0) level += rng.Uniform(-jump, jump);
+    const double t = t0 + static_cast<double>(j) * dt;
+    signal.points.push_back(DataPoint::Scalar(t, level));
+  }
+  return signal;
+}
+
+Result<Signal> GenerateSpikes(size_t count, double baseline, double height,
+                              double spike_probability, uint64_t seed,
+                              double t0, double dt) {
+  PLASTREAM_RETURN_NOT_OK(ValidateCommon(count, dt));
+  if (spike_probability < 0.0 || spike_probability > 1.0) {
+    return Status::InvalidArgument("spike_probability must be in [0, 1]");
+  }
+  Rng rng(seed);
+  Signal signal;
+  signal.points.reserve(count);
+  for (size_t j = 0; j < count; ++j) {
+    const double t = t0 + static_cast<double>(j) * dt;
+    const double v =
+        rng.Bernoulli(spike_probability) ? baseline + height : baseline;
+    signal.points.push_back(DataPoint::Scalar(t, v));
+  }
+  return signal;
+}
+
+Result<Signal> GenerateSawtooth(size_t count, size_t ramp_length, double rise,
+                                double t0, double dt) {
+  PLASTREAM_RETURN_NOT_OK(ValidateCommon(count, dt));
+  if (ramp_length == 0) {
+    return Status::InvalidArgument("ramp_length must be > 0");
+  }
+  Signal signal;
+  signal.points.reserve(count);
+  for (size_t j = 0; j < count; ++j) {
+    const double t = t0 + static_cast<double>(j) * dt;
+    const double phase = static_cast<double>(j % ramp_length) /
+                         static_cast<double>(ramp_length);
+    signal.points.push_back(DataPoint::Scalar(t, rise * phase));
+  }
+  return signal;
+}
+
+}  // namespace plastream

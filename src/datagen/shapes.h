@@ -1,0 +1,45 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Closed-form signal shapes used by the tests (exactness and adversarial
+// cases) and the examples: pure lines, sinusoids, level steps, and spiky
+// baselines.
+
+#ifndef PLASTREAM_DATAGEN_SHAPES_H_
+#define PLASTREAM_DATAGEN_SHAPES_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "datagen/signal.h"
+
+namespace plastream {
+
+/// y = intercept + slope * t, sampled `count` times from t0 with spacing dt.
+Result<Signal> GenerateLine(size_t count, double intercept, double slope,
+                            double t0 = 0.0, double dt = 1.0);
+
+/// y = offset + amplitude * sin(2π t / period), sampled `count` times.
+Result<Signal> GenerateSine(size_t count, double amplitude, double period,
+                            double offset = 0.0, double t0 = 0.0,
+                            double dt = 1.0);
+
+/// Piece-wise constant levels: each level lasts `level_length` samples and
+/// jumps by U(-jump, +jump). Models on/off monitoring counters.
+Result<Signal> GenerateSteps(size_t count, size_t level_length, double jump,
+                             uint64_t seed, double t0 = 0.0, double dt = 1.0);
+
+/// A flat baseline with isolated spikes of the given height occurring with
+/// probability spike_probability per sample. Models event counters and the
+/// adversarial worst case for linear prediction.
+Result<Signal> GenerateSpikes(size_t count, double baseline, double height,
+                              double spike_probability, uint64_t seed,
+                              double t0 = 0.0, double dt = 1.0);
+
+/// Sawtooth wave: linear ramps of `ramp_length` samples rising by `rise`,
+/// then instant reset. The friendliest possible case for linear filters.
+Result<Signal> GenerateSawtooth(size_t count, size_t ramp_length, double rise,
+                                double t0 = 0.0, double dt = 1.0);
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_DATAGEN_SHAPES_H_

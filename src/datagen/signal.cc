@@ -1,0 +1,63 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "datagen/signal.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/stats.h"
+
+namespace plastream {
+
+std::vector<double> Signal::Column(size_t dim) const {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (const DataPoint& p : points) out.push_back(p.x[dim]);
+  return out;
+}
+
+double Signal::Range(size_t dim) const {
+  RunningStats stats;
+  for (const DataPoint& p : points) stats.Add(p.x[dim]);
+  return stats.Range();
+}
+
+double Signal::Min(size_t dim) const {
+  RunningStats stats;
+  for (const DataPoint& p : points) stats.Add(p.x[dim]);
+  return stats.count() == 0 ? 0.0 : stats.Min();
+}
+
+double Signal::Max(size_t dim) const {
+  RunningStats stats;
+  for (const DataPoint& p : points) stats.Add(p.x[dim]);
+  return stats.count() == 0 ? 0.0 : stats.Max();
+}
+
+Status Signal::Validate() const {
+  const size_t d = dimensions();
+  for (size_t j = 0; j < points.size(); ++j) {
+    const DataPoint& p = points[j];
+    if (p.x.size() != d) {
+      return Status::InvalidArgument("point " + std::to_string(j) +
+                                     " has inconsistent dimensionality");
+    }
+    if (!std::isfinite(p.t)) {
+      return Status::InvalidArgument("point " + std::to_string(j) +
+                                     " has a non-finite timestamp");
+    }
+    for (double v : p.x) {
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument("point " + std::to_string(j) +
+                                       " has a non-finite value");
+      }
+    }
+    if (j > 0 && p.t <= points[j - 1].t) {
+      return Status::OutOfOrder("point " + std::to_string(j) +
+                                " does not advance time");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace plastream

@@ -1,0 +1,48 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// In-memory signals: the unit of data every generator produces and every
+// experiment consumes.
+
+#ifndef PLASTREAM_DATAGEN_SIGNAL_H_
+#define PLASTREAM_DATAGEN_SIGNAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "core/types.h"
+
+namespace plastream {
+
+/// A finite, time-ordered sample of a d-dimensional signal.
+struct Signal {
+  std::vector<DataPoint> points;
+
+  /// Dimensionality d (0 when empty).
+  size_t dimensions() const {
+    return points.empty() ? 0 : points.front().x.size();
+  }
+
+  /// Number of samples n.
+  size_t size() const { return points.size(); }
+  bool empty() const { return points.empty(); }
+
+  /// All values of one dimension, in time order.
+  std::vector<double> Column(size_t dim) const;
+
+  /// max - min of one dimension (the paper's "range", the denominator of
+  /// the precision-width percentages).
+  double Range(size_t dim) const;
+
+  /// Smallest / largest value of one dimension (0 when empty).
+  double Min(size_t dim) const;
+  double Max(size_t dim) const;
+
+  /// Validates: strictly increasing times, consistent dimensionality,
+  /// finite values.
+  Status Validate() const;
+};
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_DATAGEN_SIGNAL_H_

@@ -1,0 +1,90 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "eval/chebyshev.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "geometry/convex_hull.h"
+
+namespace plastream {
+namespace {
+
+// Residual half-range at slope a, plus the centering intercept.
+MinimaxFit EvaluateSlope(std::span<const Point2> points, double a) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const Point2& p : points) {
+    const double r = p.x - a * p.t;
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  MinimaxFit fit;
+  fit.slope = a;
+  fit.intercept = 0.5 * (lo + hi);
+  fit.max_error = 0.5 * (hi - lo);
+  return fit;
+}
+
+}  // namespace
+
+MinimaxFit MinimaxLinearFit(std::span<const Point2> points) {
+  MinimaxFit best;
+  if (points.empty()) return best;
+  if (points.size() == 1) {
+    best.intercept = points[0].x;
+    return best;
+  }
+
+  // f(a) is convex piecewise-linear with kinks exactly at the pairwise
+  // slopes of points attaining the max/min residual — all of which are
+  // hull vertices. Restricting candidates to hull-vertex pairs keeps the
+  // oracle exact while taming the O(n^2) constant.
+  std::vector<Point2> sorted(points.begin(), points.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Point2& a, const Point2& b) {
+              return a.t < b.t || (a.t == b.t && a.x < b.x);
+            });
+  std::vector<Point2> vertices;
+  {
+    // Deduplicate equal times (keep extremes) before hull construction.
+    std::vector<Point2> unique_t;
+    for (const Point2& p : sorted) {
+      if (!unique_t.empty() && unique_t.back().t == p.t) {
+        // Same time: only min and max x can matter; keep both by nudging
+        // is unsound, so fall back to scanning raw pairs below.
+        unique_t.clear();
+        break;
+      }
+      unique_t.push_back(p);
+    }
+    if (!unique_t.empty()) {
+      const HullChains chains = BuildHullChains(unique_t);
+      vertices = chains.upper;
+      vertices.insert(vertices.end(), chains.lower.begin(),
+                      chains.lower.end());
+    } else {
+      vertices = sorted;  // duplicate timestamps: brute force all pairs
+    }
+  }
+
+  best = EvaluateSlope(points, 0.0);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    for (size_t j = i + 1; j < vertices.size(); ++j) {
+      const double dt = vertices[j].t - vertices[i].t;
+      if (dt == 0.0) continue;
+      const double a = (vertices[j].x - vertices[i].x) / dt;
+      const MinimaxFit fit = EvaluateSlope(points, a);
+      if (fit.max_error < best.max_error) best = fit;
+    }
+  }
+  return best;
+}
+
+bool LineFitExists(std::span<const Point2> points, double epsilon,
+                   double tolerance) {
+  return MinimaxLinearFit(points).max_error <= epsilon + tolerance;
+}
+
+}  // namespace plastream

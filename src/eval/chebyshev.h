@@ -1,0 +1,45 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Exact minimax (L-infinity / Chebyshev) linear fit.
+//
+// For a point set, the smallest ε for which some line stays within ε of
+// every point is min over slopes a of half the residual range
+// f(a) = (max_j (x_j - a t_j) - min_j (x_j - a t_j)) / 2, a convex
+// piecewise-linear function of a whose minimum sits at a kink — i.e. at a
+// pairwise slope of the convex hull. This module computes that optimum
+// exactly and serves as the *independent oracle* the test suite uses to
+// prove the swing and slide filtering intervals maximal: when a filter
+// starts a new interval, no line whatsoever could have represented the old
+// interval plus the violating point.
+
+#ifndef PLASTREAM_EVAL_CHEBYSHEV_H_
+#define PLASTREAM_EVAL_CHEBYSHEV_H_
+
+#include <span>
+
+#include "geometry/point.h"
+
+namespace plastream {
+
+/// Result of a minimax linear fit.
+struct MinimaxFit {
+  /// Slope and intercept of an optimal line x(t) = slope * t + intercept.
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// The optimal uniform error: max_j |x_j - x(t_j)|, minimized.
+  double max_error = 0.0;
+};
+
+/// Computes the exact minimax linear fit of `points` (>= 1 point; times
+/// need not be distinct for n == 1). O(n^2) over the convex hull's
+/// pairwise slopes — an oracle for tests, not a streaming component.
+MinimaxFit MinimaxLinearFit(std::span<const Point2> points);
+
+/// True when some line stays within `epsilon` of every point
+/// (MinimaxLinearFit().max_error <= epsilon + tolerance).
+bool LineFitExists(std::span<const Point2> points, double epsilon,
+                   double tolerance = 1e-9);
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_EVAL_CHEBYSHEV_H_

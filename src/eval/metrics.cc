@@ -1,0 +1,97 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace plastream {
+
+Result<ErrorReport> ComputeError(const Signal& signal,
+                                 const PiecewiseLinearFunction& approx) {
+  ErrorReport report;
+  const size_t d = signal.dimensions();
+  report.avg_error.assign(d, 0.0);
+  report.max_error.assign(d, 0.0);
+  if (signal.empty()) return report;
+
+  double pooled_sum = 0.0;
+  for (const DataPoint& p : signal.points) {
+    const auto idx = approx.FindSegment(p.t);
+    if (!idx.has_value()) {
+      return Status::NotFound("sample at t=" + std::to_string(p.t) +
+                              " is not covered by the approximation");
+    }
+    const Segment& seg = approx.segments()[*idx];
+    for (size_t i = 0; i < d; ++i) {
+      const double err = std::abs(p.x[i] - seg.ValueAt(p.t, i));
+      report.avg_error[i] += err;
+      report.max_error[i] = std::max(report.max_error[i], err);
+      pooled_sum += err;
+    }
+  }
+  report.samples = signal.size();
+  const double n = static_cast<double>(signal.size());
+  for (size_t i = 0; i < d; ++i) report.avg_error[i] /= n;
+  report.avg_error_overall = pooled_sum / (n * static_cast<double>(d));
+  report.max_error_overall =
+      *std::max_element(report.max_error.begin(), report.max_error.end());
+  return report;
+}
+
+Status VerifyPrecision(const Signal& signal,
+                       const PiecewiseLinearFunction& approx,
+                       std::span<const double> epsilon,
+                       double relative_slack) {
+  const size_t d = signal.dimensions();
+  if (epsilon.size() != d) {
+    return Status::InvalidArgument("epsilon dimensionality mismatch");
+  }
+  for (const DataPoint& p : signal.points) {
+    const auto idx = approx.FindSegment(p.t);
+    if (!idx.has_value()) {
+      return Status::FailedPrecondition(
+          "sample at t=" + std::to_string(p.t) + " is uncovered");
+    }
+    const Segment& seg = approx.segments()[*idx];
+    for (size_t i = 0; i < d; ++i) {
+      const double err = std::abs(p.x[i] - seg.ValueAt(p.t, i));
+      // Slack scales with the value magnitude so the check stays meaningful
+      // for signals far from the origin.
+      const double slack =
+          relative_slack *
+          std::max({1.0, std::abs(p.x[i]), std::abs(epsilon[i])});
+      if (err > epsilon[i] + slack) {
+        return Status::FailedPrecondition(
+            "precision violated at t=" + std::to_string(p.t) + " dim " +
+            std::to_string(i) + ": error " + std::to_string(err) +
+            " > epsilon " + std::to_string(epsilon[i]));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+CompressionReport ComputeCompression(size_t points,
+                                     const std::vector<Segment>& segments,
+                                     RecordingCostModel model,
+                                     size_t extra_recordings) {
+  CompressionReport report;
+  report.points = points;
+  report.segments = segments.size();
+  report.recordings = CountRecordings(segments, model, extra_recordings);
+  report.ratio = report.recordings == 0
+                     ? 0.0
+                     : static_cast<double>(points) /
+                           static_cast<double>(report.recordings);
+  return report;
+}
+
+double IndependentToJointRatio(double per_dimension_ratio, size_t dims) {
+  if (dims == 0) return 0.0;
+  const double d = static_cast<double>(dims);
+  return per_dimension_ratio * (d + 1.0) / (2.0 * d);
+}
+
+}  // namespace plastream

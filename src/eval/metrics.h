@@ -1,0 +1,76 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// The measurements of Section 5: compression ratio (raw recordings over
+// filtered recordings), average and maximum reconstruction error, and the
+// precision-guarantee check behind Theorems 3.1/4.1.
+
+#ifndef PLASTREAM_EVAL_METRICS_H_
+#define PLASTREAM_EVAL_METRICS_H_
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "core/reconstruction.h"
+#include "core/types.h"
+#include "datagen/signal.h"
+
+namespace plastream {
+
+/// Reconstruction error statistics over a signal.
+struct ErrorReport {
+  /// Per-dimension mean absolute error.
+  std::vector<double> avg_error;
+  /// Per-dimension maximum absolute error.
+  std::vector<double> max_error;
+  /// Mean absolute error pooled over all dimensions and samples (the
+  /// paper's "average error" for 1-dimensional signals).
+  double avg_error_overall = 0.0;
+  /// Maximum absolute error over all dimensions and samples.
+  double max_error_overall = 0.0;
+  /// Samples evaluated.
+  size_t samples = 0;
+};
+
+/// Evaluates `approx` at every sample of `signal`.
+/// Errors with NotFound if any sample time is uncovered (a filter bug).
+Result<ErrorReport> ComputeError(const Signal& signal,
+                                 const PiecewiseLinearFunction& approx);
+
+/// Verifies the L-infinity contract: every sample within epsilon[i] per
+/// dimension, up to a small relative numerical slack. Returns
+/// FailedPrecondition naming the first violating sample otherwise.
+Status VerifyPrecision(const Signal& signal,
+                       const PiecewiseLinearFunction& approx,
+                       std::span<const double> epsilon,
+                       double relative_slack = 1e-9);
+
+/// Transmission-cost summary for a filter run.
+struct CompressionReport {
+  /// Samples consumed.
+  size_t points = 0;
+  /// Segments produced.
+  size_t segments = 0;
+  /// Recordings transmitted (includes provisional commits).
+  size_t recordings = 0;
+  /// points / recordings: the paper's compression ratio (recordings with
+  /// no filtering over recordings with filtering).
+  double ratio = 0.0;
+};
+
+/// Builds the compression report for a segment chain under `model`.
+CompressionReport ComputeCompression(size_t points,
+                                     const std::vector<Segment>& segments,
+                                     RecordingCostModel model,
+                                     size_t extra_recordings = 0);
+
+/// The Section 5.4 accounting: compressing d dimensions independently
+/// repeats the time field d times. With time and value fields of equal
+/// width, a per-dimension recording holds 2 fields while a joint recording
+/// holds d+1, so an independent-compression ratio must be scaled by
+/// (d+1)/(2d) before comparing against a joint ratio.
+double IndependentToJointRatio(double per_dimension_ratio, size_t dims);
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_EVAL_METRICS_H_

@@ -1,0 +1,157 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "eval/runner.h"
+
+#include <chrono>
+
+#include "core/cache_filter.h"
+#include "core/kalman_filter.h"
+#include "core/linear_filter.h"
+#include "core/slide_filter.h"
+#include "core/swing_filter.h"
+
+namespace plastream {
+
+std::vector<FilterKind> AllFilterKinds() {
+  return {FilterKind::kCache,
+          FilterKind::kCacheMidrange,
+          FilterKind::kCacheMean,
+          FilterKind::kLinear,
+          FilterKind::kLinearDisconnected,
+          FilterKind::kSwing,
+          FilterKind::kSlide,
+          FilterKind::kSlideNonOptimized,
+          FilterKind::kSlideChainBinary,
+          FilterKind::kKalman};
+}
+
+std::vector<FilterKind> PaperFilterKinds() {
+  return {FilterKind::kCache, FilterKind::kLinear, FilterKind::kSwing,
+          FilterKind::kSlide};
+}
+
+std::string_view FilterKindName(FilterKind kind) {
+  switch (kind) {
+    case FilterKind::kCache:
+      return "cache";
+    case FilterKind::kCacheMidrange:
+      return "cache-midrange";
+    case FilterKind::kCacheMean:
+      return "cache-mean";
+    case FilterKind::kLinear:
+      return "linear";
+    case FilterKind::kLinearDisconnected:
+      return "linear-disc";
+    case FilterKind::kSwing:
+      return "swing";
+    case FilterKind::kSlide:
+      return "slide";
+    case FilterKind::kSlideNonOptimized:
+      return "slide-nonopt";
+    case FilterKind::kSlideChainBinary:
+      return "slide-binary";
+    case FilterKind::kKalman:
+      return "kalman";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<Filter>> MakeFilter(FilterKind kind,
+                                           FilterOptions options,
+                                           SegmentSink* sink) {
+  switch (kind) {
+    case FilterKind::kCache: {
+      PLASTREAM_ASSIGN_OR_RETURN(
+          auto f, CacheFilter::Create(std::move(options),
+                                      CacheValueMode::kFirst, sink));
+      return std::unique_ptr<Filter>(std::move(f));
+    }
+    case FilterKind::kCacheMidrange: {
+      PLASTREAM_ASSIGN_OR_RETURN(
+          auto f, CacheFilter::Create(std::move(options),
+                                      CacheValueMode::kMidrange, sink));
+      return std::unique_ptr<Filter>(std::move(f));
+    }
+    case FilterKind::kCacheMean: {
+      PLASTREAM_ASSIGN_OR_RETURN(
+          auto f, CacheFilter::Create(std::move(options),
+                                      CacheValueMode::kMean, sink));
+      return std::unique_ptr<Filter>(std::move(f));
+    }
+    case FilterKind::kLinear: {
+      PLASTREAM_ASSIGN_OR_RETURN(
+          auto f, LinearFilter::Create(std::move(options),
+                                       LinearMode::kConnected, sink));
+      return std::unique_ptr<Filter>(std::move(f));
+    }
+    case FilterKind::kLinearDisconnected: {
+      PLASTREAM_ASSIGN_OR_RETURN(
+          auto f, LinearFilter::Create(std::move(options),
+                                       LinearMode::kDisconnected, sink));
+      return std::unique_ptr<Filter>(std::move(f));
+    }
+    case FilterKind::kSwing: {
+      PLASTREAM_ASSIGN_OR_RETURN(auto f,
+                                 SwingFilter::Create(std::move(options), sink));
+      return std::unique_ptr<Filter>(std::move(f));
+    }
+    case FilterKind::kSlide: {
+      PLASTREAM_ASSIGN_OR_RETURN(
+          auto f, SlideFilter::Create(std::move(options),
+                                      SlideHullMode::kConvexHull, sink));
+      return std::unique_ptr<Filter>(std::move(f));
+    }
+    case FilterKind::kSlideNonOptimized: {
+      PLASTREAM_ASSIGN_OR_RETURN(
+          auto f, SlideFilter::Create(std::move(options),
+                                      SlideHullMode::kAllPoints, sink));
+      return std::unique_ptr<Filter>(std::move(f));
+    }
+    case FilterKind::kSlideChainBinary: {
+      PLASTREAM_ASSIGN_OR_RETURN(
+          auto f, SlideFilter::Create(std::move(options),
+                                      SlideHullMode::kChainBinary, sink));
+      return std::unique_ptr<Filter>(std::move(f));
+    }
+    case FilterKind::kKalman: {
+      PLASTREAM_ASSIGN_OR_RETURN(
+          auto f, KalmanFilter::Create(std::move(options), KalmanOptions{},
+                                       sink));
+      return std::unique_ptr<Filter>(std::move(f));
+    }
+  }
+  return Status::InvalidArgument("unknown filter kind");
+}
+
+Result<RunResult> RunFilter(FilterKind kind, const FilterOptions& options,
+                            const Signal& signal, bool verify_precision) {
+  PLASTREAM_RETURN_NOT_OK(signal.Validate());
+  PLASTREAM_ASSIGN_OR_RETURN(auto filter, MakeFilter(kind, options));
+
+  const auto start = std::chrono::steady_clock::now();
+  for (const DataPoint& p : signal.points) {
+    PLASTREAM_RETURN_NOT_OK(filter->Append(p));
+  }
+  PLASTREAM_RETURN_NOT_OK(filter->Finish());
+  const auto stop = std::chrono::steady_clock::now();
+
+  RunResult result;
+  result.kind = kind;
+  result.segments = filter->TakeSegments();
+  result.filter_seconds =
+      std::chrono::duration<double>(stop - start).count();
+  result.compression =
+      ComputeCompression(signal.size(), result.segments,
+                         filter->cost_model(), filter->extra_recordings());
+
+  PLASTREAM_ASSIGN_OR_RETURN(
+      auto approx, PiecewiseLinearFunction::Make(result.segments));
+  PLASTREAM_ASSIGN_OR_RETURN(result.error, ComputeError(signal, approx));
+  if (verify_precision) {
+    PLASTREAM_RETURN_NOT_OK(
+        VerifyPrecision(signal, approx, options.epsilon));
+  }
+  return result;
+}
+
+}  // namespace plastream

@@ -1,0 +1,69 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "eval/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace plastream {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::AddNumericRow(const std::string& label,
+                          const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(FormatDouble(v, 4));
+  AddRow(std::move(cells));
+}
+
+std::string Table::ToString() const {
+  size_t columns = headers_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  std::vector<size_t> widths(columns, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  };
+  measure(headers_);
+  for (const auto& row : rows_) measure(row);
+
+  std::ostringstream out;
+  auto render = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < columns; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << cell;
+      if (c + 1 < columns) {
+        out << std::string(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    out << "\n";
+  };
+  render(headers_);
+  std::vector<std::string> rule;
+  rule.reserve(columns);
+  for (size_t c = 0; c < columns; ++c) rule.push_back(std::string(widths[c], '-'));
+  render(rule);
+  for (const auto& row : rows_) render(row);
+  return out.str();
+}
+
+void Table::Print(std::ostream& out) const { out << ToString(); }
+
+void Table::PrintStdout() const {
+  const std::string text = ToString();
+  std::fwrite(text.data(), 1, text.size(), stdout);
+}
+
+}  // namespace plastream

@@ -1,0 +1,49 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Minimal aligned-column table printer for the figure benches: each bench
+// prints the same series the corresponding paper figure plots, one row per
+// x-axis value and one column per filter.
+
+#ifndef PLASTREAM_EVAL_TABLE_H_
+#define PLASTREAM_EVAL_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace plastream {
+
+/// Column-aligned plain-text table.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are kept.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with 4 significant digits.
+  void AddNumericRow(const std::string& label,
+                     const std::vector<double>& values);
+
+  /// Renders with two-space column gaps.
+  std::string ToString() const;
+
+  /// Writes ToString() to the stream.
+  void Print(std::ostream& out) const;
+
+  /// Writes ToString() to stdout (convenience for the benches, which use
+  /// printf-style output).
+  void PrintStdout() const;
+
+  /// Number of data rows.
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_EVAL_TABLE_H_

@@ -1,0 +1,59 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "geometry/convex_hull.h"
+
+#include <cassert>
+
+namespace plastream {
+namespace {
+
+// Appends p to a chain, popping middle points that no longer turn in the
+// chain's direction. `want_clockwise` selects the upper chain convention.
+void ExtendChain(std::vector<Point2>* chain, const Point2& p,
+                 bool want_clockwise) {
+  while (chain->size() >= 2) {
+    const Point2& o = (*chain)[chain->size() - 2];
+    const Point2& a = (*chain)[chain->size() - 1];
+    const double cross = Cross(o, a, p);
+    // Upper chain keeps strictly clockwise turns (cross < 0); collinear
+    // middle points (cross == 0) are dropped to keep the chain minimal.
+    const bool keep_middle = want_clockwise ? (cross < 0.0) : (cross > 0.0);
+    if (keep_middle) break;
+    chain->pop_back();
+  }
+  chain->push_back(p);
+}
+
+}  // namespace
+
+void IncrementalHull::Add(const Point2& p) {
+  assert((upper_.empty() || p.t > upper_.back().t) &&
+         "hull points must arrive in strictly increasing time order");
+  ExtendChain(&upper_, p, /*want_clockwise=*/true);
+  ExtendChain(&lower_, p, /*want_clockwise=*/false);
+  ++point_count_;
+}
+
+size_t IncrementalHull::vertex_count() const {
+  if (point_count_ == 0) return 0;
+  if (point_count_ == 1) return 1;
+  // First and last points appear in both chains.
+  return upper_.size() + lower_.size() - 2;
+}
+
+void IncrementalHull::Clear() {
+  upper_.clear();
+  lower_.clear();
+  point_count_ = 0;
+}
+
+HullChains BuildHullChains(std::span<const Point2> time_sorted_points) {
+  HullChains chains;
+  for (const Point2& p : time_sorted_points) {
+    ExtendChain(&chains.upper, p, /*want_clockwise=*/true);
+    ExtendChain(&chains.lower, p, /*want_clockwise=*/false);
+  }
+  return chains;
+}
+
+}  // namespace plastream

@@ -1,0 +1,88 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Incremental convex hull for time-ordered point streams.
+//
+// This is the data structure behind the slide filter's Lemma 4.3
+// optimization: instead of re-scanning every data point of the current
+// filtering interval when a bound line must move, only the vertices of the
+// interval's convex hull need to be examined. Because stream points arrive
+// in strictly increasing time order, the hull can be maintained with the
+// monotone-chain (Andrew) construction in amortized O(1) per point.
+
+#ifndef PLASTREAM_GEOMETRY_CONVEX_HULL_H_
+#define PLASTREAM_GEOMETRY_CONVEX_HULL_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace plastream {
+
+/// Convex hull of a sequence of points with strictly increasing t,
+/// maintained incrementally as the sequence grows.
+///
+/// The hull is stored as two monotone chains sharing their first and last
+/// points:
+///  - the upper chain turns clockwise as t increases (it bounds the point
+///    set from above);
+///  - the lower chain turns counter-clockwise (it bounds from below).
+/// Collinear middle points are removed, so the chains are strictly convex
+/// and the vertex count is minimal.
+class IncrementalHull {
+ public:
+  /// Appends a point. `p.t` must be strictly greater than that of every
+  /// previously added point; this is asserted in debug builds and is
+  /// guaranteed by the filters (they reject out-of-order timestamps).
+  void Add(const Point2& p);
+
+  /// Vertices bounding the points from above, in increasing t.
+  std::span<const Point2> upper() const { return upper_; }
+
+  /// Vertices bounding the points from below, in increasing t.
+  std::span<const Point2> lower() const { return lower_; }
+
+  /// Number of points ever added (not the vertex count).
+  size_t point_count() const { return point_count_; }
+
+  /// Total number of hull vertices, counting chain endpoints once.
+  /// 0 when empty; upper+lower-2 shared endpoints otherwise (1 for a
+  /// single point).
+  size_t vertex_count() const;
+
+  /// True when no points were added.
+  bool empty() const { return point_count_ == 0; }
+
+  /// Removes all points.
+  void Clear();
+
+  /// Invokes `fn(vertex)` for every distinct hull vertex (each shared chain
+  /// endpoint visited once). Order: the full upper chain, then interior
+  /// vertices of the lower chain.
+  template <typename Fn>
+  void ForEachVertex(Fn&& fn) const {
+    for (const Point2& p : upper_) fn(p);
+    if (lower_.size() > 2) {
+      for (size_t i = 1; i + 1 < lower_.size(); ++i) fn(lower_[i]);
+    }
+  }
+
+ private:
+  std::vector<Point2> upper_;
+  std::vector<Point2> lower_;
+  size_t point_count_ = 0;
+};
+
+/// Reference hull construction used by tests to validate IncrementalHull:
+/// full monotone-chain over a completed, time-sorted point set.
+/// Returns {upper, lower} chains with the same conventions.
+struct HullChains {
+  std::vector<Point2> upper;
+  std::vector<Point2> lower;
+};
+HullChains BuildHullChains(std::span<const Point2> time_sorted_points);
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_GEOMETRY_CONVEX_HULL_H_

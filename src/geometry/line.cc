@@ -1,0 +1,26 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "geometry/line.h"
+
+#include <cmath>
+
+namespace plastream {
+
+std::optional<Line> Line::Through(const Point2& a, const Point2& b) {
+  const double dt = b.t - a.t;
+  if (dt == 0.0) return std::nullopt;
+  return Line(a, (b.x - a.x) / dt);
+}
+
+std::optional<double> Line::IntersectionTime(const Line& other) const {
+  const double slope_diff = slope_ - other.slope_;
+  if (slope_diff == 0.0) return std::nullopt;
+  // Solve anchor.x + s*(t - anchor.t) = other.anchor.x + s'*(t - other.anchor.t).
+  const double rhs = (other.anchor_.x - other.slope_ * other.anchor_.t) -
+                     (anchor_.x - slope_ * anchor_.t);
+  const double t = rhs / slope_diff;
+  if (!std::isfinite(t)) return std::nullopt;
+  return t;
+}
+
+}  // namespace plastream

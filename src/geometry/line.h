@@ -1,0 +1,64 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Non-vertical lines in the (t, x_i) plane, represented in anchored
+// point-slope form. These model the paper's per-dimension hyperplanes
+// u_i^k and l_i^k (which are perpendicular to the t-x_i plane, hence fully
+// described by their trace line) as well as the generated segments g^k.
+
+#ifndef PLASTREAM_GEOMETRY_LINE_H_
+#define PLASTREAM_GEOMETRY_LINE_H_
+
+#include <optional>
+
+#include "geometry/point.h"
+
+namespace plastream {
+
+/// A non-vertical line x(t) = anchor.x + slope * (t - anchor.t).
+///
+/// The anchored representation (instead of slope/intercept) keeps evaluation
+/// well-conditioned when |t| is large, e.g. epoch-seconds timestamps: the
+/// anchor is always a nearby point of the current filtering interval.
+class Line {
+ public:
+  Line() = default;
+
+  /// Line through `anchor` with the given slope (dx/dt).
+  Line(Point2 anchor, double slope) : anchor_(anchor), slope_(slope) {}
+
+  /// Line through two points. Requires a.t != b.t (no vertical lines);
+  /// returns nullopt when the times coincide.
+  static std::optional<Line> Through(const Point2& a, const Point2& b);
+
+  /// Value of the line at time t.
+  double ValueAt(double t) const { return anchor_.x + slope_ * (t - anchor_.t); }
+
+  /// Point of the line at time t.
+  Point2 PointAt(double t) const { return Point2{t, ValueAt(t)}; }
+
+  /// The slope dx/dt.
+  double slope() const { return slope_; }
+
+  /// The anchor point the line was constructed around.
+  const Point2& anchor() const { return anchor_; }
+
+  /// Time where this line meets `other`.
+  /// nullopt when the lines are parallel (including identical).
+  std::optional<double> IntersectionTime(const Line& other) const;
+
+  /// Signed vertical distance from the line to point p: p.x - ValueAt(p.t).
+  /// Positive when p lies above the line.
+  double VerticalOffset(const Point2& p) const { return p.x - ValueAt(p.t); }
+
+  /// Re-anchors the line at time t without changing its graph. Useful for
+  /// keeping anchors inside the current filtering interval.
+  Line AnchoredAt(double t) const { return Line(PointAt(t), slope_); }
+
+ private:
+  Point2 anchor_;
+  double slope_ = 0.0;
+};
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_GEOMETRY_LINE_H_

@@ -1,0 +1,29 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// The basic 2-D point of the (t, x_i) plane. All swing/slide geometry is
+// per-dimension: a d-dimensional stream is filtered as d coupled problems in
+// this plane (paper, Sections 3-4), so 2-D primitives are all we need.
+
+#ifndef PLASTREAM_GEOMETRY_POINT_H_
+#define PLASTREAM_GEOMETRY_POINT_H_
+
+namespace plastream {
+
+/// A point in the (t, x) plane: `t` is time, `x` a single dimension's value.
+struct Point2 {
+  double t = 0.0;
+  double x = 0.0;
+
+  bool operator==(const Point2&) const = default;
+};
+
+/// Twice the signed area of triangle (o, a, b).
+/// Positive: the turn o->a->b is counter-clockwise. Negative: clockwise.
+/// Zero: collinear.
+inline double Cross(const Point2& o, const Point2& a, const Point2& b) {
+  return (a.t - o.t) * (b.x - o.x) - (a.x - o.x) * (b.t - o.t);
+}
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_GEOMETRY_POINT_H_

@@ -1,0 +1,83 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "geometry/tangent.h"
+
+#include <cstddef>
+
+namespace plastream {
+namespace {
+
+// Slope of the line through pivot and the offset image of vertex v.
+inline double CandidateSlope(const Point2& pivot, const Point2& v,
+                             double vertex_offset) {
+  return (pivot.x - (v.x + vertex_offset)) / (pivot.t - v.t);
+}
+
+// Folds one vertex into the running extremum.
+inline void Consider(const Point2& v, const Point2& pivot, double vertex_offset,
+                     bool minimize, TangentResult* best) {
+  if (v.t >= pivot.t) return;  // P2: the vertex must precede the pivot.
+  const double slope = CandidateSlope(pivot, v, vertex_offset);
+  if (!best->found || (minimize ? slope < best->slope : slope > best->slope)) {
+    best->found = true;
+    best->slope = slope;
+    best->vertex = v;
+  }
+}
+
+}  // namespace
+
+TangentResult ExtremeSlopeOverPoints(std::span<const Point2> points,
+                                     const Point2& pivot, double vertex_offset,
+                                     bool minimize) {
+  TangentResult best;
+  for (const Point2& v : points) Consider(v, pivot, vertex_offset, minimize, &best);
+  return best;
+}
+
+TangentResult ExtremeSlopeOverHull(const IncrementalHull& hull,
+                                   const Point2& pivot, double vertex_offset,
+                                   bool minimize) {
+  TangentResult best;
+  hull.ForEachVertex([&](const Point2& v) {
+    Consider(v, pivot, vertex_offset, minimize, &best);
+  });
+  return best;
+}
+
+TangentResult ExtremeSlopeOverChainBinary(std::span<const Point2> chain,
+                                          const Point2& pivot,
+                                          double vertex_offset, bool minimize) {
+  // Restrict to the prefix of eligible vertices (strictly before the pivot).
+  size_t n = chain.size();
+  while (n > 0 && chain[n - 1].t >= pivot.t) --n;
+  TangentResult best;
+  if (n == 0) return best;
+
+  // Slope as a function of the vertex index is unimodal along a strictly
+  // convex chain, so ternary search applies. Shrink until a handful of
+  // candidates remain, then finish with a linear sweep — this stays correct
+  // even under floating-point ties on nearly-collinear vertices.
+  size_t lo = 0;
+  size_t hi = n - 1;
+  while (hi - lo > 4) {
+    const size_t m1 = lo + (hi - lo) / 3;
+    const size_t m2 = hi - (hi - lo) / 3;
+    const double s1 = CandidateSlope(pivot, chain[m1], vertex_offset);
+    const double s2 = CandidateSlope(pivot, chain[m2], vertex_offset);
+    const bool keep_left = minimize ? (s1 < s2) : (s1 > s2);
+    // Keep m1/m2 inside the surviving range: under floating-point ties the
+    // optimum may sit exactly at a probe index.
+    if (keep_left) {
+      hi = m2;
+    } else {
+      lo = m1;
+    }
+  }
+  for (size_t i = lo; i <= hi; ++i) {
+    Consider(chain[i], pivot, vertex_offset, minimize, &best);
+  }
+  return best;
+}
+
+}  // namespace plastream

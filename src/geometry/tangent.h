@@ -1,0 +1,59 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Extreme-slope candidate search for the slide filter.
+//
+// When a new point invalidates a bound line, the replacement is the line of
+// minimum (for u_i) or maximum (for l_i) slope through the new point's
+// shifted position and the ±ε-shifted position of some earlier point
+// (Lemma 4.1). Lemma 4.3 shows only convex-hull vertices can win, and the
+// paper's reference [6] (Chazelle & Dobkin) shows the winner can be found by
+// binary search along a chain. All three strategies are implemented here so
+// they can be cross-checked and benchmarked against each other.
+
+#ifndef PLASTREAM_GEOMETRY_TANGENT_H_
+#define PLASTREAM_GEOMETRY_TANGENT_H_
+
+#include <span>
+
+#include "geometry/convex_hull.h"
+#include "geometry/point.h"
+
+namespace plastream {
+
+/// Result of an extreme-slope search.
+struct TangentResult {
+  /// True when at least one eligible vertex existed.
+  bool found = false;
+  /// Slope of the winning candidate line.
+  double slope = 0.0;
+  /// The winning vertex, *before* the vertical offset is applied.
+  Point2 vertex;
+};
+
+/// Scans `points` for the candidate line through `pivot` and
+/// (p.t, p.x + vertex_offset) with extreme slope. Only points with
+/// p.t < pivot.t are eligible (P2 of Lemma 4.1 orders the pair in time).
+///
+/// `minimize` selects the minimum-slope candidate (u-bound update); false
+/// selects the maximum (l-bound update).
+TangentResult ExtremeSlopeOverPoints(std::span<const Point2> points,
+                                     const Point2& pivot, double vertex_offset,
+                                     bool minimize);
+
+/// As above but over the distinct vertices of an incremental hull
+/// (Lemma 4.3's optimized search).
+TangentResult ExtremeSlopeOverHull(const IncrementalHull& hull,
+                                   const Point2& pivot, double vertex_offset,
+                                   bool minimize);
+
+/// Binary (ternary) search over one *convex chain*. The slope of the
+/// candidate line is unimodal along a strictly convex chain, which permits
+/// an O(log h) search; the paper cites [6] for this refinement.
+/// Behavior is identical to ExtremeSlopeOverPoints restricted to `chain`.
+TangentResult ExtremeSlopeOverChainBinary(std::span<const Point2> chain,
+                                          const Point2& pivot,
+                                          double vertex_offset, bool minimize);
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_GEOMETRY_TANGENT_H_

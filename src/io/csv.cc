@@ -1,0 +1,116 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "io/csv.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace plastream {
+namespace {
+
+// Full round-trip precision for doubles.
+constexpr int kCsvPrecision = 17;
+
+}  // namespace
+
+Status WriteSignalCsv(std::ostream& out, const Signal& signal) {
+  PLASTREAM_RETURN_NOT_OK(signal.Validate());
+  const size_t d = signal.dimensions();
+  out << "t";
+  for (size_t i = 0; i < d; ++i) out << ",x" << (i + 1);
+  out << "\n";
+  for (const DataPoint& p : signal.points) {
+    out << FormatDouble(p.t, kCsvPrecision);
+    for (double v : p.x) out << "," << FormatDouble(v, kCsvPrecision);
+    out << "\n";
+  }
+  if (!out) return Status::IOError("failed writing signal CSV");
+  return Status::OK();
+}
+
+Status WriteSignalCsvFile(const std::string& path, const Signal& signal) {
+  std::ofstream file(path);
+  if (!file) return Status::IOError("cannot open " + path + " for writing");
+  return WriteSignalCsv(file, signal);
+}
+
+Result<Signal> ReadSignalCsv(std::istream& in) {
+  Signal signal;
+  std::string line;
+  size_t line_no = 0;
+  size_t dims = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty()) continue;
+    if (line_no == 1 && !trimmed.empty() &&
+        (trimmed[0] == 't' || trimmed[0] == 'T')) {
+      // Header row: derive dimensionality.
+      dims = SplitString(trimmed, ',').size() - 1;
+      continue;
+    }
+    const std::vector<std::string> cells = SplitString(trimmed, ',');
+    if (cells.size() < 2) {
+      return Status::Corruption("CSV line " + std::to_string(line_no) +
+                                ": expected at least t and one value");
+    }
+    if (dims == 0) dims = cells.size() - 1;
+    if (cells.size() != dims + 1) {
+      return Status::Corruption("CSV line " + std::to_string(line_no) +
+                                ": inconsistent column count");
+    }
+    DataPoint p;
+    if (!ParseDouble(cells[0], &p.t)) {
+      return Status::Corruption("CSV line " + std::to_string(line_no) +
+                                ": bad timestamp '" + cells[0] + "'");
+    }
+    p.x.resize(dims);
+    for (size_t i = 0; i < dims; ++i) {
+      if (!ParseDouble(cells[i + 1], &p.x[i])) {
+        return Status::Corruption("CSV line " + std::to_string(line_no) +
+                                  ": bad value '" + cells[i + 1] + "'");
+      }
+    }
+    signal.points.push_back(std::move(p));
+  }
+  PLASTREAM_RETURN_NOT_OK(signal.Validate());
+  return signal;
+}
+
+Result<Signal> ReadSignalCsvFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IOError("cannot open " + path + " for reading");
+  return ReadSignalCsv(file);
+}
+
+Status WriteSegmentsCsv(std::ostream& out,
+                        const std::vector<Segment>& segments) {
+  PLASTREAM_RETURN_NOT_OK(ValidateSegmentChain(segments));
+  const size_t d = segments.empty() ? 0 : segments.front().dimensions();
+  out << "t_start,t_end,connected";
+  for (size_t i = 0; i < d; ++i) out << ",x_start" << (i + 1);
+  for (size_t i = 0; i < d; ++i) out << ",x_end" << (i + 1);
+  out << "\n";
+  for (const Segment& seg : segments) {
+    out << FormatDouble(seg.t_start, kCsvPrecision) << ","
+        << FormatDouble(seg.t_end, kCsvPrecision) << ","
+        << (seg.connected_to_prev ? 1 : 0);
+    for (double v : seg.x_start) out << "," << FormatDouble(v, kCsvPrecision);
+    for (double v : seg.x_end) out << "," << FormatDouble(v, kCsvPrecision);
+    out << "\n";
+  }
+  if (!out) return Status::IOError("failed writing segments CSV");
+  return Status::OK();
+}
+
+Status WriteSegmentsCsvFile(const std::string& path,
+                            const std::vector<Segment>& segments) {
+  std::ofstream file(path);
+  if (!file) return Status::IOError("cannot open " + path + " for writing");
+  return WriteSegmentsCsv(file, segments);
+}
+
+}  // namespace plastream

@@ -1,0 +1,45 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// CSV persistence for signals and segment chains, used by the examples and
+// the figure benches to hand series to external plotting tools.
+//
+// Signal layout:   t,x1,...,xd   (one header row, then one row per sample)
+// Segment layout:  t_start,t_end,connected,x_start1..d,x_end1..d
+
+#ifndef PLASTREAM_IO_CSV_H_
+#define PLASTREAM_IO_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/types.h"
+#include "datagen/signal.h"
+
+namespace plastream {
+
+/// Writes a signal as CSV with header "t,x1,...,xd".
+Status WriteSignalCsv(std::ostream& out, const Signal& signal);
+
+/// Writes a signal to a file path.
+Status WriteSignalCsvFile(const std::string& path, const Signal& signal);
+
+/// Reads a signal written by WriteSignalCsv. Validates monotone time and
+/// finite values; errors with Corruption on malformed rows.
+Result<Signal> ReadSignalCsv(std::istream& in);
+
+/// Reads a signal from a file path.
+Result<Signal> ReadSignalCsvFile(const std::string& path);
+
+/// Writes a segment chain as CSV.
+Status WriteSegmentsCsv(std::ostream& out,
+                        const std::vector<Segment>& segments);
+
+/// Writes segments to a file path.
+Status WriteSegmentsCsvFile(const std::string& path,
+                            const std::vector<Segment>& segments);
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_IO_CSV_H_

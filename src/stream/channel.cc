@@ -1,0 +1,28 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "stream/channel.h"
+
+namespace plastream {
+
+void Channel::Push(std::vector<uint8_t> frame) {
+  bytes_sent_ += frame.size();
+  ++frames_sent_;
+  frames_.push_back(std::move(frame));
+}
+
+std::optional<std::vector<uint8_t>> Channel::Pop() {
+  if (frames_.empty()) return std::nullopt;
+  std::vector<uint8_t> frame = std::move(frames_.front());
+  frames_.pop_front();
+  return frame;
+}
+
+bool Channel::CorruptLastFrame(size_t offset, uint8_t mask) {
+  if (frames_.empty()) return false;
+  std::vector<uint8_t>& frame = frames_.back();
+  if (offset >= frame.size()) return false;
+  frame[offset] = static_cast<uint8_t>(frame[offset] ^ mask);
+  return true;
+}
+
+}  // namespace plastream

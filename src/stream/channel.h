@@ -1,0 +1,49 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// An in-memory transport between transmitter and receiver with byte
+// accounting, modeling the network link (or flash log) whose load the
+// paper's filters exist to reduce. The test suite uses the fault-injection
+// hook to verify the receiver detects corrupted frames.
+
+#ifndef PLASTREAM_STREAM_CHANNEL_H_
+#define PLASTREAM_STREAM_CHANNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+namespace plastream {
+
+/// Reliable FIFO frame channel with cumulative statistics.
+class Channel {
+ public:
+  /// Enqueues one frame.
+  void Push(std::vector<uint8_t> frame);
+
+  /// Dequeues the oldest frame; nullopt when empty.
+  std::optional<std::vector<uint8_t>> Pop();
+
+  /// Frames currently queued.
+  size_t queued() const { return frames_.size(); }
+
+  /// Total frames ever pushed.
+  size_t frames_sent() const { return frames_sent_; }
+
+  /// Total payload bytes ever pushed.
+  size_t bytes_sent() const { return bytes_sent_; }
+
+  /// Fault injection: XORs `mask` into byte `offset` of the most recently
+  /// pushed, still-queued frame. Returns false when there is no such frame
+  /// or the offset is out of range.
+  bool CorruptLastFrame(size_t offset, uint8_t mask = 0xFF);
+
+ private:
+  std::deque<std::vector<uint8_t>> frames_;
+  size_t frames_sent_ = 0;
+  size_t bytes_sent_ = 0;
+};
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_STREAM_CHANNEL_H_

@@ -1,0 +1,37 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Binary frame codec for wire records. Layout (little-endian):
+//
+//   [type: u8][dims: u16][t: f64][x[0..d): f64...][slopes if provisional]
+//   [checksum: u8]
+//
+// The checksum is the XOR of every preceding byte; decoding validates the
+// type tag, the dimensionality, the frame length and the checksum, and
+// reports Corruption otherwise. Byte counts feed the byte-level compression
+// accounting in eval.
+
+#ifndef PLASTREAM_STREAM_CODEC_H_
+#define PLASTREAM_STREAM_CODEC_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "stream/wire.h"
+
+namespace plastream {
+
+/// Serializes `record` into a self-contained frame.
+std::vector<uint8_t> EncodeWireRecord(const WireRecord& record);
+
+/// Parses a frame produced by EncodeWireRecord.
+/// Errors with Corruption on any validation failure.
+Result<WireRecord> DecodeWireRecord(std::span<const uint8_t> frame);
+
+/// Size in bytes of the encoded form of a record with `dims` dimensions.
+size_t EncodedWireRecordSize(WireRecordType type, size_t dims);
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_STREAM_CODEC_H_

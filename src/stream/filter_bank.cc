@@ -1,0 +1,72 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "stream/filter_bank.h"
+
+#include <utility>
+
+namespace plastream {
+
+FilterBank::FilterBank(FilterFactory factory)
+    : factory_(std::move(factory)) {}
+
+Status FilterBank::Append(std::string_view key, const DataPoint& point) {
+  if (finished_) {
+    return Status::FailedPrecondition("Append after FinishAll");
+  }
+  auto it = filters_.find(key);
+  if (it == filters_.end()) {
+    PLASTREAM_ASSIGN_OR_RETURN(auto filter, factory_(key));
+    if (filter == nullptr) {
+      return Status::Internal("filter factory returned null for key '" +
+                              std::string(key) + "'");
+    }
+    it = filters_.emplace(std::string(key), std::move(filter)).first;
+  }
+  return it->second->Append(point);
+}
+
+Status FilterBank::FinishAll() {
+  if (finished_) return Status::OK();
+  for (auto& [key, filter] : filters_) {
+    PLASTREAM_RETURN_NOT_OK(filter->Finish());
+  }
+  finished_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<Segment>> FilterBank::TakeSegments(std::string_view key) {
+  const auto it = filters_.find(key);
+  if (it == filters_.end()) {
+    return Status::NotFound("unknown stream '" + std::string(key) + "'");
+  }
+  return it->second->TakeSegments();
+}
+
+std::vector<std::string> FilterBank::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(filters_.size());
+  for (const auto& [key, filter] : filters_) keys.push_back(key);
+  return keys;
+}
+
+bool FilterBank::Contains(std::string_view key) const {
+  return filters_.find(key) != filters_.end();
+}
+
+const Filter* FilterBank::GetFilter(std::string_view key) const {
+  const auto it = filters_.find(key);
+  return it == filters_.end() ? nullptr : it->second.get();
+}
+
+FilterBank::BankStats FilterBank::Stats() const {
+  BankStats stats;
+  stats.streams = filters_.size();
+  for (const auto& [key, filter] : filters_) {
+    stats.points += filter->points_seen();
+    stats.segments += filter->segments_emitted();
+    stats.extra_recordings += filter->extra_recordings();
+  }
+  return stats;
+}
+
+}  // namespace plastream

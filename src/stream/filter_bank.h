@@ -1,0 +1,75 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// FilterBank: the ingestion front-end of a DSMS or collector. Continuous
+// monitoring deployments carry thousands of keyed streams ("host42.cpu",
+// "sensor-7.temperature"); the bank routes each point to its stream's
+// filter, creating filters lazily through a user-supplied factory so every
+// stream can have its own precision profile.
+
+#ifndef PLASTREAM_STREAM_FILTER_BANK_H_
+#define PLASTREAM_STREAM_FILTER_BANK_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <map>
+
+#include "common/result.h"
+#include "core/filter.h"
+
+namespace plastream {
+
+/// Routes keyed data points to per-stream filters.
+class FilterBank {
+ public:
+  /// Builds the filter for a newly seen stream key.
+  using FilterFactory =
+      std::function<Result<std::unique_ptr<Filter>>(std::string_view key)>;
+
+  /// `factory` is consulted once per distinct key, on first Append.
+  explicit FilterBank(FilterFactory factory);
+
+  /// Appends a point to the stream named `key`, creating its filter on
+  /// first use. Propagates factory and filter errors.
+  Status Append(std::string_view key, const DataPoint& point);
+
+  /// Finishes every stream's filter (idempotent).
+  Status FinishAll();
+
+  /// Drains the finalized segments of one stream.
+  /// Errors with NotFound for an unknown key.
+  Result<std::vector<Segment>> TakeSegments(std::string_view key);
+
+  /// All stream keys seen so far, sorted.
+  std::vector<std::string> Keys() const;
+
+  /// True when the key has a filter.
+  bool Contains(std::string_view key) const;
+
+  /// Borrow a stream's filter (nullptr for unknown keys); useful for
+  /// per-stream statistics.
+  const Filter* GetFilter(std::string_view key) const;
+
+  /// Aggregate statistics across every stream.
+  struct BankStats {
+    size_t streams = 0;
+    size_t points = 0;
+    size_t segments = 0;
+    size_t extra_recordings = 0;
+  };
+  BankStats Stats() const;
+
+ private:
+  FilterFactory factory_;
+  // Ordered map: heterogeneous lookup by string_view avoids a per-Append
+  // allocation, and Keys() falls out sorted.
+  std::map<std::string, std::unique_ptr<Filter>, std::less<>> filters_;
+  bool finished_ = false;
+};
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_STREAM_FILTER_BANK_H_

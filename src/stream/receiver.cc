@@ -1,0 +1,105 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "stream/receiver.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "stream/codec.h"
+
+namespace plastream {
+
+Status Receiver::Poll(Channel* channel) {
+  while (auto frame = channel->Pop()) {
+    PLASTREAM_ASSIGN_OR_RETURN(WireRecord record, DecodeWireRecord(*frame));
+    PLASTREAM_RETURN_NOT_OK(Apply(record));
+  }
+  return Status::OK();
+}
+
+Status Receiver::Apply(const WireRecord& record) {
+  switch (record.type) {
+    case WireRecordType::kSegmentBreak: {
+      FlushPendingBreak();
+      pending_break_ = record;
+      break;
+    }
+    case WireRecordType::kSegmentPoint: {
+      // Ends a disconnected segment: its start must be pending.
+      if (!pending_break_.has_value()) {
+        return Status::Corruption(
+            "disconnected segment end without its start record");
+      }
+      Segment seg;
+      seg.t_start = pending_break_->t;
+      seg.x_start = pending_break_->x;
+      seg.connected_to_prev = false;
+      pending_break_.reset();
+      seg.t_end = record.t;
+      seg.x_end = record.x;
+      if (seg.t_end < seg.t_start) {
+        return Status::Corruption("segment end precedes its start");
+      }
+      coverage_t_ = std::max(coverage_t_, seg.t_end);
+      segments_.push_back(std::move(seg));
+      last_end_ = record;
+      break;
+    }
+    case WireRecordType::kSegmentPointConnected: {
+      // A preceding lone break was a point segment; materialize it so this
+      // segment can connect to its end.
+      FlushPendingBreak();
+      if (!last_end_.has_value()) {
+        return Status::Corruption(
+            "connected segment end without a previous segment");
+      }
+      Segment seg;
+      seg.t_start = last_end_->t;
+      seg.x_start = last_end_->x;
+      seg.connected_to_prev = true;
+      seg.t_end = record.t;
+      seg.x_end = record.x;
+      if (seg.t_end < seg.t_start) {
+        return Status::Corruption("segment end precedes its start");
+      }
+      coverage_t_ = std::max(coverage_t_, seg.t_end);
+      segments_.push_back(std::move(seg));
+      last_end_ = record;
+      break;
+    }
+    case WireRecordType::kProvisionalLine: {
+      ProvisionalLine line;
+      line.t = record.t;
+      line.x = record.x;
+      line.slope = record.slope;
+      line.recording_cost = 1;  // informational on the receiving side
+      provisional_.push_back(std::move(line));
+      coverage_t_ = std::max(coverage_t_, record.t);
+      break;
+    }
+  }
+  ++records_received_;
+  return Status::OK();
+}
+
+void Receiver::FlushPendingBreak() {
+  if (!pending_break_.has_value()) return;
+  // A break that was never continued is a zero-length (point) segment.
+  Segment seg;
+  seg.t_start = pending_break_->t;
+  seg.t_end = pending_break_->t;
+  seg.x_start = pending_break_->x;
+  seg.x_end = pending_break_->x;
+  seg.connected_to_prev = false;
+  coverage_t_ = std::max(coverage_t_, seg.t_end);
+  segments_.push_back(std::move(seg));
+  last_end_ = pending_break_;
+  pending_break_.reset();
+}
+
+Status Receiver::FinishStream() {
+  FlushPendingBreak();
+  return Status::OK();
+}
+
+}  // namespace plastream

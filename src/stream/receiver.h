@@ -1,0 +1,69 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Receiver: decodes wire records from a channel and incrementally rebuilds
+// the transmitted piece-wise linear approximation. The round-trip property
+// (receiver segments == filter segments) is part of the integration test
+// suite.
+
+#ifndef PLASTREAM_STREAM_RECEIVER_H_
+#define PLASTREAM_STREAM_RECEIVER_H_
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "core/reconstruction.h"
+#include "core/segment_sink.h"
+#include "core/types.h"
+#include "stream/channel.h"
+#include "stream/wire.h"
+
+namespace plastream {
+
+/// Rebuilds segments from the wire protocol.
+class Receiver {
+ public:
+  /// Drains every queued frame from `channel`, decoding and applying each.
+  /// Stops at the first corrupt frame with its Corruption status.
+  Status Poll(Channel* channel);
+
+  /// Marks end-of-stream: a trailing segment-break becomes a point segment.
+  Status FinishStream();
+
+  /// Segments reconstructed so far, in time order.
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  /// Provisional line commits observed (max-lag freezes).
+  const std::vector<ProvisionalLine>& provisional_lines() const {
+    return provisional_;
+  }
+
+  /// Builds the queryable reconstruction from the segments received so far.
+  Result<PiecewiseLinearFunction> Reconstruction() const {
+    return PiecewiseLinearFunction::Make(segments_);
+  }
+
+  /// Wire records successfully applied.
+  size_t records_received() const { return records_received_; }
+
+  /// Latest time the receiver has full knowledge of: the end of the last
+  /// closed segment, or the provisional anchor if later.
+  double coverage_t() const { return coverage_t_; }
+
+ private:
+  Status Apply(const WireRecord& record);
+  // Materializes a never-continued break record as a point segment.
+  void FlushPendingBreak();
+
+  std::optional<WireRecord> pending_break_;
+  std::optional<WireRecord> last_end_;
+  std::vector<Segment> segments_;
+  std::vector<ProvisionalLine> provisional_;
+  size_t records_received_ = 0;
+  double coverage_t_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_STREAM_RECEIVER_H_

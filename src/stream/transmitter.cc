@@ -1,0 +1,40 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "stream/transmitter.h"
+
+#include "stream/codec.h"
+#include "stream/wire.h"
+
+namespace plastream {
+
+void Transmitter::OnSegment(const Segment& segment) {
+  if (!segment.connected_to_prev) {
+    // Transmit the start recording.
+    WireRecord start;
+    start.type = WireRecordType::kSegmentBreak;
+    start.t = segment.t_start;
+    start.x = segment.x_start;
+    channel_->Push(EncodeWireRecord(start));
+    ++records_sent_;
+    if (segment.IsPoint()) return;  // A lone break is a point segment.
+  }
+  WireRecord end;
+  end.type = segment.connected_to_prev ? WireRecordType::kSegmentPointConnected
+                                       : WireRecordType::kSegmentPoint;
+  end.t = segment.t_end;
+  end.x = segment.x_end;
+  channel_->Push(EncodeWireRecord(end));
+  ++records_sent_;
+}
+
+void Transmitter::OnProvisionalLine(const ProvisionalLine& line) {
+  WireRecord record;
+  record.type = WireRecordType::kProvisionalLine;
+  record.t = line.t;
+  record.x = line.x;
+  record.slope = line.slope;
+  channel_->Push(EncodeWireRecord(record));
+  ++records_sent_;
+}
+
+}  // namespace plastream

@@ -1,0 +1,43 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Transmitter: adapts a filter's segment output to wire records on a
+// channel. Create the filter with the transmitter as its sink:
+//
+//   Channel channel;
+//   Transmitter tx(&channel);
+//   auto filter = SlideFilter::Create(options, SlideHullMode::kConvexHull,
+//                                     &tx).value();
+//   for (const auto& p : signal.points) filter->Append(p);
+//   filter->Finish();
+
+#ifndef PLASTREAM_STREAM_TRANSMITTER_H_
+#define PLASTREAM_STREAM_TRANSMITTER_H_
+
+#include <cstddef>
+
+#include "core/segment_sink.h"
+#include "stream/channel.h"
+
+namespace plastream {
+
+/// SegmentSink that serializes filter output onto a Channel.
+class Transmitter : public SegmentSink {
+ public:
+  /// `channel` is borrowed and must outlive the transmitter.
+  explicit Transmitter(Channel* channel) : channel_(channel) {}
+
+  void OnSegment(const Segment& segment) override;
+  void OnProvisionalLine(const ProvisionalLine& line) override;
+
+  /// Wire records sent so far (== the paper's recording count, plus one
+  /// record per provisional commit).
+  size_t records_sent() const { return records_sent_; }
+
+ private:
+  Channel* channel_;
+  size_t records_sent_ = 0;
+};
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_STREAM_TRANSMITTER_H_

@@ -1,0 +1,8 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "stream/wire.h"
+
+// WireRecord is a plain struct; this translation unit exists so the module
+// has a stable object file for future non-inline helpers.
+
+namespace plastream {}  // namespace plastream

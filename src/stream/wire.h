@@ -1,0 +1,50 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Wire records: what a transmitter actually sends. The paper counts
+// "recordings" — (t, X) tuples — as its unit of transmission cost; the wire
+// format makes that cost concrete:
+//  - a connected segment end is one kSegmentPointConnected record;
+//  - a disconnected segment is a kSegmentBreak (its start) followed by a
+//    kSegmentPoint (its end);
+//  - a zero-length segment is a lone kSegmentBreak;
+//  - a max-lag freeze sends a kProvisionalLine.
+
+#ifndef PLASTREAM_STREAM_WIRE_H_
+#define PLASTREAM_STREAM_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace plastream {
+
+/// Kind of a wire record.
+enum class WireRecordType : uint8_t {
+  /// Recording that ends a disconnected segment (start = the pending
+  /// break record).
+  kSegmentPoint = 1,
+  /// Recording that starts a new, disconnected segment. A break never
+  /// followed by a kSegmentPoint is a zero-length (point) segment.
+  kSegmentBreak = 2,
+  /// Committed line from a max-lag freeze: anchor point plus slopes.
+  kProvisionalLine = 3,
+  /// Recording that ends a segment connected to the previous segment's
+  /// end point. Distinct from kSegmentPoint so a point segment followed
+  /// by a connected segment is unambiguous on the wire.
+  kSegmentPointConnected = 4,
+};
+
+/// One transmitted record.
+struct WireRecord {
+  WireRecordType type = WireRecordType::kSegmentPoint;
+  double t = 0.0;
+  /// Values per dimension.
+  std::vector<double> x;
+  /// Slopes per dimension; only present for kProvisionalLine.
+  std::vector<double> slope;
+
+  bool operator==(const WireRecord&) const = default;
+};
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_STREAM_WIRE_H_

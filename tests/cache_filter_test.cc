@@ -1,0 +1,182 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Unit tests for the cache filter (Section 2.2 baseline) and its
+// midrange/mean variants from Lazaridis & Mehrotra [18].
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cache_filter.h"
+
+namespace plastream {
+namespace {
+
+std::unique_ptr<CacheFilter> Make(double eps,
+                                  CacheValueMode mode = CacheValueMode::kFirst) {
+  return CacheFilter::Create(FilterOptions::Scalar(eps), mode).value();
+}
+
+std::vector<Segment> RunPoints(CacheFilter* filter,
+                         const std::vector<DataPoint>& points) {
+  for (const DataPoint& p : points) EXPECT_TRUE(filter->Append(p).ok());
+  EXPECT_TRUE(filter->Finish().ok());
+  return filter->TakeSegments();
+}
+
+TEST(CacheFilterTest, CreateRejectsBadOptions) {
+  FilterOptions bad;
+  EXPECT_EQ(CacheFilter::Create(bad).status().code(),
+            StatusCode::kInvalidArgument);
+  bad.epsilon = {-1.0};
+  EXPECT_EQ(CacheFilter::Create(bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CacheFilterTest, ConstantSignalIsOneSegment) {
+  auto filter = Make(0.5);
+  std::vector<DataPoint> points;
+  for (int j = 0; j < 100; ++j) points.push_back(DataPoint::Scalar(j, 3.0));
+  const auto segments = RunPoints(filter.get(), points);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(segments[0].t_start, 0.0);
+  EXPECT_DOUBLE_EQ(segments[0].t_end, 99.0);
+  EXPECT_DOUBLE_EQ(segments[0].x_start[0], 3.0);
+  EXPECT_DOUBLE_EQ(segments[0].x_end[0], 3.0);
+}
+
+TEST(CacheFilterTest, FirstModeRecordsIntervalFirstValue) {
+  auto filter = Make(1.0);
+  // 5.9 is within ε of 5.0; 7.0 is not and starts a new interval.
+  const auto segments = RunPoints(filter.get(), {DataPoint::Scalar(0, 5.0),
+                                           DataPoint::Scalar(1, 5.9),
+                                           DataPoint::Scalar(2, 7.0)});
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_DOUBLE_EQ(segments[0].x_start[0], 5.0);
+  EXPECT_DOUBLE_EQ(segments[0].t_end, 1.0);
+  EXPECT_DOUBLE_EQ(segments[1].x_start[0], 7.0);
+}
+
+TEST(CacheFilterTest, FirstModeBoundaryExactlyEpsilonAccepted) {
+  auto filter = Make(1.0);
+  const auto segments = RunPoints(filter.get(), {DataPoint::Scalar(0, 0.0),
+                                           DataPoint::Scalar(1, 1.0),
+                                           DataPoint::Scalar(2, -1.0)});
+  EXPECT_EQ(segments.size(), 1u);
+}
+
+TEST(CacheFilterTest, MidrangeModeWidensAcceptance) {
+  // Values 0 and 1.8 span 1.8 <= 2ε, acceptable to midrange but not to the
+  // first-value rule.
+  auto first = Make(1.0, CacheValueMode::kFirst);
+  auto midrange = Make(1.0, CacheValueMode::kMidrange);
+  const std::vector<DataPoint> points{DataPoint::Scalar(0, 0.0),
+                                      DataPoint::Scalar(1, 1.8)};
+  EXPECT_EQ(RunPoints(first.get(), points).size(), 2u);
+  const auto segments = RunPoints(midrange.get(), points);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(segments[0].x_start[0], 0.9);  // (0 + 1.8) / 2
+}
+
+TEST(CacheFilterTest, MidrangeModeRejectsSpreadOverTwoEpsilon) {
+  auto filter = Make(1.0, CacheValueMode::kMidrange);
+  const auto segments = RunPoints(filter.get(), {DataPoint::Scalar(0, 0.0),
+                                           DataPoint::Scalar(1, 2.5)});
+  EXPECT_EQ(segments.size(), 2u);
+}
+
+TEST(CacheFilterTest, MeanModeValueIsIntervalMean) {
+  auto filter = Make(2.0, CacheValueMode::kMean);
+  const auto segments = RunPoints(filter.get(), {DataPoint::Scalar(0, 1.0),
+                                           DataPoint::Scalar(1, 2.0),
+                                           DataPoint::Scalar(2, 3.0)});
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(segments[0].x_start[0], 2.0);
+}
+
+TEST(CacheFilterTest, MeanModeRejectsWhenMeanDriftsPastEpsilon) {
+  // After {0, 0, 3}: mean = 1, max - mean = 2 > ε = 1.5 -> reject 3.
+  auto filter = Make(1.5, CacheValueMode::kMean);
+  const auto segments = RunPoints(filter.get(), {DataPoint::Scalar(0, 0.0),
+                                           DataPoint::Scalar(1, 0.0),
+                                           DataPoint::Scalar(2, 3.0)});
+  EXPECT_EQ(segments.size(), 2u);
+}
+
+TEST(CacheFilterTest, MultiDimensionalViolationInAnyDimensionSplits) {
+  FilterOptions options = FilterOptions::Uniform(2, 1.0);
+  auto filter = CacheFilter::Create(options).value();
+  const auto segments =
+      RunPoints(filter.get(), {DataPoint(0, {0.0, 0.0}), DataPoint(1, {0.5, 0.5}),
+                         DataPoint(2, {0.5, 5.0})});
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_DOUBLE_EQ(segments[1].x_start[1], 5.0);
+}
+
+TEST(CacheFilterTest, PerDimensionEpsilonIsHonored) {
+  FilterOptions options;
+  options.epsilon = {10.0, 0.1};
+  auto filter = CacheFilter::Create(options).value();
+  // Dim 0 moves a lot (allowed), dim 1 moves a little too much.
+  const auto segments = RunPoints(
+      filter.get(), {DataPoint(0, {0.0, 0.0}), DataPoint(1, {9.0, 0.2})});
+  EXPECT_EQ(segments.size(), 2u);
+}
+
+TEST(CacheFilterTest, ZeroEpsilonSplitsOnAnyChange) {
+  auto filter = Make(0.0);
+  const auto segments = RunPoints(filter.get(), {DataPoint::Scalar(0, 1.0),
+                                           DataPoint::Scalar(1, 1.0),
+                                           DataPoint::Scalar(2, 1.0000001)});
+  EXPECT_EQ(segments.size(), 2u);
+}
+
+TEST(CacheFilterTest, SinglePointStream) {
+  auto filter = Make(1.0);
+  const auto segments = RunPoints(filter.get(), {DataPoint::Scalar(5, 2.0)});
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_TRUE(segments[0].IsPoint());
+}
+
+TEST(CacheFilterTest, EmptyStreamEmitsNothing) {
+  auto filter = Make(1.0);
+  EXPECT_TRUE(filter->Finish().ok());
+  EXPECT_TRUE(filter->TakeSegments().empty());
+}
+
+TEST(CacheFilterTest, CostModelIsPiecewiseConstant) {
+  auto filter = Make(1.0);
+  EXPECT_EQ(filter->cost_model(), RecordingCostModel::kPiecewiseConstant);
+}
+
+TEST(CacheFilterTest, SegmentsNeverMarkedConnected) {
+  auto filter = Make(0.5);
+  std::vector<DataPoint> points;
+  for (int j = 0; j < 50; ++j) {
+    points.push_back(DataPoint::Scalar(j, static_cast<double>(j % 5)));
+  }
+  for (const Segment& seg : RunPoints(filter.get(), points)) {
+    EXPECT_FALSE(seg.connected_to_prev);
+  }
+}
+
+TEST(CacheFilterTest, AppendAfterFinishFails) {
+  auto filter = Make(1.0);
+  EXPECT_TRUE(filter->Finish().ok());
+  EXPECT_EQ(filter->Append(DataPoint::Scalar(0, 0.0)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CacheFilterTest, TakeSegmentsDrains) {
+  auto filter = Make(0.1);
+  EXPECT_TRUE(filter->Append(DataPoint::Scalar(0, 0.0)).ok());
+  EXPECT_TRUE(filter->Append(DataPoint::Scalar(1, 5.0)).ok());
+  const auto first_batch = filter->TakeSegments();
+  EXPECT_EQ(first_batch.size(), 1u);
+  EXPECT_TRUE(filter->TakeSegments().empty());
+  EXPECT_TRUE(filter->Finish().ok());
+  EXPECT_EQ(filter->TakeSegments().size(), 1u);
+}
+
+}  // namespace
+}  // namespace plastream

@@ -1,0 +1,319 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Unit tests for the workload generators: parameter validation,
+// determinism, and the statistical properties the Section 5 experiments
+// rely on.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "datagen/correlated_walk.h"
+#include "datagen/random_walk.h"
+#include "datagen/sea_surface.h"
+#include "datagen/shapes.h"
+#include "datagen/signal.h"
+
+namespace plastream {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Signal
+// ---------------------------------------------------------------------------
+
+TEST(SignalTest, ColumnAndRange) {
+  Signal s;
+  s.points = {DataPoint::Scalar(0, 1), DataPoint::Scalar(1, 5),
+              DataPoint::Scalar(2, 3)};
+  const auto col = s.Column(0);
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_DOUBLE_EQ(col[1], 5.0);
+  EXPECT_DOUBLE_EQ(s.Range(0), 4.0);
+  EXPECT_DOUBLE_EQ(s.Min(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(0), 5.0);
+}
+
+TEST(SignalTest, ValidateCatchesOutOfOrderTime) {
+  Signal s;
+  s.points = {DataPoint::Scalar(1, 0), DataPoint::Scalar(1, 1)};
+  EXPECT_EQ(s.Validate().code(), StatusCode::kOutOfOrder);
+}
+
+TEST(SignalTest, ValidateCatchesInconsistentDims) {
+  Signal s;
+  s.points = {DataPoint(0, {1.0, 2.0}), DataPoint(1, {1.0})};
+  EXPECT_EQ(s.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SignalTest, ValidateCatchesNonFinite) {
+  Signal s;
+  s.points = {DataPoint::Scalar(0, std::nan(""))};
+  EXPECT_EQ(s.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Random walk (Section 5.3)
+// ---------------------------------------------------------------------------
+
+TEST(RandomWalkTest, RejectsBadParameters) {
+  RandomWalkOptions o;
+  o.count = 0;
+  EXPECT_FALSE(GenerateRandomWalk(o).ok());
+  o = RandomWalkOptions{};
+  o.decrease_probability = 1.5;
+  EXPECT_FALSE(GenerateRandomWalk(o).ok());
+  o = RandomWalkOptions{};
+  o.dt = 0.0;
+  EXPECT_FALSE(GenerateRandomWalk(o).ok());
+  o = RandomWalkOptions{};
+  o.max_delta = -1.0;
+  EXPECT_FALSE(GenerateRandomWalk(o).ok());
+}
+
+TEST(RandomWalkTest, DeterministicPerSeed) {
+  RandomWalkOptions o;
+  o.count = 500;
+  o.seed = 12345;
+  const Signal a = *GenerateRandomWalk(o);
+  const Signal b = *GenerateRandomWalk(o);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t j = 0; j < a.size(); ++j) EXPECT_EQ(a.points[j], b.points[j]);
+  o.seed = 54321;
+  const Signal c = *GenerateRandomWalk(o);
+  EXPECT_NE(a.points.back().x[0], c.points.back().x[0]);
+}
+
+TEST(RandomWalkTest, StepsRespectMaxDelta) {
+  RandomWalkOptions o;
+  o.count = 5000;
+  o.max_delta = 2.5;
+  const Signal s = *GenerateRandomWalk(o);
+  for (size_t j = 1; j < s.size(); ++j) {
+    EXPECT_LE(std::abs(s.points[j].x[0] - s.points[j - 1].x[0]), 2.5);
+  }
+}
+
+TEST(RandomWalkTest, ZeroDecreaseProbabilityIsMonotone) {
+  RandomWalkOptions o;
+  o.count = 2000;
+  o.decrease_probability = 0.0;
+  const Signal s = *GenerateRandomWalk(o);
+  for (size_t j = 1; j < s.size(); ++j) {
+    EXPECT_GE(s.points[j].x[0], s.points[j - 1].x[0]);
+  }
+}
+
+TEST(RandomWalkTest, DecreaseFractionMatchesProbability) {
+  RandomWalkOptions o;
+  o.count = 20000;
+  o.decrease_probability = 0.3;
+  const Signal s = *GenerateRandomWalk(o);
+  size_t decreases = 0;
+  for (size_t j = 1; j < s.size(); ++j) {
+    decreases += s.points[j].x[0] < s.points[j - 1].x[0];
+  }
+  EXPECT_NEAR(static_cast<double>(decreases) / (s.size() - 1), 0.3, 0.02);
+}
+
+TEST(RandomWalkTest, TimeGridMatchesOptions) {
+  RandomWalkOptions o;
+  o.count = 10;
+  o.t0 = 100.0;
+  o.dt = 2.5;
+  const Signal s = *GenerateRandomWalk(o);
+  EXPECT_DOUBLE_EQ(s.points[0].t, 100.0);
+  EXPECT_DOUBLE_EQ(s.points[9].t, 100.0 + 9 * 2.5);
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Correlated walk (Section 5.4)
+// ---------------------------------------------------------------------------
+
+TEST(CorrelatedWalkTest, RejectsBadParameters) {
+  CorrelatedWalkOptions o;
+  o.dimensions = 0;
+  EXPECT_FALSE(GenerateCorrelatedWalk(o).ok());
+  o = CorrelatedWalkOptions{};
+  o.correlation = -0.1;
+  EXPECT_FALSE(GenerateCorrelatedWalk(o).ok());
+  o = CorrelatedWalkOptions{};
+  o.correlation = 1.1;
+  EXPECT_FALSE(GenerateCorrelatedWalk(o).ok());
+}
+
+TEST(CorrelatedWalkTest, DimensionsAndValidity) {
+  CorrelatedWalkOptions o;
+  o.count = 100;
+  o.dimensions = 7;
+  const Signal s = *GenerateCorrelatedWalk(o);
+  EXPECT_EQ(s.dimensions(), 7u);
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(CorrelatedWalkTest, FullCorrelationMakesIdenticalDimensions) {
+  CorrelatedWalkOptions o;
+  o.count = 500;
+  o.dimensions = 4;
+  o.correlation = 1.0;
+  const Signal s = *GenerateCorrelatedWalk(o);
+  for (const DataPoint& p : s.points) {
+    for (size_t i = 1; i < 4; ++i) EXPECT_DOUBLE_EQ(p.x[i], p.x[0]);
+  }
+}
+
+// Step correlation tracks the mixing probability: the property Figure 12's
+// x-axis depends on.
+TEST(CorrelatedWalkTest, StepCorrelationTracksMixingProbability) {
+  for (const double rho : {0.0, 0.5, 0.9}) {
+    CorrelatedWalkOptions o;
+    o.count = 40000;
+    o.dimensions = 2;
+    o.correlation = rho;
+    o.seed = 77;
+    const Signal s = *GenerateCorrelatedWalk(o);
+    std::vector<double> steps0, steps1;
+    for (size_t j = 1; j < s.size(); ++j) {
+      steps0.push_back(s.points[j].x[0] - s.points[j - 1].x[0]);
+      steps1.push_back(s.points[j].x[1] - s.points[j - 1].x[1]);
+    }
+    const double measured = PearsonCorrelation(steps0, steps1);
+    EXPECT_NEAR(measured, rho, 0.05) << "rho = " << rho;
+  }
+}
+
+TEST(CorrelatedWalkTest, SingleDimensionMatchesRandomWalkShape) {
+  CorrelatedWalkOptions o;
+  o.count = 1000;
+  o.dimensions = 1;
+  o.correlation = 0.0;
+  o.max_delta = 3.0;
+  const Signal s = *GenerateCorrelatedWalk(o);
+  for (size_t j = 1; j < s.size(); ++j) {
+    EXPECT_LE(std::abs(s.points[j].x[0] - s.points[j - 1].x[0]), 3.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sea surface temperature (Figure 6 substitute)
+// ---------------------------------------------------------------------------
+
+TEST(SeaSurfaceTest, MatchesPaperTraceShape) {
+  const Signal s = *GenerateSeaSurfaceTemperature({});
+  EXPECT_EQ(s.size(), 1285u);  // paper: 1285 samples
+  EXPECT_TRUE(s.Validate().ok());
+  // 10-minute sampling.
+  EXPECT_DOUBLE_EQ(s.points[1].t - s.points[0].t, 10.0);
+  // Bounded range around 20.5-24.5 C: demand a plausible band.
+  EXPECT_GT(s.Min(0), 18.0);
+  EXPECT_LT(s.Max(0), 27.0);
+  EXPECT_GT(s.Range(0), 2.0);
+  EXPECT_LT(s.Range(0), 7.0);
+}
+
+TEST(SeaSurfaceTest, QuantizationCreatesFlatRuns) {
+  // The paper notes the SST value "remains fixed frequently enough to give
+  // an advantage to the cache filter": consecutive equal samples must be
+  // common.
+  const Signal s = *GenerateSeaSurfaceTemperature({});
+  size_t flat = 0;
+  for (size_t j = 1; j < s.size(); ++j) {
+    flat += s.points[j].x[0] == s.points[j - 1].x[0];
+  }
+  EXPECT_GT(static_cast<double>(flat) / (s.size() - 1), 0.2);
+}
+
+TEST(SeaSurfaceTest, DeterministicPerSeed) {
+  SeaSurfaceOptions o;
+  o.seed = 42;
+  const Signal a = *GenerateSeaSurfaceTemperature(o);
+  const Signal b = *GenerateSeaSurfaceTemperature(o);
+  for (size_t j = 0; j < a.size(); ++j) EXPECT_EQ(a.points[j], b.points[j]);
+}
+
+TEST(SeaSurfaceTest, IrregularUpsAndDowns) {
+  // "Continuously goes up and down with no regular pattern": direction
+  // changes should be frequent over the whole trace.
+  const Signal s = *GenerateSeaSurfaceTemperature({});
+  size_t direction_changes = 0;
+  double prev_sign = 0.0;
+  for (size_t j = 1; j < s.size(); ++j) {
+    const double delta = s.points[j].x[0] - s.points[j - 1].x[0];
+    if (delta == 0.0) continue;
+    const double sign = delta > 0 ? 1.0 : -1.0;
+    if (prev_sign != 0.0 && sign != prev_sign) ++direction_changes;
+    prev_sign = sign;
+  }
+  EXPECT_GT(direction_changes, 100u);
+}
+
+TEST(SeaSurfaceTest, RejectsBadParameters) {
+  SeaSurfaceOptions o;
+  o.count = 0;
+  EXPECT_FALSE(GenerateSeaSurfaceTemperature(o).ok());
+  o = SeaSurfaceOptions{};
+  o.dt_minutes = -1.0;
+  EXPECT_FALSE(GenerateSeaSurfaceTemperature(o).ok());
+  o = SeaSurfaceOptions{};
+  o.quantization = -0.1;
+  EXPECT_FALSE(GenerateSeaSurfaceTemperature(o).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Shapes
+// ---------------------------------------------------------------------------
+
+TEST(ShapesTest, LineIsExactlyLinear) {
+  const Signal s = *GenerateLine(100, 2.0, -0.5);
+  for (const DataPoint& p : s.points) {
+    EXPECT_DOUBLE_EQ(p.x[0], 2.0 - 0.5 * p.t);
+  }
+}
+
+TEST(ShapesTest, SinePeriodAndAmplitude) {
+  const Signal s = *GenerateSine(1000, 3.0, 100.0, 1.0);
+  RunningStats stats;
+  for (const DataPoint& p : s.points) stats.Add(p.x[0]);
+  EXPECT_NEAR(stats.Max(), 4.0, 1e-3);
+  EXPECT_NEAR(stats.Min(), -2.0, 1e-3);
+}
+
+TEST(ShapesTest, StepsHoldLevels) {
+  const Signal s = *GenerateSteps(100, 10, 5.0, 3);
+  for (size_t j = 1; j < s.size(); ++j) {
+    if (j % 10 != 0) {
+      EXPECT_DOUBLE_EQ(s.points[j].x[0], s.points[j - 1].x[0]);
+    }
+  }
+}
+
+TEST(ShapesTest, SpikesHitBaselineOrPeak) {
+  const Signal s = *GenerateSpikes(500, 1.0, 9.0, 0.1, 8);
+  size_t spikes = 0;
+  for (const DataPoint& p : s.points) {
+    EXPECT_TRUE(p.x[0] == 1.0 || p.x[0] == 10.0);
+    spikes += p.x[0] == 10.0;
+  }
+  EXPECT_GT(spikes, 20u);
+  EXPECT_LT(spikes, 100u);
+}
+
+TEST(ShapesTest, SawtoothResets) {
+  const Signal s = *GenerateSawtooth(50, 10, 5.0);
+  EXPECT_DOUBLE_EQ(s.points[0].x[0], 0.0);
+  EXPECT_DOUBLE_EQ(s.points[9].x[0], 4.5);
+  EXPECT_DOUBLE_EQ(s.points[10].x[0], 0.0);
+}
+
+TEST(ShapesTest, ValidationErrors) {
+  EXPECT_FALSE(GenerateLine(0, 0, 0).ok());
+  EXPECT_FALSE(GenerateSine(10, 1.0, 0.0).ok());
+  EXPECT_FALSE(GenerateSteps(10, 0, 1.0, 1).ok());
+  EXPECT_FALSE(GenerateSpikes(10, 0, 1, 2.0, 1).ok());
+  EXPECT_FALSE(GenerateSawtooth(10, 0, 1.0).ok());
+}
+
+}  // namespace
+}  // namespace plastream

@@ -1,0 +1,184 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Unit tests for the evaluation harness: error metrics, compression
+// accounting, the Section 5.4 independent-vs-joint correction, the filter
+// registry, and the table printer.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "datagen/random_walk.h"
+#include "datagen/shapes.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+
+namespace plastream {
+namespace {
+
+Segment MakeSegment(double t0, double t1, double x0, double x1,
+                    bool connected = false) {
+  Segment seg;
+  seg.t_start = t0;
+  seg.t_end = t1;
+  seg.x_start = {x0};
+  seg.x_end = {x1};
+  seg.connected_to_prev = connected;
+  return seg;
+}
+
+TEST(MetricsTest, ComputeErrorHandComputed) {
+  Signal signal;
+  signal.points = {DataPoint::Scalar(0, 1.0), DataPoint::Scalar(1, 2.0),
+                   DataPoint::Scalar(2, 0.0)};
+  // Approximation: flat zero over [0, 2]. Errors: 1, 2, 0.
+  const auto fn = PiecewiseLinearFunction::Make({MakeSegment(0, 2, 0, 0)});
+  ASSERT_TRUE(fn.ok());
+  const auto report = ComputeError(signal, *fn);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->avg_error[0], 1.0);
+  EXPECT_DOUBLE_EQ(report->max_error[0], 2.0);
+  EXPECT_DOUBLE_EQ(report->avg_error_overall, 1.0);
+  EXPECT_DOUBLE_EQ(report->max_error_overall, 2.0);
+  EXPECT_EQ(report->samples, 3u);
+}
+
+TEST(MetricsTest, ComputeErrorFailsOnUncoveredSample) {
+  Signal signal;
+  signal.points = {DataPoint::Scalar(5, 1.0)};
+  const auto fn = PiecewiseLinearFunction::Make({MakeSegment(0, 2, 0, 0)});
+  ASSERT_TRUE(fn.ok());
+  EXPECT_EQ(ComputeError(signal, *fn).status().code(), StatusCode::kNotFound);
+}
+
+TEST(MetricsTest, VerifyPrecisionPassesAtBoundary) {
+  Signal signal;
+  signal.points = {DataPoint::Scalar(0, 1.0)};
+  const auto fn = PiecewiseLinearFunction::Make({MakeSegment(0, 1, 0, 0)});
+  const std::vector<double> eps{1.0};
+  EXPECT_TRUE(VerifyPrecision(signal, *fn, eps).ok());
+}
+
+TEST(MetricsTest, VerifyPrecisionFailsBeyondEpsilon) {
+  Signal signal;
+  signal.points = {DataPoint::Scalar(0, 1.5)};
+  const auto fn = PiecewiseLinearFunction::Make({MakeSegment(0, 1, 0, 0)});
+  const std::vector<double> eps{1.0};
+  EXPECT_EQ(VerifyPrecision(signal, *fn, eps).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(MetricsTest, VerifyPrecisionChecksDimensionality) {
+  Signal signal;
+  signal.points = {DataPoint::Scalar(0, 0.0)};
+  const auto fn = PiecewiseLinearFunction::Make({MakeSegment(0, 1, 0, 0)});
+  const std::vector<double> eps{1.0, 1.0};
+  EXPECT_EQ(VerifyPrecision(signal, *fn, eps).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MetricsTest, CompressionRatioDefinition) {
+  const std::vector<Segment> segments{MakeSegment(0, 1, 0, 1, false),
+                                      MakeSegment(1, 2, 1, 0, true)};
+  const auto report = ComputeCompression(
+      30, segments, RecordingCostModel::kPiecewiseLinear);
+  EXPECT_EQ(report.recordings, 3u);
+  EXPECT_DOUBLE_EQ(report.ratio, 10.0);  // 30 points / 3 recordings
+}
+
+TEST(MetricsTest, IndependentToJointRatioFormula) {
+  // Paper Section 5.4: 2.47 per-dimension ratio on a 5-dimensional signal
+  // becomes 2.47 * 6/10 = 1.48.
+  EXPECT_NEAR(IndependentToJointRatio(2.47, 5), 1.482, 1e-9);
+  EXPECT_DOUBLE_EQ(IndependentToJointRatio(3.0, 1), 3.0);  // d=1: no change
+}
+
+TEST(RunnerTest, FilterKindNamesAreUnique) {
+  const auto kinds = AllFilterKinds();
+  for (size_t i = 0; i < kinds.size(); ++i) {
+    for (size_t j = i + 1; j < kinds.size(); ++j) {
+      EXPECT_NE(FilterKindName(kinds[i]), FilterKindName(kinds[j]));
+    }
+  }
+}
+
+TEST(RunnerTest, PaperKindsAreTheFourFamilies) {
+  const auto kinds = PaperFilterKinds();
+  ASSERT_EQ(kinds.size(), 4u);
+  EXPECT_EQ(FilterKindName(kinds[0]), "cache");
+  EXPECT_EQ(FilterKindName(kinds[1]), "linear");
+  EXPECT_EQ(FilterKindName(kinds[2]), "swing");
+  EXPECT_EQ(FilterKindName(kinds[3]), "slide");
+}
+
+TEST(RunnerTest, MakeFilterProducesEveryKind) {
+  for (const FilterKind kind : AllFilterKinds()) {
+    const auto filter = MakeFilter(kind, FilterOptions::Scalar(1.0));
+    ASSERT_TRUE(filter.ok()) << FilterKindName(kind);
+    EXPECT_FALSE((*filter)->name().empty());
+  }
+}
+
+TEST(RunnerTest, RunFilterEndToEnd) {
+  RandomWalkOptions o;
+  o.count = 500;
+  o.seed = 31;
+  const Signal signal = *GenerateRandomWalk(o);
+  const auto result =
+      RunFilter(FilterKind::kSlide, FilterOptions::Scalar(0.5), signal);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->compression.points, 500u);
+  EXPECT_GT(result->compression.ratio, 1.0);
+  EXPECT_LE(result->error.max_error_overall, 0.5 + 1e-9);
+  EXPECT_GE(result->filter_seconds, 0.0);
+}
+
+TEST(RunnerTest, RunFilterRejectsInvalidSignal) {
+  Signal bad;
+  bad.points = {DataPoint::Scalar(1, 0), DataPoint::Scalar(0, 1)};
+  EXPECT_FALSE(
+      RunFilter(FilterKind::kSwing, FilterOptions::Scalar(1.0), bad).ok());
+}
+
+TEST(RunnerTest, RunFilterRejectsDimensionMismatch) {
+  const Signal signal = *GenerateLine(10, 0, 1);
+  EXPECT_FALSE(
+      RunFilter(FilterKind::kSwing, FilterOptions::Uniform(2, 1.0), signal)
+          .ok());
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer-name", "2.5"});
+  const std::string text = table.ToString();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer-name"), std::string::npos);
+  // All lines share the same column start for "value"/numbers.
+  std::stringstream ss(text);
+  std::string header, rule, row1, row2;
+  std::getline(ss, header);
+  std::getline(ss, rule);
+  std::getline(ss, row1);
+  std::getline(ss, row2);
+  EXPECT_EQ(header.find("value"), row2.find("2.5"));
+}
+
+TEST(TableTest, NumericRowFormatting) {
+  Table table({"eps", "a", "b"});
+  table.AddNumericRow("1%", {1.23456789, 42.0});
+  const std::string text = table.ToString();
+  EXPECT_NE(text.find("1.235"), std::string::npos);  // 4 significant digits
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(TableTest, MissingCellsRenderEmpty) {
+  Table table({"a", "b", "c"});
+  table.AddRow({"only-one"});
+  EXPECT_NE(table.ToString().find("only-one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace plastream

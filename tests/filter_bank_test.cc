@@ -1,0 +1,111 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Unit tests for FilterBank: lazy per-key filter creation, routing,
+// lifecycle, and error propagation.
+
+#include <gtest/gtest.h>
+
+#include "core/swing_filter.h"
+#include "eval/runner.h"
+#include "stream/filter_bank.h"
+
+namespace plastream {
+namespace {
+
+FilterBank::FilterFactory SwingFactory(double eps) {
+  return [eps](std::string_view) -> Result<std::unique_ptr<Filter>> {
+    return MakeFilter(FilterKind::kSwing, FilterOptions::Scalar(eps));
+  };
+}
+
+TEST(FilterBankTest, RoutesByKeyAndCreatesLazily) {
+  FilterBank bank(SwingFactory(0.5));
+  EXPECT_FALSE(bank.Contains("a"));
+  ASSERT_TRUE(bank.Append("a", DataPoint::Scalar(0, 1)).ok());
+  ASSERT_TRUE(bank.Append("b", DataPoint::Scalar(0, 2)).ok());
+  ASSERT_TRUE(bank.Append("a", DataPoint::Scalar(1, 1)).ok());
+  EXPECT_TRUE(bank.Contains("a"));
+  EXPECT_TRUE(bank.Contains("b"));
+  const auto keys = bank.Keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "b");
+}
+
+TEST(FilterBankTest, StreamsAreIndependent) {
+  FilterBank bank(SwingFactory(0.5));
+  // Interleave two streams with conflicting timestamps: each stream has
+  // its own monotonicity requirement.
+  ASSERT_TRUE(bank.Append("x", DataPoint::Scalar(10, 0)).ok());
+  ASSERT_TRUE(bank.Append("y", DataPoint::Scalar(1, 0)).ok());
+  ASSERT_TRUE(bank.Append("x", DataPoint::Scalar(11, 0)).ok());
+  ASSERT_TRUE(bank.Append("y", DataPoint::Scalar(2, 0)).ok());
+  // Regressing within one stream still fails.
+  EXPECT_EQ(bank.Append("x", DataPoint::Scalar(5, 0)).code(),
+            StatusCode::kOutOfOrder);
+  ASSERT_TRUE(bank.FinishAll().ok());
+  EXPECT_EQ(bank.TakeSegments("x")->size(), 1u);
+  EXPECT_EQ(bank.TakeSegments("y")->size(), 1u);
+}
+
+TEST(FilterBankTest, TakeSegmentsUnknownKey) {
+  FilterBank bank(SwingFactory(1.0));
+  EXPECT_EQ(bank.TakeSegments("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(FilterBankTest, FactoryErrorsPropagate) {
+  FilterBank bank([](std::string_view key) -> Result<std::unique_ptr<Filter>> {
+    if (key == "bad") return Status::InvalidArgument("no such stream class");
+    return MakeFilter(FilterKind::kCache, FilterOptions::Scalar(1.0));
+  });
+  EXPECT_TRUE(bank.Append("good", DataPoint::Scalar(0, 0)).ok());
+  EXPECT_EQ(bank.Append("bad", DataPoint::Scalar(0, 0)).code(),
+            StatusCode::kInvalidArgument);
+  // The failed key was not registered.
+  EXPECT_FALSE(bank.Contains("bad"));
+}
+
+TEST(FilterBankTest, PerKeyConfiguration) {
+  // The factory can give each stream its own precision.
+  FilterBank bank([](std::string_view key) -> Result<std::unique_ptr<Filter>> {
+    const double eps = key == "coarse" ? 10.0 : 0.1;
+    return MakeFilter(FilterKind::kSwing, FilterOptions::Scalar(eps));
+  });
+  for (int j = 0; j < 50; ++j) {
+    const double v = (j % 7) * 1.0;
+    ASSERT_TRUE(bank.Append("coarse", DataPoint::Scalar(j, v)).ok());
+    ASSERT_TRUE(bank.Append("fine", DataPoint::Scalar(j, v)).ok());
+  }
+  ASSERT_TRUE(bank.FinishAll().ok());
+  const auto coarse = bank.TakeSegments("coarse").value();
+  const auto fine = bank.TakeSegments("fine").value();
+  EXPECT_LT(coarse.size(), fine.size());
+}
+
+TEST(FilterBankTest, StatsAggregateAcrossStreams) {
+  FilterBank bank(SwingFactory(0.25));
+  for (int j = 0; j < 30; ++j) {
+    ASSERT_TRUE(bank.Append("s1", DataPoint::Scalar(j, j % 3)).ok());
+    ASSERT_TRUE(bank.Append("s2", DataPoint::Scalar(j, j % 5)).ok());
+    ASSERT_TRUE(bank.Append("s3", DataPoint::Scalar(j, 0.0)).ok());
+  }
+  ASSERT_TRUE(bank.FinishAll().ok());
+  const auto stats = bank.Stats();
+  EXPECT_EQ(stats.streams, 3u);
+  EXPECT_EQ(stats.points, 90u);
+  EXPECT_GT(stats.segments, 3u);
+  EXPECT_NE(bank.GetFilter("s1"), nullptr);
+  EXPECT_EQ(bank.GetFilter("s9"), nullptr);
+}
+
+TEST(FilterBankTest, AppendAfterFinishAllFails) {
+  FilterBank bank(SwingFactory(1.0));
+  ASSERT_TRUE(bank.Append("a", DataPoint::Scalar(0, 0)).ok());
+  ASSERT_TRUE(bank.FinishAll().ok());
+  ASSERT_TRUE(bank.FinishAll().ok());  // idempotent
+  EXPECT_EQ(bank.Append("a", DataPoint::Scalar(1, 0)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace plastream

@@ -1,0 +1,285 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Cross-filter property suite: the paper's precision guarantee (Theorems
+// 3.1 and 4.1) and the structural invariants of emitted segment chains,
+// exercised over every filter family × a zoo of signal shapes × a sweep of
+// precision widths. This is the test the whole library hangs off.
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/reconstruction.h"
+#include "core/slide_filter.h"
+#include "datagen/correlated_walk.h"
+#include "datagen/random_walk.h"
+#include "datagen/sea_surface.h"
+#include "datagen/shapes.h"
+#include "datagen/signal.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+
+namespace plastream {
+namespace {
+
+struct NamedSignal {
+  std::string name;
+  Signal signal;
+};
+
+// The signal zoo: every shape Section 5 discusses plus adversarial extras.
+std::vector<NamedSignal> TestSignals() {
+  std::vector<NamedSignal> signals;
+  {
+    RandomWalkOptions o;
+    o.count = 1500;
+    o.decrease_probability = 0.5;
+    o.max_delta = 4.0;
+    o.seed = 1;
+    signals.push_back({"walk_oscillating", *GenerateRandomWalk(o)});
+  }
+  {
+    RandomWalkOptions o;
+    o.count = 1500;
+    o.decrease_probability = 0.0;  // monotone increasing
+    o.max_delta = 4.0;
+    o.seed = 2;
+    signals.push_back({"walk_monotone", *GenerateRandomWalk(o)});
+  }
+  {
+    RandomWalkOptions o;
+    o.count = 1500;
+    o.decrease_probability = 0.25;
+    o.max_delta = 40.0;  // large jumps relative to epsilon
+    o.seed = 3;
+    signals.push_back({"walk_jumpy", *GenerateRandomWalk(o)});
+  }
+  {
+    SeaSurfaceOptions o;
+    signals.push_back({"sea_surface", *GenerateSeaSurfaceTemperature(o)});
+  }
+  signals.push_back({"sine", *GenerateSine(1200, 10.0, 200.0)});
+  signals.push_back({"line", *GenerateLine(800, 2.0, 0.5)});
+  signals.push_back({"steps", *GenerateSteps(1200, 40, 8.0, 4)});
+  signals.push_back({"spikes", *GenerateSpikes(1200, 0.0, 10.0, 0.05, 5)});
+  signals.push_back({"sawtooth", *GenerateSawtooth(1200, 25, 10.0)});
+  {
+    CorrelatedWalkOptions o;
+    o.count = 800;
+    o.dimensions = 3;
+    o.correlation = 0.6;
+    o.max_delta = 3.0;
+    o.seed = 6;
+    signals.push_back({"walk_3d", *GenerateCorrelatedWalk(o)});
+  }
+  {
+    // Non-uniform sampling: filters must not assume a fixed dt.
+    Rng rng(7);
+    Signal s;
+    double t = 0.0;
+    double v = 0.0;
+    for (int j = 0; j < 1000; ++j) {
+      t += rng.Uniform(0.05, 3.0);
+      v += rng.Uniform(-2.0, 2.0);
+      s.points.push_back(DataPoint::Scalar(t, v));
+    }
+    signals.push_back({"walk_irregular_dt", std::move(s)});
+  }
+  return signals;
+}
+
+using InvariantParam = std::tuple<FilterKind, size_t /*signal idx*/,
+                                  double /*epsilon scale*/>;
+
+class FilterInvariantTest : public ::testing::TestWithParam<InvariantParam> {
+ protected:
+  static const std::vector<NamedSignal>& Signals() {
+    static const auto* signals = new std::vector<NamedSignal>(TestSignals());
+    return *signals;
+  }
+};
+
+TEST_P(FilterInvariantTest, PrecisionGuaranteeAndChainValidity) {
+  const auto [kind, signal_idx, eps_scale] = GetParam();
+  const NamedSignal& named = Signals()[signal_idx];
+  const size_t d = named.signal.dimensions();
+
+  // ε as a fraction of each dimension's range (the paper's precision-width
+  // parameterization); degenerate ranges fall back to an absolute value.
+  FilterOptions options;
+  options.epsilon.resize(d);
+  for (size_t i = 0; i < d; ++i) {
+    const double range = named.signal.Range(i);
+    options.epsilon[i] = range > 0.0 ? range * eps_scale : eps_scale;
+  }
+
+  const auto result = RunFilter(kind, options, named.signal,
+                                /*verify_precision=*/false);
+  ASSERT_TRUE(result.ok()) << FilterKindName(kind) << " on " << named.name
+                           << ": " << result.status().ToString();
+
+  // Structural invariants.
+  ASSERT_TRUE(ValidateSegmentChain(result->segments).ok())
+      << FilterKindName(kind) << " on " << named.name;
+  ASSERT_FALSE(result->segments.empty());
+
+  // The paper's L-infinity guarantee.
+  const auto approx = PiecewiseLinearFunction::Make(result->segments);
+  ASSERT_TRUE(approx.ok());
+  const Status precision =
+      VerifyPrecision(named.signal, *approx, options.epsilon);
+  EXPECT_TRUE(precision.ok())
+      << FilterKindName(kind) << " on " << named.name << " eps_scale "
+      << eps_scale << ": " << precision.ToString();
+
+  // Compression is at least 1 recording and at most one recording pair per
+  // point (sanity of the cost model).
+  EXPECT_GE(result->compression.recordings, 1u);
+  EXPECT_LE(result->compression.recordings, 2 * named.signal.size());
+
+  // The average error can never exceed the max error, which in turn obeys
+  // the per-dimension epsilon (within numerical slack covered above).
+  for (size_t i = 0; i < d; ++i) {
+    EXPECT_LE(result->error.avg_error[i], result->error.max_error[i] + 1e-12);
+  }
+}
+
+std::string InvariantParamName(
+    const ::testing::TestParamInfo<InvariantParam>& info) {
+  const auto [kind, signal_idx, eps_scale] = info.param;
+  std::string name(FilterKindName(kind));
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  name += "_sig" + std::to_string(signal_idx);
+  name += "_eps";
+  // 0.001 -> "0p001"
+  std::string eps = std::to_string(eps_scale);
+  eps.erase(eps.find_last_not_of('0') + 1);
+  for (char& c : eps) {
+    if (c == '.') c = 'p';
+  }
+  name += eps;
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFiltersAllSignals, FilterInvariantTest,
+    ::testing::Combine(
+        ::testing::Values(FilterKind::kCache, FilterKind::kCacheMidrange,
+                          FilterKind::kCacheMean, FilterKind::kLinear,
+                          FilterKind::kLinearDisconnected, FilterKind::kSwing,
+                          FilterKind::kSlide, FilterKind::kSlideNonOptimized,
+                          FilterKind::kSlideChainBinary),
+        ::testing::Range<size_t>(0, 11),
+        ::testing::Values(0.001, 0.01, 0.05, 0.25)),
+    InvariantParamName);
+
+// ---------------------------------------------------------------------------
+// Slide-specific equivalences: the three hull strategies are the same
+// algorithm and must produce the same approximation.
+// ---------------------------------------------------------------------------
+
+class SlideEquivalenceTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SlideEquivalenceTest, HullStrategiesProduceIdenticalSegments) {
+  const auto& signals = TestSignals();
+  const NamedSignal& named = signals[GetParam()];
+  const size_t d = named.signal.dimensions();
+  FilterOptions options;
+  options.epsilon.resize(d);
+  for (size_t i = 0; i < d; ++i) {
+    const double range = named.signal.Range(i);
+    options.epsilon[i] = range > 0.0 ? range * 0.02 : 0.02;
+  }
+
+  auto run = [&](SlideHullMode mode) {
+    auto filter = SlideFilter::Create(options, mode).value();
+    for (const DataPoint& p : named.signal.points) {
+      EXPECT_TRUE(filter->Append(p).ok());
+    }
+    EXPECT_TRUE(filter->Finish().ok());
+    return filter->TakeSegments();
+  };
+
+  const auto hull_segments = run(SlideHullMode::kConvexHull);
+  const auto brute_segments = run(SlideHullMode::kAllPoints);
+  const auto binary_segments = run(SlideHullMode::kChainBinary);
+
+  auto expect_same = [&](const std::vector<Segment>& a,
+                         const std::vector<Segment>& b, const char* label) {
+    ASSERT_EQ(a.size(), b.size()) << label << " on " << named.name;
+    for (size_t k = 0; k < a.size(); ++k) {
+      EXPECT_NEAR(a[k].t_start, b[k].t_start, 1e-9) << label << " seg " << k;
+      EXPECT_NEAR(a[k].t_end, b[k].t_end, 1e-9) << label << " seg " << k;
+      EXPECT_EQ(a[k].connected_to_prev, b[k].connected_to_prev)
+          << label << " seg " << k;
+      for (size_t i = 0; i < d; ++i) {
+        EXPECT_NEAR(a[k].x_start[i], b[k].x_start[i], 1e-9)
+            << label << " seg " << k;
+        EXPECT_NEAR(a[k].x_end[i], b[k].x_end[i], 1e-9)
+            << label << " seg " << k;
+      }
+    }
+  };
+  expect_same(hull_segments, brute_segments, "hull-vs-brute");
+  expect_same(hull_segments, binary_segments, "hull-vs-binary");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSignals, SlideEquivalenceTest,
+                         ::testing::Range<size_t>(0, 11));
+
+// ---------------------------------------------------------------------------
+// Ordering of compression power on linear-friendly signals (the paper's
+// headline claim, tested where it is deterministic).
+// ---------------------------------------------------------------------------
+
+TEST(FilterOrderingTest, SwingAndSlideBeatLinearOnSmoothWalks) {
+  RandomWalkOptions o;
+  o.count = 4000;
+  o.decrease_probability = 0.3;
+  o.max_delta = 2.0;
+  o.seed = 11;
+  const Signal signal = *GenerateRandomWalk(o);
+  const FilterOptions options = FilterOptions::Scalar(signal.Range(0) * 0.01);
+
+  const auto linear = *RunFilter(FilterKind::kLinear, options, signal);
+  const auto swing = *RunFilter(FilterKind::kSwing, options, signal);
+  const auto slide = *RunFilter(FilterKind::kSlide, options, signal);
+
+  EXPECT_GT(swing.compression.ratio, linear.compression.ratio);
+  EXPECT_GT(slide.compression.ratio, linear.compression.ratio);
+  EXPECT_GE(slide.compression.ratio, swing.compression.ratio * 0.95);
+}
+
+TEST(FilterOrderingTest, PerfectLineCompressesToOneSegment) {
+  const Signal signal = *GenerateLine(1000, 1.0, 0.25);
+  const FilterOptions options = FilterOptions::Scalar(0.5);
+  for (const FilterKind kind :
+       {FilterKind::kLinear, FilterKind::kLinearDisconnected,
+        FilterKind::kSwing, FilterKind::kSlide}) {
+    const auto result = *RunFilter(kind, options, signal);
+    EXPECT_EQ(result.segments.size(), 1u) << FilterKindName(kind);
+    EXPECT_NEAR(result.error.max_error_overall, 0.0, 1e-9)
+        << FilterKindName(kind);
+  }
+}
+
+TEST(FilterOrderingTest, ZeroEpsilonStillMergesCollinearRuns) {
+  const Signal signal = *GenerateLine(500, -3.0, 1.5);
+  const FilterOptions options = FilterOptions::Scalar(0.0);
+  for (const FilterKind kind : {FilterKind::kLinear, FilterKind::kSwing,
+                                FilterKind::kSlide}) {
+    const auto result = *RunFilter(kind, options, signal);
+    EXPECT_EQ(result.segments.size(), 1u) << FilterKindName(kind);
+    EXPECT_NEAR(result.error.max_error_overall, 0.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace plastream

@@ -1,0 +1,301 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Unit and property tests for src/geometry: lines, incremental convex
+// hulls, and extreme-slope tangent searches.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geometry/convex_hull.h"
+#include "geometry/line.h"
+#include "geometry/point.h"
+#include "geometry/tangent.h"
+
+namespace plastream {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Cross / Line
+// ---------------------------------------------------------------------------
+
+TEST(CrossTest, SignMatchesTurnDirection) {
+  const Point2 o{0, 0}, a{1, 0};
+  EXPECT_GT(Cross(o, a, Point2{1, 1}), 0.0);   // counter-clockwise
+  EXPECT_LT(Cross(o, a, Point2{1, -1}), 0.0);  // clockwise
+  EXPECT_DOUBLE_EQ(Cross(o, a, Point2{2, 0}), 0.0);  // collinear
+}
+
+TEST(LineTest, ThroughTwoPoints) {
+  const auto line = Line::Through(Point2{0, 1}, Point2{2, 5});
+  ASSERT_TRUE(line.has_value());
+  EXPECT_DOUBLE_EQ(line->slope(), 2.0);
+  EXPECT_DOUBLE_EQ(line->ValueAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(line->ValueAt(3), 7.0);
+}
+
+TEST(LineTest, ThroughRejectsVertical) {
+  EXPECT_FALSE(Line::Through(Point2{1, 0}, Point2{1, 5}).has_value());
+}
+
+TEST(LineTest, IntersectionTime) {
+  const Line a(Point2{0, 0}, 1.0);
+  const Line b(Point2{0, 4}, -1.0);
+  const auto t = a.IntersectionTime(b);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(*t, 2.0);
+  EXPECT_DOUBLE_EQ(a.ValueAt(*t), b.ValueAt(*t));
+}
+
+TEST(LineTest, ParallelLinesDoNotIntersect) {
+  const Line a(Point2{0, 0}, 0.5);
+  const Line b(Point2{0, 1}, 0.5);
+  EXPECT_FALSE(a.IntersectionTime(b).has_value());
+  EXPECT_FALSE(a.IntersectionTime(a).has_value());
+}
+
+TEST(LineTest, VerticalOffsetSign) {
+  const Line line(Point2{0, 0}, 1.0);
+  EXPECT_GT(line.VerticalOffset(Point2{1, 2}), 0.0);
+  EXPECT_LT(line.VerticalOffset(Point2{1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(line.VerticalOffset(Point2{3, 3}), 0.0);
+}
+
+TEST(LineTest, AnchoredAtPreservesGraph) {
+  const Line line(Point2{10, 3}, -0.25);
+  const Line moved = line.AnchoredAt(42.0);
+  for (double t : {-5.0, 0.0, 17.5, 100.0}) {
+    EXPECT_DOUBLE_EQ(line.ValueAt(t), moved.ValueAt(t));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalHull
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalHullTest, EmptyAndSinglePoint) {
+  IncrementalHull hull;
+  EXPECT_TRUE(hull.empty());
+  EXPECT_EQ(hull.vertex_count(), 0u);
+  hull.Add(Point2{1, 2});
+  EXPECT_EQ(hull.point_count(), 1u);
+  EXPECT_EQ(hull.vertex_count(), 1u);
+  EXPECT_EQ(hull.upper().size(), 1u);
+  EXPECT_EQ(hull.lower().size(), 1u);
+}
+
+TEST(IncrementalHullTest, CollinearPointsCollapse) {
+  IncrementalHull hull;
+  for (int i = 0; i < 10; ++i) hull.Add(Point2{double(i), 2.0 * i});
+  EXPECT_EQ(hull.upper().size(), 2u);
+  EXPECT_EQ(hull.lower().size(), 2u);
+  EXPECT_EQ(hull.vertex_count(), 2u);
+}
+
+TEST(IncrementalHullTest, VShapeKeepsMiddleOnLowerChainOnly) {
+  IncrementalHull hull;
+  hull.Add(Point2{0, 1});
+  hull.Add(Point2{1, 0});
+  hull.Add(Point2{2, 1});
+  EXPECT_EQ(hull.upper().size(), 2u);  // middle dips below the chord
+  EXPECT_EQ(hull.lower().size(), 3u);
+  EXPECT_EQ(hull.vertex_count(), 3u);
+}
+
+TEST(IncrementalHullTest, ClearResets) {
+  IncrementalHull hull;
+  hull.Add(Point2{0, 0});
+  hull.Add(Point2{1, 1});
+  hull.Clear();
+  EXPECT_TRUE(hull.empty());
+  EXPECT_EQ(hull.vertex_count(), 0u);
+}
+
+TEST(IncrementalHullTest, ForEachVertexVisitsDistinctVertices) {
+  IncrementalHull hull;
+  hull.Add(Point2{0, 0});
+  hull.Add(Point2{1, 3});
+  hull.Add(Point2{2, -1});
+  hull.Add(Point2{3, 0});
+  size_t visited = 0;
+  hull.ForEachVertex([&](const Point2&) { ++visited; });
+  EXPECT_EQ(visited, hull.vertex_count());
+}
+
+// Property: the incremental hull equals the batch reference construction,
+// and every input point lies inside (or on) the hull band.
+TEST(IncrementalHullTest, PropertyMatchesBatchReference) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    IncrementalHull hull;
+    std::vector<Point2> points;
+    const int n = 2 + static_cast<int>(rng.UniformInt(200));
+    double t = 0.0;
+    for (int i = 0; i < n; ++i) {
+      t += rng.Uniform(0.1, 2.0);
+      points.push_back(Point2{t, rng.Uniform(-50.0, 50.0)});
+      hull.Add(points.back());
+    }
+    const HullChains reference = BuildHullChains(points);
+    ASSERT_EQ(hull.upper().size(), reference.upper.size()) << "trial " << trial;
+    ASSERT_EQ(hull.lower().size(), reference.lower.size()) << "trial " << trial;
+    for (size_t i = 0; i < reference.upper.size(); ++i) {
+      EXPECT_EQ(hull.upper()[i], reference.upper[i]);
+    }
+    for (size_t i = 0; i < reference.lower.size(); ++i) {
+      EXPECT_EQ(hull.lower()[i], reference.lower[i]);
+    }
+  }
+}
+
+// Property: chain convexity — upper chain turns clockwise, lower chain
+// counter-clockwise, both strictly.
+TEST(IncrementalHullTest, PropertyChainsAreStrictlyConvex) {
+  Rng rng(123);
+  for (int trial = 0; trial < 30; ++trial) {
+    IncrementalHull hull;
+    double t = 0.0;
+    const int n = 3 + static_cast<int>(rng.UniformInt(300));
+    for (int i = 0; i < n; ++i) {
+      t += 1.0;
+      hull.Add(Point2{t, rng.Uniform(0.0, 10.0)});
+    }
+    const auto upper = hull.upper();
+    for (size_t i = 2; i < upper.size(); ++i) {
+      EXPECT_LT(Cross(upper[i - 2], upper[i - 1], upper[i]), 0.0);
+    }
+    const auto lower = hull.lower();
+    for (size_t i = 2; i < lower.size(); ++i) {
+      EXPECT_GT(Cross(lower[i - 2], lower[i - 1], lower[i]), 0.0);
+    }
+  }
+}
+
+// Property: all points lie on or below the upper chain and on or above the
+// lower chain (piecewise evaluation).
+TEST(IncrementalHullTest, PropertyChainsBoundAllPoints) {
+  Rng rng(321);
+  IncrementalHull hull;
+  std::vector<Point2> points;
+  double t = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    t += rng.Uniform(0.5, 1.5);
+    points.push_back(Point2{t, rng.Uniform(-5.0, 5.0)});
+    hull.Add(points.back());
+  }
+  auto chain_value_at = [](std::span<const Point2> chain, double time) {
+    // Linear interpolation between adjacent chain vertices.
+    for (size_t i = 1; i < chain.size(); ++i) {
+      if (time <= chain[i].t) {
+        const auto line = Line::Through(chain[i - 1], chain[i]);
+        return line->ValueAt(time);
+      }
+    }
+    return chain.back().x;
+  };
+  for (const Point2& p : points) {
+    EXPECT_LE(p.x, chain_value_at(hull.upper(), p.t) + 1e-9);
+    EXPECT_GE(p.x, chain_value_at(hull.lower(), p.t) - 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tangent search
+// ---------------------------------------------------------------------------
+
+TEST(TangentTest, PivotMustBeLaterThanVertices) {
+  const std::vector<Point2> points{{0, 0}, {1, 1}};
+  const auto result =
+      ExtremeSlopeOverPoints(points, Point2{0.5, 5}, 0.0, /*minimize=*/true);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.vertex, (Point2{0, 0}));  // only the earlier point counts
+}
+
+TEST(TangentTest, NoEligibleVertices) {
+  const std::vector<Point2> points{{2, 0}, {3, 1}};
+  const auto result =
+      ExtremeSlopeOverPoints(points, Point2{1, 5}, 0.0, /*minimize=*/true);
+  EXPECT_FALSE(result.found);
+}
+
+TEST(TangentTest, MinimizeAndMaximizePickOpposites) {
+  const std::vector<Point2> points{{0, 0}, {1, 4}};
+  const Point2 pivot{2, 2};
+  const auto lo = ExtremeSlopeOverPoints(points, pivot, 0.0, true);
+  const auto hi = ExtremeSlopeOverPoints(points, pivot, 0.0, false);
+  ASSERT_TRUE(lo.found);
+  ASSERT_TRUE(hi.found);
+  EXPECT_DOUBLE_EQ(lo.slope, -2.0);  // through (1,4)
+  EXPECT_DOUBLE_EQ(hi.slope, 1.0);   // through (0,0)
+}
+
+TEST(TangentTest, VertexOffsetShiftsCandidates) {
+  const std::vector<Point2> points{{0, 0}};
+  const Point2 pivot{1, 0};
+  const auto r = ExtremeSlopeOverPoints(points, pivot, 0.5, true);
+  ASSERT_TRUE(r.found);
+  EXPECT_DOUBLE_EQ(r.slope, -0.5);  // through (0, 0.5) and (1, 0)
+}
+
+// Property: hull-restricted search returns the same extreme slope as the
+// brute-force all-points search (Lemma 4.3).
+TEST(TangentTest, PropertyHullSearchEqualsBruteForce) {
+  Rng rng(77);
+  for (int trial = 0; trial < 60; ++trial) {
+    IncrementalHull hull;
+    std::vector<Point2> points;
+    double t = 0.0;
+    const int n = 2 + static_cast<int>(rng.UniformInt(150));
+    for (int i = 0; i < n; ++i) {
+      t += rng.Uniform(0.2, 1.2);
+      points.push_back(Point2{t, rng.Uniform(-10.0, 10.0)});
+      hull.Add(points.back());
+    }
+    const Point2 pivot{t + rng.Uniform(0.2, 1.0), rng.Uniform(-10.0, 10.0)};
+    for (const bool minimize : {true, false}) {
+      const double offset = minimize ? -0.5 : 0.5;
+      const auto brute =
+          ExtremeSlopeOverPoints(points, pivot, offset, minimize);
+      const auto hulled = ExtremeSlopeOverHull(hull, pivot, offset, minimize);
+      ASSERT_TRUE(brute.found);
+      ASSERT_TRUE(hulled.found);
+      EXPECT_NEAR(brute.slope, hulled.slope, 1e-12) << "trial " << trial;
+    }
+  }
+}
+
+// Property: the ternary-search over the correct chain matches brute force.
+// u-updates (minimize) touch the upper chain, l-updates the lower chain.
+TEST(TangentTest, PropertyBinarySearchEqualsBruteForce) {
+  Rng rng(78);
+  for (int trial = 0; trial < 60; ++trial) {
+    IncrementalHull hull;
+    std::vector<Point2> points;
+    double t = 0.0;
+    const int n = 2 + static_cast<int>(rng.UniformInt(400));
+    for (int i = 0; i < n; ++i) {
+      t += rng.Uniform(0.2, 1.2);
+      points.push_back(Point2{t, rng.Uniform(-10.0, 10.0)});
+      hull.Add(points.back());
+    }
+    const Point2 pivot{t + rng.Uniform(0.2, 1.0), rng.Uniform(-10.0, 10.0)};
+    for (const bool minimize : {true, false}) {
+      const double offset = minimize ? -0.5 : 0.5;
+      const auto brute =
+          ExtremeSlopeOverPoints(points, pivot, offset, minimize);
+      const auto chain = minimize ? hull.upper() : hull.lower();
+      const auto binary =
+          ExtremeSlopeOverChainBinary(chain, pivot, offset, minimize);
+      ASSERT_TRUE(brute.found);
+      ASSERT_TRUE(binary.found);
+      EXPECT_NEAR(brute.slope, binary.slope, 1e-12)
+          << "trial " << trial << " minimize " << minimize;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace plastream

@@ -1,0 +1,123 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Unit tests for CSV persistence of signals and segments.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "datagen/random_walk.h"
+#include "io/csv.h"
+
+namespace plastream {
+namespace {
+
+TEST(CsvTest, SignalRoundTripPreservesValuesExactly) {
+  RandomWalkOptions o;
+  o.count = 200;
+  o.max_delta = 3.7;
+  o.t0 = 1e9;  // large timestamps must survive the round trip
+  o.dt = 0.1;
+  const Signal original = *GenerateRandomWalk(o);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteSignalCsv(buffer, original).ok());
+  const auto restored = ReadSignalCsv(buffer);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->size(), original.size());
+  for (size_t j = 0; j < original.size(); ++j) {
+    EXPECT_EQ(restored->points[j], original.points[j]) << "row " << j;
+  }
+}
+
+TEST(CsvTest, MultiDimensionalSignalRoundTrip) {
+  Signal s;
+  s.points = {DataPoint(0, {1.0, -2.5, 3.25}), DataPoint(1, {4.0, 5.0, 6.0})};
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteSignalCsv(buffer, s).ok());
+  EXPECT_NE(buffer.str().find("t,x1,x2,x3"), std::string::npos);
+  const auto restored = ReadSignalCsv(buffer);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->dimensions(), 3u);
+  EXPECT_EQ(restored->points[1], s.points[1]);
+}
+
+TEST(CsvTest, ReadWithoutHeader) {
+  std::stringstream in("0,1.5\n1,2.5\n");
+  const auto signal = ReadSignalCsv(in);
+  ASSERT_TRUE(signal.ok());
+  EXPECT_EQ(signal->size(), 2u);
+  EXPECT_DOUBLE_EQ(signal->points[1].x[0], 2.5);
+}
+
+TEST(CsvTest, ReadSkipsBlankLines) {
+  std::stringstream in("t,x1\n0,1\n\n1,2\n\n");
+  const auto signal = ReadSignalCsv(in);
+  ASSERT_TRUE(signal.ok());
+  EXPECT_EQ(signal->size(), 2u);
+}
+
+TEST(CsvTest, ReadRejectsMalformedValue) {
+  std::stringstream in("t,x1\n0,abc\n");
+  EXPECT_EQ(ReadSignalCsv(in).status().code(), StatusCode::kCorruption);
+}
+
+TEST(CsvTest, ReadRejectsInconsistentColumns) {
+  std::stringstream in("t,x1\n0,1\n1,2,3\n");
+  EXPECT_EQ(ReadSignalCsv(in).status().code(), StatusCode::kCorruption);
+}
+
+TEST(CsvTest, ReadRejectsOutOfOrderTime) {
+  std::stringstream in("t,x1\n1,1\n0,2\n");
+  EXPECT_EQ(ReadSignalCsv(in).status().code(), StatusCode::kOutOfOrder);
+}
+
+TEST(CsvTest, SegmentsWriteIncludesConnectivity) {
+  Segment a;
+  a.t_start = 0;
+  a.t_end = 1;
+  a.x_start = {0.0};
+  a.x_end = {1.0};
+  Segment b = a;
+  b.t_start = 1;
+  b.t_end = 2;
+  b.x_start = {1.0};
+  b.x_end = {0.0};
+  b.connected_to_prev = true;
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteSegmentsCsv(buffer, {a, b}).ok());
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("t_start,t_end,connected,x_start1,x_end1"),
+            std::string::npos);
+  EXPECT_NE(text.find("\n0,1,0,"), std::string::npos);
+  EXPECT_NE(text.find("\n1,2,1,"), std::string::npos);
+}
+
+TEST(CsvTest, SegmentsWriteRejectsInvalidChain) {
+  Segment bad;
+  bad.t_start = 2;
+  bad.t_end = 1;
+  bad.x_start = {0.0};
+  bad.x_end = {0.0};
+  std::stringstream buffer;
+  EXPECT_EQ(WriteSegmentsCsv(buffer, {bad}).code(), StatusCode::kCorruption);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  RandomWalkOptions o;
+  o.count = 50;
+  const Signal original = *GenerateRandomWalk(o);
+  const std::string path = ::testing::TempDir() + "/plastream_io_test.csv";
+  ASSERT_TRUE(WriteSignalCsvFile(path, original).ok());
+  const auto restored = ReadSignalCsvFile(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), original.size());
+}
+
+TEST(CsvTest, MissingFileIsIOError) {
+  EXPECT_EQ(ReadSignalCsvFile("/nonexistent/path.csv").status().code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace plastream

@@ -1,0 +1,135 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Unit tests for the error-gated Kalman baseline ([15], Jain et al.).
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/kalman_filter.h"
+#include "core/reconstruction.h"
+#include "datagen/shapes.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+
+namespace plastream {
+namespace {
+
+std::unique_ptr<KalmanFilter> Make(double eps,
+                                   KalmanOptions kalman = KalmanOptions{}) {
+  return KalmanFilter::Create(FilterOptions::Scalar(eps), kalman).value();
+}
+
+std::vector<Segment> RunPoints(KalmanFilter* filter,
+                               const std::vector<DataPoint>& points) {
+  for (const DataPoint& p : points) EXPECT_TRUE(filter->Append(p).ok());
+  EXPECT_TRUE(filter->Finish().ok());
+  return filter->TakeSegments();
+}
+
+TEST(KalmanFilterTest, CreateValidatesNoiseParameters) {
+  KalmanOptions bad;
+  bad.process_noise = 0.0;
+  EXPECT_FALSE(KalmanFilter::Create(FilterOptions::Scalar(1.0), bad).ok());
+  bad = KalmanOptions{};
+  bad.measurement_noise = -1.0;
+  EXPECT_FALSE(KalmanFilter::Create(FilterOptions::Scalar(1.0), bad).ok());
+}
+
+TEST(KalmanFilterTest, ConstantSignalIsOneSegment) {
+  auto filter = Make(0.5);
+  std::vector<DataPoint> points;
+  for (int j = 0; j < 200; ++j) points.push_back(DataPoint::Scalar(j, 7.0));
+  const auto segments = RunPoints(filter.get(), points);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(segments[0].x_start[0], 7.0);
+  EXPECT_DOUBLE_EQ(segments[0].x_end[0], 7.0);
+}
+
+TEST(KalmanFilterTest, PrecisionGuaranteeOnNoisySine) {
+  Rng rng(81);
+  Signal signal;
+  for (int j = 0; j < 3000; ++j) {
+    const double v =
+        10.0 * std::sin(j * 0.02) + rng.Gaussian(0.0, 0.05);
+    signal.points.push_back(DataPoint::Scalar(j, v));
+  }
+  const double eps = 0.5;
+  auto filter = Make(eps);
+  for (const DataPoint& p : signal.points) {
+    ASSERT_TRUE(filter->Append(p).ok());
+  }
+  ASSERT_TRUE(filter->Finish().ok());
+  const auto segments = filter->TakeSegments();
+  ASSERT_TRUE(ValidateSegmentChain(segments).ok());
+  const auto approx = PiecewiseLinearFunction::Make(segments);
+  ASSERT_TRUE(approx.ok());
+  const std::vector<double> epsilon{eps};
+  EXPECT_TRUE(VerifyPrecision(signal, *approx, epsilon).ok());
+}
+
+TEST(KalmanFilterTest, ViolatingSampleLandsOnNewSegmentStart) {
+  auto filter = Make(0.1);
+  const auto segments = RunPoints(
+      filter.get(), {DataPoint::Scalar(0, 0), DataPoint::Scalar(1, 0),
+                     DataPoint::Scalar(2, 5), DataPoint::Scalar(3, 5)});
+  ASSERT_GE(segments.size(), 2u);
+  EXPECT_DOUBLE_EQ(segments[1].t_start, 2.0);
+  EXPECT_DOUBLE_EQ(segments[1].x_start[0], 5.0);  // pinned to measurement
+}
+
+TEST(KalmanFilterTest, VelocityLearningImprovesOverCacheBehavior) {
+  // A steady ramp: the first segment is flat (velocity prior 0), but after
+  // a few corrections the velocity estimate approaches the true slope and
+  // segments grow longer.
+  auto filter = Make(0.3);
+  std::vector<DataPoint> points;
+  for (int j = 0; j < 400; ++j) {
+    points.push_back(DataPoint::Scalar(j, 0.25 * j));
+  }
+  const auto segments = RunPoints(filter.get(), points);
+  ASSERT_GE(segments.size(), 2u);
+  const Segment& first = segments.front();
+  const Segment& last = segments.back();
+  EXPECT_GT(last.t_end - last.t_start, first.t_end - first.t_start);
+  // The learned slope of the last stretch is near the true 0.25.
+  const double slope = (last.x_end[0] - last.x_start[0]) /
+                       (last.t_end - last.t_start);
+  EXPECT_NEAR(slope, 0.25, 0.05);
+}
+
+TEST(KalmanFilterTest, MultiDimensionalGating) {
+  auto filter =
+      KalmanFilter::Create(FilterOptions::Uniform(2, 0.5)).value();
+  std::vector<DataPoint> points{DataPoint(0, {0.0, 0.0}),
+                                DataPoint(1, {0.1, 0.1}),
+                                DataPoint(2, {0.2, 9.0})};  // dim 1 breaks
+  for (const DataPoint& p : points) ASSERT_TRUE(filter->Append(p).ok());
+  ASSERT_TRUE(filter->Finish().ok());
+  EXPECT_EQ(filter->TakeSegments().size(), 2u);
+}
+
+TEST(KalmanFilterTest, RunnerIntegration) {
+  const Signal line = *GenerateLine(500, 1.0, 0.1);
+  const auto run =
+      RunFilter(FilterKind::kKalman, FilterOptions::Scalar(0.5), line);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_GT(run->compression.ratio, 1.0);
+}
+
+TEST(KalmanFilterTest, EmptyAndSinglePoint) {
+  auto filter = Make(1.0);
+  ASSERT_TRUE(filter->Finish().ok());
+  EXPECT_TRUE(filter->TakeSegments().empty());
+  auto filter2 = Make(1.0);
+  ASSERT_TRUE(filter2->Append(DataPoint::Scalar(3, 4)).ok());
+  ASSERT_TRUE(filter2->Finish().ok());
+  const auto segments = filter2->TakeSegments();
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_TRUE(segments[0].IsPoint());
+}
+
+}  // namespace
+}  // namespace plastream

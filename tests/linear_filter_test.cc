@@ -1,0 +1,160 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Unit tests for the linear filter (Section 2.2 baseline), connected and
+// disconnected modes.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/linear_filter.h"
+
+namespace plastream {
+namespace {
+
+std::unique_ptr<LinearFilter> Make(double eps,
+                                   LinearMode mode = LinearMode::kConnected) {
+  return LinearFilter::Create(FilterOptions::Scalar(eps), mode).value();
+}
+
+std::vector<Segment> RunPoints(LinearFilter* filter,
+                         const std::vector<DataPoint>& points) {
+  for (const DataPoint& p : points) EXPECT_TRUE(filter->Append(p).ok());
+  EXPECT_TRUE(filter->Finish().ok());
+  return filter->TakeSegments();
+}
+
+TEST(LinearFilterTest, SlopeDefinedByFirstTwoPoints) {
+  auto filter = Make(0.5);
+  // Line through (0,0),(1,2) has slope 2; (2,4) and (3,6) lie on it.
+  const auto segments = RunPoints(
+      filter.get(), {DataPoint::Scalar(0, 0), DataPoint::Scalar(1, 2),
+                     DataPoint::Scalar(2, 4), DataPoint::Scalar(3, 6)});
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(segments[0].x_end[0], 6.0);
+}
+
+TEST(LinearFilterTest, ViolationTerminatesAtPrediction) {
+  auto filter = Make(0.5);
+  // Line slope 2 predicts 4 at t=2; actual 4.4 is within eps. At t=3 the
+  // prediction is 6 and actual 8 violates; the segment must end at the
+  // *predicted* value for t=2, which is 4 (not the observed 4.4).
+  const auto segments = RunPoints(
+      filter.get(), {DataPoint::Scalar(0, 0), DataPoint::Scalar(1, 2),
+                     DataPoint::Scalar(2, 4.4), DataPoint::Scalar(3, 8)});
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_DOUBLE_EQ(segments[0].t_end, 2.0);
+  EXPECT_DOUBLE_EQ(segments[0].x_end[0], 4.0);
+}
+
+TEST(LinearFilterTest, ConnectedModeSharesEndpoints) {
+  auto filter = Make(0.25);
+  const auto segments = RunPoints(
+      filter.get(), {DataPoint::Scalar(0, 0), DataPoint::Scalar(1, 1),
+                     DataPoint::Scalar(2, 5), DataPoint::Scalar(3, 9)});
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_FALSE(segments[0].connected_to_prev);
+  EXPECT_TRUE(segments[1].connected_to_prev);
+  EXPECT_DOUBLE_EQ(segments[1].t_start, segments[0].t_end);
+  EXPECT_DOUBLE_EQ(segments[1].x_start[0], segments[0].x_end[0]);
+  // The new segment's line runs through the violating point (2,5).
+  EXPECT_DOUBLE_EQ(segments[1].ValueAt(2.0, 0), 5.0);
+}
+
+TEST(LinearFilterTest, DisconnectedModeRestartsFromViolatingPoint) {
+  auto filter = Make(0.25, LinearMode::kDisconnected);
+  const auto segments = RunPoints(
+      filter.get(), {DataPoint::Scalar(0, 0), DataPoint::Scalar(1, 1),
+                     DataPoint::Scalar(2, 5), DataPoint::Scalar(3, 9)});
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_FALSE(segments[1].connected_to_prev);
+  EXPECT_DOUBLE_EQ(segments[1].t_start, 2.0);
+  EXPECT_DOUBLE_EQ(segments[1].x_start[0], 5.0);
+  EXPECT_DOUBLE_EQ(segments[1].x_end[0], 9.0);
+}
+
+TEST(LinearFilterTest, DisconnectedSegmentsNeverShareTimes) {
+  auto filter = Make(0.1, LinearMode::kDisconnected);
+  std::vector<DataPoint> points;
+  for (int j = 0; j < 60; ++j) {
+    points.push_back(DataPoint::Scalar(j, (j % 6) * 3.0));
+  }
+  const auto segments = RunPoints(filter.get(), points);
+  ASSERT_GT(segments.size(), 1u);
+  for (size_t k = 1; k < segments.size(); ++k) {
+    EXPECT_GT(segments[k].t_start, segments[k - 1].t_end);
+  }
+}
+
+TEST(LinearFilterTest, ExactEpsilonBoundaryIsAccepted) {
+  auto filter = Make(1.0);
+  // Prediction at t=2 is 0; value 1.0 == ε, accepted.
+  const auto segments = RunPoints(
+      filter.get(), {DataPoint::Scalar(0, 0), DataPoint::Scalar(1, 0),
+                     DataPoint::Scalar(2, 1.0)});
+  EXPECT_EQ(segments.size(), 1u);
+}
+
+TEST(LinearFilterTest, SinglePointStreamIsPointSegment) {
+  auto filter = Make(1.0);
+  const auto segments = RunPoints(filter.get(), {DataPoint::Scalar(4, 2)});
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_TRUE(segments[0].IsPoint());
+  EXPECT_DOUBLE_EQ(segments[0].x_start[0], 2.0);
+}
+
+TEST(LinearFilterTest, TwoPointStreamIsOneSegment) {
+  auto filter = Make(1.0);
+  const auto segments =
+      RunPoints(filter.get(), {DataPoint::Scalar(0, 1), DataPoint::Scalar(1, 9)});
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(segments[0].x_end[0], 9.0);
+}
+
+TEST(LinearFilterTest, MultiDimensionalAllDimensionsMustFit) {
+  auto filter =
+      LinearFilter::Create(FilterOptions::Uniform(2, 0.5)).value();
+  // Dim 0 follows slope 1, dim 1 follows slope -1; the third point matches
+  // dim 0 but breaks dim 1.
+  const auto segments = RunPoints(
+      filter.get(),
+      {DataPoint(0, {0.0, 0.0}), DataPoint(1, {1.0, -1.0}),
+       DataPoint(2, {2.0, 3.0})});
+  EXPECT_EQ(segments.size(), 2u);
+}
+
+TEST(LinearFilterTest, NonUniformTimestamps) {
+  auto filter = Make(0.5);
+  // Slope (10-0)/(5-0) = 2 predicts 14 at t=7; 14.2 within eps.
+  const auto segments = RunPoints(
+      filter.get(), {DataPoint::Scalar(0, 0), DataPoint::Scalar(5, 10),
+                     DataPoint::Scalar(7, 14.2)});
+  EXPECT_EQ(segments.size(), 1u);
+}
+
+TEST(LinearFilterTest, OutOfOrderTimestampRejected) {
+  auto filter = Make(0.5);
+  EXPECT_TRUE(filter->Append(DataPoint::Scalar(1, 0)).ok());
+  EXPECT_EQ(filter->Append(DataPoint::Scalar(1, 1)).code(),
+            StatusCode::kOutOfOrder);
+  EXPECT_EQ(filter->Append(DataPoint::Scalar(0, 1)).code(),
+            StatusCode::kOutOfOrder);
+  // The filter remains usable with a corrected timestamp.
+  EXPECT_TRUE(filter->Append(DataPoint::Scalar(2, 1)).ok());
+}
+
+TEST(LinearFilterTest, ConnectedChainHasOneDisconnectedStart) {
+  auto filter = Make(0.1);
+  std::vector<DataPoint> points;
+  for (int j = 0; j < 80; ++j) {
+    points.push_back(DataPoint::Scalar(j, (j % 8) * 2.0));
+  }
+  const auto segments = RunPoints(filter.get(), points);
+  ASSERT_GT(segments.size(), 2u);
+  size_t disconnected = 0;
+  for (const Segment& seg : segments) disconnected += !seg.connected_to_prev;
+  EXPECT_EQ(disconnected, 1u);
+}
+
+}  // namespace
+}  // namespace plastream

@@ -1,0 +1,201 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Tests for the m_max_lag bound (paper Sections 3.3 / 4.3): the transmitter
+// must never run more than max_lag points ahead of the receiver's
+// knowledge, the ε guarantee must survive freezing, and compression should
+// degrade gracefully as the bound tightens.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/reconstruction.h"
+#include "core/slide_filter.h"
+#include "core/swing_filter.h"
+#include "datagen/random_walk.h"
+#include "datagen/sea_surface.h"
+#include "eval/metrics.h"
+
+namespace plastream {
+namespace {
+
+Signal SmoothWalk(size_t n, uint64_t seed) {
+  RandomWalkOptions o;
+  o.count = n;
+  o.decrease_probability = 0.35;
+  o.max_delta = 0.4;  // gentle: long filtering intervals without a bound
+  o.seed = seed;
+  return *GenerateRandomWalk(o);
+}
+
+template <typename FilterT>
+void ExpectLagBounded(FilterT* filter, const Signal& signal, size_t max_lag) {
+  size_t worst = 0;
+  for (const DataPoint& p : signal.points) {
+    ASSERT_TRUE(filter->Append(p).ok());
+    worst = std::max(worst, filter->unreported_points());
+  }
+  ASSERT_TRUE(filter->Finish().ok());
+  EXPECT_LE(worst, max_lag) << "lag bound exceeded";
+}
+
+TEST(MaxLagTest, SwingLagStaysBounded) {
+  const Signal signal = SmoothWalk(5000, 41);
+  FilterOptions options = FilterOptions::Scalar(5.0);
+  options.max_lag = 16;
+  auto filter = SwingFilter::Create(options).value();
+  ExpectLagBounded(filter.get(), signal, 16);
+}
+
+TEST(MaxLagTest, SlideLagStaysBounded) {
+  const Signal signal = SmoothWalk(5000, 42);
+  FilterOptions options = FilterOptions::Scalar(5.0);
+  options.max_lag = 16;
+  auto filter = SlideFilter::Create(options).value();
+  ExpectLagBounded(filter.get(), signal, 16);
+}
+
+TEST(MaxLagTest, WithoutBoundLagGrows) {
+  const Signal signal = SmoothWalk(5000, 43);
+  auto filter = SwingFilter::Create(FilterOptions::Scalar(5.0)).value();
+  size_t worst = 0;
+  for (const DataPoint& p : signal.points) {
+    ASSERT_TRUE(filter->Append(p).ok());
+    worst = std::max(worst, filter->unreported_points());
+  }
+  ASSERT_TRUE(filter->Finish().ok());
+  EXPECT_GT(worst, 64u);  // the wide band would buffer long intervals
+}
+
+TEST(MaxLagTest, SwingPrecisionSurvivesFreezing) {
+  const Signal signal = SmoothWalk(4000, 44);
+  for (const size_t max_lag : {4u, 8u, 32u, 128u}) {
+    FilterOptions options = FilterOptions::Scalar(1.0);
+    options.max_lag = max_lag;
+    auto filter = SwingFilter::Create(options).value();
+    for (const DataPoint& p : signal.points) {
+      ASSERT_TRUE(filter->Append(p).ok());
+    }
+    ASSERT_TRUE(filter->Finish().ok());
+    const auto approx =
+        PiecewiseLinearFunction::Make(filter->TakeSegments());
+    ASSERT_TRUE(approx.ok());
+    EXPECT_TRUE(
+        VerifyPrecision(signal, *approx, options.epsilon).ok())
+        << "max_lag " << max_lag;
+  }
+}
+
+TEST(MaxLagTest, SlidePrecisionSurvivesFreezing) {
+  const Signal walk = SmoothWalk(4000, 45);
+  const Signal sst = *GenerateSeaSurfaceTemperature({});
+  for (const Signal* signal : {&walk, &sst}) {
+    for (const size_t max_lag : {4u, 8u, 32u, 128u}) {
+      FilterOptions options =
+          FilterOptions::Scalar(signal->Range(0) * 0.02);
+      options.max_lag = max_lag;
+      auto filter = SlideFilter::Create(options).value();
+      for (const DataPoint& p : signal->points) {
+        ASSERT_TRUE(filter->Append(p).ok());
+      }
+      ASSERT_TRUE(filter->Finish().ok());
+      const auto segments = filter->TakeSegments();
+      ASSERT_TRUE(ValidateSegmentChain(segments).ok()) << "lag " << max_lag;
+      const auto approx = PiecewiseLinearFunction::Make(segments);
+      ASSERT_TRUE(approx.ok());
+      EXPECT_TRUE(
+          VerifyPrecision(*signal, *approx, options.epsilon).ok())
+          << "max_lag " << max_lag;
+    }
+  }
+}
+
+TEST(MaxLagTest, FreezingChargesExtraRecordings) {
+  const Signal signal = SmoothWalk(3000, 46);
+  FilterOptions unbounded = FilterOptions::Scalar(5.0);
+  FilterOptions bounded = unbounded;
+  bounded.max_lag = 8;
+
+  auto free_filter = SwingFilter::Create(unbounded).value();
+  auto lag_filter = SwingFilter::Create(bounded).value();
+  for (const DataPoint& p : signal.points) {
+    ASSERT_TRUE(free_filter->Append(p).ok());
+    ASSERT_TRUE(lag_filter->Append(p).ok());
+  }
+  ASSERT_TRUE(free_filter->Finish().ok());
+  ASSERT_TRUE(lag_filter->Finish().ok());
+  EXPECT_EQ(free_filter->extra_recordings(), 0u);
+  EXPECT_GT(lag_filter->extra_recordings(), 0u);
+}
+
+TEST(MaxLagTest, TighterBoundNeverImprovesCompression) {
+  const Signal signal = SmoothWalk(4000, 47);
+  double prev_recordings = 0.0;
+  for (const size_t max_lag : {0u, 256u, 32u, 8u}) {  // loosest to tightest
+    FilterOptions options = FilterOptions::Scalar(2.0);
+    options.max_lag = max_lag;
+    auto filter = SwingFilter::Create(options).value();
+    for (const DataPoint& p : signal.points) {
+      ASSERT_TRUE(filter->Append(p).ok());
+    }
+    ASSERT_TRUE(filter->Finish().ok());
+    const auto segments = filter->TakeSegments();
+    const double recordings =
+        static_cast<double>(CountRecordings(
+            segments, RecordingCostModel::kPiecewiseLinear,
+            filter->extra_recordings()));
+    if (prev_recordings > 0.0) {
+      EXPECT_GE(recordings, prev_recordings * 0.95)
+          << "max_lag " << max_lag;
+    }
+    prev_recordings = recordings;
+  }
+}
+
+TEST(MaxLagTest, FrozenIntervalEndpointsLieOnCommittedLine) {
+  // Capture provisional lines via a sink and check the eventually-emitted
+  // segment end lies on the committed line (extension property the
+  // receiver relies on).
+  class CapturingSink : public SegmentSink {
+   public:
+    void OnSegment(const Segment& segment) override {
+      segments.push_back(segment);
+    }
+    void OnProvisionalLine(const ProvisionalLine& line) override {
+      lines.push_back(line);
+    }
+    std::vector<Segment> segments;
+    std::vector<ProvisionalLine> lines;
+  };
+
+  const Signal signal = SmoothWalk(2000, 48);
+  FilterOptions options = FilterOptions::Scalar(5.0);
+  options.max_lag = 12;
+  CapturingSink sink;
+  auto filter = SwingFilter::Create(options, &sink).value();
+  for (const DataPoint& p : signal.points) {
+    ASSERT_TRUE(filter->Append(p).ok());
+  }
+  ASSERT_TRUE(filter->Finish().ok());
+  ASSERT_GT(sink.lines.size(), 0u);
+
+  for (const ProvisionalLine& line : sink.lines) {
+    // Find the first segment ending at or after the commit anchor whose
+    // start is the anchor: swing commits lines through the segment start.
+    bool matched = false;
+    for (const Segment& seg : sink.segments) {
+      if (seg.t_start == line.t && seg.x_start[0] == line.x[0]) {
+        const double dt = seg.t_end - seg.t_start;
+        EXPECT_NEAR(seg.x_end[0], line.x[0] + line.slope[0] * dt, 1e-9);
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched) << "no segment matches provisional anchor";
+  }
+}
+
+}  // namespace
+}  // namespace plastream

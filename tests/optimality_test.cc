@@ -1,0 +1,219 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Optimality properties, checked against an independent exact oracle
+// (eval/chebyshev.h):
+//
+//  - The slide filter's filtering intervals are *maximal*: when the filter
+//    starts a new interval at point p, no line of any slope/intercept can
+//    represent the just-closed interval plus p within ε. This is the
+//    operational content of Lemmas 4.1-4.2 (u/l are the extreme feasible
+//    lines), verified without reusing any of the filter's geometry.
+//  - The swing filter is maximal within its class (lines through the
+//    pivot), verified via exact slope-interval intersection.
+//  - The minimax oracle itself is validated on closed forms first.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/slide_filter.h"
+#include "core/swing_filter.h"
+#include "datagen/random_walk.h"
+#include "datagen/sea_surface.h"
+#include "eval/chebyshev.h"
+
+namespace plastream {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Oracle self-tests
+// ---------------------------------------------------------------------------
+
+TEST(MinimaxFitTest, ExactLineHasZeroError) {
+  std::vector<Point2> points;
+  for (int j = 0; j < 20; ++j) points.push_back({double(j), 3.0 - 0.5 * j});
+  const MinimaxFit fit = MinimaxLinearFit(points);
+  EXPECT_NEAR(fit.max_error, 0.0, 1e-12);
+  EXPECT_NEAR(fit.slope, -0.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+}
+
+TEST(MinimaxFitTest, SymmetricVeeHasKnownError) {
+  // Points: (0,1), (1,0), (2,1): best line is horizontal at 0.5 with
+  // error 0.5.
+  const std::vector<Point2> points{{0, 1}, {1, 0}, {2, 1}};
+  const MinimaxFit fit = MinimaxLinearFit(points);
+  EXPECT_NEAR(fit.max_error, 0.5, 1e-12);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 0.5, 1e-12);
+}
+
+TEST(MinimaxFitTest, SinglePointAndPair) {
+  const std::vector<Point2> one{{5, 7}};
+  EXPECT_NEAR(MinimaxLinearFit(one).max_error, 0.0, 1e-12);
+  const std::vector<Point2> two{{0, 1}, {4, 9}};
+  EXPECT_NEAR(MinimaxLinearFit(two).max_error, 0.0, 1e-12);
+}
+
+TEST(MinimaxFitTest, OracleNeverBeatenByRandomLines) {
+  // The oracle's optimum must lower-bound every sampled line's error.
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Point2> points;
+    double t = 0.0;
+    for (int j = 0; j < 30; ++j) {
+      t += rng.Uniform(0.5, 1.5);
+      points.push_back({t, rng.Uniform(-5.0, 5.0)});
+    }
+    const MinimaxFit fit = MinimaxLinearFit(points);
+    for (int s = 0; s < 200; ++s) {
+      const double a = rng.Uniform(-10.0, 10.0);
+      const double b = rng.Uniform(-10.0, 10.0);
+      double err = 0.0;
+      for (const Point2& p : points) {
+        err = std::max(err, std::abs(p.x - (a * p.t + b)));
+      }
+      EXPECT_GE(err + 1e-9, fit.max_error);
+    }
+  }
+}
+
+TEST(MinimaxFitTest, HandlesDuplicateTimestamps) {
+  const std::vector<Point2> points{{0, 0}, {0, 2}, {1, 1}};
+  // Any line has error >= 1 at t=0; horizontal at 1 achieves it.
+  EXPECT_NEAR(MinimaxLinearFit(points).max_error, 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Slide interval maximality
+// ---------------------------------------------------------------------------
+
+// Replays a 1-d signal through a junction-disabled slide filter (so each
+// emitted segment spans exactly one filtering interval) and verifies with
+// the oracle that each interval is feasible and each interval extended by
+// its violating point is not.
+void CheckSlideMaximality(const Signal& signal, double eps) {
+  auto filter = SlideFilter::Create(FilterOptions::Scalar(eps),
+                                    SlideHullMode::kConvexHull, nullptr,
+                                    SlideJunctionPolicy::kDisabled)
+                    .value();
+  for (const DataPoint& p : signal.points) {
+    ASSERT_TRUE(filter->Append(p).ok());
+  }
+  ASSERT_TRUE(filter->Finish().ok());
+  const auto segments = filter->TakeSegments();
+
+  size_t next_point = 0;
+  for (size_t k = 0; k < segments.size(); ++k) {
+    std::vector<Point2> interval;
+    while (next_point < signal.size() &&
+           signal.points[next_point].t <= segments[k].t_end) {
+      interval.push_back(
+          {signal.points[next_point].t, signal.points[next_point].x[0]});
+      ++next_point;
+    }
+    ASSERT_FALSE(interval.empty()) << "segment " << k;
+    EXPECT_TRUE(LineFitExists(interval, eps))
+        << "segment " << k << " is infeasible?!";
+    if (next_point < signal.size()) {
+      interval.push_back(
+          {signal.points[next_point].t, signal.points[next_point].x[0]});
+      EXPECT_FALSE(LineFitExists(interval, eps, -1e-9))
+          << "segment " << k
+          << " closed although the violating point still fits: interval "
+             "not maximal";
+    }
+  }
+  EXPECT_EQ(next_point, signal.size());
+}
+
+TEST(SlideOptimalityTest, IntervalsMaximalOnOscillatingWalk) {
+  RandomWalkOptions o;
+  o.count = 1200;
+  o.decrease_probability = 0.5;
+  o.max_delta = 2.0;
+  o.seed = 71;
+  CheckSlideMaximality(*GenerateRandomWalk(o), 0.75);
+}
+
+TEST(SlideOptimalityTest, IntervalsMaximalOnSmoothWalk) {
+  RandomWalkOptions o;
+  o.count = 1200;
+  o.decrease_probability = 0.2;
+  o.max_delta = 0.8;
+  o.seed = 72;
+  CheckSlideMaximality(*GenerateRandomWalk(o), 1.5);
+}
+
+TEST(SlideOptimalityTest, IntervalsMaximalOnSeaSurface) {
+  const Signal sst = *GenerateSeaSurfaceTemperature({});
+  CheckSlideMaximality(sst, sst.Range(0) * 0.01);
+}
+
+TEST(SlideOptimalityTest, IntervalsMaximalAcrossSeeds) {
+  for (uint64_t seed = 200; seed < 208; ++seed) {
+    RandomWalkOptions o;
+    o.count = 600;
+    o.decrease_probability = 0.4;
+    o.max_delta = 1.5;
+    o.seed = seed;
+    CheckSlideMaximality(*GenerateRandomWalk(o), 0.5);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Swing interval maximality (within lines through the pivot)
+// ---------------------------------------------------------------------------
+
+TEST(SwingOptimalityTest, IntervalsMaximalThroughPivot) {
+  RandomWalkOptions o;
+  o.count = 2000;
+  o.decrease_probability = 0.45;
+  o.max_delta = 1.2;
+  o.seed = 73;
+  const Signal signal = *GenerateRandomWalk(o);
+  const double eps = 0.6;
+  auto filter = SwingFilter::Create(FilterOptions::Scalar(eps)).value();
+  for (const DataPoint& p : signal.points) {
+    ASSERT_TRUE(filter->Append(p).ok());
+  }
+  ASSERT_TRUE(filter->Finish().ok());
+  const auto segments = filter->TakeSegments();
+
+  // Feasible-slope interval for covering (t, x) from pivot (t0, x0):
+  // [(x - eps - x0) / (t - t0), (x + eps - x0) / (t - t0)].
+  size_t next_point = 0;
+  // Skip the first data point: it *is* the first pivot.
+  ASSERT_DOUBLE_EQ(segments[0].t_start, signal.points[0].t);
+  ++next_point;
+  for (size_t k = 0; k < segments.size(); ++k) {
+    const double t0 = segments[k].t_start;
+    const double x0 = segments[k].x_start[0];
+    double lo = -std::numeric_limits<double>::infinity();
+    double hi = std::numeric_limits<double>::infinity();
+    while (next_point < signal.size() &&
+           signal.points[next_point].t <= segments[k].t_end) {
+      const DataPoint& p = signal.points[next_point];
+      lo = std::max(lo, (p.x[0] - eps - x0) / (p.t - t0));
+      hi = std::min(hi, (p.x[0] + eps - x0) / (p.t - t0));
+      ++next_point;
+    }
+    EXPECT_LE(lo, hi + 1e-9) << "segment " << k << " infeasible?!";
+    if (next_point < signal.size()) {
+      const DataPoint& p = signal.points[next_point];
+      const double lo2 =
+          std::max(lo, (p.x[0] - eps - x0) / (p.t - t0));
+      const double hi2 =
+          std::min(hi, (p.x[0] + eps - x0) / (p.t - t0));
+      EXPECT_GT(lo2, hi2 - 1e-9)
+          << "segment " << k
+          << " closed although the violating point still fits the pivot "
+             "pencil: interval not maximal";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace plastream

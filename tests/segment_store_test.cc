@@ -1,0 +1,222 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Unit and property tests for SegmentStore: incremental chain validation,
+// point/range queries, trapezoid integration, and threshold intervals.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/segment_store.h"
+#include "core/slide_filter.h"
+#include "datagen/sea_surface.h"
+#include "datagen/shapes.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+
+namespace plastream {
+namespace {
+
+Segment MakeSegment(double t0, double t1, double x0, double x1,
+                    bool connected = false) {
+  Segment seg;
+  seg.t_start = t0;
+  seg.t_end = t1;
+  seg.x_start = {x0};
+  seg.x_end = {x1};
+  seg.connected_to_prev = connected;
+  return seg;
+}
+
+TEST(SegmentStoreTest, AppendValidatesIncrementally) {
+  SegmentStore store(1);
+  EXPECT_TRUE(store.Append(MakeSegment(0, 2, 0, 4)).ok());
+  // Overlap.
+  EXPECT_EQ(store.Append(MakeSegment(1, 3, 0, 1)).code(),
+            StatusCode::kOutOfOrder);
+  // Connected without sharing the junction.
+  EXPECT_EQ(store.Append(MakeSegment(2, 4, 3.5, 0, true)).code(),
+            StatusCode::kInvalidArgument);
+  // Proper continuation.
+  EXPECT_TRUE(store.Append(MakeSegment(2, 4, 4, 0, true)).ok());
+  EXPECT_EQ(store.segment_count(), 2u);
+  EXPECT_DOUBLE_EQ(store.t_min(), 0.0);
+  EXPECT_DOUBLE_EQ(store.t_max(), 4.0);
+}
+
+TEST(SegmentStoreTest, RejectsBadFirstSegment) {
+  SegmentStore store(1);
+  EXPECT_EQ(store.Append(MakeSegment(0, 1, 0, 1, true)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.Append(MakeSegment(2, 1, 0, 1)).code(),
+            StatusCode::kInvalidArgument);
+  Segment nan_seg = MakeSegment(0, 1, 0, 1);
+  nan_seg.x_end[0] = std::nan("");
+  EXPECT_EQ(store.Append(nan_seg).code(), StatusCode::kInvalidArgument);
+  Segment wrong_dim = MakeSegment(0, 1, 0, 1);
+  wrong_dim.x_start = {0.0, 0.0};
+  wrong_dim.x_end = {1.0, 1.0};
+  EXPECT_EQ(store.Append(wrong_dim).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SegmentStoreTest, ValueAtMatchesReconstruction) {
+  SegmentStore store(1);
+  ASSERT_TRUE(store.Append(MakeSegment(0, 10, 0, 20)).ok());
+  ASSERT_TRUE(store.Append(MakeSegment(15, 20, 5, 5)).ok());
+  EXPECT_DOUBLE_EQ(*store.ValueAt(5, 0), 10.0);
+  EXPECT_DOUBLE_EQ(*store.ValueAt(17, 0), 5.0);
+  EXPECT_EQ(store.ValueAt(12, 0).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.ValueAt(5, 3).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SegmentStoreTest, AggregateHandComputed) {
+  SegmentStore store(1);
+  // Ramp 0->10 over [0,10]: integral 50, mean 5, min 0, max 10.
+  ASSERT_TRUE(store.Append(MakeSegment(0, 10, 0, 10)).ok());
+  const auto agg = store.Aggregate(0, 10, 0);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_DOUBLE_EQ(agg->integral, 50.0);
+  EXPECT_DOUBLE_EQ(agg->mean, 5.0);
+  EXPECT_DOUBLE_EQ(agg->min, 0.0);
+  EXPECT_DOUBLE_EQ(agg->max, 10.0);
+  EXPECT_DOUBLE_EQ(agg->covered_duration, 10.0);
+  EXPECT_EQ(agg->segments_touched, 1u);
+}
+
+TEST(SegmentStoreTest, AggregateClipsToRange) {
+  SegmentStore store(1);
+  ASSERT_TRUE(store.Append(MakeSegment(0, 10, 0, 10)).ok());
+  // Clip [4, 6]: values 4..6, integral 10, mean 5.
+  const auto agg = store.Aggregate(4, 6, 0);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_DOUBLE_EQ(agg->min, 4.0);
+  EXPECT_DOUBLE_EQ(agg->max, 6.0);
+  EXPECT_DOUBLE_EQ(agg->integral, 10.0);
+  EXPECT_DOUBLE_EQ(agg->mean, 5.0);
+}
+
+TEST(SegmentStoreTest, AggregateSkipsGaps) {
+  SegmentStore store(1);
+  ASSERT_TRUE(store.Append(MakeSegment(0, 2, 1, 1)).ok());
+  ASSERT_TRUE(store.Append(MakeSegment(8, 10, 3, 3)).ok());
+  const auto agg = store.Aggregate(0, 10, 0);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_DOUBLE_EQ(agg->covered_duration, 4.0);
+  EXPECT_DOUBLE_EQ(agg->integral, 2.0 * 1 + 2.0 * 3);
+  EXPECT_DOUBLE_EQ(agg->mean, 2.0);
+  EXPECT_EQ(agg->segments_touched, 2u);
+}
+
+TEST(SegmentStoreTest, AggregateErrorsOnEmptyRange) {
+  SegmentStore store(1);
+  ASSERT_TRUE(store.Append(MakeSegment(0, 2, 1, 1)).ok());
+  EXPECT_EQ(store.Aggregate(5, 7, 0).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.Aggregate(7, 5, 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SegmentStoreTest, AggregateMatchesSineIntegral) {
+  // Store a fine PLA of a sine wave and compare the trapezoid integral
+  // against the closed form.
+  SegmentStore store(1);
+  const double period = 100.0;
+  double prev_t = 0.0, prev_v = 0.0;
+  for (int j = 1; j <= 400; ++j) {
+    const double t = j * 0.5;
+    const double v = std::sin(2 * M_PI * t / period);
+    ASSERT_TRUE(store
+                    .Append(MakeSegment(prev_t, t, prev_v, v,
+                                        /*connected=*/j > 1))
+                    .ok());
+    prev_t = t;
+    prev_v = v;
+  }
+  // Integral over two full periods is ~0; over a half period it is
+  // period/pi.
+  EXPECT_NEAR(store.Aggregate(0, 200, 0)->integral, 0.0, 1e-2);
+  EXPECT_NEAR(store.Aggregate(0, 50, 0)->integral, period / M_PI, 2e-2);
+  EXPECT_NEAR(store.Aggregate(0, 200, 0)->min, -1.0, 1e-3);
+  EXPECT_NEAR(store.Aggregate(0, 200, 0)->max, 1.0, 1e-3);
+}
+
+TEST(SegmentStoreTest, IntervalsAboveSimpleCrossing) {
+  SegmentStore store(1);
+  // Triangle: up 0->10 over [0,10], down 10->0 over [10,20].
+  ASSERT_TRUE(store.Append(MakeSegment(0, 10, 0, 10)).ok());
+  ASSERT_TRUE(store.Append(MakeSegment(10, 20, 10, 0, true)).ok());
+  const auto intervals = store.IntervalsAbove(5.0, 0, 20, 0);
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_DOUBLE_EQ(intervals[0].first, 5.0);
+  EXPECT_DOUBLE_EQ(intervals[0].second, 15.0);
+}
+
+TEST(SegmentStoreTest, IntervalsAboveRespectsGapsAndClipping) {
+  SegmentStore store(1);
+  ASSERT_TRUE(store.Append(MakeSegment(0, 4, 8, 8)).ok());   // above
+  ASSERT_TRUE(store.Append(MakeSegment(6, 10, 8, 8)).ok());  // above, after gap
+  const auto intervals = store.IntervalsAbove(5.0, 1, 9, 0);
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_DOUBLE_EQ(intervals[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(intervals[0].second, 4.0);
+  EXPECT_DOUBLE_EQ(intervals[1].first, 6.0);
+  EXPECT_DOUBLE_EQ(intervals[1].second, 9.0);
+}
+
+TEST(SegmentStoreTest, IntervalsAboveNoneWhenBelow) {
+  SegmentStore store(1);
+  ASSERT_TRUE(store.Append(MakeSegment(0, 10, 1, 2)).ok());
+  EXPECT_TRUE(store.IntervalsAbove(5.0, 0, 10, 0).empty());
+  EXPECT_TRUE(store.IntervalsAbove(5.0, 20, 30, 0).empty());
+}
+
+// Integration: filter a real-shaped signal, archive it, and check the
+// error-bounded analytics contract: the aggregate of the approximation is
+// within epsilon of the aggregate of the raw samples.
+TEST(SegmentStoreTest, ErrorBoundedAnalyticsOverFilteredSignal) {
+  const Signal signal = *GenerateSeaSurfaceTemperature({});
+  const double eps = signal.Range(0) * 0.02;
+  const auto run =
+      RunFilter(FilterKind::kSlide, FilterOptions::Scalar(eps), signal)
+          .value();
+  SegmentStore store(1);
+  ASSERT_TRUE(store.AppendAll(run.segments).ok());
+
+  // Compare means over a mid-trace window.
+  const double t0 = 2000.0, t1 = 9000.0;
+  double raw_sum = 0.0;
+  size_t raw_count = 0;
+  double raw_min = 1e300, raw_max = -1e300;
+  for (const DataPoint& p : signal.points) {
+    if (p.t < t0 || p.t > t1) continue;
+    raw_sum += p.x[0];
+    ++raw_count;
+    raw_min = std::min(raw_min, p.x[0]);
+    raw_max = std::max(raw_max, p.x[0]);
+  }
+  ASSERT_GT(raw_count, 0u);
+  const auto agg = store.Aggregate(t0, t1, 0);
+  ASSERT_TRUE(agg.ok());
+  // Uniform sampling makes the time-weighted mean comparable to the raw
+  // sample mean; both sides are epsilon-close pointwise.
+  EXPECT_NEAR(agg->mean, raw_sum / raw_count, eps + 0.05);
+  EXPECT_NEAR(agg->min, raw_min, eps + 1e-9);
+  EXPECT_NEAR(agg->max, raw_max, eps + 1e-9);
+}
+
+TEST(SegmentStoreTest, MultiDimensionalQueries) {
+  SegmentStore store(2);
+  Segment seg;
+  seg.t_start = 0;
+  seg.t_end = 10;
+  seg.x_start = {0.0, 100.0};
+  seg.x_end = {10.0, 90.0};
+  ASSERT_TRUE(store.Append(seg).ok());
+  EXPECT_DOUBLE_EQ(*store.ValueAt(5, 0), 5.0);
+  EXPECT_DOUBLE_EQ(*store.ValueAt(5, 1), 95.0);
+  EXPECT_DOUBLE_EQ(store.Aggregate(0, 10, 1)->mean, 95.0);
+}
+
+}  // namespace
+}  // namespace plastream

@@ -1,0 +1,364 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Unit tests for the slide filter (Section 4, Algorithm 2): sliding bound
+// updates (Example 4.1), hull-based search, junction recording (Lemma 4.4),
+// and the disconnected/connected recording cost structure.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/reconstruction.h"
+
+#include "core/slide_filter.h"
+#include "datagen/correlated_walk.h"
+#include "eval/metrics.h"
+
+namespace plastream {
+namespace {
+
+std::unique_ptr<SlideFilter> Make(
+    double eps, SlideHullMode mode = SlideHullMode::kConvexHull) {
+  return SlideFilter::Create(FilterOptions::Scalar(eps), mode).value();
+}
+
+std::vector<Segment> RunPoints(SlideFilter* filter,
+                         const std::vector<DataPoint>& points) {
+  for (const DataPoint& p : points) EXPECT_TRUE(filter->Append(p).ok());
+  EXPECT_TRUE(filter->Finish().ok());
+  return filter->TakeSegments();
+}
+
+// Example 4.1 / Figure 4: the slide filter represents the fifth point of
+// the pattern that the swing filter cannot (Example 3.1 requires a new
+// recording there). We build an analogous pattern: after sliding, l still
+// admits a point that swinging around the fixed pivot would reject.
+TEST(SlideFilterTest, SlideOutlivesSwingOnExamplePattern) {
+  // eps = 1. Points chosen so the slide bounds (free start) keep all five
+  // points while swing (pivot at first recording) must split.
+  const std::vector<DataPoint> points{
+      DataPoint::Scalar(0, 0.0), DataPoint::Scalar(1, 1.2),
+      DataPoint::Scalar(2, 3.4), DataPoint::Scalar(3, 3.9),
+      DataPoint::Scalar(4, 4.3)};
+  auto filter = Make(1.0);
+  const auto segments = RunPoints(filter.get(), points);
+  EXPECT_EQ(segments.size(), 1u);
+}
+
+TEST(SlideFilterTest, DisconnectedSegmentsStartAtIntervalFirstPoint) {
+  auto filter = Make(0.1);
+  // Two clearly separated linear runs with a large jump between them.
+  std::vector<DataPoint> points;
+  for (int j = 0; j < 10; ++j) points.push_back(DataPoint::Scalar(j, j));
+  for (int j = 10; j < 20; ++j) {
+    points.push_back(DataPoint::Scalar(j, 1000.0 + j));
+  }
+  const auto segments = RunPoints(filter.get(), points);
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_FALSE(segments[1].connected_to_prev);
+  EXPECT_DOUBLE_EQ(segments[0].t_end, 9.0);
+  EXPECT_DOUBLE_EQ(segments[1].t_start, 10.0);
+  EXPECT_NEAR(segments[1].x_start[0], 1010.0, 0.1 + 1e-9);
+}
+
+TEST(SlideFilterTest, ExactLineProducesExactSegment) {
+  auto filter = Make(0.5);
+  std::vector<DataPoint> points;
+  for (int j = 0; j <= 20; ++j) {
+    points.push_back(DataPoint::Scalar(j, 1.0 - 0.5 * j));
+  }
+  const auto segments = RunPoints(filter.get(), points);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_NEAR(segments[0].x_start[0], 1.0, 1e-12);
+  EXPECT_NEAR(segments[0].x_end[0], 1.0 - 10.0, 1e-12);
+}
+
+TEST(SlideFilterTest, ConnectedJunctionLiesOnBothSegments) {
+  Rng rng(3);
+  auto filter = Make(0.3);
+  std::vector<DataPoint> points;
+  double v = 0.0;
+  for (int j = 0; j < 3000; ++j) {
+    v += rng.Uniform(-1.2, 1.2);
+    points.push_back(DataPoint::Scalar(j, v));
+  }
+  const auto segments = RunPoints(filter.get(), points);
+  ASSERT_GT(filter->connected_junctions(), 0u)
+      << "expected at least one connected junction on a dense walk";
+  for (size_t k = 1; k < segments.size(); ++k) {
+    if (!segments[k].connected_to_prev) continue;
+    EXPECT_DOUBLE_EQ(segments[k].t_start, segments[k - 1].t_end);
+    EXPECT_DOUBLE_EQ(segments[k].x_start[0], segments[k - 1].x_end[0]);
+  }
+}
+
+TEST(SlideFilterTest, JunctionTimeMayPrecedeIntervalBoundary) {
+  // When a junction connects two segments, the junction time is allowed to
+  // fall inside the previous interval (Lemma 4.4's tail case) or the gap.
+  // Either way it must lie strictly between the two interval starts.
+  Rng rng(4);
+  auto filter = Make(0.25);
+  std::vector<DataPoint> points;
+  double v = 0.0;
+  for (int j = 0; j < 2000; ++j) {
+    v += rng.Uniform(-1.0, 1.0);
+    points.push_back(DataPoint::Scalar(j, v));
+  }
+  const auto segments = RunPoints(filter.get(), points);
+  for (size_t k = 1; k < segments.size(); ++k) {
+    EXPECT_GT(segments[k].t_end, segments[k].t_start);
+  }
+}
+
+TEST(SlideFilterTest, NoPinningFallbacksOnTypicalData) {
+  Rng rng(6);
+  auto filter = Make(0.5);
+  std::vector<DataPoint> points;
+  double v = 0.0;
+  for (int j = 0; j < 5000; ++j) {
+    v += rng.Uniform(-2.0, 2.0);
+    points.push_back(DataPoint::Scalar(j, v));
+  }
+  RunPoints(filter.get(), points);
+  EXPECT_EQ(filter->pinning_fallbacks(), 0u);
+}
+
+TEST(SlideFilterTest, HullStaysSmall) {
+  Rng rng(8);
+  auto filter = Make(5.0);  // wide bound -> long intervals
+  std::vector<DataPoint> points;
+  double v = 0.0;
+  for (int j = 0; j < 20000; ++j) {
+    v += rng.Uniform(-1.0, 1.0);
+    points.push_back(DataPoint::Scalar(j, v));
+  }
+  RunPoints(filter.get(), points);
+  // Figure 13's discussion: the hull vertex count stays near-constant.
+  EXPECT_LT(filter->max_hull_vertices(), 64u);
+}
+
+TEST(SlideFilterTest, SinglePointStream) {
+  auto filter = Make(1.0);
+  const auto segments = RunPoints(filter.get(), {DataPoint::Scalar(3, 9)});
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_TRUE(segments[0].IsPoint());
+  EXPECT_DOUBLE_EQ(segments[0].x_start[0], 9.0);
+}
+
+TEST(SlideFilterTest, TwoPointStreamReproducesBothPoints) {
+  auto filter = Make(1.0);
+  const auto segments =
+      RunPoints(filter.get(), {DataPoint::Scalar(0, 2), DataPoint::Scalar(4, 10)});
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_NEAR(segments[0].ValueAt(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(segments[0].ValueAt(4, 0), 10.0, 1e-12);
+}
+
+TEST(SlideFilterTest, EmptyStream) {
+  auto filter = Make(1.0);
+  EXPECT_TRUE(filter->Finish().ok());
+  EXPECT_TRUE(filter->TakeSegments().empty());
+}
+
+TEST(SlideFilterTest, TrailingSinglePointIntervalAfterViolation) {
+  auto filter = Make(0.1);
+  // The last point violates and opens a one-point interval, then the
+  // stream ends: expect the pending segment plus a point segment.
+  std::vector<DataPoint> points;
+  for (int j = 0; j < 10; ++j) points.push_back(DataPoint::Scalar(j, 0.0));
+  points.push_back(DataPoint::Scalar(10, 50.0));
+  const auto segments = RunPoints(filter.get(), points);
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_TRUE(segments[1].IsPoint());
+  EXPECT_DOUBLE_EQ(segments[1].x_start[0], 50.0);
+}
+
+TEST(SlideFilterTest, SegmentsEmittedOneIntervalLate) {
+  auto filter = Make(0.1);
+  // First interval: flat at 0. The jump to 50 closes it, but the segment
+  // is withheld until the junction decision, which needs the second
+  // interval to close (or the stream to end).
+  for (int j = 0; j < 5; ++j) {
+    ASSERT_TRUE(filter->Append(DataPoint::Scalar(j, 0.0)).ok());
+  }
+  ASSERT_TRUE(filter->Append(DataPoint::Scalar(5, 50.0)).ok());
+  ASSERT_TRUE(filter->Append(DataPoint::Scalar(6, 50.0)).ok());
+  EXPECT_TRUE(filter->TakeSegments().empty());  // still pending
+  ASSERT_TRUE(filter->Finish().ok());
+  EXPECT_EQ(filter->TakeSegments().size(), 2u);
+}
+
+TEST(SlideFilterTest, StaircaseConnectsSegments) {
+  // A staircase with short flat runs: junctions should frequently connect
+  // neighbouring segments (the effect behind the paper's Figure 10
+  // observation that sharp fluctuation raises connection chances).
+  auto filter = Make(0.4);
+  std::vector<DataPoint> points;
+  for (int j = 0; j < 400; ++j) {
+    points.push_back(DataPoint::Scalar(j, static_cast<double>((j / 5) % 7)));
+  }
+  RunPoints(filter.get(), points);
+  EXPECT_GT(filter->connected_junctions(), 5u);
+}
+
+TEST(SlideFilterTest, MultiDimensionalJunctionSharesOneTime) {
+  auto filter = SlideFilter::Create(FilterOptions::Uniform(2, 0.3)).value();
+  Rng rng(12);
+  std::vector<DataPoint> points;
+  double a = 0.0, b = 100.0;
+  for (int j = 0; j < 2000; ++j) {
+    a += rng.Uniform(-1.0, 1.0);
+    b += rng.Uniform(-1.0, 1.0);
+    points.push_back(DataPoint(j, {a, b}));
+  }
+  const auto segments = RunPoints(filter.get(), points);
+  EXPECT_TRUE(ValidateSegmentChain(segments).ok());
+  for (size_t k = 1; k < segments.size(); ++k) {
+    if (!segments[k].connected_to_prev) continue;
+    // One shared junction time; both dimensions agree on the value.
+    EXPECT_DOUBLE_EQ(segments[k].t_start, segments[k - 1].t_end);
+    EXPECT_DOUBLE_EQ(segments[k].x_start[0], segments[k - 1].x_end[0]);
+    EXPECT_DOUBLE_EQ(segments[k].x_start[1], segments[k - 1].x_end[1]);
+  }
+}
+
+TEST(SlideFilterTest, RecordingCostCountsJunctionsOnce) {
+  Rng rng(13);
+  auto filter = Make(0.3);
+  std::vector<DataPoint> points;
+  double v = 0.0;
+  for (int j = 0; j < 1000; ++j) {
+    v += rng.Uniform(-1.0, 1.0);
+    points.push_back(DataPoint::Scalar(j, v));
+  }
+  const auto segments = RunPoints(filter.get(), points);
+  size_t connected = 0, disconnected = 0, point_segs = 0;
+  for (const Segment& seg : segments) {
+    if (seg.IsPoint()) {
+      ++point_segs;
+    } else if (seg.connected_to_prev) {
+      ++connected;
+    } else {
+      ++disconnected;
+    }
+  }
+  EXPECT_EQ(CountRecordings(segments, RecordingCostModel::kPiecewiseLinear),
+            connected + 2 * disconnected + point_segs);
+}
+
+
+TEST(SlideFilterTest, RegressionMultiDimTailJunctionPrecision) {
+  // Regression for a tail-junction bug: the junction time landed before
+  // the previous interval's pinch point, where the bound band is not
+  // convex, letting the new segment drift more than epsilon from a tail
+  // point of the previous interval (observed at d=2, seed 3004, t=2152).
+  CorrelatedWalkOptions o;
+  o.count = 10000;
+  o.dimensions = 2;
+  o.correlation = 0.0;
+  o.decrease_probability = 0.5;
+  o.max_delta = 2.0;
+  o.seed = 3004;
+  const Signal signal = *GenerateCorrelatedWalk(o);
+  auto filter = SlideFilter::Create(FilterOptions::Uniform(2, 1.0)).value();
+  for (const DataPoint& p : signal.points) {
+    ASSERT_TRUE(filter->Append(p).ok());
+  }
+  ASSERT_TRUE(filter->Finish().ok());
+  const auto segments = filter->TakeSegments();
+  const auto approx = PiecewiseLinearFunction::Make(segments);
+  ASSERT_TRUE(approx.ok());
+  const std::vector<double> eps{1.0, 1.0};
+  EXPECT_TRUE(VerifyPrecision(signal, *approx, eps).ok());
+}
+
+TEST(SlideFilterTest, PropertyPrecisionOverManyMultiDimSeeds) {
+  // Broad randomized sweep over dimensionalities and seeds; every run must
+  // honor the epsilon contract and produce a valid chain.
+  for (const size_t d : {2u, 3u, 5u}) {
+    for (uint64_t seed = 100; seed < 112; ++seed) {
+      CorrelatedWalkOptions o;
+      o.count = 2500;
+      o.dimensions = d;
+      o.correlation = 0.4;
+      o.decrease_probability = 0.5;
+      o.max_delta = 2.0;
+      o.seed = seed;
+      const Signal signal = *GenerateCorrelatedWalk(o);
+      auto filter =
+          SlideFilter::Create(FilterOptions::Uniform(d, 0.8)).value();
+      for (const DataPoint& p : signal.points) {
+        ASSERT_TRUE(filter->Append(p).ok());
+      }
+      ASSERT_TRUE(filter->Finish().ok());
+      const auto segments = filter->TakeSegments();
+      ASSERT_TRUE(ValidateSegmentChain(segments).ok())
+          << "d=" << d << " seed=" << seed;
+      const auto approx = PiecewiseLinearFunction::Make(segments);
+      ASSERT_TRUE(approx.ok());
+      const std::vector<double> eps(d, 0.8);
+      EXPECT_TRUE(VerifyPrecision(signal, *approx, eps).ok())
+          << "d=" << d << " seed=" << seed;
+    }
+  }
+}
+
+
+TEST(SlideFilterTest, JunctionPolicyDisabledNeverConnects) {
+  Rng rng(31);
+  std::vector<DataPoint> points;
+  double v = 0.0;
+  for (int j = 0; j < 2000; ++j) {
+    v += rng.Uniform(-1.0, 1.0);
+    points.push_back(DataPoint::Scalar(j, v));
+  }
+  auto filter = SlideFilter::Create(FilterOptions::Scalar(0.3),
+                                    SlideHullMode::kConvexHull, nullptr,
+                                    SlideJunctionPolicy::kDisabled)
+                    .value();
+  const auto segments = RunPoints(filter.get(), points);
+  EXPECT_EQ(filter->connected_junctions(), 0u);
+  for (const Segment& seg : segments) EXPECT_FALSE(seg.connected_to_prev);
+}
+
+TEST(SlideFilterTest, JunctionPolicyOrderingOfRecordingCounts) {
+  // More permissive junction policies can only reduce the recording count,
+  // and every policy preserves the epsilon contract.
+  Rng rng(32);
+  Signal signal;
+  double v = 0.0;
+  for (int j = 0; j < 5000; ++j) {
+    v += rng.Uniform(-1.1, 1.0);
+    signal.points.push_back(DataPoint::Scalar(j, v));
+  }
+  const std::vector<double> eps{0.4};
+  size_t recordings_by_policy[4] = {0, 0, 0, 0};
+  const SlideJunctionPolicy policies[4] = {
+      SlideJunctionPolicy::kTailAndGap, SlideJunctionPolicy::kTailOnly,
+      SlideJunctionPolicy::kGapOnly, SlideJunctionPolicy::kDisabled};
+  for (int i = 0; i < 4; ++i) {
+    auto filter = SlideFilter::Create(FilterOptions::Scalar(eps[0]),
+                                      SlideHullMode::kConvexHull, nullptr,
+                                      policies[i])
+                      .value();
+    for (const DataPoint& p : signal.points) {
+      ASSERT_TRUE(filter->Append(p).ok());
+    }
+    ASSERT_TRUE(filter->Finish().ok());
+    const auto segments = filter->TakeSegments();
+    const auto approx = PiecewiseLinearFunction::Make(segments);
+    ASSERT_TRUE(approx.ok());
+    EXPECT_TRUE(VerifyPrecision(signal, *approx, eps).ok()) << "policy " << i;
+    recordings_by_policy[i] =
+        CountRecordings(segments, RecordingCostModel::kPiecewiseLinear);
+  }
+  EXPECT_LE(recordings_by_policy[0], recordings_by_policy[1]);
+  EXPECT_LE(recordings_by_policy[0], recordings_by_policy[2]);
+  EXPECT_LE(recordings_by_policy[1], recordings_by_policy[3]);
+  EXPECT_LE(recordings_by_policy[2], recordings_by_policy[3]);
+}
+
+}  // namespace
+}  // namespace plastream

@@ -1,0 +1,146 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Unit tests for the SWAB-style buffered segmenter extension.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/reconstruction.h"
+#include "core/swab.h"
+#include "datagen/random_walk.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+
+namespace plastream {
+namespace {
+
+std::unique_ptr<SwabSegmenter> Make(double eps, size_t capacity = 64) {
+  SwabOptions options;
+  options.base = FilterOptions::Scalar(eps);
+  options.buffer_capacity = capacity;
+  return SwabSegmenter::Create(options).value();
+}
+
+std::vector<Segment> RunPoints(SwabSegmenter* swab,
+                               const std::vector<DataPoint>& points) {
+  for (const DataPoint& p : points) EXPECT_TRUE(swab->Append(p).ok());
+  EXPECT_TRUE(swab->Finish().ok());
+  return swab->TakeSegments();
+}
+
+TEST(SwabTest, ExactLineIsOneSegmentPerBufferFlush) {
+  auto swab = Make(0.1, 32);
+  std::vector<DataPoint> points;
+  for (int j = 0; j < 30; ++j) {
+    points.push_back(DataPoint::Scalar(j, 2.0 * j));
+  }
+  const auto segments = RunPoints(swab.get(), points);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_NEAR(segments[0].ValueAt(0, 0), 0.0, 1e-9);
+  EXPECT_NEAR(segments[0].ValueAt(29, 0), 58.0, 1e-9);
+}
+
+TEST(SwabTest, PrecisionGuaranteeHolds) {
+  RandomWalkOptions o;
+  o.count = 3000;
+  o.max_delta = 1.5;
+  o.seed = 61;
+  const Signal signal = *GenerateRandomWalk(o);
+  const double eps = 0.8;
+  auto swab = Make(eps, 48);
+  for (const DataPoint& p : signal.points) {
+    ASSERT_TRUE(swab->Append(p).ok());
+  }
+  ASSERT_TRUE(swab->Finish().ok());
+  const auto segments = swab->TakeSegments();
+  ASSERT_TRUE(ValidateSegmentChain(segments).ok());
+  const auto approx = PiecewiseLinearFunction::Make(segments);
+  ASSERT_TRUE(approx.ok());
+  const std::vector<double> epsilon{eps};
+  EXPECT_TRUE(VerifyPrecision(signal, *approx, epsilon).ok());
+}
+
+TEST(SwabTest, SegmentationBreaksAtSharpCorner) {
+  auto swab = Make(0.2, 64);
+  std::vector<DataPoint> points;
+  for (int j = 0; j <= 20; ++j) points.push_back(DataPoint::Scalar(j, j));
+  for (int j = 21; j <= 40; ++j) {
+    points.push_back(DataPoint::Scalar(j, 40.0 - j));
+  }
+  const auto segments = RunPoints(swab.get(), points);
+  ASSERT_EQ(segments.size(), 2u);
+  // The corner at t=20 splits the V shape.
+  EXPECT_NEAR(segments[0].t_end, 20.0, 1.0);
+}
+
+TEST(SwabTest, BufferCapBoundsLag) {
+  auto swab = Make(1000.0, 16);  // everything merges; only the cap flushes
+  size_t emitted_before_finish = 0;
+  for (int j = 0; j < 100; ++j) {
+    ASSERT_TRUE(swab->Append(DataPoint::Scalar(j, 0.0)).ok());
+    emitted_before_finish += swab->TakeSegments().size();
+  }
+  EXPECT_GT(emitted_before_finish, 0u)
+      << "capacity must force emissions before Finish";
+  ASSERT_TRUE(swab->Finish().ok());
+}
+
+TEST(SwabTest, LookaheadBeatsOnlineLinearOnCorners) {
+  // A triangle wave defeats the linear filter's two-point slope guess at
+  // every corner; SWAB's lookahead places boundaries at the corners.
+  std::vector<DataPoint> points;
+  for (int j = 0; j < 600; ++j) {
+    const int phase = j % 60;
+    const double v = phase < 30 ? phase : 60 - phase;
+    points.push_back(DataPoint::Scalar(j, v));
+  }
+  Signal signal;
+  signal.points = points;
+
+  auto swab = Make(0.25, 64);
+  const auto swab_segments = RunPoints(swab.get(), points);
+
+  const auto linear = *RunFilter(FilterKind::kLinearDisconnected,
+                                 FilterOptions::Scalar(0.25), signal);
+  EXPECT_LE(swab_segments.size(), linear.segments.size());
+}
+
+TEST(SwabTest, MultiDimensionalBound) {
+  SwabOptions options;
+  options.base = FilterOptions::Uniform(2, 0.5);
+  options.buffer_capacity = 32;
+  auto swab = SwabSegmenter::Create(options).value();
+  Rng rng(62);
+  Signal signal;
+  double a = 0.0, b = 0.0;
+  for (int j = 0; j < 500; ++j) {
+    a += rng.Uniform(-0.4, 0.5);
+    b += rng.Uniform(-0.5, 0.4);
+    signal.points.push_back(DataPoint(j, {a, b}));
+    ASSERT_TRUE(swab->Append(signal.points.back()).ok());
+  }
+  ASSERT_TRUE(swab->Finish().ok());
+  const auto segments = swab->TakeSegments();
+  const auto approx = PiecewiseLinearFunction::Make(segments);
+  ASSERT_TRUE(approx.ok());
+  EXPECT_TRUE(VerifyPrecision(signal, *approx, options.base.epsilon).ok());
+}
+
+TEST(SwabTest, SinglePointAndEmptyStreams) {
+  auto swab = Make(1.0);
+  ASSERT_TRUE(swab->Finish().ok());
+  EXPECT_TRUE(swab->TakeSegments().empty());
+
+  auto swab2 = Make(1.0);
+  ASSERT_TRUE(swab2->Append(DataPoint::Scalar(0, 5)).ok());
+  ASSERT_TRUE(swab2->Finish().ok());
+  const auto segments = swab2->TakeSegments();
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(segments[0].x_start[0], 5.0);
+}
+
+}  // namespace
+}  // namespace plastream

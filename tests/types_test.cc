@@ -1,0 +1,152 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Unit tests for core value types: segments, recording-cost accounting, and
+// segment-chain validation.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/types.h"
+
+namespace plastream {
+namespace {
+
+Segment MakeSegment(double t0, double t1, double x0, double x1,
+                    bool connected = false) {
+  Segment seg;
+  seg.t_start = t0;
+  seg.t_end = t1;
+  seg.x_start = {x0};
+  seg.x_end = {x1};
+  seg.connected_to_prev = connected;
+  return seg;
+}
+
+TEST(SegmentTest, ValueAtInterpolatesLinearly) {
+  const Segment seg = MakeSegment(0, 10, 0, 20);
+  EXPECT_DOUBLE_EQ(seg.ValueAt(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(seg.ValueAt(5, 0), 10.0);
+  EXPECT_DOUBLE_EQ(seg.ValueAt(10, 0), 20.0);
+}
+
+TEST(SegmentTest, ValueAtExtrapolatesBeyondEnds) {
+  const Segment seg = MakeSegment(0, 2, 0, 2);
+  EXPECT_DOUBLE_EQ(seg.ValueAt(4, 0), 4.0);
+  EXPECT_DOUBLE_EQ(seg.ValueAt(-1, 0), -1.0);
+}
+
+TEST(SegmentTest, PointSegmentIsConstant) {
+  const Segment seg = MakeSegment(3, 3, 7, 7);
+  EXPECT_TRUE(seg.IsPoint());
+  EXPECT_DOUBLE_EQ(seg.ValueAt(3, 0), 7.0);
+  EXPECT_DOUBLE_EQ(seg.ValueAt(100, 0), 7.0);
+}
+
+TEST(SegmentTest, MultiDimensionalValueAt) {
+  Segment seg;
+  seg.t_start = 0;
+  seg.t_end = 4;
+  seg.x_start = {0.0, 8.0};
+  seg.x_end = {4.0, 0.0};
+  const auto values = seg.ValueAt(2.0);
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_DOUBLE_EQ(values[0], 2.0);
+  EXPECT_DOUBLE_EQ(values[1], 4.0);
+}
+
+TEST(SegmentTest, ToStringMentionsConnectivity) {
+  EXPECT_NE(MakeSegment(0, 1, 0, 1, true).ToString().find("connected"),
+            std::string::npos);
+  EXPECT_NE(MakeSegment(0, 1, 0, 1, false).ToString().find("disconnected"),
+            std::string::npos);
+}
+
+TEST(CountRecordingsTest, PiecewiseConstantChargesOnePerSegment) {
+  const std::vector<Segment> segments{MakeSegment(0, 1, 0, 0),
+                                      MakeSegment(2, 3, 1, 1)};
+  EXPECT_EQ(CountRecordings(segments, RecordingCostModel::kPiecewiseConstant),
+            2u);
+}
+
+TEST(CountRecordingsTest, PiecewiseLinearChargesByConnectivity) {
+  const std::vector<Segment> segments{
+      MakeSegment(0, 1, 0, 1, false),  // 2 recordings
+      MakeSegment(1, 2, 1, 2, true),   // 1 (shares start)
+      MakeSegment(3, 4, 0, 1, false),  // 2
+  };
+  EXPECT_EQ(CountRecordings(segments, RecordingCostModel::kPiecewiseLinear),
+            5u);
+}
+
+TEST(CountRecordingsTest, PointSegmentsCostOne) {
+  const std::vector<Segment> segments{MakeSegment(5, 5, 1, 1, false)};
+  EXPECT_EQ(CountRecordings(segments, RecordingCostModel::kPiecewiseLinear),
+            1u);
+}
+
+TEST(CountRecordingsTest, ExtraRecordingsAreAdded) {
+  const std::vector<Segment> segments{MakeSegment(0, 1, 0, 1, false)};
+  EXPECT_EQ(
+      CountRecordings(segments, RecordingCostModel::kPiecewiseLinear, 3), 5u);
+}
+
+TEST(ValidateSegmentChainTest, AcceptsEmptyAndWellFormed) {
+  EXPECT_TRUE(ValidateSegmentChain({}).ok());
+  const std::vector<Segment> segments{
+      MakeSegment(0, 1, 0, 1, false), MakeSegment(1, 2, 1, 0, true),
+      MakeSegment(3, 4, 5, 5, false)};
+  EXPECT_TRUE(ValidateSegmentChain(segments).ok());
+}
+
+TEST(ValidateSegmentChainTest, RejectsFirstSegmentMarkedConnected) {
+  EXPECT_EQ(ValidateSegmentChain({MakeSegment(0, 1, 0, 1, true)}).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ValidateSegmentChainTest, RejectsOverlap) {
+  const std::vector<Segment> segments{MakeSegment(0, 2, 0, 1),
+                                      MakeSegment(1, 3, 0, 1)};
+  EXPECT_EQ(ValidateSegmentChain(segments).code(), StatusCode::kCorruption);
+}
+
+TEST(ValidateSegmentChainTest, RejectsReversedSegment) {
+  EXPECT_EQ(ValidateSegmentChain({MakeSegment(2, 1, 0, 1)}).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ValidateSegmentChainTest, RejectsConnectedWithDifferentValue) {
+  std::vector<Segment> segments{MakeSegment(0, 1, 0, 1, false),
+                                MakeSegment(1, 2, 1.5, 2, true)};
+  EXPECT_EQ(ValidateSegmentChain(segments).code(), StatusCode::kCorruption);
+}
+
+TEST(ValidateSegmentChainTest, RejectsConnectedWithGap) {
+  std::vector<Segment> segments{MakeSegment(0, 1, 0, 1, false),
+                                MakeSegment(1.5, 2, 1, 2, true)};
+  EXPECT_EQ(ValidateSegmentChain(segments).code(), StatusCode::kCorruption);
+}
+
+TEST(ValidateSegmentChainTest, RejectsNonFiniteValues) {
+  Segment seg = MakeSegment(0, 1, 0, 1);
+  seg.x_end[0] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(ValidateSegmentChain({seg}).code(), StatusCode::kCorruption);
+}
+
+TEST(ValidateSegmentChainTest, RejectsDimensionMismatch) {
+  Segment a = MakeSegment(0, 1, 0, 1);
+  Segment b = MakeSegment(2, 3, 0, 1);
+  b.x_start = {0.0, 1.0};
+  b.x_end = {1.0, 2.0};
+  EXPECT_EQ(ValidateSegmentChain({a, b}).code(), StatusCode::kCorruption);
+}
+
+TEST(DataPointTest, ScalarFactory) {
+  const DataPoint p = DataPoint::Scalar(2.5, -1.0);
+  EXPECT_DOUBLE_EQ(p.t, 2.5);
+  ASSERT_EQ(p.x.size(), 1u);
+  EXPECT_DOUBLE_EQ(p.x[0], -1.0);
+}
+
+}  // namespace
+}  // namespace plastream
