@@ -22,8 +22,8 @@ void RunAblation() {
   const Signal sst = bench::ValueOrDie(
       GenerateSeaSurfaceTemperature(SeaSurfaceOptions{}), "sst");
 
-  const FilterKind kinds[] = {FilterKind::kCache, FilterKind::kCacheMidrange,
-                              FilterKind::kCacheMean};
+  const char* specs[] = {"cache(mode=first)", "cache(mode=midrange)",
+                         "cache(mode=mean)"};
   Table table({"precision (%range)", "first", "midrange", "mean",
                "avg err first", "avg err midrange", "avg err mean"});
   std::vector<double> last_ratios;
@@ -32,9 +32,10 @@ void RunAblation() {
         FilterOptions::Scalar(sst.Range(0) * pct / 100.0);
     std::vector<double> row;
     std::vector<double> errors;
-    for (const FilterKind kind : kinds) {
-      const auto run = RunFilter(kind, options, sst);
-      bench::CheckOk(run.status(), FilterKindName(kind).data());
+    for (const char* text : specs) {
+      const auto spec = bench::ValueOrDie(FilterSpec::Parse(text), text);
+      const auto run = RunFilter(spec, options, sst);
+      bench::CheckOk(run.status(), text);
       row.push_back(run->compression.ratio);
       errors.push_back(100.0 * run->error.avg_error_overall / sst.Range(0));
     }

@@ -10,7 +10,6 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
-#include "core/slide_filter.h"
 #include "datagen/random_walk.h"
 
 namespace plastream {
@@ -29,26 +28,27 @@ const Signal& SmoothWalk() {
   return *signal;
 }
 
-const SlideHullMode kModes[] = {
-    SlideHullMode::kConvexHull,
-    SlideHullMode::kChainBinary,
-    SlideHullMode::kAllPoints,
+const char* kModeSpecs[] = {
+    "slide(eps=4,hull=convex)",
+    "slide(eps=4,hull=binary)",
+    "slide(eps=4,hull=allpoints)",
 };
 const char* kModeNames[] = {"convex-hull", "chain-binary", "all-points"};
 
 void BM_SlideHullStrategy(benchmark::State& state) {
   const Signal& signal = SmoothWalk();
-  const SlideHullMode mode = kModes[state.range(0)];
-  const FilterOptions options = FilterOptions::Scalar(4.0);
+  const FilterSpec spec = bench::ValueOrDie(
+      FilterSpec::Parse(kModeSpecs[state.range(0)]), "spec");
 
   size_t max_hull = 0;
   for (auto _ : state) {
-    auto filter = SlideFilter::Create(options, mode).value();
+    auto filter = MakeFilter(spec).value();
     for (const DataPoint& p : signal.points) {
       benchmark::DoNotOptimize(filter->Append(p));
     }
     benchmark::DoNotOptimize(filter->Finish());
-    max_hull = filter->max_hull_vertices();
+    max_hull = static_cast<size_t>(
+        filter->Counter("max_hull_vertices").value_or(0.0));
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(signal.size()));

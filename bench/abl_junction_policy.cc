@@ -11,7 +11,6 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "core/slide_filter.h"
 #include "datagen/random_walk.h"
 #include "datagen/sea_surface.h"
 #include "eval/metrics.h"
@@ -25,12 +24,12 @@ struct PolicyResult {
 };
 
 PolicyResult RunPolicy(const Signal& signal, double eps,
-                       SlideJunctionPolicy policy) {
-  auto filter =
-      bench::ValueOrDie(SlideFilter::Create(FilterOptions::Scalar(eps),
-                                            SlideHullMode::kConvexHull,
-                                            nullptr, policy),
-                        "create");
+                       const char* junction) {
+  FilterSpec spec;
+  spec.family = "slide";
+  spec.options = FilterOptions::Scalar(eps);
+  spec.params.emplace("junction", junction);
+  auto filter = bench::ValueOrDie(MakeFilter(spec), "create");
   for (const DataPoint& p : signal.points) {
     bench::CheckOk(filter->Append(p), "append");
   }
@@ -40,7 +39,8 @@ PolicyResult RunPolicy(const Signal& signal, double eps,
   result.ratio = ComputeCompression(signal.size(), segments,
                                     filter->cost_model())
                      .ratio;
-  result.junctions = filter->connected_junctions();
+  result.junctions = static_cast<size_t>(
+      filter->Counter("connected_junctions").value_or(0.0));
   return result;
 }
 
@@ -73,13 +73,10 @@ void RunAblation() {
   Table table({"workload", "tail+gap", "tail-only", "gap-only",
                "disabled", "junctions (t+g)"});
   for (const Workload& w : workloads) {
-    const auto both = RunPolicy(w.signal, w.eps,
-                                SlideJunctionPolicy::kTailAndGap);
-    const auto tail =
-        RunPolicy(w.signal, w.eps, SlideJunctionPolicy::kTailOnly);
-    const auto gap = RunPolicy(w.signal, w.eps, SlideJunctionPolicy::kGapOnly);
-    const auto none =
-        RunPolicy(w.signal, w.eps, SlideJunctionPolicy::kDisabled);
+    const auto both = RunPolicy(w.signal, w.eps, "tail+gap");
+    const auto tail = RunPolicy(w.signal, w.eps, "tail");
+    const auto gap = RunPolicy(w.signal, w.eps, "gap");
+    const auto none = RunPolicy(w.signal, w.eps, "none");
     table.AddRow({w.name, FormatDouble(both.ratio, 4),
                   FormatDouble(tail.ratio, 4), FormatDouble(gap.ratio, 4),
                   FormatDouble(none.ratio, 4),

@@ -39,9 +39,8 @@ void RunAblation() {
   std::printf("Ablation: error-gated Kalman baseline vs the paper's "
               "filters\n\n");
 
-  const std::vector<FilterKind> kinds{
-      FilterKind::kCache, FilterKind::kLinear, FilterKind::kKalman,
-      FilterKind::kSwing, FilterKind::kSlide};
+  const std::vector<const char*> families{"cache", "linear", "kalman",
+                                          "swing", "slide"};
 
   struct Workload {
     std::string name;
@@ -66,16 +65,18 @@ void RunAblation() {
   workloads.push_back({"noisy-trend", NoisyTrend(92), 0.6});
 
   std::vector<std::string> headers{"workload"};
-  for (const FilterKind kind : kinds) {
-    headers.emplace_back(FilterKindName(kind));
+  for (const char* family : families) {
+    headers.emplace_back(family);
   }
   Table table(headers);
   for (const Workload& w : workloads) {
     std::vector<double> row;
-    for (const FilterKind kind : kinds) {
+    for (const char* family : families) {
+      FilterSpec spec;
+      spec.family = family;
       const auto run =
-          RunFilter(kind, FilterOptions::Scalar(w.eps), w.signal);
-      bench::CheckOk(run.status(), FilterKindName(kind).data());
+          RunFilter(spec, FilterOptions::Scalar(w.eps), w.signal);
+      bench::CheckOk(run.status(), family);
       row.push_back(run->compression.ratio);
     }
     table.AddNumericRow(w.name, row);

@@ -9,8 +9,6 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "core/slide_filter.h"
-#include "core/swing_filter.h"
 #include "datagen/random_walk.h"
 #include "datagen/sea_surface.h"
 #include "eval/metrics.h"
@@ -18,11 +16,13 @@
 namespace plastream {
 namespace {
 
-double RatioWithLag(FilterKind kind, const Signal& signal, double eps,
+double RatioWithLag(const char* family, const Signal& signal, double eps,
                     size_t max_lag) {
-  FilterOptions options = FilterOptions::Scalar(eps);
-  options.max_lag = max_lag;
-  auto filter = bench::ValueOrDie(MakeFilter(kind, options), "create");
+  FilterSpec spec;
+  spec.family = family;
+  spec.options = FilterOptions::Scalar(eps);
+  spec.options.max_lag = max_lag;
+  auto filter = bench::ValueOrDie(MakeFilter(spec), "create");
   for (const DataPoint& p : signal.points) {
     bench::CheckOk(filter->Append(p), "append");
   }
@@ -54,10 +54,10 @@ void RunAblation() {
   std::vector<double> first_row, last_row;
   for (const size_t lag : lags) {
     const std::vector<double> row{
-        RatioWithLag(FilterKind::kSwing, walk, walk_eps, lag),
-        RatioWithLag(FilterKind::kSlide, walk, walk_eps, lag),
-        RatioWithLag(FilterKind::kSwing, sst, sst_eps, lag),
-        RatioWithLag(FilterKind::kSlide, sst, sst_eps, lag)};
+        RatioWithLag("swing", walk, walk_eps, lag),
+        RatioWithLag("slide", walk, walk_eps, lag),
+        RatioWithLag("swing", sst, sst_eps, lag),
+        RatioWithLag("slide", sst, sst_eps, lag)};
     if (first_row.empty()) first_row = row;
     last_row = row;
     table.AddNumericRow(lag == 0 ? "unbounded" : std::to_string(lag), row);

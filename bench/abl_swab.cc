@@ -55,10 +55,12 @@ void RunAblation() {
   for (const Case& c : {Case{&walk, "walk", 1.0},
                         Case{&sst, "sst", sst.Range(0) * 0.02}}) {
     std::vector<double> row;
-    for (const FilterKind kind :
-         {FilterKind::kLinear, FilterKind::kSwing, FilterKind::kSlide}) {
-      const auto run = RunFilter(kind, FilterOptions::Scalar(c.eps), *c.signal);
-      bench::CheckOk(run.status(), FilterKindName(kind).data());
+    for (const char* family : {"linear", "swing", "slide"}) {
+      FilterSpec spec;
+      spec.family = family;
+      const auto run =
+          RunFilter(spec, FilterOptions::Scalar(c.eps), *c.signal);
+      bench::CheckOk(run.status(), family);
       row.push_back(run->compression.ratio);
     }
     row.push_back(SwabRatio(*c.signal, c.eps, 32));

@@ -33,13 +33,13 @@ T ValueOrDie(Result<T> result, const char* what) {
 }
 
 /// Runs the four paper filters over `signal` and returns their compression
-/// ratios in PaperFilterKinds() order.
+/// ratios in PaperFilterVariants() order.
 inline std::vector<double> PaperCompressionRatios(const Signal& signal,
                                                   const FilterOptions& options) {
   std::vector<double> ratios;
-  for (const FilterKind kind : PaperFilterKinds()) {
-    const auto run = RunFilter(kind, options, signal);
-    CheckOk(run.status(), FilterKindName(kind).data());
+  for (const FilterSpec& spec : PaperFilterVariants()) {
+    const auto run = RunFilter(spec, options, signal);
+    CheckOk(run.status(), spec.Label().c_str());
     ratios.push_back(run->compression.ratio);
   }
   return ratios;
@@ -48,8 +48,8 @@ inline std::vector<double> PaperCompressionRatios(const Signal& signal,
 /// Header row for per-filter tables.
 inline std::vector<std::string> PaperFilterHeaders(std::string x_label) {
   std::vector<std::string> headers{std::move(x_label)};
-  for (const FilterKind kind : PaperFilterKinds()) {
-    headers.emplace_back(FilterKindName(kind));
+  for (const FilterSpec& spec : PaperFilterVariants()) {
+    headers.push_back(spec.Label());
   }
   return headers;
 }

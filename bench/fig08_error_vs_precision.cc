@@ -31,9 +31,9 @@ void RunFigure8() {
     const FilterOptions options =
         FilterOptions::Scalar(range * pct / 100.0);
     std::vector<double> row;
-    for (const FilterKind kind : PaperFilterKinds()) {
-      const auto run = RunFilter(kind, options, signal);
-      bench::CheckOk(run.status(), FilterKindName(kind).data());
+    for (const FilterSpec& spec : PaperFilterVariants()) {
+      const auto run = RunFilter(spec, options, signal);
+      bench::CheckOk(run.status(), spec.Label().c_str());
       row.push_back(100.0 * run->error.avg_error_overall / range);
     }
     series.push_back(row);

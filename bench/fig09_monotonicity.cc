@@ -29,7 +29,7 @@ void RunFigure9() {
   Table table(bench::PaperFilterHeaders("p(decrease)"));
   std::vector<std::vector<double>> series;
   for (const double p : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
-    std::vector<double> sums(PaperFilterKinds().size(), 0.0);
+    std::vector<double> sums(PaperFilterVariants().size(), 0.0);
     for (int seed = 0; seed < kSeeds; ++seed) {
       RandomWalkOptions o;
       o.count = kPoints;

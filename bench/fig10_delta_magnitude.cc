@@ -32,7 +32,7 @@ void RunFigure10() {
   const std::vector<double> delta_pct{10,   31.6, 100,  316,
                                       1000, 3162, 10000};
   for (const double pct : delta_pct) {
-    std::vector<double> sums(PaperFilterKinds().size(), 0.0);
+    std::vector<double> sums(PaperFilterVariants().size(), 0.0);
     for (int seed = 0; seed < kSeeds; ++seed) {
       RandomWalkOptions o;
       o.count = kPoints;

@@ -30,7 +30,7 @@ void RunFigure11() {
   Table table(bench::PaperFilterHeaders("dimensions"));
   std::vector<std::vector<double>> series;
   for (size_t d = 1; d <= 10; ++d) {
-    std::vector<double> sums(PaperFilterKinds().size(), 0.0);
+    std::vector<double> sums(PaperFilterVariants().size(), 0.0);
     for (int seed = 0; seed < kSeeds; ++seed) {
       CorrelatedWalkOptions o;
       o.count = kPoints;

@@ -64,7 +64,7 @@ void RunFigure12() {
   std::vector<double> independent_adjusted(rhos.size(), 0.0);
 
   for (size_t ri = 0; ri < rhos.size(); ++ri) {
-    std::vector<double> sums(PaperFilterKinds().size(), 0.0);
+    std::vector<double> sums(PaperFilterVariants().size(), 0.0);
     for (int seed = 0; seed < kSeeds; ++seed) {
       const Signal signal =
           MakeSignal(rhos[ri], 4000 + static_cast<uint64_t>(seed));
@@ -78,7 +78,7 @@ void RunFigure12() {
       double per_dim_ratio_sum = 0.0;
       for (size_t dim = 0; dim < kDims; ++dim) {
         const Signal column = ExtractDimension(signal, dim);
-        const auto run = RunFilter(FilterKind::kSlide,
+        const auto run = RunFilter(FilterSpec{.family = "slide"},
                                    FilterOptions::Scalar(kEpsilon), column);
         bench::CheckOk(run.status(), "independent slide");
         per_dim_ratio_sum += run->compression.ratio;

@@ -35,20 +35,22 @@ const Signal& SstSignal() {
 const double kPrecisionPct[] = {0.1, 0.316, 1.0, 3.16, 10.0, 31.6, 100.0};
 
 // The five series of the figure.
-const FilterKind kKinds[] = {
-    FilterKind::kCache, FilterKind::kLinear, FilterKind::kSwing,
-    FilterKind::kSlideNonOptimized, FilterKind::kSlide,
+const char* kSpecs[] = {
+    "cache", "linear", "swing", "slide(hull=allpoints)", "slide",
 };
 
 void BM_FilterOverhead(benchmark::State& state) {
   const Signal& signal = SstSignal();
-  const FilterKind kind = kKinds[state.range(0)];
+  const FilterSpec spec =
+      bench::ValueOrDie(FilterSpec::Parse(kSpecs[state.range(0)]), "spec");
   const double pct = kPrecisionPct[state.range(1)];
   const FilterOptions options =
       FilterOptions::Scalar(signal.Range(0) * pct / 100.0);
 
   for (auto _ : state) {
-    auto filter = MakeFilter(kind, options).value();
+    FilterSpec configured = spec;
+    configured.options = options;
+    auto filter = MakeFilter(configured).value();
     for (const DataPoint& p : signal.points) {
       benchmark::DoNotOptimize(filter->Append(p));
     }
@@ -58,12 +60,11 @@ void BM_FilterOverhead(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(signal.size()));
-  state.SetLabel(std::string(FilterKindName(kind)) + " @ " +
-                 FormatDouble(pct, 3) + "%range");
+  state.SetLabel(spec.Label() + " @ " + FormatDouble(pct, 3) + "%range");
 }
 
 void RegisterAll() {
-  for (size_t k = 0; k < std::size(kKinds); ++k) {
+  for (size_t k = 0; k < std::size(kSpecs); ++k) {
     for (size_t e = 0; e < std::size(kPrecisionPct); ++e) {
       benchmark::RegisterBenchmark("fig13/overhead", BM_FilterOverhead)
           ->Args({static_cast<int64_t>(k), static_cast<int64_t>(e)})

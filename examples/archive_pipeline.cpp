@@ -5,10 +5,13 @@
 // storage economics. This is the "store the results for later offline
 // analysis" use the paper's introduction motivates.
 //
-//   $ ./build/examples/archive_pipeline [filter] [epsilon] [in.csv] [out.csv]
+//   $ ./build/archive_pipeline [spec] [epsilon] [in.csv] [out.csv]
 //
-// With no arguments, a demonstration signal is generated, archived with
-// every filter family, and the best performer is reported.
+// `spec` is a filter spec string ("slide", "swing", "cache(mode=midrange)",
+// "slide(hull=binary)", ...); `epsilon` applies uniformly to every
+// dimension of the input. With no arguments, a demonstration signal is
+// generated, archived with every filter variant, and the best performer is
+// reported.
 
 #include <cstdio>
 #include <string>
@@ -16,23 +19,24 @@
 #include "datagen/sea_surface.h"
 #include "eval/runner.h"
 #include "io/csv.h"
+#include "plastream.h"
 
 using namespace plastream;
 
 namespace {
 
-int ArchiveFile(const std::string& kind_name, double epsilon,
+int ArchiveFile(const std::string& spec_text, double epsilon,
                 const std::string& in_path, const std::string& out_path) {
-  FilterKind kind = FilterKind::kSlide;
-  bool known = false;
-  for (const FilterKind candidate : AllFilterKinds()) {
-    if (FilterKindName(candidate) == kind_name) {
-      kind = candidate;
-      known = true;
-    }
+  const auto spec = FilterSpec::Parse(spec_text);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 2;
   }
-  if (!known) {
-    std::fprintf(stderr, "unknown filter '%s'\n", kind_name.c_str());
+  if (!spec->options.epsilon.empty()) {
+    std::fprintf(stderr,
+                 "spec '%s' already carries eps; pass the precision only "
+                 "through the epsilon argument\n",
+                 spec_text.c_str());
     return 2;
   }
   const auto signal = ReadSignalCsvFile(in_path);
@@ -42,10 +46,12 @@ int ArchiveFile(const std::string& kind_name, double epsilon,
     return 1;
   }
   const auto run = RunFilter(
-      kind, FilterOptions::Uniform(signal->dimensions(), epsilon), *signal);
+      *spec, FilterOptions::Uniform(signal->dimensions(), epsilon), *signal);
   if (!run.ok()) {
+    // Unknown families surface here as the registry's NotFound, which
+    // already lists every registered family.
     std::fprintf(stderr, "compress: %s\n", run.status().ToString().c_str());
-    return 1;
+    return run.status().code() == StatusCode::kNotFound ? 2 : 1;
   }
   const Status written = WriteSegmentsCsvFile(out_path, run->segments);
   if (!written.ok()) {
@@ -54,7 +60,7 @@ int ArchiveFile(const std::string& kind_name, double epsilon,
     return 1;
   }
   std::printf("%s: %zu samples -> %zu segments (%.1fx), max error %.6f\n",
-              FilterKindName(kind).data(), run->compression.points,
+              run->spec.Label().c_str(), run->compression.points,
               run->compression.segments, run->compression.ratio,
               run->error.max_error_overall);
   return 0;
@@ -65,24 +71,24 @@ int Demo() {
   const double epsilon = signal.Range(0) * 0.01;
   std::printf("archiving a %zu-sample trace at eps=%.3f (1%% of range)\n\n",
               signal.size(), epsilon);
-  std::printf("%-16s %10s %12s %12s %10s\n", "filter", "segments",
+  std::printf("%-18s %10s %12s %12s %10s\n", "filter", "segments",
               "recordings", "ratio", "avg err");
-  FilterKind best = FilterKind::kCache;
+  std::string best = "cache";
   double best_ratio = 0.0;
-  for (const FilterKind kind : AllFilterKinds()) {
+  for (const FilterSpec& spec : AllFilterVariants()) {
     const auto run =
-        RunFilter(kind, FilterOptions::Scalar(epsilon), signal).value();
-    std::printf("%-16s %10zu %12zu %11.2fx %10.4f\n",
-                FilterKindName(kind).data(), run.compression.segments,
+        RunFilter(spec, FilterOptions::Scalar(epsilon), signal).value();
+    std::printf("%-18s %10zu %12zu %11.2fx %10.4f\n",
+                spec.Label().c_str(), run.compression.segments,
                 run.compression.recordings, run.compression.ratio,
                 run.error.avg_error_overall);
     if (run.compression.ratio > best_ratio) {
       best_ratio = run.compression.ratio;
-      best = kind;
+      best = spec.Label();
     }
   }
-  std::printf("\nbest archival filter here: %s (%.2fx)\n",
-              FilterKindName(best).data(), best_ratio);
+  std::printf("\nbest archival filter here: %s (%.2fx)\n", best.c_str(),
+              best_ratio);
   return 0;
 }
 

@@ -12,7 +12,6 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/slide_filter.h"
 #include "datagen/correlated_walk.h"
 #include "eval/metrics.h"
 #include "eval/runner.h"
@@ -35,7 +34,7 @@ Signal Column(const Signal& signal, size_t dim) {
 }
 
 double JointRatio(const Signal& signal) {
-  const auto run = RunFilter(FilterKind::kSlide,
+  const auto run = RunFilter(FilterSpec{.family = "slide"},
                              FilterOptions::Uniform(kMetrics, kEpsilon),
                              signal)
                        .value();
@@ -45,7 +44,7 @@ double JointRatio(const Signal& signal) {
 double IndependentAdjustedRatio(const Signal& signal) {
   double sum = 0.0;
   for (size_t dim = 0; dim < kMetrics; ++dim) {
-    const auto run = RunFilter(FilterKind::kSlide,
+    const auto run = RunFilter(FilterSpec{.family = "slide"},
                                FilterOptions::Scalar(kEpsilon),
                                Column(signal, dim))
                          .value();

@@ -1,28 +1,29 @@
 // Copyright (c) 2026 The plastream Authors. MIT license.
 //
-// End-to-end monitoring pipeline: a FilterBank ingests keyed metric
-// streams, the compressed segments land in per-stream SegmentStores, and a
-// "dashboard" answers range queries — value lookups, windowed aggregates,
-// and threshold-breach reports — directly from the compressed
-// representation, with the filter's ε as a hard accuracy bound.
+// End-to-end monitoring pipeline on the Pipeline facade: keyed metric
+// streams are ingested through spec-configured filters, cross the wire
+// codec, and land in per-stream SegmentStore archives; a "dashboard"
+// answers range queries — value lookups, windowed aggregates, and
+// threshold-breach reports — directly from the compressed representation,
+// with the filter's ε as a hard accuracy bound.
 //
-//   $ ./build/examples/monitoring_dashboard
+// The whole collector is the Builder call below: per-key precision
+// profiles come from spec strings, so retuning a deployment is a config
+// change, not a recompile.
+//
+//   $ ./build/monitoring_dashboard
 
 #include <cstdio>
 #include <map>
 #include <string>
 
-#include "core/segment_store.h"
-#include "core/slide_filter.h"
 #include "datagen/random_walk.h"
-#include "eval/runner.h"
-#include "stream/filter_bank.h"
+#include "plastream.h"
 
 using namespace plastream;
 
 namespace {
 
-constexpr double kEpsilon = 0.5;  // metric units
 constexpr size_t kSamples = 20000;
 
 Signal HostMetric(uint64_t seed, double base, double jitter) {
@@ -38,11 +39,14 @@ Signal HostMetric(uint64_t seed, double base, double jitter) {
 }  // namespace
 
 int main() {
-  // --- ingestion ---------------------------------------------------------
-  FilterBank bank([](std::string_view) -> Result<std::unique_ptr<Filter>> {
-    return MakeFilter(FilterKind::kSlide, FilterOptions::Scalar(kEpsilon));
-  });
+  // --- the whole collector -----------------------------------------------
+  auto pipeline = Pipeline::Builder()
+                      .DefaultSpec("slide(eps=0.5)")
+                      .PerKeySpec("db-1.iops", "slide(eps=2)")
+                      .Build()
+                      .value();
 
+  // --- ingestion ---------------------------------------------------------
   const std::map<std::string, Signal> raw{
       {"web-1.cpu", HostMetric(11, 35.0, 0.8)},
       {"web-2.cpu", HostMetric(12, 30.0, 0.7)},
@@ -50,32 +54,31 @@ int main() {
   };
   for (size_t j = 0; j < kSamples; ++j) {
     for (const auto& [key, signal] : raw) {
-      if (!bank.Append(key, signal.points[j]).ok()) return 1;
+      if (!pipeline->Append(key, signal.points[j]).ok()) return 1;
     }
   }
-  (void)bank.FinishAll();
+  (void)pipeline->Finish();
 
-  const auto stats = bank.Stats();
-  std::printf("ingested %zu points across %zu streams -> %zu segments\n\n",
-              stats.points, stats.streams, stats.segments);
+  const auto stats = pipeline->Stats();
+  std::printf("ingested %zu points across %zu streams -> %zu segments, "
+              "%zu bytes on the wire (%.1fx fewer than raw)\n\n",
+              stats.points, stats.streams, stats.segments, stats.bytes_sent,
+              static_cast<double>(stats.bytes_raw) /
+                  static_cast<double>(stats.bytes_sent));
 
-  // --- archive -----------------------------------------------------------
-  std::map<std::string, SegmentStore> archive;
-  for (const std::string& key : bank.Keys()) {
-    auto [it, inserted] = archive.emplace(key, SegmentStore(1));
-    (void)it->second.AppendAll(bank.TakeSegments(key).value());
+  for (const std::string& key : pipeline->Keys()) {
+    const SegmentStore* store = pipeline->Store(key);
     std::printf("%-10s %6zu segments for %zu samples (%.1fx fewer "
                 "objects)\n",
-                key.c_str(), it->second.segment_count(), kSamples,
+                key.c_str(), store->segment_count(), kSamples,
                 static_cast<double>(kSamples) /
-                    static_cast<double>(it->second.segment_count()));
+                    static_cast<double>(store->segment_count()));
   }
 
   // --- dashboard queries --------------------------------------------------
-  std::printf("\ndashboard (every answer within +/-%.2f of the raw "
-              "signal):\n",
-              kEpsilon);
-  const SegmentStore& web1 = archive.at("web-1.cpu");
+  std::printf("\ndashboard (every answer within the stream's +/-eps of the "
+              "raw signal):\n");
+  const SegmentStore& web1 = *pipeline->Store("web-1.cpu");
   std::printf("  web-1.cpu @ t=12345: %.2f\n",
               web1.ValueAt(12345.0, 0).value());
   const auto hour = web1.Aggregate(6000.0, 9600.0, 0).value();
@@ -83,7 +86,7 @@ int main() {
               "max %.2f (from %zu segments)\n",
               hour.mean, hour.min, hour.max, hour.segments_touched);
 
-  const auto& db = archive.at("db-1.iops");
+  const SegmentStore& db = *pipeline->Store("db-1.iops");
   const auto full = db.Aggregate(db.t_min(), db.t_max(), 0).value();
   const double alert = full.mean + 6.0;
   const auto breaches =

@@ -3,19 +3,18 @@
 // Quickstart: compress a signal with an error bound, inspect the output,
 // and query the reconstruction.
 //
-//   $ ./build/examples/quickstart
+//   $ ./build/quickstart
 //
 // The three steps below are the whole public API surface most users need:
-//  1. create a filter with per-dimension precision widths,
+//  1. create a filter from a spec string ("slide(eps=0.05)"),
 //  2. Append points in time order and Finish,
 //  3. rebuild a queryable function from the emitted segments.
 
 #include <cstdio>
 
-#include "core/reconstruction.h"
-#include "core/slide_filter.h"
 #include "datagen/sea_surface.h"
 #include "eval/metrics.h"
+#include "plastream.h"
 
 using namespace plastream;
 
@@ -27,9 +26,10 @@ int main() {
               signal.Range(0));
 
   // 1. A slide filter guaranteeing every sample is reproduced within
-  //    0.05 C. Swing/linear/cache filters share the same interface.
+  //    0.05 C. Every family works the same way: swap the spec string for
+  //    "swing(eps=0.05)", "cache(eps=0.05,mode=midrange)", ...
   const double epsilon = 0.05;
-  auto filter = SlideFilter::Create(FilterOptions::Scalar(epsilon)).value();
+  auto filter = MakeFilter("slide(eps=0.05)").value();
 
   // 2. Stream the points through.
   for (const DataPoint& point : signal.points) {

@@ -6,18 +6,19 @@
 // channel to a base station, with a bounded transmitter lag so the base
 // station's view is never more than `kMaxLag` samples stale.
 //
-//   $ ./build/examples/sensor_network
+// The Pipeline facade stands in for the whole deployment: one key per
+// sensor, the lag bound carried in the spec string, the radio budget read
+// off the pipeline's byte accounting.
+//
+//   $ ./build/sensor_network
 
 #include <cstdio>
-#include <memory>
+#include <string>
 #include <vector>
 
-#include "core/swing_filter.h"
 #include "datagen/random_walk.h"
 #include "eval/metrics.h"
-#include "stream/channel.h"
-#include "stream/receiver.h"
-#include "stream/transmitter.h"
+#include "plastream.h"
 
 using namespace plastream;
 
@@ -28,19 +29,13 @@ constexpr size_t kSamples = 5000;
 constexpr double kEpsilon = 0.25;  // degrees
 constexpr size_t kMaxLag = 32;     // samples the base station may lag
 
-struct Sensor {
-  Signal signal;
-  Channel channel;
-  std::unique_ptr<Transmitter> transmitter;
-  std::unique_ptr<SwingFilter> filter;
-  Receiver receiver;
-};
+std::string SensorKey(size_t s) { return "sensor-" + std::to_string(s); }
 
 }  // namespace
 
 int main() {
   // Each sensor observes a smooth temperature-like drift.
-  std::vector<Sensor> sensors(kSensors);
+  std::vector<Signal> signals(kSensors);
   for (size_t s = 0; s < kSensors; ++s) {
     RandomWalkOptions o;
     o.count = kSamples;
@@ -48,53 +43,47 @@ int main() {
     o.max_delta = 0.2;
     o.x0 = 15.0 + static_cast<double>(s);
     o.seed = 500 + s;
-    sensors[s].signal = *GenerateRandomWalk(o);
-    sensors[s].transmitter =
-        std::make_unique<Transmitter>(&sensors[s].channel);
-    FilterOptions options = FilterOptions::Scalar(kEpsilon);
-    options.max_lag = kMaxLag;
-    sensors[s].filter =
-        SwingFilter::Create(options, sensors[s].transmitter.get()).value();
+    signals[s] = *GenerateRandomWalk(o);
   }
 
-  // Drive all sensors sample-by-sample; the base station polls as data
-  // arrives (here: every tick).
+  // The whole field behind one collector: every sensor gets a swing filter
+  // with the lag bound baked into the default spec.
+  auto pipeline = Pipeline::Builder()
+                      .DefaultSpec("swing(eps=0.25,max_lag=32)")
+                      .Build()
+                      .value();
+
+  // Drive all sensors sample-by-sample; the pipeline's receivers decode as
+  // data arrives (every Append drains the sensor's channel).
   for (size_t j = 0; j < kSamples; ++j) {
-    for (Sensor& sensor : sensors) {
-      (void)sensor.filter->Append(sensor.signal.points[j]);
-      (void)sensor.receiver.Poll(&sensor.channel);
+    for (size_t s = 0; s < kSensors; ++s) {
+      (void)pipeline->Append(SensorKey(s), signals[s].points[j]);
     }
   }
-  for (Sensor& sensor : sensors) {
-    (void)sensor.filter->Finish();
-    (void)sensor.receiver.Poll(&sensor.channel);
-    (void)sensor.receiver.FinishStream();
-  }
+  (void)pipeline->Finish();
 
-  std::printf("%-8s %10s %12s %12s %10s\n", "sensor", "samples",
+  std::printf("%-10s %10s %12s %12s %10s\n", "sensor", "samples",
               "raw bytes", "sent bytes", "saved");
-  size_t total_raw = 0, total_sent = 0;
+  // Raw cost: one (t, x) pair of doubles per sample.
+  const size_t raw_bytes = kSamples * 2 * sizeof(double);
+  const auto stats = pipeline->Stats();
   for (size_t s = 0; s < kSensors; ++s) {
-    // Raw cost: one (t, x) pair of doubles per sample.
-    const size_t raw_bytes = kSamples * 2 * sizeof(double);
-    const size_t sent_bytes = sensors[s].channel.bytes_sent();
-    total_raw += raw_bytes;
-    total_sent += sent_bytes;
-    std::printf("%-8zu %10zu %12zu %12zu %9.1f%%\n", s, kSamples, raw_bytes,
-                sent_bytes,
+    const size_t sent_bytes = pipeline->StatsFor(SensorKey(s))->bytes_sent;
+    std::printf("%-10s %10zu %12zu %12zu %9.1f%%\n", SensorKey(s).c_str(),
+                kSamples, raw_bytes, sent_bytes,
                 100.0 * (1.0 - static_cast<double>(sent_bytes) /
                                    static_cast<double>(raw_bytes)));
   }
   std::printf("fleet: %.1f%% of the radio budget saved (%zu -> %zu bytes)\n",
-              100.0 * (1.0 - static_cast<double>(total_sent) /
-                                 static_cast<double>(total_raw)),
-              total_raw, total_sent);
+              100.0 * (1.0 - static_cast<double>(stats.bytes_sent) /
+                                 static_cast<double>(stats.bytes_raw)),
+              stats.bytes_raw, stats.bytes_sent);
 
   // The base station's reconstruction honors the precision contract.
   for (size_t s = 0; s < kSensors; ++s) {
-    const auto approx = sensors[s].receiver.Reconstruction().value();
+    const auto approx = pipeline->Reconstruction(SensorKey(s)).value();
     const std::vector<double> eps{kEpsilon};
-    const Status ok = VerifyPrecision(sensors[s].signal, approx, eps);
+    const Status ok = VerifyPrecision(signals[s], approx, eps);
     if (!ok.ok()) {
       std::fprintf(stderr, "sensor %zu: %s\n", s, ok.ToString().c_str());
       return 1;

@@ -3,6 +3,9 @@
 #include "core/cache_filter.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "core/filter_registry.h"
 
 namespace plastream {
 
@@ -111,6 +114,32 @@ Status CacheFilter::AppendValidated(const DataPoint& point) {
 Status CacheFilter::FinishImpl() {
   if (interval_open_) CloseInterval();
   return Status::OK();
+}
+
+void RegisterCacheFilterFamily(FilterRegistry& registry) {
+  (void)registry.Register(
+      "cache",
+      [](const FilterSpec& spec,
+         SegmentSink* sink) -> Result<std::unique_ptr<Filter>> {
+        PLASTREAM_RETURN_NOT_OK(spec.ExpectParamsIn({"mode"}));
+        CacheValueMode mode = CacheValueMode::kFirst;
+        if (const std::string* value = spec.FindParam("mode")) {
+          if (*value == "first") {
+            mode = CacheValueMode::kFirst;
+          } else if (*value == "midrange") {
+            mode = CacheValueMode::kMidrange;
+          } else if (*value == "mean") {
+            mode = CacheValueMode::kMean;
+          } else {
+            return Status::InvalidArgument(
+                "cache mode must be first|midrange|mean, got '" + *value +
+                "'");
+          }
+        }
+        PLASTREAM_ASSIGN_OR_RETURN(
+            auto filter, CacheFilter::Create(spec.options, mode, sink));
+        return std::unique_ptr<Filter>(std::move(filter));
+      });
 }
 
 }  // namespace plastream

@@ -75,6 +75,13 @@ void Filter::Emit(Segment segment) {
   ++segments_emitted_;
 }
 
+std::optional<double> Filter::Counter(std::string_view name) const {
+  for (const FilterCounter& counter : Counters()) {
+    if (counter.name == name) return counter.value;
+  }
+  return std::nullopt;
+}
+
 void Filter::EmitProvisional(ProvisionalLine line) {
   extra_recordings_ += line.recording_cost;
   if (sink_ != nullptr) sink_->OnProvisionalLine(line);

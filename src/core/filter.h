@@ -11,6 +11,8 @@
 #define PLASTREAM_CORE_FILTER_H_
 
 #include <cstddef>
+#include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -43,6 +45,16 @@ struct FilterOptions {
   }
   /// Convenience factory for 1-dimensional streams.
   static FilterOptions Scalar(double eps) { return Uniform(1, eps); }
+
+  bool operator==(const FilterOptions&) const = default;
+};
+
+/// One named diagnostic counter exposed by a filter (see
+/// Filter::Counters()). Values are doubles so a single type covers counts
+/// and measurements.
+struct FilterCounter {
+  std::string name;
+  double value = 0.0;
 };
 
 /// Validates a FilterOptions instance (dimensionality >= 1, finite
@@ -107,6 +119,16 @@ class Filter {
 
   /// True once Finish() has run.
   bool finished() const { return finished_; }
+
+  /// Family-specific diagnostic counters ("connected_junctions",
+  /// "max_hull_vertices", ...) beyond the universal accessors above, so
+  /// callers holding only a Filter* — ablation benches, dashboards — can
+  /// read them without downcasting. Base filters expose none.
+  virtual std::vector<FilterCounter> Counters() const { return {}; }
+
+  /// The value of the named counter, or nullopt when the family does not
+  /// expose it.
+  std::optional<double> Counter(std::string_view name) const;
 
  protected:
   /// Core per-point logic; input is already validated.

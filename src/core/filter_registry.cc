@@ -1,0 +1,89 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "core/filter_registry.h"
+
+#include <utility>
+
+namespace plastream {
+
+FilterRegistry& FilterRegistry::Global() {
+  static FilterRegistry* registry = [] {
+    auto* r = new FilterRegistry();
+    RegisterBuiltinFilterFamilies(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status FilterRegistry::Register(std::string family, Factory factory) {
+  if (family.empty()) {
+    return Status::InvalidArgument("filter family name is empty");
+  }
+  if (factory == nullptr) {
+    return Status::InvalidArgument("filter factory for '" + family +
+                                   "' is null");
+  }
+  const auto [it, inserted] =
+      factories_.emplace(std::move(family), std::move(factory));
+  if (!inserted) {
+    return Status::FailedPrecondition("filter family '" + it->first +
+                                      "' is already registered");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Filter>> FilterRegistry::MakeFilter(
+    const FilterSpec& spec, SegmentSink* sink) const {
+  const auto it = factories_.find(spec.family);
+  if (it == factories_.end()) {
+    std::string known;
+    for (const auto& [name, factory] : factories_) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    return Status::NotFound("unknown filter family '" + spec.family +
+                            "' (registered: " + known + ")");
+  }
+  // Shared validation ahead of the family factory: every family rejects
+  // NaN/negative ε and zero-dimension configs with the same error.
+  PLASTREAM_RETURN_NOT_OK(ValidateFilterOptions(spec.options));
+  PLASTREAM_ASSIGN_OR_RETURN(auto filter, it->second(spec, sink));
+  if (filter == nullptr) {
+    return Status::Internal("factory for filter family '" + spec.family +
+                            "' returned null");
+  }
+  return filter;
+}
+
+std::vector<std::string> FilterRegistry::ListFamilies() const {
+  std::vector<std::string> families;
+  families.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) families.push_back(name);
+  return families;
+}
+
+bool FilterRegistry::Contains(std::string_view family) const {
+  return factories_.find(family) != factories_.end();
+}
+
+void RegisterBuiltinFilterFamilies(FilterRegistry& registry) {
+  RegisterCacheFilterFamily(registry);
+  RegisterLinearFilterFamily(registry);
+  RegisterSwingFilterFamily(registry);
+  RegisterSlideFilterFamily(registry);
+  RegisterKalmanFilterFamily(registry);
+}
+
+Result<std::unique_ptr<Filter>> MakeFilter(const FilterSpec& spec,
+                                           SegmentSink* sink) {
+  return FilterRegistry::Global().MakeFilter(spec, sink);
+}
+
+Result<std::unique_ptr<Filter>> MakeFilter(std::string_view spec_text,
+                                           SegmentSink* sink) {
+  PLASTREAM_ASSIGN_OR_RETURN(const FilterSpec spec,
+                             FilterSpec::Parse(spec_text));
+  return FilterRegistry::Global().MakeFilter(spec, sink);
+}
+
+}  // namespace plastream

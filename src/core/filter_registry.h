@@ -1,0 +1,94 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// FilterRegistry: the factory seam between FilterSpec strings and concrete
+// filter families. Each family registers a factory that interprets its
+// spec parameters; callers construct filters by spec alone and never name a
+// concrete class:
+//
+//   auto filter = MakeFilter("slide(eps=0.05,hull=binary)").value();
+//
+// User-defined families plug in through Register() — either on the global
+// registry or on a private one — and immediately work everywhere specs are
+// accepted (eval runner, FilterBank factories, the Pipeline facade).
+
+#ifndef PLASTREAM_CORE_FILTER_REGISTRY_H_
+#define PLASTREAM_CORE_FILTER_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/filter.h"
+#include "core/filter_spec.h"
+
+namespace plastream {
+
+/// Maps family names to filter factories.
+///
+/// Registration is not thread-safe; register families during startup.
+/// MakeFilter/ListFamilies are const and safe to call concurrently once
+/// registration has finished.
+class FilterRegistry {
+ public:
+  /// Builds a filter from a spec. The factory owns the interpretation of
+  /// `spec.params` and must reject unknown keys (FilterSpec::ExpectParamsIn).
+  using Factory = std::function<Result<std::unique_ptr<Filter>>(
+      const FilterSpec& spec, SegmentSink* sink)>;
+
+  /// An empty registry (no built-in families); see Global() and
+  /// RegisterBuiltinFilterFamilies().
+  FilterRegistry() = default;
+
+  /// The process-wide registry, with every built-in family pre-registered.
+  static FilterRegistry& Global();
+
+  /// Adds a family. Errors with FailedPrecondition when the name is taken
+  /// and InvalidArgument for an empty name or null factory.
+  Status Register(std::string family, Factory factory);
+
+  /// Instantiates `spec.family` with `spec.options` and `spec.params`.
+  /// The options are validated (ValidateFilterOptions) before the family
+  /// factory runs, so every family rejects NaN/negative ε and
+  /// zero-dimension configs identically. Errors with NotFound for an
+  /// unregistered family. `sink` may be null; it is borrowed by the filter.
+  Result<std::unique_ptr<Filter>> MakeFilter(const FilterSpec& spec,
+                                             SegmentSink* sink = nullptr) const;
+
+  /// Registered family names, sorted.
+  std::vector<std::string> ListFamilies() const;
+
+  /// True when the family is registered.
+  bool Contains(std::string_view family) const;
+
+ private:
+  std::map<std::string, Factory, std::less<>> factories_;
+};
+
+/// Registers one built-in family on `registry`. Each function is defined in
+/// its family's own .cc file, so the spec-parameter parsing lives with the
+/// implementation it configures.
+void RegisterCacheFilterFamily(FilterRegistry& registry);
+void RegisterLinearFilterFamily(FilterRegistry& registry);
+void RegisterSwingFilterFamily(FilterRegistry& registry);
+void RegisterSlideFilterFamily(FilterRegistry& registry);
+void RegisterKalmanFilterFamily(FilterRegistry& registry);
+
+/// Registers every built-in family. Global() has already done this; call it
+/// on private registries that should start from the built-in set.
+void RegisterBuiltinFilterFamilies(FilterRegistry& registry);
+
+/// Builds a filter from a spec via the global registry.
+Result<std::unique_ptr<Filter>> MakeFilter(const FilterSpec& spec,
+                                           SegmentSink* sink = nullptr);
+
+/// Parses `spec_text` and builds the filter via the global registry.
+Result<std::unique_ptr<Filter>> MakeFilter(std::string_view spec_text,
+                                           SegmentSink* sink = nullptr);
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_CORE_FILTER_REGISTRY_H_

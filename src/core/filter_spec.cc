@@ -1,0 +1,205 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "core/filter_spec.h"
+
+#include <charconv>
+#include <cstdint>
+
+#include "common/str_util.h"
+
+namespace plastream {
+
+namespace {
+
+// Shortest decimal form that parses back to exactly `value`
+// (std::to_chars without a precision argument guarantees round-tripping).
+std::string FormatDoubleExact(double value) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  return ec == std::errc() ? std::string(buf, ptr) : std::string("0");
+}
+
+bool IsValidFamilyName(std::string_view name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' ||
+                    c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool ParseSize(std::string_view text, size_t* out) {
+  const std::string_view trimmed = TrimWhitespace(text);
+  if (trimmed.empty()) return false;
+  uint64_t value = 0;
+  const char* first = trimmed.data();
+  const char* last = trimmed.data() + trimmed.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) return false;
+  *out = static_cast<size_t>(value);
+  return true;
+}
+
+Status Malformed(std::string_view text, std::string why) {
+  return Status::InvalidArgument("malformed filter spec '" +
+                                 std::string(text) + "': " + std::move(why));
+}
+
+}  // namespace
+
+Result<FilterSpec> FilterSpec::Parse(std::string_view text) {
+  const std::string_view trimmed = TrimWhitespace(text);
+  FilterSpec spec;
+
+  std::string_view arglist;
+  const size_t open = trimmed.find('(');
+  if (open == std::string_view::npos) {
+    spec.family = std::string(trimmed);
+  } else {
+    if (trimmed.back() != ')') {
+      return Malformed(text, "missing closing ')'");
+    }
+    spec.family = std::string(TrimWhitespace(trimmed.substr(0, open)));
+    arglist = trimmed.substr(open + 1, trimmed.size() - open - 2);
+    if (arglist.find('(') != std::string_view::npos ||
+        arglist.find(')') != std::string_view::npos) {
+      return Malformed(text, "nested parentheses");
+    }
+  }
+  if (!IsValidFamilyName(spec.family)) {
+    return Malformed(text, "bad family name '" + spec.family + "'");
+  }
+
+  bool have_eps = false;
+  bool have_dims = false;
+  bool have_max_lag = false;
+  size_t dims = 0;
+  if (!TrimWhitespace(arglist).empty()) {
+    for (const std::string& arg : SplitString(arglist, ',')) {
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        return Malformed(text, "argument '" + std::string(TrimWhitespace(arg)) +
+                                   "' is not key=value");
+      }
+      const std::string key(TrimWhitespace(std::string_view(arg).substr(0, eq)));
+      const std::string value(
+          TrimWhitespace(std::string_view(arg).substr(eq + 1)));
+      if (key.empty()) return Malformed(text, "empty key");
+      if (value.empty()) return Malformed(text, "empty value for '" + key + "'");
+
+      if (key == "eps") {
+        if (have_eps) return Malformed(text, "duplicate key 'eps'");
+        have_eps = true;
+        for (const std::string& part : SplitString(value, ':')) {
+          double eps = 0.0;
+          if (!ParseDouble(part, &eps)) {
+            return Malformed(text, "bad eps value '" + part + "'");
+          }
+          spec.options.epsilon.push_back(eps);
+        }
+      } else if (key == "dims") {
+        if (have_dims) return Malformed(text, "duplicate key 'dims'");
+        have_dims = true;
+        if (!ParseSize(value, &dims) || dims == 0) {
+          return Malformed(text, "bad dims value '" + value + "'");
+        }
+      } else if (key == "max_lag") {
+        if (have_max_lag) return Malformed(text, "duplicate key 'max_lag'");
+        have_max_lag = true;
+        if (!ParseSize(value, &spec.options.max_lag)) {
+          return Malformed(text, "bad max_lag value '" + value + "'");
+        }
+      } else {
+        if (!spec.params.emplace(key, value).second) {
+          return Malformed(text, "duplicate key '" + key + "'");
+        }
+      }
+    }
+  }
+
+  if (have_dims) {
+    if (!have_eps) {
+      return Malformed(text, "'dims' requires 'eps'");
+    }
+    if (spec.options.epsilon.size() == 1) {
+      spec.options.epsilon.assign(dims, spec.options.epsilon[0]);
+    } else if (spec.options.epsilon.size() != dims) {
+      return Malformed(text, "'dims' contradicts the eps list length");
+    }
+  }
+  if (have_eps) {
+    PLASTREAM_RETURN_NOT_OK(ValidateFilterOptions(spec.options));
+  }
+  return spec;
+}
+
+std::string FilterSpec::Format() const {
+  std::string args;
+  const auto append_arg = [&args](std::string_view arg) {
+    if (!args.empty()) args += ',';
+    args += arg;
+  };
+
+  if (!options.epsilon.empty()) {
+    bool uniform = true;
+    for (const double eps : options.epsilon) {
+      uniform = uniform && eps == options.epsilon.front();
+    }
+    std::string eps_arg = "eps=";
+    if (uniform) {
+      eps_arg += FormatDoubleExact(options.epsilon.front());
+      append_arg(eps_arg);
+      if (options.epsilon.size() > 1) {
+        append_arg("dims=" + std::to_string(options.epsilon.size()));
+      }
+    } else {
+      for (size_t i = 0; i < options.epsilon.size(); ++i) {
+        if (i > 0) eps_arg += ':';
+        eps_arg += FormatDoubleExact(options.epsilon[i]);
+      }
+      append_arg(eps_arg);
+    }
+  }
+  if (options.max_lag != 0) {
+    append_arg("max_lag=" + std::to_string(options.max_lag));
+  }
+  for (const auto& [key, value] : params) {
+    append_arg(key + "=" + value);
+  }
+
+  return args.empty() ? family : family + "(" + args + ")";
+}
+
+std::string FilterSpec::Label() const {
+  std::string label = family;
+  for (const auto& [key, value] : params) {
+    label += '-';
+    label += value;
+  }
+  return label;
+}
+
+const std::string* FilterSpec::FindParam(std::string_view key) const {
+  const auto it = params.find(key);
+  return it == params.end() ? nullptr : &it->second;
+}
+
+Status FilterSpec::ExpectParamsIn(
+    std::initializer_list<std::string_view> allowed) const {
+  for (const auto& [key, value] : params) {
+    bool known = false;
+    for (const std::string_view candidate : allowed) {
+      known = known || key == candidate;
+    }
+    if (!known) {
+      return Status::InvalidArgument("filter family '" + family +
+                                     "' does not take a parameter '" + key +
+                                     "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace plastream

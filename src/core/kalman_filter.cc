@@ -3,6 +3,10 @@
 #include "core/kalman_filter.h"
 
 #include <cmath>
+#include <utility>
+
+#include "common/str_util.h"
+#include "core/filter_registry.h"
 
 namespace plastream {
 
@@ -130,6 +134,32 @@ Status KalmanFilter::AppendValidated(const DataPoint& point) {
 Status KalmanFilter::FinishImpl() {
   if (have_state_) EmitCurrent();
   return Status::OK();
+}
+
+void RegisterKalmanFilterFamily(FilterRegistry& registry) {
+  (void)registry.Register(
+      "kalman",
+      [](const FilterSpec& spec,
+         SegmentSink* sink) -> Result<std::unique_ptr<Filter>> {
+        PLASTREAM_RETURN_NOT_OK(
+            spec.ExpectParamsIn({"process_noise", "measurement_noise"}));
+        KalmanOptions kalman;
+        if (const std::string* value = spec.FindParam("process_noise")) {
+          if (!ParseDouble(*value, &kalman.process_noise)) {
+            return Status::InvalidArgument("bad process_noise '" + *value +
+                                           "'");
+          }
+        }
+        if (const std::string* value = spec.FindParam("measurement_noise")) {
+          if (!ParseDouble(*value, &kalman.measurement_noise)) {
+            return Status::InvalidArgument("bad measurement_noise '" + *value +
+                                           "'");
+          }
+        }
+        PLASTREAM_ASSIGN_OR_RETURN(
+            auto filter, KalmanFilter::Create(spec.options, kalman, sink));
+        return std::unique_ptr<Filter>(std::move(filter));
+      });
 }
 
 }  // namespace plastream

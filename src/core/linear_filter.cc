@@ -3,6 +3,9 @@
 #include "core/linear_filter.h"
 
 #include <cmath>
+#include <utility>
+
+#include "core/filter_registry.h"
 
 namespace plastream {
 
@@ -100,6 +103,30 @@ Status LinearFilter::AppendValidated(const DataPoint& point) {
 Status LinearFilter::FinishImpl() {
   if (have_anchor_) EmitCurrent(/*connected=*/anchor_is_shared_);
   return Status::OK();
+}
+
+void RegisterLinearFilterFamily(FilterRegistry& registry) {
+  (void)registry.Register(
+      "linear",
+      [](const FilterSpec& spec,
+         SegmentSink* sink) -> Result<std::unique_ptr<Filter>> {
+        PLASTREAM_RETURN_NOT_OK(spec.ExpectParamsIn({"mode"}));
+        LinearMode mode = LinearMode::kConnected;
+        if (const std::string* value = spec.FindParam("mode")) {
+          if (*value == "connected") {
+            mode = LinearMode::kConnected;
+          } else if (*value == "disconnected") {
+            mode = LinearMode::kDisconnected;
+          } else {
+            return Status::InvalidArgument(
+                "linear mode must be connected|disconnected, got '" + *value +
+                "'");
+          }
+        }
+        PLASTREAM_ASSIGN_OR_RETURN(
+            auto filter, LinearFilter::Create(spec.options, mode, sink));
+        return std::unique_ptr<Filter>(std::move(filter));
+      });
 }
 
 }  // namespace plastream

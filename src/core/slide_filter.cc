@@ -9,6 +9,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
+
+#include "core/filter_registry.h"
 
 #include "geometry/tangent.h"
 
@@ -711,6 +714,58 @@ Status SlideFilter::FinishImpl() {
   Emit(std::move(seg));
   cur_.open = false;
   return Status::OK();
+}
+
+std::vector<FilterCounter> SlideFilter::Counters() const {
+  return {
+      {"connected_junctions", static_cast<double>(connected_junctions_)},
+      {"pinning_fallbacks", static_cast<double>(pinning_fallbacks_)},
+      {"max_hull_vertices", static_cast<double>(max_hull_vertices_)},
+      {"unreported_points", static_cast<double>(unreported_points())},
+  };
+}
+
+void RegisterSlideFilterFamily(FilterRegistry& registry) {
+  (void)registry.Register(
+      "slide",
+      [](const FilterSpec& spec,
+         SegmentSink* sink) -> Result<std::unique_ptr<Filter>> {
+        PLASTREAM_RETURN_NOT_OK(spec.ExpectParamsIn({"hull", "junction"}));
+        SlideHullMode mode = SlideHullMode::kConvexHull;
+        if (const std::string* value = spec.FindParam("hull")) {
+          if (*value == "convex") {
+            mode = SlideHullMode::kConvexHull;
+          } else if (*value == "binary") {
+            mode = SlideHullMode::kChainBinary;
+          } else if (*value == "allpoints") {
+            mode = SlideHullMode::kAllPoints;
+          } else {
+            return Status::InvalidArgument(
+                "slide hull must be convex|binary|allpoints, got '" + *value +
+                "'");
+          }
+        }
+        SlideJunctionPolicy junction = SlideJunctionPolicy::kTailAndGap;
+        if (const std::string* value = spec.FindParam("junction")) {
+          if (*value == "tail+gap") {
+            junction = SlideJunctionPolicy::kTailAndGap;
+          } else if (*value == "tail") {
+            junction = SlideJunctionPolicy::kTailOnly;
+          } else if (*value == "gap") {
+            junction = SlideJunctionPolicy::kGapOnly;
+          } else if (*value == "none") {
+            junction = SlideJunctionPolicy::kDisabled;
+          } else {
+            return Status::InvalidArgument(
+                "slide junction must be tail+gap|tail|gap|none, got '" +
+                *value + "'");
+          }
+        }
+        PLASTREAM_ASSIGN_OR_RETURN(
+            auto filter,
+            SlideFilter::Create(spec.options, mode, sink, junction));
+        return std::unique_ptr<Filter>(std::move(filter));
+      });
 }
 
 }  // namespace plastream

@@ -98,6 +98,9 @@ class SlideFilter : public Filter {
   /// (the paper's m_H; near-constant per Figure 13's discussion).
   size_t max_hull_vertices() const { return max_hull_vertices_; }
 
+  /// The accessors above as named counters, readable through a Filter*.
+  std::vector<FilterCounter> Counters() const override;
+
  protected:
   Status AppendValidated(const DataPoint& point) override;
   Status FinishImpl() override;

@@ -4,6 +4,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+
+#include "core/filter_registry.h"
 
 namespace plastream {
 
@@ -190,6 +193,18 @@ Status SwingFilter::FinishImpl() {
   }
   CloseInterval();
   return Status::OK();
+}
+
+void RegisterSwingFilterFamily(FilterRegistry& registry) {
+  (void)registry.Register(
+      "swing",
+      [](const FilterSpec& spec,
+         SegmentSink* sink) -> Result<std::unique_ptr<Filter>> {
+        PLASTREAM_RETURN_NOT_OK(spec.ExpectParamsIn({}));
+        PLASTREAM_ASSIGN_OR_RETURN(auto filter,
+                                   SwingFilter::Create(spec.options, sink));
+        return std::unique_ptr<Filter>(std::move(filter));
+      });
 }
 
 }  // namespace plastream

@@ -38,6 +38,11 @@ class SwingFilter : public Filter {
   /// configured; purely informational when max_lag == 0.
   size_t unreported_points() const { return unreported_; }
 
+  /// unreported_points as a named counter, readable through a Filter*.
+  std::vector<FilterCounter> Counters() const override {
+    return {{"unreported_points", static_cast<double>(unreported_)}};
+  }
+
  protected:
   Status AppendValidated(const DataPoint& point) override;
   Status FinishImpl() override;

@@ -3,130 +3,51 @@
 #include "eval/runner.h"
 
 #include <chrono>
+#include <utility>
 
-#include "core/cache_filter.h"
-#include "core/kalman_filter.h"
-#include "core/linear_filter.h"
-#include "core/slide_filter.h"
-#include "core/swing_filter.h"
+#include "core/reconstruction.h"
 
 namespace plastream {
 
-std::vector<FilterKind> AllFilterKinds() {
-  return {FilterKind::kCache,
-          FilterKind::kCacheMidrange,
-          FilterKind::kCacheMean,
-          FilterKind::kLinear,
-          FilterKind::kLinearDisconnected,
-          FilterKind::kSwing,
-          FilterKind::kSlide,
-          FilterKind::kSlideNonOptimized,
-          FilterKind::kSlideChainBinary,
-          FilterKind::kKalman};
-}
+namespace {
 
-std::vector<FilterKind> PaperFilterKinds() {
-  return {FilterKind::kCache, FilterKind::kLinear, FilterKind::kSwing,
-          FilterKind::kSlide};
-}
-
-std::string_view FilterKindName(FilterKind kind) {
-  switch (kind) {
-    case FilterKind::kCache:
-      return "cache";
-    case FilterKind::kCacheMidrange:
-      return "cache-midrange";
-    case FilterKind::kCacheMean:
-      return "cache-mean";
-    case FilterKind::kLinear:
-      return "linear";
-    case FilterKind::kLinearDisconnected:
-      return "linear-disc";
-    case FilterKind::kSwing:
-      return "swing";
-    case FilterKind::kSlide:
-      return "slide";
-    case FilterKind::kSlideNonOptimized:
-      return "slide-nonopt";
-    case FilterKind::kSlideChainBinary:
-      return "slide-binary";
-    case FilterKind::kKalman:
-      return "kalman";
+FilterSpec Variant(std::string family,
+                   std::initializer_list<std::pair<const char*, const char*>>
+                       params = {}) {
+  FilterSpec spec;
+  spec.family = std::move(family);
+  for (const auto& [key, value] : params) {
+    spec.params.emplace(key, value);
   }
-  return "unknown";
+  return spec;
 }
 
-Result<std::unique_ptr<Filter>> MakeFilter(FilterKind kind,
-                                           FilterOptions options,
-                                           SegmentSink* sink) {
-  switch (kind) {
-    case FilterKind::kCache: {
-      PLASTREAM_ASSIGN_OR_RETURN(
-          auto f, CacheFilter::Create(std::move(options),
-                                      CacheValueMode::kFirst, sink));
-      return std::unique_ptr<Filter>(std::move(f));
-    }
-    case FilterKind::kCacheMidrange: {
-      PLASTREAM_ASSIGN_OR_RETURN(
-          auto f, CacheFilter::Create(std::move(options),
-                                      CacheValueMode::kMidrange, sink));
-      return std::unique_ptr<Filter>(std::move(f));
-    }
-    case FilterKind::kCacheMean: {
-      PLASTREAM_ASSIGN_OR_RETURN(
-          auto f, CacheFilter::Create(std::move(options),
-                                      CacheValueMode::kMean, sink));
-      return std::unique_ptr<Filter>(std::move(f));
-    }
-    case FilterKind::kLinear: {
-      PLASTREAM_ASSIGN_OR_RETURN(
-          auto f, LinearFilter::Create(std::move(options),
-                                       LinearMode::kConnected, sink));
-      return std::unique_ptr<Filter>(std::move(f));
-    }
-    case FilterKind::kLinearDisconnected: {
-      PLASTREAM_ASSIGN_OR_RETURN(
-          auto f, LinearFilter::Create(std::move(options),
-                                       LinearMode::kDisconnected, sink));
-      return std::unique_ptr<Filter>(std::move(f));
-    }
-    case FilterKind::kSwing: {
-      PLASTREAM_ASSIGN_OR_RETURN(auto f,
-                                 SwingFilter::Create(std::move(options), sink));
-      return std::unique_ptr<Filter>(std::move(f));
-    }
-    case FilterKind::kSlide: {
-      PLASTREAM_ASSIGN_OR_RETURN(
-          auto f, SlideFilter::Create(std::move(options),
-                                      SlideHullMode::kConvexHull, sink));
-      return std::unique_ptr<Filter>(std::move(f));
-    }
-    case FilterKind::kSlideNonOptimized: {
-      PLASTREAM_ASSIGN_OR_RETURN(
-          auto f, SlideFilter::Create(std::move(options),
-                                      SlideHullMode::kAllPoints, sink));
-      return std::unique_ptr<Filter>(std::move(f));
-    }
-    case FilterKind::kSlideChainBinary: {
-      PLASTREAM_ASSIGN_OR_RETURN(
-          auto f, SlideFilter::Create(std::move(options),
-                                      SlideHullMode::kChainBinary, sink));
-      return std::unique_ptr<Filter>(std::move(f));
-    }
-    case FilterKind::kKalman: {
-      PLASTREAM_ASSIGN_OR_RETURN(
-          auto f, KalmanFilter::Create(std::move(options), KalmanOptions{},
-                                       sink));
-      return std::unique_ptr<Filter>(std::move(f));
-    }
-  }
-  return Status::InvalidArgument("unknown filter kind");
+}  // namespace
+
+std::vector<FilterSpec> AllFilterVariants() {
+  return {
+      Variant("cache"),
+      Variant("cache", {{"mode", "midrange"}}),
+      Variant("cache", {{"mode", "mean"}}),
+      Variant("linear"),
+      Variant("linear", {{"mode", "disconnected"}}),
+      Variant("swing"),
+      Variant("slide"),
+      Variant("slide", {{"hull", "allpoints"}}),
+      Variant("slide", {{"hull", "binary"}}),
+      Variant("kalman"),
+  };
 }
 
-Result<RunResult> RunFilter(FilterKind kind, const FilterOptions& options,
-                            const Signal& signal, bool verify_precision) {
+std::vector<FilterSpec> PaperFilterVariants() {
+  return {Variant("cache"), Variant("linear"), Variant("swing"),
+          Variant("slide")};
+}
+
+Result<RunResult> RunFilter(const FilterSpec& spec, const Signal& signal,
+                            bool verify_precision) {
   PLASTREAM_RETURN_NOT_OK(signal.Validate());
-  PLASTREAM_ASSIGN_OR_RETURN(auto filter, MakeFilter(kind, options));
+  PLASTREAM_ASSIGN_OR_RETURN(auto filter, MakeFilter(spec));
 
   const auto start = std::chrono::steady_clock::now();
   for (const DataPoint& p : signal.points) {
@@ -136,7 +57,7 @@ Result<RunResult> RunFilter(FilterKind kind, const FilterOptions& options,
   const auto stop = std::chrono::steady_clock::now();
 
   RunResult result;
-  result.kind = kind;
+  result.spec = spec;
   result.segments = filter->TakeSegments();
   result.filter_seconds =
       std::chrono::duration<double>(stop - start).count();
@@ -149,9 +70,17 @@ Result<RunResult> RunFilter(FilterKind kind, const FilterOptions& options,
   PLASTREAM_ASSIGN_OR_RETURN(result.error, ComputeError(signal, approx));
   if (verify_precision) {
     PLASTREAM_RETURN_NOT_OK(
-        VerifyPrecision(signal, approx, options.epsilon));
+        VerifyPrecision(signal, approx, spec.options.epsilon));
   }
   return result;
+}
+
+Result<RunResult> RunFilter(const FilterSpec& spec,
+                            const FilterOptions& options, const Signal& signal,
+                            bool verify_precision) {
+  FilterSpec configured = spec;
+  configured.options = options;
+  return RunFilter(configured, signal, verify_precision);
 }
 
 }  // namespace plastream

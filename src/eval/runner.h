@@ -3,52 +3,35 @@
 // Experiment runner: one call drives a filter over a signal and returns
 // everything Section 5 reports — compression, errors, timing, and the
 // segments themselves. Every figure bench is a thin loop around RunFilter.
+//
+// Filters are selected by FilterSpec (see core/filter_spec.h), never by
+// concrete class: adding a family to the registry makes it runnable here
+// with no changes.
 
 #ifndef PLASTREAM_EVAL_RUNNER_H_
 #define PLASTREAM_EVAL_RUNNER_H_
 
-#include <memory>
-#include <string_view>
 #include <vector>
 
 #include "common/result.h"
-#include "core/filter.h"
+#include "core/filter_registry.h"
+#include "core/filter_spec.h"
 #include "datagen/signal.h"
 #include "eval/metrics.h"
 
 namespace plastream {
 
-/// Filter families (and variants) the experiments compare.
-enum class FilterKind {
-  kCache,             // Section 2.2, first-value variant [21]
-  kCacheMidrange,     // [18] optimal piece-wise constant
-  kCacheMean,         // [18] mean variant
-  kLinear,            // Section 2.2, connected segments
-  kLinearDisconnected,
-  kSwing,             // Section 3
-  kSlide,             // Section 4, convex-hull optimized
-  kSlideNonOptimized, // Section 4 without Lemma 4.3 (Figure 13)
-  kSlideChainBinary,  // Section 4 with binary tangent search [6]
-  kKalman,            // related-work baseline [15] (Jain et al.), error-gated
-};
-
-/// All kinds, in presentation order.
-std::vector<FilterKind> AllFilterKinds();
+/// Every built-in family and variant the experiments compare, in
+/// presentation order (ε unset; supply options via RunFilter).
+std::vector<FilterSpec> AllFilterVariants();
 
 /// The four families the paper's figures compare, in the paper's order.
-std::vector<FilterKind> PaperFilterKinds();
-
-/// Short display name ("cache", "swing", ...).
-std::string_view FilterKindName(FilterKind kind);
-
-/// Instantiates a filter of the given kind.
-Result<std::unique_ptr<Filter>> MakeFilter(FilterKind kind,
-                                           FilterOptions options,
-                                           SegmentSink* sink = nullptr);
+std::vector<FilterSpec> PaperFilterVariants();
 
 /// Everything a single filter run produces.
 struct RunResult {
-  FilterKind kind;
+  /// The spec the filter was built from (options filled in).
+  FilterSpec spec;
   CompressionReport compression;
   ErrorReport error;
   std::vector<Segment> segments;
@@ -56,12 +39,17 @@ struct RunResult {
   double filter_seconds = 0.0;
 };
 
-/// Runs `kind` over `signal` and gathers metrics.
-/// `verify_precision` additionally enforces the ε contract and fails the
-/// run on any violation (on by default: a run that breaks the guarantee is
-/// meaningless as an experiment).
-Result<RunResult> RunFilter(FilterKind kind, const FilterOptions& options,
-                            const Signal& signal,
+/// Runs the spec'd filter over `signal` and gathers metrics, using the
+/// spec's own FilterOptions. `verify_precision` additionally enforces the ε
+/// contract and fails the run on any violation (on by default: a run that
+/// breaks the guarantee is meaningless as an experiment).
+Result<RunResult> RunFilter(const FilterSpec& spec, const Signal& signal,
+                            bool verify_precision = true);
+
+/// Same, with `options` overriding the spec's FilterOptions — the form the
+/// precision sweeps use.
+Result<RunResult> RunFilter(const FilterSpec& spec,
+                            const FilterOptions& options, const Signal& signal,
                             bool verify_precision = true);
 
 }  // namespace plastream

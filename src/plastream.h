@@ -1,0 +1,47 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Single public entry point for the plastream library.
+//
+// The three layers most users need, in increasing ambition:
+//
+//  1. One stream, one filter — build by spec string, stream points, take
+//     segments:
+//
+//       auto filter = plastream::MakeFilter("slide(eps=0.05)").value();
+//       filter->Append(plastream::DataPoint::Scalar(t, x));
+//       filter->Finish();
+//       auto segments = filter->TakeSegments();
+//
+//  2. Queryable reconstruction with a hard error bound:
+//
+//       auto approx =
+//           plastream::PiecewiseLinearFunction::Make(segments).value();
+//       double v = approx.Evaluate(t, 0).value();   // within ±ε of the truth
+//
+//  3. A keyed collector over many streams — the Pipeline facade:
+//
+//       auto pipeline = plastream::Pipeline::Builder()
+//                           .DefaultSpec("slide(eps=0.05)")
+//                           .Build().value();
+//       pipeline->Append("sensor-7.temp", t, x);
+//       pipeline->Finish();
+//       auto agg = pipeline->Store("sensor-7.temp")->Aggregate(t0, t1, 0);
+//
+// New filter families register through FilterRegistry (filter_registry.h)
+// and are immediately constructible by spec everywhere.
+
+#ifndef PLASTREAM_PLASTREAM_H_
+#define PLASTREAM_PLASTREAM_H_
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/filter.h"
+#include "core/filter_registry.h"
+#include "core/filter_spec.h"
+#include "core/reconstruction.h"
+#include "core/segment_sink.h"
+#include "core/segment_store.h"
+#include "core/types.h"
+#include "stream/pipeline.h"
+
+#endif  // PLASTREAM_PLASTREAM_H_

@@ -1,0 +1,203 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "stream/pipeline.h"
+
+#include <utility>
+
+namespace plastream {
+
+Pipeline::Builder::Builder() : registry_(&FilterRegistry::Global()) {}
+
+Pipeline::Builder& Pipeline::Builder::DefaultSpec(FilterSpec spec) {
+  default_spec_ = std::move(spec);
+  return *this;
+}
+
+Pipeline::Builder& Pipeline::Builder::DefaultSpec(std::string_view spec_text) {
+  auto parsed = FilterSpec::Parse(spec_text);
+  if (!parsed.ok()) {
+    if (deferred_.ok()) deferred_ = parsed.status();
+    return *this;
+  }
+  return DefaultSpec(std::move(parsed).value());
+}
+
+Pipeline::Builder& Pipeline::Builder::PerKeySpec(std::string_view key,
+                                                 FilterSpec spec) {
+  per_key_.insert_or_assign(std::string(key), std::move(spec));
+  return *this;
+}
+
+Pipeline::Builder& Pipeline::Builder::PerKeySpec(std::string_view key,
+                                                 std::string_view spec_text) {
+  auto parsed = FilterSpec::Parse(spec_text);
+  if (!parsed.ok()) {
+    if (deferred_.ok()) deferred_ = parsed.status();
+    return *this;
+  }
+  return PerKeySpec(key, std::move(parsed).value());
+}
+
+Pipeline::Builder& Pipeline::Builder::WithStore(bool enable) {
+  with_store_ = enable;
+  return *this;
+}
+
+Pipeline::Builder& Pipeline::Builder::WithRegistry(
+    const FilterRegistry* registry) {
+  registry_ = registry;
+  return *this;
+}
+
+Result<std::unique_ptr<Pipeline>> Pipeline::Builder::Build() {
+  PLASTREAM_RETURN_NOT_OK(deferred_);
+  if (registry_ == nullptr) {
+    return Status::InvalidArgument("Pipeline registry is null");
+  }
+  if (!default_spec_.has_value() && per_key_.empty()) {
+    return Status::InvalidArgument(
+        "Pipeline has no filter specs: call DefaultSpec or PerKeySpec");
+  }
+  // Fail at build time, not first append: every configured family must be
+  // registered and every configured spec must produce a filter.
+  if (default_spec_.has_value()) {
+    PLASTREAM_RETURN_NOT_OK(
+        registry_->MakeFilter(*default_spec_, nullptr).status());
+  }
+  for (const auto& [key, spec] : per_key_) {
+    PLASTREAM_RETURN_NOT_OK(registry_->MakeFilter(spec, nullptr).status());
+  }
+  return std::unique_ptr<Pipeline>(new Pipeline(
+      std::move(default_spec_), std::move(per_key_), with_store_, registry_));
+}
+
+Pipeline::Pipeline(std::optional<FilterSpec> default_spec,
+                   std::map<std::string, FilterSpec, std::less<>> per_key,
+                   bool with_store, const FilterRegistry* registry)
+    : default_spec_(std::move(default_spec)),
+      per_key_(std::move(per_key)),
+      with_store_(with_store),
+      registry_(registry) {
+  bank_ = std::make_unique<FilterBank>(
+      [this](std::string_view key) -> Result<std::unique_ptr<Filter>> {
+        PLASTREAM_ASSIGN_OR_RETURN(const FilterSpec spec, SpecFor(key));
+        Stream& stream = streams_[std::string(key)];
+        stream.transmitter.emplace(&stream.channel);
+        if (with_store_) {
+          stream.store =
+              std::make_unique<SegmentStore>(spec.options.epsilon.size());
+        }
+        return registry_->MakeFilter(spec, &*stream.transmitter);
+      });
+}
+
+Result<FilterSpec> Pipeline::SpecFor(std::string_view key) const {
+  const auto it = per_key_.find(key);
+  if (it != per_key_.end()) return it->second;
+  if (default_spec_.has_value()) return *default_spec_;
+  return Status::NotFound("no filter spec for stream '" + std::string(key) +
+                          "' and no default spec");
+}
+
+Status Pipeline::Append(std::string_view key, const DataPoint& point) {
+  PLASTREAM_RETURN_NOT_OK(bank_->Append(key, point));
+  const auto it = streams_.find(key);
+  if (it == streams_.end()) {
+    return Status::Internal("stream state missing for '" + std::string(key) +
+                            "'");
+  }
+  return Drain(it->second);
+}
+
+Status Pipeline::Append(std::string_view key, double t, double value) {
+  return Append(key, DataPoint::Scalar(t, value));
+}
+
+Status Pipeline::Drain(Stream& stream) {
+  PLASTREAM_RETURN_NOT_OK(stream.receiver.Poll(&stream.channel));
+  if (stream.store == nullptr) return Status::OK();
+  const std::vector<Segment>& segments = stream.receiver.segments();
+  for (; stream.archived < segments.size(); ++stream.archived) {
+    PLASTREAM_RETURN_NOT_OK(stream.store->Append(segments[stream.archived]));
+  }
+  return Status::OK();
+}
+
+Status Pipeline::Finish() {
+  if (finished_) return Status::OK();
+  PLASTREAM_RETURN_NOT_OK(bank_->FinishAll());
+  for (auto& [key, stream] : streams_) {
+    PLASTREAM_RETURN_NOT_OK(stream.receiver.Poll(&stream.channel));
+    PLASTREAM_RETURN_NOT_OK(stream.receiver.FinishStream());
+    PLASTREAM_RETURN_NOT_OK(Drain(stream));
+  }
+  finished_ = true;
+  return Status::OK();
+}
+
+std::vector<std::string> Pipeline::Keys() const { return bank_->Keys(); }
+
+const Pipeline::Stream* Pipeline::Find(std::string_view key) const {
+  const auto it = streams_.find(key);
+  return it == streams_.end() ? nullptr : &it->second;
+}
+
+Result<std::vector<Segment>> Pipeline::Segments(std::string_view key) const {
+  const Stream* stream = Find(key);
+  if (stream == nullptr) {
+    return Status::NotFound("unknown stream '" + std::string(key) + "'");
+  }
+  return stream->receiver.segments();
+}
+
+Result<PiecewiseLinearFunction> Pipeline::Reconstruction(
+    std::string_view key) const {
+  const Stream* stream = Find(key);
+  if (stream == nullptr) {
+    return Status::NotFound("unknown stream '" + std::string(key) + "'");
+  }
+  return stream->receiver.Reconstruction();
+}
+
+const SegmentStore* Pipeline::Store(std::string_view key) const {
+  const Stream* stream = Find(key);
+  return stream == nullptr ? nullptr : stream->store.get();
+}
+
+const Filter* Pipeline::GetFilter(std::string_view key) const {
+  return bank_->GetFilter(key);
+}
+
+Result<Pipeline::StreamStats> Pipeline::StatsFor(std::string_view key) const {
+  const Stream* stream = Find(key);
+  if (stream == nullptr) {
+    return Status::NotFound("unknown stream '" + std::string(key) + "'");
+  }
+  StreamStats stats;
+  const Filter* filter = bank_->GetFilter(key);
+  if (filter != nullptr) stats.points = filter->points_seen();
+  stats.segments = stream->receiver.segments().size();
+  stats.records_sent = stream->transmitter->records_sent();
+  stats.bytes_sent = stream->channel.bytes_sent();
+  return stats;
+}
+
+Pipeline::PipelineStats Pipeline::Stats() const {
+  PipelineStats stats;
+  const FilterBank::BankStats bank = bank_->Stats();
+  stats.streams = bank.streams;
+  stats.points = bank.points;
+  for (const auto& [key, stream] : streams_) {
+    stats.segments += stream.receiver.segments().size();
+    stats.records_sent += stream.transmitter->records_sent();
+    stats.bytes_sent += stream.channel.bytes_sent();
+    const Filter* filter = bank_->GetFilter(key);
+    if (filter != nullptr) {
+      stats.bytes_raw +=
+          filter->points_seen() * (filter->dimensions() + 1) * sizeof(double);
+    }
+  }
+  return stats;
+}
+
+}  // namespace plastream

@@ -1,0 +1,171 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Pipeline: the five-line collector. One object composes the whole stream
+// stack — a FilterBank routing keyed points into spec-built filters, a
+// Transmitter/Channel/Receiver round-trip per stream (binary codec, byte
+// accounting, corruption detection), and a per-stream SegmentStore archive
+// answering error-bounded range queries:
+//
+//   auto pipeline = Pipeline::Builder()
+//                       .DefaultSpec("slide(eps=0.05)")
+//                       .PerKeySpec("db-1.iops", "swing(eps=2,max_lag=64)")
+//                       .Build().value();
+//   pipeline->Append("web-1.cpu", t, value);   // ... stream points in ...
+//   pipeline->Finish();
+//   auto mean = pipeline->Store("web-1.cpu")->Aggregate(t0, t1, 0)->mean;
+//
+// Every answer served from the store is within the stream's ε of the raw
+// signal — the paper's precision contract carried end to end.
+
+#ifndef PLASTREAM_STREAM_PIPELINE_H_
+#define PLASTREAM_STREAM_PIPELINE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/filter_registry.h"
+#include "core/filter_spec.h"
+#include "core/reconstruction.h"
+#include "core/segment_store.h"
+#include "stream/channel.h"
+#include "stream/filter_bank.h"
+#include "stream/receiver.h"
+#include "stream/transmitter.h"
+
+namespace plastream {
+
+/// A keyed collector: spec-configured filters in front, wire transport in
+/// the middle, queryable segment archives behind. Not thread-safe.
+class Pipeline {
+ public:
+  /// Configures and constructs a Pipeline.
+  class Builder {
+   public:
+    Builder();
+
+    /// Spec used for every key without a PerKeySpec override.
+    Builder& DefaultSpec(FilterSpec spec);
+    /// Parses `spec_text`; a parse failure surfaces at Build().
+    Builder& DefaultSpec(std::string_view spec_text);
+
+    /// Spec override for one stream key.
+    Builder& PerKeySpec(std::string_view key, FilterSpec spec);
+    /// Parses `spec_text`; a parse failure surfaces at Build().
+    Builder& PerKeySpec(std::string_view key, std::string_view spec_text);
+
+    /// Enables (default) or disables the per-stream SegmentStore archive.
+    Builder& WithStore(bool enable = true);
+
+    /// Uses `registry` instead of FilterRegistry::Global(); `registry` is
+    /// borrowed and must outlive the pipeline.
+    Builder& WithRegistry(const FilterRegistry* registry);
+
+    /// Builds the pipeline. Errors when no spec was configured, a spec
+    /// string failed to parse, or a spec names an unregistered family.
+    Result<std::unique_ptr<Pipeline>> Build();
+
+   private:
+    Status deferred_ = Status::OK();  // first spec-string parse failure
+    std::optional<FilterSpec> default_spec_;
+    std::map<std::string, FilterSpec, std::less<>> per_key_;
+    bool with_store_ = true;
+    const FilterRegistry* registry_;
+  };
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Routes one point into the stream named `key`, creating its filter
+  /// chain on first use. Errors with NotFound when the key has no spec
+  /// (no default and no per-key entry), plus all Filter::Append errors.
+  Status Append(std::string_view key, const DataPoint& point);
+
+  /// Scalar-stream convenience overload.
+  Status Append(std::string_view key, double t, double value);
+
+  /// Finishes every filter, drains the transports, and completes the
+  /// archives. Idempotent; Append afterwards is an error.
+  Status Finish();
+
+  /// Stream keys seen so far, sorted.
+  std::vector<std::string> Keys() const;
+
+  /// The segments reconstructed by `key`'s receiver so far.
+  Result<std::vector<Segment>> Segments(std::string_view key) const;
+
+  /// Queryable reconstruction of `key`'s stream from received segments.
+  Result<PiecewiseLinearFunction> Reconstruction(std::string_view key) const;
+
+  /// The stream's archive, or nullptr for an unknown key or a pipeline
+  /// built with WithStore(false).
+  const SegmentStore* Store(std::string_view key) const;
+
+  /// The stream's filter (for counters/statistics), or nullptr.
+  const Filter* GetFilter(std::string_view key) const;
+
+  /// The spec a given key resolves to (per-key override or default), or
+  /// NotFound when the pipeline has no spec for it.
+  Result<FilterSpec> SpecFor(std::string_view key) const;
+
+  /// Transport statistics of one stream.
+  struct StreamStats {
+    size_t points = 0;         ///< samples accepted by the filter
+    size_t segments = 0;       ///< segments received
+    size_t records_sent = 0;   ///< wire records on this stream's channel
+    size_t bytes_sent = 0;     ///< encoded bytes on this stream's channel
+  };
+
+  /// Per-stream transport statistics; NotFound for an unknown key.
+  Result<StreamStats> StatsFor(std::string_view key) const;
+
+  /// Aggregate transport and archive statistics across every stream.
+  struct PipelineStats {
+    size_t streams = 0;
+    size_t points = 0;
+    size_t segments = 0;           ///< segments received across streams
+    size_t records_sent = 0;       ///< wire records (the paper's recordings)
+    size_t bytes_sent = 0;         ///< encoded bytes on all channels
+    size_t bytes_raw = 0;          ///< (t, X) doubles of the raw input
+  };
+  PipelineStats Stats() const;
+
+  /// True once Finish() has run.
+  bool finished() const { return finished_; }
+
+ private:
+  // Per-stream transport + archive. Channel/Receiver/Store live here;
+  // the filter itself is owned by the FilterBank.
+  struct Stream {
+    Channel channel;
+    std::optional<Transmitter> transmitter;
+    Receiver receiver;
+    std::unique_ptr<SegmentStore> store;
+    size_t archived = 0;  // receiver segments already in the store
+  };
+
+  Pipeline(std::optional<FilterSpec> default_spec,
+           std::map<std::string, FilterSpec, std::less<>> per_key,
+           bool with_store, const FilterRegistry* registry);
+
+  // Decodes whatever the transmitter queued and archives new segments.
+  Status Drain(Stream& stream);
+
+  const Stream* Find(std::string_view key) const;
+
+  std::optional<FilterSpec> default_spec_;
+  std::map<std::string, FilterSpec, std::less<>> per_key_;
+  bool with_store_;
+  const FilterRegistry* registry_;
+  std::map<std::string, Stream, std::less<>> streams_;
+  std::unique_ptr<FilterBank> bank_;
+  bool finished_ = false;
+};
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_STREAM_PIPELINE_H_

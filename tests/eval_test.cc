@@ -94,29 +94,32 @@ TEST(MetricsTest, IndependentToJointRatioFormula) {
   EXPECT_DOUBLE_EQ(IndependentToJointRatio(3.0, 1), 3.0);  // d=1: no change
 }
 
-TEST(RunnerTest, FilterKindNamesAreUnique) {
-  const auto kinds = AllFilterKinds();
-  for (size_t i = 0; i < kinds.size(); ++i) {
-    for (size_t j = i + 1; j < kinds.size(); ++j) {
-      EXPECT_NE(FilterKindName(kinds[i]), FilterKindName(kinds[j]));
+TEST(RunnerTest, VariantLabelsAreUnique) {
+  const auto variants = AllFilterVariants();
+  for (size_t i = 0; i < variants.size(); ++i) {
+    for (size_t j = i + 1; j < variants.size(); ++j) {
+      EXPECT_NE(variants[i].Label(), variants[j].Label());
     }
   }
 }
 
-TEST(RunnerTest, PaperKindsAreTheFourFamilies) {
-  const auto kinds = PaperFilterKinds();
-  ASSERT_EQ(kinds.size(), 4u);
-  EXPECT_EQ(FilterKindName(kinds[0]), "cache");
-  EXPECT_EQ(FilterKindName(kinds[1]), "linear");
-  EXPECT_EQ(FilterKindName(kinds[2]), "swing");
-  EXPECT_EQ(FilterKindName(kinds[3]), "slide");
+TEST(RunnerTest, PaperVariantsAreTheFourFamilies) {
+  const auto variants = PaperFilterVariants();
+  ASSERT_EQ(variants.size(), 4u);
+  EXPECT_EQ(variants[0].family, "cache");
+  EXPECT_EQ(variants[1].family, "linear");
+  EXPECT_EQ(variants[2].family, "swing");
+  EXPECT_EQ(variants[3].family, "slide");
 }
 
-TEST(RunnerTest, MakeFilterProducesEveryKind) {
-  for (const FilterKind kind : AllFilterKinds()) {
-    const auto filter = MakeFilter(kind, FilterOptions::Scalar(1.0));
-    ASSERT_TRUE(filter.ok()) << FilterKindName(kind);
+TEST(RunnerTest, MakeFilterProducesEveryVariant) {
+  for (const FilterSpec& spec : AllFilterVariants()) {
+    FilterSpec configured = spec;
+    configured.options = FilterOptions::Scalar(1.0);
+    const auto filter = MakeFilter(configured);
+    ASSERT_TRUE(filter.ok()) << spec.Label();
     EXPECT_FALSE((*filter)->name().empty());
+    EXPECT_EQ((*filter)->name(), spec.family) << spec.Label();
   }
 }
 
@@ -125,27 +128,36 @@ TEST(RunnerTest, RunFilterEndToEnd) {
   o.count = 500;
   o.seed = 31;
   const Signal signal = *GenerateRandomWalk(o);
-  const auto result =
-      RunFilter(FilterKind::kSlide, FilterOptions::Scalar(0.5), signal);
+  const auto result = RunFilter(FilterSpec{.family = "slide"},
+                                FilterOptions::Scalar(0.5), signal);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result->compression.points, 500u);
   EXPECT_GT(result->compression.ratio, 1.0);
   EXPECT_LE(result->error.max_error_overall, 0.5 + 1e-9);
   EXPECT_GE(result->filter_seconds, 0.0);
+  EXPECT_EQ(result->spec.Format(), "slide(eps=0.5)");
 }
 
 TEST(RunnerTest, RunFilterRejectsInvalidSignal) {
   Signal bad;
   bad.points = {DataPoint::Scalar(1, 0), DataPoint::Scalar(0, 1)};
-  EXPECT_FALSE(
-      RunFilter(FilterKind::kSwing, FilterOptions::Scalar(1.0), bad).ok());
+  EXPECT_FALSE(RunFilter(FilterSpec{.family = "swing"},
+                         FilterOptions::Scalar(1.0), bad)
+                   .ok());
 }
 
 TEST(RunnerTest, RunFilterRejectsDimensionMismatch) {
   const Signal signal = *GenerateLine(10, 0, 1);
-  EXPECT_FALSE(
-      RunFilter(FilterKind::kSwing, FilterOptions::Uniform(2, 1.0), signal)
-          .ok());
+  EXPECT_FALSE(RunFilter(FilterSpec{.family = "swing"},
+                         FilterOptions::Uniform(2, 1.0), signal)
+                   .ok());
+}
+
+TEST(RunnerTest, RunFilterRejectsUnknownFamily) {
+  const Signal signal = *GenerateLine(10, 0, 1);
+  const auto result = RunFilter(FilterSpec{.family = "wavelet"},
+                                FilterOptions::Scalar(1.0), signal);
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
 }
 
 TEST(TableTest, AlignsColumns) {

@@ -4,6 +4,7 @@
 // corrupted transport must surface Status errors (never UB, never a silent
 // wrong answer), and filters must stay usable after rejected inputs.
 
+#include <cctype>
 #include <cmath>
 #include <limits>
 
@@ -25,38 +26,45 @@ namespace {
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-class AllFiltersFailureTest : public ::testing::TestWithParam<FilterKind> {};
+// Builds `spec` with its options replaced by `options`.
+Result<std::unique_ptr<Filter>> MakeWith(FilterSpec spec,
+                                         FilterOptions options) {
+  spec.options = std::move(options);
+  return MakeFilter(spec);
+}
+
+class AllFiltersFailureTest : public ::testing::TestWithParam<FilterSpec> {};
 
 TEST_P(AllFiltersFailureTest, RejectsNaNValue) {
-  auto filter = MakeFilter(GetParam(), FilterOptions::Scalar(1.0)).value();
+  auto filter = MakeWith(GetParam(), FilterOptions::Scalar(1.0)).value();
   EXPECT_EQ(filter->Append(DataPoint::Scalar(0, kNaN)).code(),
             StatusCode::kInvalidArgument);
 }
 
 TEST_P(AllFiltersFailureTest, RejectsInfiniteValue) {
-  auto filter = MakeFilter(GetParam(), FilterOptions::Scalar(1.0)).value();
+  auto filter = MakeWith(GetParam(), FilterOptions::Scalar(1.0)).value();
   EXPECT_EQ(filter->Append(DataPoint::Scalar(0, kInf)).code(),
             StatusCode::kInvalidArgument);
 }
 
 TEST_P(AllFiltersFailureTest, RejectsNaNTimestamp) {
-  auto filter = MakeFilter(GetParam(), FilterOptions::Scalar(1.0)).value();
+  auto filter = MakeWith(GetParam(), FilterOptions::Scalar(1.0)).value();
   EXPECT_EQ(filter->Append(DataPoint(kNaN, {0.0})).code(),
             StatusCode::kInvalidArgument);
 }
 
 TEST_P(AllFiltersFailureTest, RejectsDimensionMismatch) {
-  auto filter = MakeFilter(GetParam(), FilterOptions::Scalar(1.0)).value();
+  auto filter = MakeWith(GetParam(), FilterOptions::Scalar(1.0)).value();
   EXPECT_EQ(filter->Append(DataPoint(0, {1.0, 2.0})).code(),
             StatusCode::kInvalidArgument);
   auto filter2 =
-      MakeFilter(GetParam(), FilterOptions::Uniform(2, 1.0)).value();
+      MakeWith(GetParam(), FilterOptions::Uniform(2, 1.0)).value();
   EXPECT_EQ(filter2->Append(DataPoint::Scalar(0, 1.0)).code(),
             StatusCode::kInvalidArgument);
 }
 
 TEST_P(AllFiltersFailureTest, RejectsNonIncreasingTime) {
-  auto filter = MakeFilter(GetParam(), FilterOptions::Scalar(1.0)).value();
+  auto filter = MakeWith(GetParam(), FilterOptions::Scalar(1.0)).value();
   ASSERT_TRUE(filter->Append(DataPoint::Scalar(10, 0)).ok());
   EXPECT_EQ(filter->Append(DataPoint::Scalar(10, 0)).code(),
             StatusCode::kOutOfOrder);
@@ -65,7 +73,7 @@ TEST_P(AllFiltersFailureTest, RejectsNonIncreasingTime) {
 }
 
 TEST_P(AllFiltersFailureTest, RecoversAfterRejectedPoint) {
-  auto filter = MakeFilter(GetParam(), FilterOptions::Scalar(1.0)).value();
+  auto filter = MakeWith(GetParam(), FilterOptions::Scalar(1.0)).value();
   ASSERT_TRUE(filter->Append(DataPoint::Scalar(0, 0)).ok());
   ASSERT_FALSE(filter->Append(DataPoint::Scalar(1, kNaN)).ok());
   ASSERT_FALSE(filter->Append(DataPoint::Scalar(0, 1)).ok());
@@ -77,7 +85,7 @@ TEST_P(AllFiltersFailureTest, RecoversAfterRejectedPoint) {
 }
 
 TEST_P(AllFiltersFailureTest, AppendAfterFinishFails) {
-  auto filter = MakeFilter(GetParam(), FilterOptions::Scalar(1.0)).value();
+  auto filter = MakeWith(GetParam(), FilterOptions::Scalar(1.0)).value();
   ASSERT_TRUE(filter->Append(DataPoint::Scalar(0, 0)).ok());
   ASSERT_TRUE(filter->Finish().ok());
   EXPECT_EQ(filter->Append(DataPoint::Scalar(1, 0)).code(),
@@ -88,25 +96,32 @@ TEST_P(AllFiltersFailureTest, AppendAfterFinishFails) {
 
 TEST_P(AllFiltersFailureTest, RejectsInvalidOptions) {
   FilterOptions empty;
-  EXPECT_EQ(MakeFilter(GetParam(), empty).status().code(),
+  EXPECT_EQ(MakeWith(GetParam(), empty).status().code(),
             StatusCode::kInvalidArgument);
   FilterOptions negative;
   negative.epsilon = {1.0, -0.5};
-  EXPECT_EQ(MakeFilter(GetParam(), negative).status().code(),
+  EXPECT_EQ(MakeWith(GetParam(), negative).status().code(),
             StatusCode::kInvalidArgument);
   FilterOptions nan_eps;
   nan_eps.epsilon = {kNaN};
-  EXPECT_EQ(MakeFilter(GetParam(), nan_eps).status().code(),
+  EXPECT_EQ(MakeWith(GetParam(), nan_eps).status().code(),
             StatusCode::kInvalidArgument);
 }
 
+TEST_P(AllFiltersFailureTest, RejectsUnknownParam) {
+  FilterSpec spec = GetParam();
+  spec.options = FilterOptions::Scalar(1.0);
+  spec.params["no_such_knob"] = "1";
+  EXPECT_EQ(MakeFilter(spec).status().code(), StatusCode::kInvalidArgument);
+}
+
 INSTANTIATE_TEST_SUITE_P(
-    EveryKind, AllFiltersFailureTest,
-    ::testing::ValuesIn(AllFilterKinds()),
-    [](const ::testing::TestParamInfo<FilterKind>& info) {
-      std::string name(FilterKindName(info.param));
+    EveryVariant, AllFiltersFailureTest,
+    ::testing::ValuesIn(AllFilterVariants()),
+    [](const ::testing::TestParamInfo<FilterSpec>& info) {
+      std::string name = info.param.Label();
       for (char& c : name) {
-        if (c == '-') c = '_';
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }
       return name;
     });
@@ -196,14 +211,14 @@ TEST(EdgeCaseTest, TinyEpsilonOnNoisyData) {
 }
 
 TEST(EdgeCaseTest, IdenticalValuesForever) {
-  for (const FilterKind kind : AllFilterKinds()) {
-    auto filter = MakeFilter(kind, FilterOptions::Scalar(0.0)).value();
+  for (const FilterSpec& spec : AllFilterVariants()) {
+    auto filter = MakeWith(spec, FilterOptions::Scalar(0.0)).value();
     for (int j = 0; j < 1000; ++j) {
       ASSERT_TRUE(filter->Append(DataPoint::Scalar(j, 42.0)).ok());
     }
     ASSERT_TRUE(filter->Finish().ok());
     const auto segments = filter->TakeSegments();
-    EXPECT_EQ(segments.size(), 1u) << FilterKindName(kind);
+    EXPECT_EQ(segments.size(), 1u) << spec.Label();
   }
 }
 

@@ -5,8 +5,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/swing_filter.h"
-#include "eval/runner.h"
+#include "core/filter_registry.h"
 #include "stream/filter_bank.h"
 
 namespace plastream {
@@ -14,7 +13,10 @@ namespace {
 
 FilterBank::FilterFactory SwingFactory(double eps) {
   return [eps](std::string_view) -> Result<std::unique_ptr<Filter>> {
-    return MakeFilter(FilterKind::kSwing, FilterOptions::Scalar(eps));
+    FilterSpec spec;
+    spec.family = "swing";
+    spec.options = FilterOptions::Scalar(eps);
+    return MakeFilter(spec);
   };
 }
 
@@ -56,7 +58,7 @@ TEST(FilterBankTest, TakeSegmentsUnknownKey) {
 TEST(FilterBankTest, FactoryErrorsPropagate) {
   FilterBank bank([](std::string_view key) -> Result<std::unique_ptr<Filter>> {
     if (key == "bad") return Status::InvalidArgument("no such stream class");
-    return MakeFilter(FilterKind::kCache, FilterOptions::Scalar(1.0));
+    return MakeFilter("cache(eps=1)");
   });
   EXPECT_TRUE(bank.Append("good", DataPoint::Scalar(0, 0)).ok());
   EXPECT_EQ(bank.Append("bad", DataPoint::Scalar(0, 0)).code(),
@@ -68,8 +70,7 @@ TEST(FilterBankTest, FactoryErrorsPropagate) {
 TEST(FilterBankTest, PerKeyConfiguration) {
   // The factory can give each stream its own precision.
   FilterBank bank([](std::string_view key) -> Result<std::unique_ptr<Filter>> {
-    const double eps = key == "coarse" ? 10.0 : 0.1;
-    return MakeFilter(FilterKind::kSwing, FilterOptions::Scalar(eps));
+    return MakeFilter(key == "coarse" ? "swing(eps=10)" : "swing(eps=0.1)");
   });
   for (int j = 0; j < 50; ++j) {
     const double v = (j % 7) * 1.0;

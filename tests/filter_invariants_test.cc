@@ -5,6 +5,7 @@
 // exercised over every filter family × a zoo of signal shapes × a sweep of
 // precision widths. This is the test the whole library hangs off.
 
+#include <cctype>
 #include <cmath>
 #include <memory>
 #include <string>
@@ -93,7 +94,17 @@ std::vector<NamedSignal> TestSignals() {
   return signals;
 }
 
-using InvariantParam = std::tuple<FilterKind, size_t /*signal idx*/,
+// Every variant with a precision guarantee; the Kalman baseline keeps the
+// gating contract but is excluded here as in the paper's figures.
+std::vector<FilterSpec> GuaranteedVariants() {
+  std::vector<FilterSpec> variants;
+  for (FilterSpec& spec : AllFilterVariants()) {
+    if (spec.family != "kalman") variants.push_back(std::move(spec));
+  }
+  return variants;
+}
+
+using InvariantParam = std::tuple<FilterSpec, size_t /*signal idx*/,
                                   double /*epsilon scale*/>;
 
 class FilterInvariantTest : public ::testing::TestWithParam<InvariantParam> {
@@ -105,7 +116,7 @@ class FilterInvariantTest : public ::testing::TestWithParam<InvariantParam> {
 };
 
 TEST_P(FilterInvariantTest, PrecisionGuaranteeAndChainValidity) {
-  const auto [kind, signal_idx, eps_scale] = GetParam();
+  const auto [spec, signal_idx, eps_scale] = GetParam();
   const NamedSignal& named = Signals()[signal_idx];
   const size_t d = named.signal.dimensions();
 
@@ -118,14 +129,14 @@ TEST_P(FilterInvariantTest, PrecisionGuaranteeAndChainValidity) {
     options.epsilon[i] = range > 0.0 ? range * eps_scale : eps_scale;
   }
 
-  const auto result = RunFilter(kind, options, named.signal,
+  const auto result = RunFilter(spec, options, named.signal,
                                 /*verify_precision=*/false);
-  ASSERT_TRUE(result.ok()) << FilterKindName(kind) << " on " << named.name
+  ASSERT_TRUE(result.ok()) << spec.Label() << " on " << named.name
                            << ": " << result.status().ToString();
 
   // Structural invariants.
   ASSERT_TRUE(ValidateSegmentChain(result->segments).ok())
-      << FilterKindName(kind) << " on " << named.name;
+      << spec.Label() << " on " << named.name;
   ASSERT_FALSE(result->segments.empty());
 
   // The paper's L-infinity guarantee.
@@ -134,7 +145,7 @@ TEST_P(FilterInvariantTest, PrecisionGuaranteeAndChainValidity) {
   const Status precision =
       VerifyPrecision(named.signal, *approx, options.epsilon);
   EXPECT_TRUE(precision.ok())
-      << FilterKindName(kind) << " on " << named.name << " eps_scale "
+      << spec.Label() << " on " << named.name << " eps_scale "
       << eps_scale << ": " << precision.ToString();
 
   // Compression is at least 1 recording and at most one recording pair per
@@ -151,10 +162,10 @@ TEST_P(FilterInvariantTest, PrecisionGuaranteeAndChainValidity) {
 
 std::string InvariantParamName(
     const ::testing::TestParamInfo<InvariantParam>& info) {
-  const auto [kind, signal_idx, eps_scale] = info.param;
-  std::string name(FilterKindName(kind));
+  const auto [spec, signal_idx, eps_scale] = info.param;
+  std::string name = spec.Label();
   for (char& c : name) {
-    if (c == '-') c = '_';
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
   }
   name += "_sig" + std::to_string(signal_idx);
   name += "_eps";
@@ -170,14 +181,9 @@ std::string InvariantParamName(
 
 INSTANTIATE_TEST_SUITE_P(
     AllFiltersAllSignals, FilterInvariantTest,
-    ::testing::Combine(
-        ::testing::Values(FilterKind::kCache, FilterKind::kCacheMidrange,
-                          FilterKind::kCacheMean, FilterKind::kLinear,
-                          FilterKind::kLinearDisconnected, FilterKind::kSwing,
-                          FilterKind::kSlide, FilterKind::kSlideNonOptimized,
-                          FilterKind::kSlideChainBinary),
-        ::testing::Range<size_t>(0, 11),
-        ::testing::Values(0.001, 0.01, 0.05, 0.25)),
+    ::testing::Combine(::testing::ValuesIn(GuaranteedVariants()),
+                       ::testing::Range<size_t>(0, 11),
+                       ::testing::Values(0.001, 0.01, 0.05, 0.25)),
     InvariantParamName);
 
 // ---------------------------------------------------------------------------
@@ -248,9 +254,12 @@ TEST(FilterOrderingTest, SwingAndSlideBeatLinearOnSmoothWalks) {
   const Signal signal = *GenerateRandomWalk(o);
   const FilterOptions options = FilterOptions::Scalar(signal.Range(0) * 0.01);
 
-  const auto linear = *RunFilter(FilterKind::kLinear, options, signal);
-  const auto swing = *RunFilter(FilterKind::kSwing, options, signal);
-  const auto slide = *RunFilter(FilterKind::kSlide, options, signal);
+  const auto linear =
+      *RunFilter(FilterSpec{.family = "linear"}, options, signal);
+  const auto swing =
+      *RunFilter(FilterSpec{.family = "swing"}, options, signal);
+  const auto slide =
+      *RunFilter(FilterSpec{.family = "slide"}, options, signal);
 
   EXPECT_GT(swing.compression.ratio, linear.compression.ratio);
   EXPECT_GT(slide.compression.ratio, linear.compression.ratio);
@@ -260,23 +269,20 @@ TEST(FilterOrderingTest, SwingAndSlideBeatLinearOnSmoothWalks) {
 TEST(FilterOrderingTest, PerfectLineCompressesToOneSegment) {
   const Signal signal = *GenerateLine(1000, 1.0, 0.25);
   const FilterOptions options = FilterOptions::Scalar(0.5);
-  for (const FilterKind kind :
-       {FilterKind::kLinear, FilterKind::kLinearDisconnected,
-        FilterKind::kSwing, FilterKind::kSlide}) {
-    const auto result = *RunFilter(kind, options, signal);
-    EXPECT_EQ(result.segments.size(), 1u) << FilterKindName(kind);
-    EXPECT_NEAR(result.error.max_error_overall, 0.0, 1e-9)
-        << FilterKindName(kind);
+  for (const char* text :
+       {"linear", "linear(mode=disconnected)", "swing", "slide"}) {
+    const auto result = *RunFilter(*FilterSpec::Parse(text), options, signal);
+    EXPECT_EQ(result.segments.size(), 1u) << text;
+    EXPECT_NEAR(result.error.max_error_overall, 0.0, 1e-9) << text;
   }
 }
 
 TEST(FilterOrderingTest, ZeroEpsilonStillMergesCollinearRuns) {
   const Signal signal = *GenerateLine(500, -3.0, 1.5);
   const FilterOptions options = FilterOptions::Scalar(0.0);
-  for (const FilterKind kind : {FilterKind::kLinear, FilterKind::kSwing,
-                                FilterKind::kSlide}) {
-    const auto result = *RunFilter(kind, options, signal);
-    EXPECT_EQ(result.segments.size(), 1u) << FilterKindName(kind);
+  for (const char* text : {"linear", "swing", "slide"}) {
+    const auto result = *RunFilter(*FilterSpec::Parse(text), options, signal);
+    EXPECT_EQ(result.segments.size(), 1u) << text;
     EXPECT_NEAR(result.error.max_error_overall, 0.0, 1e-9);
   }
 }

@@ -1,0 +1,142 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Unit tests for FilterRegistry: built-in family lookup, spec-driven
+// construction of every variant, error paths, and user-defined family
+// registration.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/cache_filter.h"
+#include "core/filter_registry.h"
+#include "eval/runner.h"
+
+namespace plastream {
+namespace {
+
+TEST(FilterRegistryTest, ListsEveryBuiltinFamily) {
+  const auto families = FilterRegistry::Global().ListFamilies();
+  for (const char* family :
+       {"cache", "linear", "swing", "slide", "kalman"}) {
+    EXPECT_TRUE(FilterRegistry::Global().Contains(family)) << family;
+    bool listed = false;
+    for (const std::string& name : families) listed = listed || name == family;
+    EXPECT_TRUE(listed) << family;
+  }
+}
+
+TEST(FilterRegistryTest, MakesEveryBuiltinVariantFromSpecText) {
+  // The acceptance-criteria call shape: parse a spec string, build the
+  // filter, for every registered family.
+  for (const std::string& family : FilterRegistry::Global().ListFamilies()) {
+    const auto spec = FilterSpec::Parse(family + "(eps=0.1)");
+    ASSERT_TRUE(spec.ok()) << family;
+    const auto filter = MakeFilter(*spec);
+    ASSERT_TRUE(filter.ok()) << family << ": "
+                             << filter.status().ToString();
+    EXPECT_EQ((*filter)->name(), family);
+  }
+  // Variant parameters select the concrete behavior.
+  for (const FilterSpec& variant : AllFilterVariants()) {
+    FilterSpec spec = variant;
+    spec.options = FilterOptions::Uniform(2, 0.5);
+    const auto filter = MakeFilter(spec);
+    ASSERT_TRUE(filter.ok()) << spec.Label();
+    EXPECT_EQ((*filter)->dimensions(), 2u);
+  }
+}
+
+TEST(FilterRegistryTest, UnknownFamilyIsNotFound) {
+  const auto filter = MakeFilter("wavelet(eps=0.1)");
+  EXPECT_EQ(filter.status().code(), StatusCode::kNotFound);
+  // The error names the registered families to aid debugging.
+  EXPECT_NE(filter.status().message().find("slide"), std::string::npos);
+}
+
+TEST(FilterRegistryTest, MalformedSpecTextPropagates) {
+  EXPECT_EQ(MakeFilter("slide(eps=").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FilterRegistryTest, OptionsAreValidatedBeforeTheFactory) {
+  // Identical rejection across families, including ones whose Create would
+  // also catch it: the registry front-door validates first.
+  for (const std::string& family : FilterRegistry::Global().ListFamilies()) {
+    FilterSpec spec;
+    spec.family = family;
+    EXPECT_EQ(MakeFilter(spec).status().code(), StatusCode::kInvalidArgument)
+        << family << " accepted an empty epsilon vector";
+  }
+}
+
+TEST(FilterRegistryTest, BadParamValueIsInvalidArgument) {
+  EXPECT_EQ(MakeFilter("cache(eps=1,mode=median)").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeFilter("slide(eps=1,hull=octagon)").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeFilter("kalman(eps=1,process_noise=fast)").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FilterRegistryTest, UserDefinedFamilyRegistersAndBuilds) {
+  FilterRegistry registry;
+  RegisterBuiltinFilterFamilies(registry);
+  ASSERT_TRUE(registry
+                  .Register("midrange-cache",
+                            [](const FilterSpec& spec, SegmentSink* sink)
+                                -> Result<std::unique_ptr<Filter>> {
+                              PLASTREAM_ASSIGN_OR_RETURN(
+                                  auto filter,
+                                  CacheFilter::Create(spec.options,
+                                                      CacheValueMode::kMidrange,
+                                                      sink));
+                              return std::unique_ptr<Filter>(
+                                  std::move(filter));
+                            })
+                  .ok());
+  EXPECT_TRUE(registry.Contains("midrange-cache"));
+  const auto filter =
+      registry.MakeFilter(*FilterSpec::Parse("midrange-cache(eps=1)"));
+  ASSERT_TRUE(filter.ok()) << filter.status().ToString();
+  EXPECT_EQ((*filter)->name(), "cache");
+}
+
+TEST(FilterRegistryTest, DuplicateRegistrationFails) {
+  FilterRegistry registry;
+  RegisterBuiltinFilterFamilies(registry);
+  const Status dup = registry.Register(
+      "slide", [](const FilterSpec&, SegmentSink*)
+                   -> Result<std::unique_ptr<Filter>> {
+        return Status::Unimplemented("never called");
+      });
+  EXPECT_EQ(dup.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FilterRegistryTest, EmptyNameAndNullFactoryAreRejected) {
+  FilterRegistry registry;
+  EXPECT_EQ(registry
+                .Register("", [](const FilterSpec&, SegmentSink*)
+                                  -> Result<std::unique_ptr<Filter>> {
+                  return Status::Unimplemented("never called");
+                })
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.Register("x", nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FilterRegistryTest, SinkIsWiredThrough) {
+  CollectingSink sink;
+  auto filter = MakeFilter("slide(eps=0.5)", &sink).value();
+  for (int j = 0; j < 100; ++j) {
+    ASSERT_TRUE(filter->Append(DataPoint::Scalar(j, (j % 13) * 1.0)).ok());
+  }
+  ASSERT_TRUE(filter->Finish().ok());
+  EXPECT_EQ(sink.segments().size(), filter->TakeSegments().size());
+  EXPECT_GT(sink.segments().size(), 0u);
+}
+
+}  // namespace
+}  // namespace plastream

@@ -1,0 +1,159 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Unit tests for FilterSpec: the parse grammar, the Format round-trip
+// guarantee, and the malformed-spec error paths.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/filter_spec.h"
+
+namespace plastream {
+namespace {
+
+TEST(FilterSpecParseTest, BareFamily) {
+  const auto spec = FilterSpec::Parse("slide");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->family, "slide");
+  EXPECT_TRUE(spec->options.epsilon.empty());
+  EXPECT_EQ(spec->options.max_lag, 0u);
+  EXPECT_TRUE(spec->params.empty());
+}
+
+TEST(FilterSpecParseTest, ScalarEps) {
+  const auto spec = FilterSpec::Parse("swing(eps=0.1)");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->family, "swing");
+  ASSERT_EQ(spec->options.epsilon.size(), 1u);
+  EXPECT_DOUBLE_EQ(spec->options.epsilon[0], 0.1);
+}
+
+TEST(FilterSpecParseTest, UniformDims) {
+  const auto spec = FilterSpec::Parse("slide(eps=0.05,dims=3,max_lag=128)");
+  ASSERT_TRUE(spec.ok());
+  ASSERT_EQ(spec->options.epsilon.size(), 3u);
+  for (const double eps : spec->options.epsilon) {
+    EXPECT_DOUBLE_EQ(eps, 0.05);
+  }
+  EXPECT_EQ(spec->options.max_lag, 128u);
+}
+
+TEST(FilterSpecParseTest, PerDimensionEpsList) {
+  const auto spec = FilterSpec::Parse("cache(eps=0.2:0.5:1,mode=midrange)");
+  ASSERT_TRUE(spec.ok());
+  ASSERT_EQ(spec->options.epsilon.size(), 3u);
+  EXPECT_DOUBLE_EQ(spec->options.epsilon[0], 0.2);
+  EXPECT_DOUBLE_EQ(spec->options.epsilon[1], 0.5);
+  EXPECT_DOUBLE_EQ(spec->options.epsilon[2], 1.0);
+  ASSERT_NE(spec->FindParam("mode"), nullptr);
+  EXPECT_EQ(*spec->FindParam("mode"), "midrange");
+}
+
+TEST(FilterSpecParseTest, MatchingDimsWithListIsAccepted) {
+  EXPECT_TRUE(FilterSpec::Parse("slide(eps=1:2,dims=2)").ok());
+}
+
+TEST(FilterSpecParseTest, WhitespaceIsTolerated) {
+  const auto spec = FilterSpec::Parse("  slide ( eps = 0.5 , hull = binary ) ");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->family, "slide");
+  ASSERT_EQ(spec->options.epsilon.size(), 1u);
+  EXPECT_DOUBLE_EQ(spec->options.epsilon[0], 0.5);
+  EXPECT_EQ(*spec->FindParam("hull"), "binary");
+}
+
+TEST(FilterSpecParseTest, MalformedSpecsAreRejected) {
+  const std::vector<std::string> malformed{
+      "",                        // empty
+      "   ",                     // only whitespace
+      "slide(",                  // missing ')'
+      "slide(eps=1",             // missing ')'
+      "(eps=1)",                 // empty family
+      "slide(eps=1))",           // stray ')'
+      "slide(eps=1)(hull=binary)",  // nested groups
+      "sli de(eps=1)",           // bad family name
+      "slide(eps)",              // not key=value
+      "slide(eps=)",             // empty value
+      "slide(=1)",               // empty key
+      "slide(eps=abc)",          // bad number
+      "slide(eps=1,eps=2)",      // duplicate key
+      "slide(hull=a,hull=b)",    // duplicate param
+      "slide(eps=1,max_lag=0,max_lag=64)",  // duplicate max_lag, even =0
+      "slide(dims=2)",           // dims without eps
+      "slide(dims=0,eps=1)",     // zero dims
+      "slide(eps=1:2,dims=3)",   // dims contradicts list
+      "slide(eps=1:2:)",         // empty list entry
+      "slide(max_lag=abc,eps=1)",  // bad integer
+      "slide(max_lag=-3,eps=1)",   // negative integer
+      "slide(eps=-1)",           // negative epsilon
+      "slide(eps=nan)",          // non-finite epsilon
+  };
+  for (const std::string& text : malformed) {
+    const auto spec = FilterSpec::Parse(text);
+    EXPECT_FALSE(spec.ok()) << "accepted: '" << text << "'";
+    if (!spec.ok()) {
+      EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument) << text;
+    }
+  }
+}
+
+TEST(FilterSpecFormatTest, RoundTripsThroughParse) {
+  const std::vector<std::string> specs{
+      "slide",
+      "swing(eps=0.1)",
+      "slide(eps=0.05,dims=3,max_lag=128)",
+      "cache(eps=0.2:0.5,mode=mean)",
+      "linear(eps=1,mode=disconnected)",
+      "slide(eps=0.25,hull=binary,junction=tail+gap)",
+      "kalman(eps=2,measurement_noise=0.01,process_noise=0.001)",
+  };
+  for (const std::string& text : specs) {
+    const auto spec = FilterSpec::Parse(text);
+    ASSERT_TRUE(spec.ok()) << text << ": " << spec.status().ToString();
+    const std::string formatted = spec->Format();
+    const auto reparsed = FilterSpec::Parse(formatted);
+    ASSERT_TRUE(reparsed.ok()) << formatted;
+    EXPECT_EQ(*reparsed, *spec) << text << " -> " << formatted;
+  }
+}
+
+TEST(FilterSpecFormatTest, CanonicalForms) {
+  EXPECT_EQ(FilterSpec::Parse("slide")->Format(), "slide");
+  EXPECT_EQ(FilterSpec::Parse(" swing( eps=0.5 ) ")->Format(),
+            "swing(eps=0.5)");
+  // Uniform lists compress to eps+dims; params are sorted.
+  EXPECT_EQ(FilterSpec::Parse("slide(eps=1:1:1)")->Format(),
+            "slide(eps=1,dims=3)");
+  EXPECT_EQ(
+      FilterSpec::Parse("slide(junction=gap,eps=2,hull=convex)")->Format(),
+      "slide(eps=2,hull=convex,junction=gap)");
+}
+
+TEST(FilterSpecFormatTest, ExactDoublesSurviveTheRoundTrip) {
+  FilterSpec spec;
+  spec.family = "swing";
+  spec.options.epsilon = {0.1 + 0.2, 1e-17, 12345678.9012345};
+  const auto reparsed = FilterSpec::Parse(spec.Format());
+  ASSERT_TRUE(reparsed.ok()) << spec.Format();
+  EXPECT_EQ(reparsed->options.epsilon, spec.options.epsilon);
+}
+
+TEST(FilterSpecLabelTest, FamilyPlusParamValues) {
+  EXPECT_EQ(FilterSpec::Parse("slide(eps=1)")->Label(), "slide");
+  EXPECT_EQ(FilterSpec::Parse("cache(mode=midrange)")->Label(),
+            "cache-midrange");
+  EXPECT_EQ(FilterSpec::Parse("slide(hull=binary)")->Label(), "slide-binary");
+}
+
+TEST(FilterSpecParamsTest, ExpectParamsInRejectsUnknownKeys) {
+  const auto spec = FilterSpec::Parse("slide(hull=binary,junk=1)");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec->ExpectParamsIn({"hull", "junction", "junk"}).ok());
+  const Status bad = spec->ExpectParamsIn({"hull", "junction"});
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace plastream

@@ -113,8 +113,8 @@ TEST(KalmanFilterTest, MultiDimensionalGating) {
 
 TEST(KalmanFilterTest, RunnerIntegration) {
   const Signal line = *GenerateLine(500, 1.0, 0.1);
-  const auto run =
-      RunFilter(FilterKind::kKalman, FilterOptions::Scalar(0.5), line);
+  const auto run = RunFilter(FilterSpec{.family = "kalman"},
+                             FilterOptions::Scalar(0.5), line);
   ASSERT_TRUE(run.ok()) << run.status().ToString();
   EXPECT_GT(run->compression.ratio, 1.0);
 }

@@ -177,9 +177,9 @@ TEST(SegmentStoreTest, IntervalsAboveNoneWhenBelow) {
 TEST(SegmentStoreTest, ErrorBoundedAnalyticsOverFilteredSignal) {
   const Signal signal = *GenerateSeaSurfaceTemperature({});
   const double eps = signal.Range(0) * 0.02;
-  const auto run =
-      RunFilter(FilterKind::kSlide, FilterOptions::Scalar(eps), signal)
-          .value();
+  const auto run = RunFilter(FilterSpec{.family = "slide"},
+                             FilterOptions::Scalar(eps), signal)
+                       .value();
   SegmentStore store(1);
   ASSERT_TRUE(store.AppendAll(run.segments).ok());
 

@@ -103,8 +103,9 @@ TEST(SwabTest, LookaheadBeatsOnlineLinearOnCorners) {
   auto swab = Make(0.25, 64);
   const auto swab_segments = RunPoints(swab.get(), points);
 
-  const auto linear = *RunFilter(FilterKind::kLinearDisconnected,
-                                 FilterOptions::Scalar(0.25), signal);
+  const auto linear =
+      *RunFilter(*FilterSpec::Parse("linear(mode=disconnected)"),
+                 FilterOptions::Scalar(0.25), signal);
   EXPECT_LE(swab_segments.size(), linear.segments.size());
 }
 
