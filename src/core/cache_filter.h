@@ -26,8 +26,13 @@ namespace plastream {
 
 /// Representative-value policy for a cache filter interval.
 enum class CacheValueMode {
+  /// The interval's first point; transmittable immediately.
   kFirst,
+  /// (max+min)/2 — widens acceptance to max-min <= 2ε_i (Lazaridis &
+  /// Mehrotra's optimal online piece-wise constant approximation).
   kMidrange,
+  /// The running mean, accepted while every point stays within ε_i of the
+  /// updated mean.
   kMean,
 };
 
@@ -39,7 +44,9 @@ class CacheFilter : public Filter {
       FilterOptions options, CacheValueMode mode = CacheValueMode::kFirst,
       SegmentSink* sink = nullptr);
 
+  /// "cache".
   std::string_view name() const override { return "cache"; }
+  /// Piece-wise constant: one recording per segment.
   RecordingCostModel cost_model() const override {
     return RecordingCostModel::kPiecewiseConstant;
   }

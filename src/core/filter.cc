@@ -2,6 +2,7 @@
 
 #include "core/filter.h"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
@@ -21,6 +22,22 @@ Status ValidateFilterOptions(const FilterOptions& options) {
     }
   }
   return Status::OK();
+}
+
+void MergeFilterCounters(std::vector<FilterCounter>& into,
+                         const std::vector<FilterCounter>& from) {
+  for (const FilterCounter& counter : from) {
+    const auto at =
+        std::lower_bound(into.begin(), into.end(), counter,
+                         [](const FilterCounter& a, const FilterCounter& b) {
+                           return a.name < b.name;
+                         });
+    if (at != into.end() && at->name == counter.name) {
+      at->value += counter.value;
+    } else {
+      into.insert(at, counter);
+    }
+  }
 }
 
 Filter::Filter(FilterOptions options, SegmentSink* sink)

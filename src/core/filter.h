@@ -46,6 +46,7 @@ struct FilterOptions {
   /// Convenience factory for 1-dimensional streams.
   static FilterOptions Scalar(double eps) { return Uniform(1, eps); }
 
+  /// Field-wise equality.
   bool operator==(const FilterOptions&) const = default;
 };
 
@@ -53,9 +54,19 @@ struct FilterOptions {
 /// Filter::Counters()). Values are doubles so a single type covers counts
 /// and measurements.
 struct FilterCounter {
+  /// Counter name, unique within one filter's Counters() list.
   std::string name;
+  /// Current counter value.
   double value = 0.0;
 };
+
+/// Sums `from` into `into` by counter name: an existing name accumulates,
+/// a new name is inserted at its sorted position. `into` must be sorted by
+/// name (as this function maintains when accumulation starts from an empty
+/// vector); `from` may be in any order. Used to aggregate Counters()
+/// across the filters of a bank or the shards of a ShardedFilterBank.
+void MergeFilterCounters(std::vector<FilterCounter>& into,
+                         const std::vector<FilterCounter>& from);
 
 /// Validates a FilterOptions instance (dimensionality >= 1, finite
 /// non-negative epsilons).
@@ -72,9 +83,12 @@ class Filter {
   /// `sink` may be null; it is borrowed, not owned, and must outlive the
   /// filter.
   explicit Filter(FilterOptions options, SegmentSink* sink = nullptr);
+  /// Destroys the filter without flushing; call Finish() first.
   virtual ~Filter() = default;
 
+  /// Filters hold per-stream state and are not copyable.
   Filter(const Filter&) = delete;
+  /// Filters hold per-stream state and are not copyable.
   Filter& operator=(const Filter&) = delete;
 
   /// Consumes one data point.

@@ -69,6 +69,7 @@ struct FilterSpec {
   Status ExpectParamsIn(
       std::initializer_list<std::string_view> allowed) const;
 
+  /// Field-wise equality.
   bool operator==(const FilterSpec&) const = default;
 };
 

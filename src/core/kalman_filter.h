@@ -49,6 +49,7 @@ class KalmanFilter : public Filter {
       FilterOptions options, KalmanOptions kalman = KalmanOptions{},
       SegmentSink* sink = nullptr);
 
+  /// "kalman".
   std::string_view name() const override { return "kalman"; }
 
  protected:

@@ -25,7 +25,11 @@ namespace plastream {
 
 /// Segment-joining policy of a linear filter.
 enum class LinearMode {
+  /// Each segment starts at the previous segment's terminal point (one
+  /// recording per segment).
   kConnected,
+  /// Each segment starts fresh from the violating point (two recordings
+  /// per segment, more placement freedom).
   kDisconnected,
 };
 
@@ -37,6 +41,7 @@ class LinearFilter : public Filter {
       FilterOptions options, LinearMode mode = LinearMode::kConnected,
       SegmentSink* sink = nullptr);
 
+  /// "linear".
   std::string_view name() const override { return "linear"; }
 
   /// The joining policy in use.

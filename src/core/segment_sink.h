@@ -8,6 +8,7 @@
 #define PLASTREAM_CORE_SEGMENT_SINK_H_
 
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
 #include "core/types.h"
@@ -33,6 +34,7 @@ struct ProvisionalLine {
 /// Receives filter output in stream order.
 class SegmentSink {
  public:
+  /// Sinks are deleted through the base interface.
   virtual ~SegmentSink() = default;
 
   /// Called for every finalized segment, in time order.
@@ -46,9 +48,11 @@ class SegmentSink {
 /// just want the approximation.
 class CollectingSink : public SegmentSink {
  public:
+  /// Stores the segment.
   void OnSegment(const Segment& segment) override {
     segments_.push_back(segment);
   }
+  /// Stores the provisional commit.
   void OnProvisionalLine(const ProvisionalLine& line) override {
     provisional_.push_back(line);
   }
@@ -69,6 +73,32 @@ class CollectingSink : public SegmentSink {
  private:
   std::vector<Segment> segments_;
   std::vector<ProvisionalLine> provisional_;
+};
+
+/// Thread-safety decorator: serializes every sink callback with a mutex so
+/// one sink instance can be shared by filters running on different threads
+/// (e.g. the shards of a ShardedFilterBank). Per-stream sinks such as the
+/// Pipeline's transmitters do not need this — each is only ever driven by
+/// its own stream's shard.
+class SynchronizedSink : public SegmentSink {
+ public:
+  /// `inner` is borrowed, not owned, and must outlive this decorator.
+  explicit SynchronizedSink(SegmentSink* inner) : inner_(inner) {}
+
+  /// Forwards to the wrapped sink under the mutex.
+  void OnSegment(const Segment& segment) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inner_->OnSegment(segment);
+  }
+  /// Forwards to the wrapped sink under the mutex.
+  void OnProvisionalLine(const ProvisionalLine& line) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inner_->OnProvisionalLine(line);
+  }
+
+ private:
+  std::mutex mutex_;
+  SegmentSink* inner_;
 };
 
 }  // namespace plastream

@@ -74,6 +74,7 @@ class SlideFilter : public Filter {
       SegmentSink* sink = nullptr,
       SlideJunctionPolicy junction_policy = SlideJunctionPolicy::kTailAndGap);
 
+  /// "slide".
   std::string_view name() const override { return "slide"; }
 
   /// The bound-update strategy in use.

@@ -31,6 +31,7 @@ class SwingFilter : public Filter {
   static Result<std::unique_ptr<SwingFilter>> Create(FilterOptions options,
                                                      SegmentSink* sink = nullptr);
 
+  /// "swing".
   std::string_view name() const override { return "swing"; }
 
   /// Points the transmitter has processed beyond the receiver's knowledge.

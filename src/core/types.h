@@ -13,6 +13,10 @@
 
 #include "common/status.h"
 
+/// Online piece-wise linear approximation of numerical streams with
+/// per-dimension precision guarantees (Elmeleegy, Elmagarmid, Cecchet,
+/// Aref, Zwaenepoel; PVLDB 2009) — every public symbol of the library
+/// lives in this namespace.
 namespace plastream {
 
 /// One sample of a d-dimensional signal: (t_j, X_j) with X_j = (x_1j..x_dj).
@@ -22,7 +26,9 @@ struct DataPoint {
   /// One value per dimension; size is the stream's dimensionality d.
   std::vector<double> x;
 
+  /// Zero-time, zero-dimension point; fill `t` and `x` before use.
   DataPoint() = default;
+  /// Constructs the sample (time, values).
   DataPoint(double time, std::vector<double> values)
       : t(time), x(std::move(values)) {}
 
@@ -31,6 +37,7 @@ struct DataPoint {
     return DataPoint(time, {value});
   }
 
+  /// Field-wise equality.
   bool operator==(const DataPoint&) const = default;
 };
 
@@ -42,11 +49,19 @@ struct DataPoint {
 /// point, in which case transmitting it costs one recording instead of two
 /// (paper, Section 2.1).
 struct Segment {
+  /// First covered time.
   double t_start = 0.0;
+  /// Last covered time (== t_start for a point segment).
   double t_end = 0.0;
+  /// Per-dimension value at t_start.
   std::vector<double> x_start;
+  /// Per-dimension value at t_end.
   std::vector<double> x_end;
+  /// True when the start point equals the previous segment's end point.
   bool connected_to_prev = false;
+
+  /// Field-wise equality (used by the shard-determinism tests).
+  bool operator==(const Segment&) const = default;
 
   /// Dimensionality d of the segment.
   size_t dimensions() const { return x_start.size(); }

@@ -43,5 +43,6 @@
 #include "core/segment_store.h"
 #include "core/types.h"
 #include "stream/pipeline.h"
+#include "stream/sharded_filter_bank.h"
 
 #endif  // PLASTREAM_PLASTREAM_H_

@@ -55,11 +55,12 @@ class FilterBank {
 
   /// Aggregate statistics across every stream.
   struct BankStats {
-    size_t streams = 0;
-    size_t points = 0;
-    size_t segments = 0;
-    size_t extra_recordings = 0;
+    size_t streams = 0;           ///< distinct keys seen
+    size_t points = 0;            ///< points accepted across streams
+    size_t segments = 0;          ///< segments emitted across streams
+    size_t extra_recordings = 0;  ///< provisional max-lag commits charged
   };
+  /// Aggregate statistics across every stream.
   BankStats Stats() const;
 
  private:

@@ -43,6 +43,21 @@ Pipeline::Builder& Pipeline::Builder::WithStore(bool enable) {
   return *this;
 }
 
+Pipeline::Builder& Pipeline::Builder::Shards(size_t n) {
+  shards_ = n;
+  return *this;
+}
+
+Pipeline::Builder& Pipeline::Builder::Threads(bool enable) {
+  threaded_ = enable;
+  return *this;
+}
+
+Pipeline::Builder& Pipeline::Builder::QueueCapacity(size_t points) {
+  queue_capacity_ = points;
+  return *this;
+}
+
 Pipeline::Builder& Pipeline::Builder::WithRegistry(
     const FilterRegistry* registry) {
   registry_ = registry;
@@ -58,6 +73,13 @@ Result<std::unique_ptr<Pipeline>> Pipeline::Builder::Build() {
     return Status::InvalidArgument(
         "Pipeline has no filter specs: call DefaultSpec or PerKeySpec");
   }
+  if (shards_ == 0) {
+    return Status::InvalidArgument("Pipeline needs Shards >= 1");
+  }
+  if (threaded_ && queue_capacity_ == 0) {
+    return Status::InvalidArgument(
+        "Pipeline threaded mode needs QueueCapacity >= 1");
+  }
   // Fail at build time, not first append: every configured family must be
   // registered and every configured spec must produce a filter.
   if (default_spec_.has_value()) {
@@ -67,28 +89,52 @@ Result<std::unique_ptr<Pipeline>> Pipeline::Builder::Build() {
   for (const auto& [key, spec] : per_key_) {
     PLASTREAM_RETURN_NOT_OK(registry_->MakeFilter(spec, nullptr).status());
   }
-  return std::unique_ptr<Pipeline>(new Pipeline(
-      std::move(default_spec_), std::move(per_key_), with_store_, registry_));
+  ShardedFilterBank::Options bank_options;
+  bank_options.shards = shards_;
+  bank_options.threaded = threaded_;
+  bank_options.queue_capacity = queue_capacity_;
+  return std::unique_ptr<Pipeline>(
+      new Pipeline(std::move(default_spec_), std::move(per_key_), with_store_,
+                   registry_, std::move(bank_options)));
 }
 
 Pipeline::Pipeline(std::optional<FilterSpec> default_spec,
                    std::map<std::string, FilterSpec, std::less<>> per_key,
-                   bool with_store, const FilterRegistry* registry)
+                   bool with_store, const FilterRegistry* registry,
+                   ShardedFilterBank::Options bank_options)
     : default_spec_(std::move(default_spec)),
       per_key_(std::move(per_key)),
       with_store_(with_store),
       registry_(registry) {
-  bank_ = std::make_unique<FilterBank>(
+  stream_shards_.reserve(bank_options.shards);
+  for (size_t i = 0; i < bank_options.shards; ++i) {
+    stream_shards_.push_back(std::make_unique<StreamShard>());
+  }
+  // The factory runs on the thread that processes the key's first point;
+  // only the key's own stream-shard map locks for the insertion —
+  // afterwards the new Stream is touched solely by its shard.
+  auto factory =
       [this](std::string_view key) -> Result<std::unique_ptr<Filter>> {
-        PLASTREAM_ASSIGN_OR_RETURN(const FilterSpec spec, SpecFor(key));
-        Stream& stream = streams_[std::string(key)];
-        stream.transmitter.emplace(&stream.channel);
-        if (with_store_) {
-          stream.store =
-              std::make_unique<SegmentStore>(spec.options.epsilon.size());
-        }
-        return registry_->MakeFilter(spec, &*stream.transmitter);
-      });
+    PLASTREAM_ASSIGN_OR_RETURN(const FilterSpec spec, SpecFor(key));
+    StreamShard& shard = *stream_shards_[bank_->ShardOf(key)];
+    Stream* stream;
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      stream = &shard.streams[std::string(key)];
+    }
+    stream->transmitter.emplace(&stream->channel);
+    if (with_store_) {
+      stream->store =
+          std::make_unique<SegmentStore>(spec.options.epsilon.size());
+    }
+    return registry_->MakeFilter(spec, &*stream->transmitter);
+  };
+  bank_options.post_append = [this](std::string_view key) {
+    return DrainKey(key);
+  };
+  bank_ = ShardedFilterBank::Create(std::move(factory),
+                                    std::move(bank_options))
+              .value();
 }
 
 Result<FilterSpec> Pipeline::SpecFor(std::string_view key) const {
@@ -100,18 +146,31 @@ Result<FilterSpec> Pipeline::SpecFor(std::string_view key) const {
 }
 
 Status Pipeline::Append(std::string_view key, const DataPoint& point) {
-  PLASTREAM_RETURN_NOT_OK(bank_->Append(key, point));
-  const auto it = streams_.find(key);
-  if (it == streams_.end()) {
-    return Status::Internal("stream state missing for '" + std::string(key) +
-                            "'");
-  }
-  return Drain(it->second);
+  // Filtering, wire transport and archiving all happen inside the bank's
+  // post-append hook (DrainKey), on the shard that owns the key.
+  return bank_->Append(key, point);
 }
 
 Status Pipeline::Append(std::string_view key, double t, double value) {
   return Append(key, DataPoint::Scalar(t, value));
 }
+
+Status Pipeline::DrainKey(std::string_view key) {
+  StreamShard& shard = *stream_shards_[bank_->ShardOf(key)];
+  Stream* stream;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.streams.find(key);
+    if (it == shard.streams.end()) {
+      return Status::Internal("stream state missing for '" + std::string(key) +
+                              "'");
+    }
+    stream = &it->second;
+  }
+  return Drain(*stream);
+}
+
+Status Pipeline::Flush() { return bank_->Flush(); }
 
 Status Pipeline::Drain(Stream& stream) {
   PLASTREAM_RETURN_NOT_OK(stream.receiver.Poll(&stream.channel));
@@ -125,11 +184,16 @@ Status Pipeline::Drain(Stream& stream) {
 
 Status Pipeline::Finish() {
   if (finished_) return Status::OK();
+  // Joins shard workers (threaded mode) and finishes every filter, pushing
+  // each stream's final segments through its transmitter.
   PLASTREAM_RETURN_NOT_OK(bank_->FinishAll());
-  for (auto& [key, stream] : streams_) {
-    PLASTREAM_RETURN_NOT_OK(stream.receiver.Poll(&stream.channel));
-    PLASTREAM_RETURN_NOT_OK(stream.receiver.FinishStream());
-    PLASTREAM_RETURN_NOT_OK(Drain(stream));
+  for (auto& shard : stream_shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    for (auto& [key, stream] : shard->streams) {
+      PLASTREAM_RETURN_NOT_OK(stream.receiver.Poll(&stream.channel));
+      PLASTREAM_RETURN_NOT_OK(stream.receiver.FinishStream());
+      PLASTREAM_RETURN_NOT_OK(Drain(stream));
+    }
   }
   finished_ = true;
   return Status::OK();
@@ -138,8 +202,10 @@ Status Pipeline::Finish() {
 std::vector<std::string> Pipeline::Keys() const { return bank_->Keys(); }
 
 const Pipeline::Stream* Pipeline::Find(std::string_view key) const {
-  const auto it = streams_.find(key);
-  return it == streams_.end() ? nullptr : &it->second;
+  const StreamShard& shard = *stream_shards_[bank_->ShardOf(key)];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.streams.find(key);
+  return it == shard.streams.end() ? nullptr : &it->second;
 }
 
 Result<std::vector<Segment>> Pipeline::Segments(std::string_view key) const {
@@ -187,10 +253,14 @@ Pipeline::PipelineStats Pipeline::Stats() const {
   const FilterBank::BankStats bank = bank_->Stats();
   stats.streams = bank.streams;
   stats.points = bank.points;
-  for (const auto& [key, stream] : streams_) {
-    stats.segments += stream.receiver.segments().size();
-    stats.records_sent += stream.transmitter->records_sent();
-    stats.bytes_sent += stream.channel.bytes_sent();
+  // One lock at a time (a stream-shard mutex is never nested with a bank
+  // shard mutex): snapshot the keys, then look each side up independently.
+  for (const std::string& key : bank_->Keys()) {
+    const Stream* stream = Find(key);
+    if (stream == nullptr) continue;
+    stats.segments += stream->receiver.segments().size();
+    stats.records_sent += stream->transmitter->records_sent();
+    stats.bytes_sent += stream->channel.bytes_sent();
     const Filter* filter = bank_->GetFilter(key);
     if (filter != nullptr) {
       stats.bytes_raw +=
@@ -198,6 +268,10 @@ Pipeline::PipelineStats Pipeline::Stats() const {
     }
   }
   return stats;
+}
+
+std::vector<FilterCounter> Pipeline::AggregateCounters() const {
+  return bank_->AggregateCounters();
 }
 
 }  // namespace plastream

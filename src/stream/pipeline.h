@@ -22,6 +22,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -33,19 +34,30 @@
 #include "core/reconstruction.h"
 #include "core/segment_store.h"
 #include "stream/channel.h"
-#include "stream/filter_bank.h"
 #include "stream/receiver.h"
+#include "stream/sharded_filter_bank.h"
 #include "stream/transmitter.h"
 
 namespace plastream {
 
 /// A keyed collector: spec-configured filters in front, wire transport in
-/// the middle, queryable segment archives behind. Not thread-safe.
+/// the middle, queryable segment archives behind.
+///
+/// Thread-safety: with Builder::Shards(n) the pipeline accepts concurrent
+/// Append calls from multiple producer threads — appends to keys on
+/// different shards run in parallel, and each key's whole path (filter,
+/// wire codec, archive) stays serialized on its shard. Points of one key
+/// must still arrive in time order, so concurrent producers should own
+/// disjoint key sets. Finish() and the read-side accessors must not race
+/// with Append; call them after producers have stopped (or, in threaded
+/// mode, after Flush()). The default single-shard pipeline behaves exactly
+/// as before and adds one uncontended lock per append.
 class Pipeline {
  public:
   /// Configures and constructs a Pipeline.
   class Builder {
    public:
+    /// A builder targeting the global filter registry.
     Builder();
 
     /// Spec used for every key without a PerKeySpec override.
@@ -61,12 +73,27 @@ class Pipeline {
     /// Enables (default) or disables the per-stream SegmentStore archive.
     Builder& WithStore(bool enable = true);
 
+    /// Hash-partitions keys across `n` shards (default 1) so producers on
+    /// different shards ingest in parallel. 0 is an error at Build().
+    Builder& Shards(size_t n);
+
+    /// Gives every shard a dedicated worker thread fed by a bounded ingest
+    /// queue (thread-affinity mode). Append then enqueues and returns;
+    /// filter errors surface on later Appends, Flush() and Finish().
+    Builder& Threads(bool enable = true);
+
+    /// Per-shard ingest queue capacity for Threads() mode (default 1024);
+    /// Append blocks while the target shard's queue is full. 0 is an error
+    /// at Build() when threads are enabled.
+    Builder& QueueCapacity(size_t points);
+
     /// Uses `registry` instead of FilterRegistry::Global(); `registry` is
     /// borrowed and must outlive the pipeline.
     Builder& WithRegistry(const FilterRegistry* registry);
 
     /// Builds the pipeline. Errors when no spec was configured, a spec
-    /// string failed to parse, or a spec names an unregistered family.
+    /// string failed to parse, a spec names an unregistered family, or the
+    /// sharding configuration is invalid (Shards(0), QueueCapacity(0)).
     Result<std::unique_ptr<Pipeline>> Build();
 
    private:
@@ -74,10 +101,15 @@ class Pipeline {
     std::optional<FilterSpec> default_spec_;
     std::map<std::string, FilterSpec, std::less<>> per_key_;
     bool with_store_ = true;
+    size_t shards_ = 1;
+    bool threaded_ = false;
+    size_t queue_capacity_ = 1024;
     const FilterRegistry* registry_;
   };
 
+  /// Pipelines own per-stream transports and are not copyable.
   Pipeline(const Pipeline&) = delete;
+  /// Pipelines own per-stream transports and are not copyable.
   Pipeline& operator=(const Pipeline&) = delete;
 
   /// Routes one point into the stream named `key`, creating its filter
@@ -88,8 +120,16 @@ class Pipeline {
   /// Scalar-stream convenience overload.
   Status Append(std::string_view key, double t, double value);
 
-  /// Finishes every filter, drains the transports, and completes the
-  /// archives. Idempotent; Append afterwards is an error.
+  /// Threaded mode: blocks until every enqueued point has been filtered,
+  /// transported and archived, then reports the first deferred error; the
+  /// pipeline stays open for more appends. Synchronous modes: errors
+  /// surface on Append itself, so Flush is a no-op returning OK. Call
+  /// between producer phases to make the read accessors safe mid-stream.
+  Status Flush();
+
+  /// Finishes every filter (joining shard workers first), drains the
+  /// transports, and completes the archives. Idempotent; Append afterwards
+  /// is an error.
   Status Finish();
 
   /// Stream keys seen so far, sorted.
@@ -125,8 +165,8 @@ class Pipeline {
 
   /// Aggregate transport and archive statistics across every stream.
   struct PipelineStats {
-    size_t streams = 0;
-    size_t points = 0;
+    size_t streams = 0;            ///< distinct keys seen
+    size_t points = 0;             ///< samples accepted across streams
     size_t segments = 0;           ///< segments received across streams
     size_t records_sent = 0;       ///< wire records (the paper's recordings)
     size_t bytes_sent = 0;         ///< encoded bytes on all channels
@@ -134,12 +174,20 @@ class Pipeline {
   };
   PipelineStats Stats() const;
 
+  /// Family-specific diagnostic counters summed by name across the filters
+  /// of every stream on every shard.
+  std::vector<FilterCounter> AggregateCounters() const;
+
+  /// Number of ingest shards.
+  size_t shard_count() const { return bank_->shard_count(); }
+
   /// True once Finish() has run.
   bool finished() const { return finished_; }
 
  private:
   // Per-stream transport + archive. Channel/Receiver/Store live here;
-  // the filter itself is owned by the FilterBank.
+  // the filter itself is owned by the bank. Only the stream's shard
+  // touches this state during ingest, so no per-stream lock is needed.
   struct Stream {
     Channel channel;
     std::optional<Transmitter> transmitter;
@@ -150,10 +198,15 @@ class Pipeline {
 
   Pipeline(std::optional<FilterSpec> default_spec,
            std::map<std::string, FilterSpec, std::less<>> per_key,
-           bool with_store, const FilterRegistry* registry);
+           bool with_store, const FilterRegistry* registry,
+           ShardedFilterBank::Options bank_options);
 
   // Decodes whatever the transmitter queued and archives new segments.
   Status Drain(Stream& stream);
+
+  // Post-append hook: drains the appended key's transport, running on the
+  // processing thread while the key's shard is exclusively held.
+  Status DrainKey(std::string_view key);
 
   const Stream* Find(std::string_view key) const;
 
@@ -161,8 +214,17 @@ class Pipeline {
   std::map<std::string, FilterSpec, std::less<>> per_key_;
   bool with_store_;
   const FilterRegistry* registry_;
-  std::map<std::string, Stream, std::less<>> streams_;
-  std::unique_ptr<FilterBank> bank_;
+  // Stream state is partitioned exactly like the bank's keys, one map per
+  // shard, so the per-point drain lookup and stream creation synchronize
+  // only within a shard — appends on different shards share no lock. The
+  // mutex guards each map's structure; a mapped Stream's contents stay
+  // shard-serialized.
+  struct StreamShard {
+    mutable std::mutex mutex;
+    std::map<std::string, Stream, std::less<>> streams;
+  };
+  std::vector<std::unique_ptr<StreamShard>> stream_shards_;
+  std::unique_ptr<ShardedFilterBank> bank_;
   bool finished_ = false;
 };
 

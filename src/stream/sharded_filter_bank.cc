@@ -1,0 +1,235 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "stream/sharded_filter_bank.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+namespace plastream {
+
+namespace {
+
+// FNV-1a 64-bit: stable across platforms and standard-library versions, so
+// key->shard placement (and therefore any per-shard observation) is
+// reproducible everywhere.
+uint64_t Fnv1a(std::string_view bytes) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardedFilterBank>> ShardedFilterBank::Create(
+    FilterFactory factory, Options options) {
+  if (factory == nullptr) {
+    return Status::InvalidArgument("ShardedFilterBank factory is null");
+  }
+  if (options.shards == 0) {
+    return Status::InvalidArgument("ShardedFilterBank needs >= 1 shard");
+  }
+  if (options.threaded && options.queue_capacity == 0) {
+    return Status::InvalidArgument(
+        "ShardedFilterBank threaded mode needs queue_capacity >= 1");
+  }
+  return std::unique_ptr<ShardedFilterBank>(
+      new ShardedFilterBank(std::move(factory), std::move(options)));
+}
+
+ShardedFilterBank::ShardedFilterBank(FilterFactory factory, Options options)
+    : options_(std::move(options)), threaded_(options_.threaded) {
+  shards_.reserve(options_.shards);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(factory));
+  }
+  if (threaded_) {
+    for (auto& shard : shards_) {
+      shard->worker = std::thread([this, &shard] { WorkerLoop(*shard); });
+    }
+  }
+}
+
+ShardedFilterBank::~ShardedFilterBank() {
+  for (auto& shard : shards_) {
+    if (!shard->worker.joinable()) continue;
+    {
+      const std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->stop = true;
+    }
+    shard->ingest_cv.notify_all();
+    shard->drained_cv.notify_all();  // wake producers blocked on a full queue
+    shard->worker.join();
+  }
+}
+
+size_t ShardedFilterBank::ShardOf(std::string_view key) const {
+  return static_cast<size_t>(Fnv1a(key) % shards_.size());
+}
+
+Status ShardedFilterBank::AppendNow(Shard& shard, std::string_view key,
+                                    const DataPoint& point) {
+  PLASTREAM_RETURN_NOT_OK(shard.bank.Append(key, point));
+  if (options_.post_append != nullptr) {
+    return options_.post_append(key);
+  }
+  return Status::OK();
+}
+
+Status ShardedFilterBank::Append(std::string_view key,
+                                 const DataPoint& point) {
+  Shard& shard = *shards_[ShardOf(key)];
+  if (!threaded_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    return AppendNow(shard, key, point);
+  }
+  std::unique_lock<std::mutex> lock(shard.mutex);
+  // The stop/error state can change while blocked on a full queue, so the
+  // wait wakes on it and the checks run after the wait, not before.
+  shard.drained_cv.wait(lock, [&] {
+    return shard.stop || !shard.deferred.ok() ||
+           shard.queue.size() < options_.queue_capacity;
+  });
+  if (!shard.deferred.ok()) return shard.deferred;
+  if (shard.stop) {
+    return Status::FailedPrecondition("Append after FinishAll");
+  }
+  // Intern the key: one allocation per distinct key per shard, then every
+  // queued Task borrows the set node (node addresses are stable).
+  auto interned = shard.keys.find(key);
+  if (interned == shard.keys.end()) {
+    interned = shard.keys.insert(std::string(key)).first;
+  }
+  shard.queue.push_back(Task{*interned, point});
+  ++shard.in_flight;
+  lock.unlock();
+  shard.ingest_cv.notify_one();
+  return Status::OK();
+}
+
+void ShardedFilterBank::WorkerLoop(Shard& shard) {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    shard.ingest_cv.wait(lock,
+                         [&] { return shard.stop || !shard.queue.empty(); });
+    if (shard.queue.empty()) return;  // stop requested and fully drained
+    Task task = std::move(shard.queue.front());
+    shard.queue.pop_front();
+    lock.unlock();
+    shard.drained_cv.notify_all();
+
+    // The bank is touched without the lock: this worker is its only writer.
+    Status status = AppendNow(shard, task.key, task.point);
+
+    lock.lock();
+    if (!status.ok() && shard.deferred.ok()) {
+      shard.deferred = std::move(status);
+    }
+    --shard.in_flight;
+    lock.unlock();
+    shard.drained_cv.notify_all();
+  }
+}
+
+Status ShardedFilterBank::Flush() {
+  Status first = Status::OK();
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->mutex);
+    if (threaded_) {
+      shard->drained_cv.wait(lock, [&] { return shard->in_flight == 0; });
+    }
+    if (!shard->deferred.ok() && first.ok()) first = shard->deferred;
+  }
+  return first;
+}
+
+Status ShardedFilterBank::FinishAll() {
+  Status first = Status::OK();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) {
+      {
+        const std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->stop = true;
+      }
+      shard->ingest_cv.notify_all();
+      shard->drained_cv.notify_all();  // wake producers blocked on full queue
+      shard->worker.join();  // worker drains the queue before exiting
+    }
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    if (!shard->deferred.ok() && first.ok()) first = shard->deferred;
+    const Status finish = shard->bank.FinishAll();
+    if (!finish.ok() && first.ok()) first = finish;
+  }
+  return first;
+}
+
+Result<std::vector<Segment>> ShardedFilterBank::TakeSegments(
+    std::string_view key) {
+  Shard& shard = *shards_[ShardOf(key)];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.bank.TakeSegments(key);
+}
+
+std::vector<std::string> ShardedFilterBank::Keys() const {
+  std::vector<std::string> keys;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    std::vector<std::string> shard_keys = shard->bank.Keys();
+    keys.insert(keys.end(), std::make_move_iterator(shard_keys.begin()),
+                std::make_move_iterator(shard_keys.end()));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+bool ShardedFilterBank::Contains(std::string_view key) const {
+  const Shard& shard = *shards_[ShardOf(key)];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.bank.Contains(key);
+}
+
+const Filter* ShardedFilterBank::GetFilter(std::string_view key) const {
+  const Shard& shard = *shards_[ShardOf(key)];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.bank.GetFilter(key);
+}
+
+FilterBank::BankStats ShardedFilterBank::Stats() const {
+  FilterBank::BankStats total;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    const FilterBank::BankStats stats = shard->bank.Stats();
+    total.streams += stats.streams;
+    total.points += stats.points;
+    total.segments += stats.segments;
+    total.extra_recordings += stats.extra_recordings;
+  }
+  return total;
+}
+
+std::vector<FilterBank::BankStats> ShardedFilterBank::ShardStats() const {
+  std::vector<FilterBank::BankStats> stats;
+  stats.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    stats.push_back(shard->bank.Stats());
+  }
+  return stats;
+}
+
+std::vector<FilterCounter> ShardedFilterBank::AggregateCounters() const {
+  std::vector<FilterCounter> merged;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const std::string& key : shard->bank.Keys()) {
+      const Filter* filter = shard->bank.GetFilter(key);
+      if (filter != nullptr) MergeFilterCounters(merged, filter->Counters());
+    }
+  }
+  return merged;
+}
+
+}  // namespace plastream

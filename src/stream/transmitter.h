@@ -26,7 +26,9 @@ class Transmitter : public SegmentSink {
   /// `channel` is borrowed and must outlive the transmitter.
   explicit Transmitter(Channel* channel) : channel_(channel) {}
 
+  /// Encodes the segment's recordings onto the channel.
   void OnSegment(const Segment& segment) override;
+  /// Encodes the provisional line commit onto the channel.
   void OnProvisionalLine(const ProvisionalLine& line) override;
 
   /// Wire records sent so far (== the paper's recording count, plus one

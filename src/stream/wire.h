@@ -35,13 +35,16 @@ enum class WireRecordType : uint8_t {
 
 /// One transmitted record.
 struct WireRecord {
+  /// Kind of the record.
   WireRecordType type = WireRecordType::kSegmentPoint;
+  /// Recording time.
   double t = 0.0;
   /// Values per dimension.
   std::vector<double> x;
   /// Slopes per dimension; only present for kProvisionalLine.
   std::vector<double> slope;
 
+  /// Field-wise equality.
   bool operator==(const WireRecord&) const = default;
 };
 
