@@ -1,0 +1,255 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Wire-codec byte economics on the fig07 workload: the paper counts
+// transmission cost in recordings, a collector pays in bytes — this bench
+// measures bytes/point, bytes/record and encode+decode throughput for
+// every registered wire codec, at fig07's precision grid (% of the SST
+// signal's range), and asserts the cross-codec losslessness contract
+// (decoded record sequences identical to the transmitted ones).
+//
+//   $ ./build/bench_codec_bytes [--filter SPEC] [--count N] [--json PATH]
+//
+// --json writes the series as a machine-readable artifact (CI uploads it
+// alongside the sharded-ingest artifact, so PRs accumulate a wire-cost
+// trajectory). Exits non-zero when a codec round trip diverges or when
+// "delta" stops clearing its >= 25% bytes/point saving vs "frame" at the
+// 1% precision point.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "datagen/sea_surface.h"
+#include "stream/channel.h"
+#include "stream/receiver.h"
+#include "stream/transmitter.h"
+#include "stream/wire_codec.h"
+
+namespace plastream::bench {
+namespace {
+
+struct Config {
+  std::string filter_spec = "slide";
+  size_t count = 1285;  // fig07's SST trace length
+  std::string json_path;
+};
+
+const char* const kCodecSpecs[] = {
+    "frame",
+    "delta",
+    "delta(varint=false)",
+    "batch(n=32)",
+    "batch(n=128)",
+    "batch(n=128,crc=none)",
+};
+
+struct CodecRun {
+  std::string codec;
+  double precision_pct = 0.0;
+  size_t records = 0;
+  size_t frames = 0;
+  size_t bytes = 0;
+  double bytes_per_point = 0.0;
+  double bytes_per_record = 0.0;
+  double encode_mrec_per_sec = 0.0;
+  double decode_mrec_per_sec = 0.0;
+  bool lossless = false;
+};
+
+// The record sequence a transmitter would emit for `signal` under the
+// given filter: materialized once so codec timings exclude the filter.
+std::vector<WireRecord> TransmittedRecords(const FilterSpec& spec,
+                                           const FilterOptions& options,
+                                           const Signal& signal) {
+  Channel channel;
+  auto codec = ValueOrDie(MakeWireCodec("frame"), "frame codec");
+  Transmitter tx(&channel, codec.get());
+  auto filter =
+      ValueOrDie(FilterRegistry::Global().MakeFilter(
+                     [&] {
+                       FilterSpec with_options = spec;
+                       with_options.options = options;
+                       return with_options;
+                     }(),
+                     &tx),
+                 "filter");
+  for (const DataPoint& p : signal.points) {
+    CheckOk(filter->Append(p), "Append");
+  }
+  CheckOk(filter->Finish(), "Finish");
+  CheckOk(tx.Flush(), "Flush");
+  std::vector<WireRecord> records;
+  while (auto frame = channel.Pop()) {
+    CheckOk(codec->Decode(*frame, &records), "Decode");
+  }
+  return records;
+}
+
+CodecRun RunCodec(const std::string& codec_spec, double precision_pct,
+                  const std::vector<WireRecord>& records, size_t points) {
+  CodecRun run;
+  run.codec = codec_spec;
+  run.precision_pct = precision_pct;
+  run.records = records.size();
+
+  auto codec = ValueOrDie(MakeWireCodec(codec_spec), codec_spec.c_str());
+  Channel channel;
+  const auto encode_start = std::chrono::steady_clock::now();
+  for (const WireRecord& record : records) {
+    CheckOk(codec->Encode(record, &channel), "Encode");
+  }
+  CheckOk(codec->Flush(&channel), "Flush");
+  const std::chrono::duration<double> encode_elapsed =
+      std::chrono::steady_clock::now() - encode_start;
+
+  run.frames = channel.frames_sent();
+  run.bytes = channel.bytes_sent();
+  run.bytes_per_point = static_cast<double>(run.bytes) / points;
+  run.bytes_per_record =
+      records.empty() ? 0.0
+                      : static_cast<double>(run.bytes) / records.size();
+  run.encode_mrec_per_sec =
+      records.size() / encode_elapsed.count() / 1e6;
+
+  std::vector<std::vector<uint8_t>> frames;
+  frames.reserve(channel.queued());
+  while (auto frame = channel.Pop()) frames.push_back(std::move(*frame));
+  auto decoder = ValueOrDie(MakeWireCodec(codec_spec), codec_spec.c_str());
+  std::vector<WireRecord> decoded;
+  decoded.reserve(records.size());
+  const auto decode_start = std::chrono::steady_clock::now();
+  for (const auto& frame : frames) {
+    CheckOk(decoder->Decode(frame, &decoded), "Decode");
+  }
+  const std::chrono::duration<double> decode_elapsed =
+      std::chrono::steady_clock::now() - decode_start;
+  run.decode_mrec_per_sec =
+      records.size() / decode_elapsed.count() / 1e6;
+  run.lossless = decoded == records;
+  return run;
+}
+
+int Main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value after %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--filter") == 0) {
+      config.filter_spec = next();
+    } else if (std::strcmp(argv[i], "--count") == 0) {
+      config.count = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      config.json_path = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_codec_bytes [--filter SPEC] [--count N] "
+                   "[--json PATH]\n");
+      return 2;
+    }
+  }
+
+  const FilterSpec filter_spec = ValueOrDie(
+      FilterSpec::Parse(config.filter_spec), "parse --filter");
+  SeaSurfaceOptions sst;
+  sst.count = config.count;
+  const Signal signal =
+      ValueOrDie(GenerateSeaSurfaceTemperature(sst), "generate SST");
+  const double range = signal.Range(0);
+
+  std::printf(
+      "Wire-codec byte cost, fig07 workload: %s on sea surface temperature "
+      "(n=%zu, range=%.3f C)\n"
+      "raw input: %.1f bytes/point ((t, x) as f64)\n\n",
+      config.filter_spec.c_str(), signal.size(), range,
+      2.0 * sizeof(double));
+
+  const std::vector<double> precision_pct{0.1, 1.0, 10.0};
+  std::vector<CodecRun> runs;
+  bool all_lossless = true;
+  double frame_bpp_at_1pct = 0.0;
+  double delta_bpp_at_1pct = 0.0;
+  for (const double pct : precision_pct) {
+    const FilterOptions options =
+        FilterOptions::Scalar(range * pct / 100.0);
+    const auto records =
+        TransmittedRecords(filter_spec, options, signal);
+    std::printf("precision %.1f%% of range -> %zu records\n", pct,
+                records.size());
+    std::printf("  %-22s %12s %12s %12s %14s %14s %10s\n", "codec",
+                "bytes", "bytes/point", "bytes/rec", "enc Mrec/s",
+                "dec Mrec/s", "check");
+    for (const char* codec_spec : kCodecSpecs) {
+      const CodecRun run =
+          RunCodec(codec_spec, pct, records, signal.size());
+      runs.push_back(run);
+      all_lossless = all_lossless && run.lossless;
+      if (pct == 1.0 && run.codec == "frame") {
+        frame_bpp_at_1pct = run.bytes_per_point;
+      }
+      if (pct == 1.0 && run.codec == "delta") {
+        delta_bpp_at_1pct = run.bytes_per_point;
+      }
+      std::printf("  %-22s %12zu %12.2f %12.2f %14.1f %14.1f %10s\n",
+                  run.codec.c_str(), run.bytes, run.bytes_per_point,
+                  run.bytes_per_record, run.encode_mrec_per_sec,
+                  run.decode_mrec_per_sec,
+                  run.lossless ? "lossless" : "DIVERGED");
+    }
+    std::printf("\n");
+  }
+
+  const double delta_saving =
+      frame_bpp_at_1pct > 0.0
+          ? 100.0 * (1.0 - delta_bpp_at_1pct / frame_bpp_at_1pct)
+          : 0.0;
+  const bool delta_ok = delta_saving >= 25.0;
+  std::printf("shape checks:\n");
+  std::printf("  every codec round-trips losslessly:  %s\n",
+              all_lossless ? "yes" : "NO");
+  std::printf("  delta saves >= 25%% vs frame at 1%%:   %s (%.1f%%)\n",
+              delta_ok ? "yes" : "NO", delta_saving);
+
+  if (!config.json_path.empty()) {
+    std::FILE* out = std::fopen(config.json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", config.json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"bench\": \"codec_bytes\",\n  \"filter\": \"%s\",\n"
+                 "  \"points\": %zu,\n  \"lossless\": %s,\n"
+                 "  \"delta_saving_pct_at_1pct\": %.2f,\n  \"results\": [\n",
+                 config.filter_spec.c_str(), signal.size(),
+                 all_lossless ? "true" : "false", delta_saving);
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const CodecRun& run = runs[i];
+      std::fprintf(
+          out,
+          "    {\"codec\": \"%s\", \"precision_pct\": %.3f, "
+          "\"records\": %zu, \"frames\": %zu, \"bytes\": %zu, "
+          "\"bytes_per_point\": %.3f, \"bytes_per_record\": %.3f, "
+          "\"encode_mrec_per_sec\": %.2f, \"decode_mrec_per_sec\": %.2f}%s\n",
+          run.codec.c_str(), run.precision_pct, run.records, run.frames,
+          run.bytes, run.bytes_per_point, run.bytes_per_record,
+          run.encode_mrec_per_sec, run.decode_mrec_per_sec,
+          i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", config.json_path.c_str());
+  }
+  return all_lossless && delta_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace plastream::bench
+
+int main(int argc, char** argv) { return plastream::bench::Main(argc, argv); }

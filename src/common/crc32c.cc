@@ -1,0 +1,38 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace plastream {
+namespace {
+
+// Byte-at-a-time table for the reflected Castagnoli polynomial, built at
+// compile time. Frames are tens to a few thousand bytes, so the simple
+// table walk is not a hot path; hardware CRC32C instructions can slot in
+// behind this signature later without touching callers.
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32c(std::span<const uint8_t> data, uint32_t crc) {
+  crc = ~crc;
+  for (const uint8_t byte : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ byte) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace plastream

@@ -1,0 +1,25 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// CRC32C (Castagnoli, reflected polynomial 0x82F63B78): the frame-integrity
+// checksum of the wire layer. Chosen over the previous XOR byte because its
+// Hamming distance is >= 4 for every frame length the codecs produce, so
+// any 1-, 2- or 3-bit corruption is always detected — in particular the
+// XOR checksum's blind spot, two flips of the same bit position in
+// different bytes, cannot cancel.
+
+#ifndef PLASTREAM_COMMON_CRC32C_H_
+#define PLASTREAM_COMMON_CRC32C_H_
+
+#include <cstdint>
+#include <span>
+
+namespace plastream {
+
+/// CRC32C of `data`, continuing from `crc` (pass 0 for a fresh checksum).
+/// Chain calls to checksum discontiguous buffers:
+/// `Crc32c(b, Crc32c(a))  ==  Crc32c(a ++ b)`.
+uint32_t Crc32c(std::span<const uint8_t> data, uint32_t crc = 0);
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_COMMON_CRC32C_H_

@@ -44,5 +44,6 @@
 #include "core/types.h"
 #include "stream/pipeline.h"
 #include "stream/sharded_filter_bank.h"
+#include "stream/wire_codec.h"
 
 #endif  // PLASTREAM_PLASTREAM_H_

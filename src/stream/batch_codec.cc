@@ -1,0 +1,146 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// "batch": many records per frame, amortizing framing and checksum cost.
+// Records are buffered until `n` accumulate (or Flush forces a short
+// frame), then emitted as one frame (little-endian):
+//
+//   [count: varint][record body 0][record body 1]...[crc32c: u32]
+//
+// Each record body is the exact checksum-free layout of the "frame" codec
+// (stream/codec.h), so the per-record bytes are shared and only the
+// integrity trailer is amortized: one CRC32C per frame instead of one per
+// record. `crc=none` drops the trailer entirely for trusted in-process
+// transports. The encode side buffers; the Pipeline flushes it on
+// Flush()/Finish(), and standalone users must call Flush before the final
+// channel drain.
+//
+// Spec: "batch", "batch(n=32,crc=crc32c)", "batch(n=128,crc=none)"
+// (defaults: n=32, crc=crc32c; 1 <= n <= 65535).
+
+#include <charconv>
+#include <memory>
+#include <utility>
+
+#include "stream/codec.h"
+#include "stream/wire_bytes.h"
+#include "stream/wire_codec.h"
+
+namespace plastream {
+namespace {
+
+// The smallest possible record body (scalar, no slopes) — the bound a
+// frame's claimed record count is validated against before any allocation.
+constexpr size_t kMinBodySize = 1 + 2 + 8;
+
+class BatchCodec final : public WireCodec {
+ public:
+  BatchCodec(size_t batch_size, bool crc)
+      : batch_size_(batch_size), crc_(crc) {}
+
+  Status Encode(const WireRecord& record, Channel* channel) override {
+    // Serialize immediately into the staged frame body; buffering the
+    // bytes instead of WireRecord copies keeps Encode allocation-free
+    // once the staging buffer has warmed up.
+    AppendWireRecordBody(record, &staged_);
+    if (++staged_count_ >= batch_size_) return Flush(channel);
+    return Status::OK();
+  }
+
+  Status Flush(Channel* channel) override {
+    if (staged_count_ == 0) return Status::OK();
+    std::vector<uint8_t> frame;
+    frame.reserve(10 + staged_.size() + 4);
+    PutVarint(&frame, staged_count_);
+    frame.insert(frame.end(), staged_.begin(), staged_.end());
+    if (crc_) AppendCrc32cTrailer(&frame);
+    staged_.clear();
+    staged_count_ = 0;
+    channel->Push(std::move(frame));
+    return Status::OK();
+  }
+
+  Status Decode(std::span<const uint8_t> frame,
+                std::vector<WireRecord>* out) override {
+    std::span<const uint8_t> payload = frame;
+    if (crc_ && !SplitCrc32cTrailer(frame, &payload)) {
+      return Status::Corruption("batch frame checksum mismatch");
+    }
+    size_t pos = 0;
+    uint64_t count = 0;
+    if (!ReadVarint(payload, &pos, &count) || count == 0 ||
+        count > (payload.size() - pos) / kMinBodySize) {
+      // The count bound rejects frames whose claimed record count cannot
+      // fit in the payload, before any count-sized allocation.
+      return Status::Corruption("batch frame with bad record count");
+    }
+    std::vector<WireRecord> records;
+    records.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      size_t consumed = 0;
+      PLASTREAM_ASSIGN_OR_RETURN(
+          WireRecord record,
+          DecodeWireRecordBody(payload.subspan(pos), &consumed));
+      pos += consumed;
+      records.push_back(std::move(record));
+    }
+    if (pos != payload.size()) {
+      return Status::Corruption("batch frame length mismatch");
+    }
+    for (WireRecord& record : records) out->push_back(std::move(record));
+    return Status::OK();
+  }
+
+  size_t EncodedSizeBound(WireRecordType type, size_t dims) const override {
+    // Worst case is a single-record flush: count varint + one body + crc.
+    return 1 + WireRecordBodySize(type, dims) + (crc_ ? 4 : 0);
+  }
+
+  std::string_view name() const override { return "batch"; }
+
+ private:
+  const size_t batch_size_;
+  const bool crc_;
+  std::vector<uint8_t> staged_;  // serialized bodies of the open batch
+  size_t staged_count_ = 0;
+};
+
+}  // namespace
+
+void RegisterBatchWireCodec(CodecRegistry& registry) {
+  const Status status = registry.Register(
+      "batch",
+      [](const FilterSpec& spec) -> Result<std::unique_ptr<WireCodec>> {
+        PLASTREAM_RETURN_NOT_OK(spec.ExpectParamsIn({"n", "crc"}));
+        size_t batch_size = 32;
+        if (const std::string* n = spec.FindParam("n")) {
+          uint64_t parsed = 0;
+          const auto [ptr, ec] =
+              std::from_chars(n->data(), n->data() + n->size(), parsed);
+          if (ec != std::errc() || ptr != n->data() + n->size() ||
+              parsed < 1 || parsed > 65535) {
+            return Status::InvalidArgument(
+                "codec 'batch' parameter 'n' must be an integer in "
+                "[1, 65535], got '" +
+                *n + "'");
+          }
+          batch_size = static_cast<size_t>(parsed);
+        }
+        bool crc = true;
+        if (const std::string* crc_param = spec.FindParam("crc")) {
+          if (*crc_param == "crc32c") {
+            crc = true;
+          } else if (*crc_param == "none") {
+            crc = false;
+          } else {
+            return Status::InvalidArgument(
+                "codec 'batch' parameter 'crc' must be crc32c or none, "
+                "got '" +
+                *crc_param + "'");
+          }
+        }
+        return std::unique_ptr<WireCodec>(new BatchCodec(batch_size, crc));
+      });
+  (void)status;  // Double registration is caller error; see Register().
+}
+
+}  // namespace plastream

@@ -17,12 +17,17 @@ std::optional<std::vector<uint8_t>> Channel::Pop() {
   return frame;
 }
 
-bool Channel::CorruptLastFrame(size_t offset, uint8_t mask) {
-  if (frames_.empty()) return false;
-  std::vector<uint8_t>& frame = frames_.back();
+bool Channel::CorruptFrame(size_t index, size_t offset, uint8_t mask) {
+  if (index >= frames_.size()) return false;
+  std::vector<uint8_t>& frame = frames_[index];
   if (offset >= frame.size()) return false;
   frame[offset] = static_cast<uint8_t>(frame[offset] ^ mask);
   return true;
+}
+
+bool Channel::CorruptLastFrame(size_t offset, uint8_t mask) {
+  if (frames_.empty()) return false;
+  return CorruptFrame(frames_.size() - 1, offset, mask);
 }
 
 }  // namespace plastream

@@ -33,9 +33,13 @@ class Channel {
   /// Total payload bytes ever pushed.
   size_t bytes_sent() const { return bytes_sent_; }
 
-  /// Fault injection: XORs `mask` into byte `offset` of the most recently
-  /// pushed, still-queued frame. Returns false when there is no such frame
-  /// or the offset is out of range.
+  /// Fault injection: XORs `mask` into byte `offset` of the queued frame
+  /// at `index` (0 = oldest still-queued frame). Returns false when there
+  /// is no such frame or the offset is out of range.
+  bool CorruptFrame(size_t index, size_t offset, uint8_t mask = 0xFF);
+
+  /// Fault injection on the most recently pushed, still-queued frame;
+  /// shorthand for CorruptFrame(queued() - 1, offset, mask).
   bool CorruptLastFrame(size_t offset, uint8_t mask = 0xFF);
 
  private:

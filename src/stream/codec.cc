@@ -2,84 +2,51 @@
 
 #include "stream/codec.h"
 
-#include <bit>
-#include <cstring>
+#include "stream/wire_bytes.h"
 
 namespace plastream {
-namespace {
 
-void PutU16(std::vector<uint8_t>* out, uint16_t v) {
-  out->push_back(static_cast<uint8_t>(v & 0xFF));
-  out->push_back(static_cast<uint8_t>((v >> 8) & 0xFF));
-}
-
-void PutF64(std::vector<uint8_t>* out, double v) {
-  const uint64_t bits = std::bit_cast<uint64_t>(v);
-  for (int shift = 0; shift < 64; shift += 8) {
-    out->push_back(static_cast<uint8_t>((bits >> shift) & 0xFF));
-  }
-}
-
-uint16_t GetU16(const uint8_t* p) {
-  return static_cast<uint16_t>(p[0] | (static_cast<uint16_t>(p[1]) << 8));
-}
-
-double GetF64(const uint8_t* p) {
-  uint64_t bits = 0;
-  for (int i = 7; i >= 0; --i) bits = (bits << 8) | p[i];
-  return std::bit_cast<double>(bits);
-}
-
-uint8_t XorChecksum(std::span<const uint8_t> bytes) {
-  uint8_t sum = 0;
-  for (uint8_t b : bytes) sum = static_cast<uint8_t>(sum ^ b);
-  return sum;
-}
-
-}  // namespace
-
-size_t EncodedWireRecordSize(WireRecordType type, size_t dims) {
-  // type + dims + t + values (+ slopes) + checksum.
+size_t WireRecordBodySize(WireRecordType type, size_t dims) {
+  // type + dims + t + values (+ slopes).
   size_t doubles = 1 + dims;
   if (type == WireRecordType::kProvisionalLine) doubles += dims;
-  return 1 + 2 + 8 * doubles + 1;
+  return 1 + 2 + 8 * doubles;
 }
 
-std::vector<uint8_t> EncodeWireRecord(const WireRecord& record) {
-  std::vector<uint8_t> out;
-  out.reserve(EncodedWireRecordSize(record.type, record.x.size()));
-  out.push_back(static_cast<uint8_t>(record.type));
-  PutU16(&out, static_cast<uint16_t>(record.x.size()));
-  PutF64(&out, record.t);
-  for (double v : record.x) PutF64(&out, v);
+size_t EncodedWireRecordSize(WireRecordType type, size_t dims) {
+  return WireRecordBodySize(type, dims) + 4;  // + crc32c
+}
+
+void AppendWireRecordBody(const WireRecord& record,
+                          std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(record.type));
+  PutU16(out, static_cast<uint16_t>(record.x.size()));
+  PutF64(out, record.t);
+  for (double v : record.x) PutF64(out, v);
   if (record.type == WireRecordType::kProvisionalLine) {
-    for (double v : record.slope) PutF64(&out, v);
+    for (double v : record.slope) PutF64(out, v);
   }
-  out.push_back(XorChecksum(out));
-  return out;
 }
 
-Result<WireRecord> DecodeWireRecord(std::span<const uint8_t> frame) {
-  if (frame.size() < 1 + 2 + 8 + 1) {
-    return Status::Corruption("wire frame too short");
+Result<WireRecord> DecodeWireRecordBody(std::span<const uint8_t> bytes,
+                                        size_t* consumed) {
+  if (bytes.size() < 1 + 2 + 8) {
+    return Status::Corruption("wire record body too short");
   }
-  const uint8_t type_byte = frame[0];
+  const uint8_t type_byte = bytes[0];
   if (type_byte < 1 || type_byte > 4) {
     return Status::Corruption("unknown wire record type");
   }
   const auto type = static_cast<WireRecordType>(type_byte);
-  const size_t dims = GetU16(frame.data() + 1);
-  if (dims == 0) return Status::Corruption("wire frame with zero dimensions");
-  const size_t expected = EncodedWireRecordSize(type, dims);
-  if (frame.size() != expected) {
-    return Status::Corruption("wire frame length mismatch");
-  }
-  if (XorChecksum(frame.first(frame.size() - 1)) != frame.back()) {
-    return Status::Corruption("wire frame checksum mismatch");
+  const size_t dims = GetU16(bytes.data() + 1);
+  if (dims == 0) return Status::Corruption("wire record with zero dimensions");
+  const size_t expected = WireRecordBodySize(type, dims);
+  if (bytes.size() < expected) {
+    return Status::Corruption("wire record body truncated");
   }
   WireRecord record;
   record.type = type;
-  const uint8_t* p = frame.data() + 3;
+  const uint8_t* p = bytes.data() + 3;
   record.t = GetF64(p);
   p += 8;
   record.x.resize(dims);
@@ -87,6 +54,32 @@ Result<WireRecord> DecodeWireRecord(std::span<const uint8_t> frame) {
   if (type == WireRecordType::kProvisionalLine) {
     record.slope.resize(dims);
     for (size_t i = 0; i < dims; ++i, p += 8) record.slope[i] = GetF64(p);
+  }
+  *consumed = expected;
+  return record;
+}
+
+std::vector<uint8_t> EncodeWireRecord(const WireRecord& record) {
+  std::vector<uint8_t> out;
+  out.reserve(EncodedWireRecordSize(record.type, record.x.size()));
+  AppendWireRecordBody(record, &out);
+  AppendCrc32cTrailer(&out);
+  return out;
+}
+
+Result<WireRecord> DecodeWireRecord(std::span<const uint8_t> frame) {
+  if (frame.size() < 1 + 2 + 8 + 4) {
+    return Status::Corruption("wire frame too short");
+  }
+  std::span<const uint8_t> body;
+  if (!SplitCrc32cTrailer(frame, &body)) {
+    return Status::Corruption("wire frame checksum mismatch");
+  }
+  size_t consumed = 0;
+  PLASTREAM_ASSIGN_OR_RETURN(WireRecord record,
+                             DecodeWireRecordBody(body, &consumed));
+  if (consumed != body.size()) {
+    return Status::Corruption("wire frame length mismatch");
   }
   return record;
 }

@@ -1,14 +1,20 @@
 // Copyright (c) 2026 The plastream Authors. MIT license.
 //
-// Binary frame codec for wire records. Layout (little-endian):
+// Binary frame primitives for wire records. A self-contained frame is
+// (little-endian):
 //
 //   [type: u8][dims: u16][t: f64][x[0..d): f64...][slopes if provisional]
-//   [checksum: u8]
+//   [crc32c: u32]
 //
-// The checksum is the XOR of every preceding byte; decoding validates the
-// type tag, the dimensionality, the frame length and the checksum, and
-// reports Corruption otherwise. Byte counts feed the byte-level compression
-// accounting in eval.
+// The CRC32C covers every preceding byte; decoding validates the type tag,
+// the dimensionality, the frame length and the checksum, and reports
+// Corruption otherwise. The checksum-free prefix (the record *body*) is
+// also exposed on its own, so codecs that pack many records into one frame
+// (see stream/wire_codec.h) reuse the same layout with a single frame-level
+// CRC. Byte counts feed the byte-level compression accounting in eval.
+//
+// These functions define the "frame" codec's exact bytes; the golden-bytes
+// test in tests/wire_codec_test.cc freezes them.
 
 #ifndef PLASTREAM_STREAM_CODEC_H_
 #define PLASTREAM_STREAM_CODEC_H_
@@ -22,15 +28,29 @@
 
 namespace plastream {
 
-/// Serializes `record` into a self-contained frame.
+/// Serializes `record` into a self-contained, CRC32C-trailed frame.
 std::vector<uint8_t> EncodeWireRecord(const WireRecord& record);
 
 /// Parses a frame produced by EncodeWireRecord.
 /// Errors with Corruption on any validation failure.
 Result<WireRecord> DecodeWireRecord(std::span<const uint8_t> frame);
 
-/// Size in bytes of the encoded form of a record with `dims` dimensions.
+/// Size in bytes of the encoded form of a record with `dims` dimensions,
+/// including the CRC32C trailer.
 size_t EncodedWireRecordSize(WireRecordType type, size_t dims);
+
+/// Appends the checksum-free body of `record` — everything of the frame
+/// layout above except the trailing CRC — to `*out`.
+void AppendWireRecordBody(const WireRecord& record, std::vector<uint8_t>* out);
+
+/// Parses one record body from the front of `bytes`, storing the number of
+/// bytes consumed in `*consumed`. Errors with Corruption on a bad type tag,
+/// zero dimensions, or too few bytes.
+Result<WireRecord> DecodeWireRecordBody(std::span<const uint8_t> bytes,
+                                        size_t* consumed);
+
+/// Size in bytes of a record body (EncodedWireRecordSize minus the CRC).
+size_t WireRecordBodySize(WireRecordType type, size_t dims);
 
 }  // namespace plastream
 

@@ -1,0 +1,59 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// "frame": the default wire codec — one self-contained, CRC32C-trailed
+// frame per record, delegating to the frame primitives in stream/codec.h.
+// Stateless and unbuffered; its bytes are frozen by the golden-bytes test.
+//
+// Spec: "frame" (no parameters).
+
+#include <memory>
+
+#include "stream/codec.h"
+#include "stream/wire_codec.h"
+
+namespace plastream {
+namespace {
+
+class FrameCodec final : public WireCodec {
+ public:
+  Status Encode(const WireRecord& record, Channel* channel) override {
+    channel->Push(EncodeWireRecord(record));
+    return Status::OK();
+  }
+
+  Status Flush(Channel* channel) override {
+    (void)channel;  // Nothing is ever buffered.
+    return Status::OK();
+  }
+
+  Status Decode(std::span<const uint8_t> frame,
+                std::vector<WireRecord>* out) override {
+    PLASTREAM_ASSIGN_OR_RETURN(WireRecord record, DecodeWireRecord(frame));
+    out->push_back(std::move(record));
+    return Status::OK();
+  }
+
+  size_t EncodedSizeBound(WireRecordType type, size_t dims) const override {
+    return EncodedWireRecordSize(type, dims);  // exact, not just a bound
+  }
+
+  std::string_view name() const override { return "frame"; }
+};
+
+}  // namespace
+
+std::unique_ptr<WireCodec> MakeFrameWireCodec() {
+  return std::make_unique<FrameCodec>();
+}
+
+void RegisterFrameWireCodec(CodecRegistry& registry) {
+  const Status status = registry.Register(
+      "frame",
+      [](const FilterSpec& spec) -> Result<std::unique_ptr<WireCodec>> {
+        PLASTREAM_RETURN_NOT_OK(spec.ExpectParamsIn({}));
+        return MakeFrameWireCodec();
+      });
+  (void)status;  // Double registration is caller error; see Register().
+}
+
+}  // namespace plastream

@@ -6,7 +6,9 @@
 
 namespace plastream {
 
-Pipeline::Builder::Builder() : registry_(&FilterRegistry::Global()) {}
+Pipeline::Builder::Builder()
+    : registry_(&FilterRegistry::Global()),
+      codec_registry_(&CodecRegistry::Global()) {}
 
 Pipeline::Builder& Pipeline::Builder::DefaultSpec(FilterSpec spec) {
   default_spec_ = std::move(spec);
@@ -43,6 +45,26 @@ Pipeline::Builder& Pipeline::Builder::WithStore(bool enable) {
   return *this;
 }
 
+Pipeline::Builder& Pipeline::Builder::Codec(FilterSpec spec) {
+  codec_spec_ = std::move(spec);
+  return *this;
+}
+
+Pipeline::Builder& Pipeline::Builder::Codec(std::string_view spec_text) {
+  auto parsed = FilterSpec::Parse(spec_text);
+  if (!parsed.ok()) {
+    if (deferred_.ok()) deferred_ = parsed.status();
+    return *this;
+  }
+  return Codec(std::move(parsed).value());
+}
+
+Pipeline::Builder& Pipeline::Builder::WithCodecRegistry(
+    const CodecRegistry* registry) {
+  codec_registry_ = registry;
+  return *this;
+}
+
 Pipeline::Builder& Pipeline::Builder::Shards(size_t n) {
   shards_ = n;
   return *this;
@@ -69,6 +91,9 @@ Result<std::unique_ptr<Pipeline>> Pipeline::Builder::Build() {
   if (registry_ == nullptr) {
     return Status::InvalidArgument("Pipeline registry is null");
   }
+  if (codec_registry_ == nullptr) {
+    return Status::InvalidArgument("Pipeline codec registry is null");
+  }
   if (!default_spec_.has_value() && per_key_.empty()) {
     return Status::InvalidArgument(
         "Pipeline has no filter specs: call DefaultSpec or PerKeySpec");
@@ -89,23 +114,32 @@ Result<std::unique_ptr<Pipeline>> Pipeline::Builder::Build() {
   for (const auto& [key, spec] : per_key_) {
     PLASTREAM_RETURN_NOT_OK(registry_->MakeFilter(spec, nullptr).status());
   }
+  // Same early-failure contract for the codec: an unknown codec or a bad
+  // codec parameter is a Build()-time error, not a first-append surprise.
+  FilterSpec codec_spec;
+  codec_spec.family = "frame";
+  if (codec_spec_.has_value()) codec_spec = *codec_spec_;
+  PLASTREAM_RETURN_NOT_OK(codec_registry_->MakeCodec(codec_spec).status());
   ShardedFilterBank::Options bank_options;
   bank_options.shards = shards_;
   bank_options.threaded = threaded_;
   bank_options.queue_capacity = queue_capacity_;
-  return std::unique_ptr<Pipeline>(
-      new Pipeline(std::move(default_spec_), std::move(per_key_), with_store_,
-                   registry_, std::move(bank_options)));
+  return std::unique_ptr<Pipeline>(new Pipeline(
+      std::move(default_spec_), std::move(per_key_), with_store_, registry_,
+      std::move(codec_spec), codec_registry_, std::move(bank_options)));
 }
 
 Pipeline::Pipeline(std::optional<FilterSpec> default_spec,
                    std::map<std::string, FilterSpec, std::less<>> per_key,
                    bool with_store, const FilterRegistry* registry,
+                   FilterSpec codec_spec, const CodecRegistry* codec_registry,
                    ShardedFilterBank::Options bank_options)
     : default_spec_(std::move(default_spec)),
       per_key_(std::move(per_key)),
       with_store_(with_store),
-      registry_(registry) {
+      registry_(registry),
+      codec_spec_(std::move(codec_spec)),
+      codec_registry_(codec_registry) {
   stream_shards_.reserve(bank_options.shards);
   for (size_t i = 0; i < bank_options.shards; ++i) {
     stream_shards_.push_back(std::make_unique<StreamShard>());
@@ -122,7 +156,10 @@ Pipeline::Pipeline(std::optional<FilterSpec> default_spec,
       const std::lock_guard<std::mutex> lock(shard.mutex);
       stream = &shard.streams[std::string(key)];
     }
-    stream->transmitter.emplace(&stream->channel);
+    PLASTREAM_ASSIGN_OR_RETURN(stream->codec,
+                               codec_registry_->MakeCodec(codec_spec_));
+    stream->transmitter.emplace(&stream->channel, stream->codec.get());
+    stream->receiver.emplace(stream->codec.get());
     if (with_store_) {
       stream->store =
           std::make_unique<SegmentStore>(spec.options.epsilon.size());
@@ -170,12 +207,27 @@ Status Pipeline::DrainKey(std::string_view key) {
   return Drain(*stream);
 }
 
-Status Pipeline::Flush() { return bank_->Flush(); }
+Status Pipeline::Flush() {
+  // Quiesce the shard workers first (threaded mode), then force every
+  // stream's codec to emit what it still buffers and drain it through the
+  // receiver into the archive. Callers hold the between-phases contract
+  // (no concurrent Append), so touching stream state here is safe.
+  PLASTREAM_RETURN_NOT_OK(bank_->Flush());
+  for (auto& shard : stream_shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    for (auto& [key, stream] : shard->streams) {
+      PLASTREAM_RETURN_NOT_OK(stream.transmitter->Flush());
+      PLASTREAM_RETURN_NOT_OK(Drain(stream));
+    }
+  }
+  return Status::OK();
+}
 
 Status Pipeline::Drain(Stream& stream) {
-  PLASTREAM_RETURN_NOT_OK(stream.receiver.Poll(&stream.channel));
+  PLASTREAM_RETURN_NOT_OK(stream.transmitter->status());
+  PLASTREAM_RETURN_NOT_OK(stream.receiver->Poll(&stream.channel));
   if (stream.store == nullptr) return Status::OK();
-  const std::vector<Segment>& segments = stream.receiver.segments();
+  const std::vector<Segment>& segments = stream.receiver->segments();
   for (; stream.archived < segments.size(); ++stream.archived) {
     PLASTREAM_RETURN_NOT_OK(stream.store->Append(segments[stream.archived]));
   }
@@ -185,13 +237,15 @@ Status Pipeline::Drain(Stream& stream) {
 Status Pipeline::Finish() {
   if (finished_) return Status::OK();
   // Joins shard workers (threaded mode) and finishes every filter, pushing
-  // each stream's final segments through its transmitter.
+  // each stream's final segments through its transmitter; the codec flush
+  // then emits anything a batching codec still buffers.
   PLASTREAM_RETURN_NOT_OK(bank_->FinishAll());
   for (auto& shard : stream_shards_) {
     const std::lock_guard<std::mutex> lock(shard->mutex);
     for (auto& [key, stream] : shard->streams) {
-      PLASTREAM_RETURN_NOT_OK(stream.receiver.Poll(&stream.channel));
-      PLASTREAM_RETURN_NOT_OK(stream.receiver.FinishStream());
+      PLASTREAM_RETURN_NOT_OK(stream.transmitter->Flush());
+      PLASTREAM_RETURN_NOT_OK(stream.receiver->Poll(&stream.channel));
+      PLASTREAM_RETURN_NOT_OK(stream.receiver->FinishStream());
       PLASTREAM_RETURN_NOT_OK(Drain(stream));
     }
   }
@@ -213,7 +267,7 @@ Result<std::vector<Segment>> Pipeline::Segments(std::string_view key) const {
   if (stream == nullptr) {
     return Status::NotFound("unknown stream '" + std::string(key) + "'");
   }
-  return stream->receiver.segments();
+  return stream->receiver->segments();
 }
 
 Result<PiecewiseLinearFunction> Pipeline::Reconstruction(
@@ -222,7 +276,7 @@ Result<PiecewiseLinearFunction> Pipeline::Reconstruction(
   if (stream == nullptr) {
     return Status::NotFound("unknown stream '" + std::string(key) + "'");
   }
-  return stream->receiver.Reconstruction();
+  return stream->receiver->Reconstruction();
 }
 
 const SegmentStore* Pipeline::Store(std::string_view key) const {
@@ -242,8 +296,9 @@ Result<Pipeline::StreamStats> Pipeline::StatsFor(std::string_view key) const {
   StreamStats stats;
   const Filter* filter = bank_->GetFilter(key);
   if (filter != nullptr) stats.points = filter->points_seen();
-  stats.segments = stream->receiver.segments().size();
+  stats.segments = stream->receiver->segments().size();
   stats.records_sent = stream->transmitter->records_sent();
+  stats.frames_sent = stream->channel.frames_sent();
   stats.bytes_sent = stream->channel.bytes_sent();
   return stats;
 }
@@ -258,8 +313,9 @@ Pipeline::PipelineStats Pipeline::Stats() const {
   for (const std::string& key : bank_->Keys()) {
     const Stream* stream = Find(key);
     if (stream == nullptr) continue;
-    stats.segments += stream->receiver.segments().size();
+    stats.segments += stream->receiver->segments().size();
     stats.records_sent += stream->transmitter->records_sent();
+    stats.frames_sent += stream->channel.frames_sent();
     stats.bytes_sent += stream->channel.bytes_sent();
     const Filter* filter = bank_->GetFilter(key);
     if (filter != nullptr) {

@@ -9,6 +9,7 @@
 //   auto pipeline = Pipeline::Builder()
 //                       .DefaultSpec("slide(eps=0.05)")
 //                       .PerKeySpec("db-1.iops", "swing(eps=2,max_lag=64)")
+//                       .Codec("batch(n=32)")          // wire format by spec
 //                       .Build().value();
 //   pipeline->Append("web-1.cpu", t, value);   // ... stream points in ...
 //   pipeline->Finish();
@@ -37,6 +38,7 @@
 #include "stream/receiver.h"
 #include "stream/sharded_filter_bank.h"
 #include "stream/transmitter.h"
+#include "stream/wire_codec.h"
 
 namespace plastream {
 
@@ -73,6 +75,18 @@ class Pipeline {
     /// Enables (default) or disables the per-stream SegmentStore archive.
     Builder& WithStore(bool enable = true);
 
+    /// Wire codec used by every stream's transport, as a codec spec
+    /// (e.g. "frame", "delta(varint=true)", "batch(n=32,crc=crc32c)";
+    /// default "frame"). Every stream gets its own codec instance, so
+    /// sharded and threaded ingest stay lock-free on the encode path.
+    Builder& Codec(FilterSpec spec);
+    /// Parses `spec_text`; a parse failure surfaces at Build().
+    Builder& Codec(std::string_view spec_text);
+
+    /// Uses `registry` for codec specs instead of CodecRegistry::Global();
+    /// `registry` is borrowed and must outlive the pipeline.
+    Builder& WithCodecRegistry(const CodecRegistry* registry);
+
     /// Hash-partitions keys across `n` shards (default 1) so producers on
     /// different shards ingest in parallel. 0 is an error at Build().
     Builder& Shards(size_t n);
@@ -92,8 +106,9 @@ class Pipeline {
     Builder& WithRegistry(const FilterRegistry* registry);
 
     /// Builds the pipeline. Errors when no spec was configured, a spec
-    /// string failed to parse, a spec names an unregistered family, or the
-    /// sharding configuration is invalid (Shards(0), QueueCapacity(0)).
+    /// string failed to parse, a spec names an unregistered filter family
+    /// or codec, or the sharding configuration is invalid (Shards(0),
+    /// QueueCapacity(0)).
     Result<std::unique_ptr<Pipeline>> Build();
 
    private:
@@ -101,10 +116,12 @@ class Pipeline {
     std::optional<FilterSpec> default_spec_;
     std::map<std::string, FilterSpec, std::less<>> per_key_;
     bool with_store_ = true;
+    std::optional<FilterSpec> codec_spec_;
     size_t shards_ = 1;
     bool threaded_ = false;
     size_t queue_capacity_ = 1024;
     const FilterRegistry* registry_;
+    const CodecRegistry* codec_registry_;
   };
 
   /// Pipelines own per-stream transports and are not copyable.
@@ -120,11 +137,13 @@ class Pipeline {
   /// Scalar-stream convenience overload.
   Status Append(std::string_view key, double t, double value);
 
-  /// Threaded mode: blocks until every enqueued point has been filtered,
-  /// transported and archived, then reports the first deferred error; the
-  /// pipeline stays open for more appends. Synchronous modes: errors
-  /// surface on Append itself, so Flush is a no-op returning OK. Call
-  /// between producer phases to make the read accessors safe mid-stream.
+  /// Blocks (threaded mode) until every enqueued point has been filtered,
+  /// then flushes each stream's codec — a buffering codec like "batch"
+  /// holds records until flushed — and drains the transports into the
+  /// receivers and archives. Reports the first deferred error; the
+  /// pipeline stays open for more appends. Call between producer phases
+  /// (never concurrently with Append) to make the read accessors safe and
+  /// complete mid-stream.
   Status Flush();
 
   /// Finishes every filter (joining shard workers first), drains the
@@ -157,6 +176,7 @@ class Pipeline {
     size_t points = 0;         ///< samples accepted by the filter
     size_t segments = 0;       ///< segments received
     size_t records_sent = 0;   ///< wire records on this stream's channel
+    size_t frames_sent = 0;    ///< channel frames (== records for "frame")
     size_t bytes_sent = 0;     ///< encoded bytes on this stream's channel
   };
 
@@ -169,6 +189,7 @@ class Pipeline {
     size_t points = 0;             ///< samples accepted across streams
     size_t segments = 0;           ///< segments received across streams
     size_t records_sent = 0;       ///< wire records (the paper's recordings)
+    size_t frames_sent = 0;        ///< channel frames across streams
     size_t bytes_sent = 0;         ///< encoded bytes on all channels
     size_t bytes_raw = 0;          ///< (t, X) doubles of the raw input
   };
@@ -181,17 +202,22 @@ class Pipeline {
   /// Number of ingest shards.
   size_t shard_count() const { return bank_->shard_count(); }
 
+  /// The codec spec every stream's transport uses (default "frame").
+  const FilterSpec& CodecSpec() const { return codec_spec_; }
+
   /// True once Finish() has run.
   bool finished() const { return finished_; }
 
  private:
-  // Per-stream transport + archive. Channel/Receiver/Store live here;
-  // the filter itself is owned by the bank. Only the stream's shard
-  // touches this state during ingest, so no per-stream lock is needed.
+  // Per-stream transport + archive. Channel/Codec/Receiver/Store live
+  // here; the filter itself is owned by the bank. Only the stream's shard
+  // touches this state during ingest, so no per-stream lock is needed and
+  // the per-stream codec instance makes encode lock-free in threaded mode.
   struct Stream {
     Channel channel;
+    std::unique_ptr<WireCodec> codec;
     std::optional<Transmitter> transmitter;
-    Receiver receiver;
+    std::optional<Receiver> receiver;
     std::unique_ptr<SegmentStore> store;
     size_t archived = 0;  // receiver segments already in the store
   };
@@ -199,6 +225,7 @@ class Pipeline {
   Pipeline(std::optional<FilterSpec> default_spec,
            std::map<std::string, FilterSpec, std::less<>> per_key,
            bool with_store, const FilterRegistry* registry,
+           FilterSpec codec_spec, const CodecRegistry* codec_registry,
            ShardedFilterBank::Options bank_options);
 
   // Decodes whatever the transmitter queued and archives new segments.
@@ -214,6 +241,8 @@ class Pipeline {
   std::map<std::string, FilterSpec, std::less<>> per_key_;
   bool with_store_;
   const FilterRegistry* registry_;
+  FilterSpec codec_spec_;
+  const CodecRegistry* codec_registry_;
   // Stream state is partitioned exactly like the bank's keys, one map per
   // shard, so the per-point drain lookup and stream creation synchronize
   // only within a shard — appends on different shards share no lock. The

@@ -5,14 +5,23 @@
 #include <algorithm>
 #include <limits>
 
-#include "stream/codec.h"
+#include "stream/wire_codec.h"
 
 namespace plastream {
 
+Receiver::Receiver() : owned_codec_(MakeFrameWireCodec()) {
+  codec_ = owned_codec_.get();
+}
+
+Receiver::Receiver(WireCodec* codec) : codec_(codec) {}
+
 Status Receiver::Poll(Channel* channel) {
   while (auto frame = channel->Pop()) {
-    PLASTREAM_ASSIGN_OR_RETURN(WireRecord record, DecodeWireRecord(*frame));
-    PLASTREAM_RETURN_NOT_OK(Apply(record));
+    decoded_.clear();
+    PLASTREAM_RETURN_NOT_OK(codec_->Decode(*frame, &decoded_));
+    for (const WireRecord& record : decoded_) {
+      PLASTREAM_RETURN_NOT_OK(Apply(record));
+    }
   }
   return Status::OK();
 }

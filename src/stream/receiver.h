@@ -9,6 +9,7 @@
 #define PLASTREAM_STREAM_RECEIVER_H_
 
 #include <limits>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -18,14 +19,25 @@
 #include "core/types.h"
 #include "stream/channel.h"
 #include "stream/wire.h"
+#include "stream/wire_codec.h"
 
 namespace plastream {
 
 /// Rebuilds segments from the wire protocol.
 class Receiver {
  public:
-  /// Drains every queued frame from `channel`, decoding and applying each.
-  /// Stops at the first corrupt frame with its Corruption status.
+  /// Receives through an owned default "frame" codec.
+  Receiver();
+
+  /// Receives through `codec`, which must match the transmitter's codec
+  /// spec. Borrowed; must outlive the receiver. Stateful codecs (delta)
+  /// need one instance per stream — sharing the transmitter's instance is
+  /// fine (encode and decode state are independent).
+  explicit Receiver(WireCodec* codec);
+
+  /// Drains every queued frame from `channel`, decoding and applying the
+  /// records each carries. Stops at the first corrupt frame with its
+  /// Corruption status.
   Status Poll(Channel* channel);
 
   /// Marks end-of-stream: a trailing segment-break becomes a point segment.
@@ -56,6 +68,9 @@ class Receiver {
   // Materializes a never-continued break record as a point segment.
   void FlushPendingBreak();
 
+  std::unique_ptr<WireCodec> owned_codec_;  // set by the default ctor
+  WireCodec* codec_;
+  std::vector<WireRecord> decoded_;  // scratch, reused across frames
   std::optional<WireRecord> pending_break_;
   std::optional<WireRecord> last_end_;
   std::vector<Segment> segments_;

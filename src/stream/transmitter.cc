@@ -2,10 +2,26 @@
 
 #include "stream/transmitter.h"
 
-#include "stream/codec.h"
 #include "stream/wire.h"
 
 namespace plastream {
+
+Transmitter::Transmitter(Channel* channel)
+    : channel_(channel), owned_codec_(MakeFrameWireCodec()) {
+  codec_ = owned_codec_.get();
+}
+
+Transmitter::Transmitter(Channel* channel, WireCodec* codec)
+    : channel_(channel), codec_(codec) {}
+
+void Transmitter::Send(const WireRecord& record) {
+  const Status encoded = codec_->Encode(record, channel_);
+  if (!encoded.ok()) {
+    if (status_.ok()) status_ = encoded;
+    return;
+  }
+  ++records_sent_;
+}
 
 void Transmitter::OnSegment(const Segment& segment) {
   if (!segment.connected_to_prev) {
@@ -14,8 +30,7 @@ void Transmitter::OnSegment(const Segment& segment) {
     start.type = WireRecordType::kSegmentBreak;
     start.t = segment.t_start;
     start.x = segment.x_start;
-    channel_->Push(EncodeWireRecord(start));
-    ++records_sent_;
+    Send(start);
     if (segment.IsPoint()) return;  // A lone break is a point segment.
   }
   WireRecord end;
@@ -23,8 +38,7 @@ void Transmitter::OnSegment(const Segment& segment) {
                                        : WireRecordType::kSegmentPoint;
   end.t = segment.t_end;
   end.x = segment.x_end;
-  channel_->Push(EncodeWireRecord(end));
-  ++records_sent_;
+  Send(end);
 }
 
 void Transmitter::OnProvisionalLine(const ProvisionalLine& line) {
@@ -33,8 +47,12 @@ void Transmitter::OnProvisionalLine(const ProvisionalLine& line) {
   record.t = line.t;
   record.x = line.x;
   record.slope = line.slope;
-  channel_->Push(EncodeWireRecord(record));
-  ++records_sent_;
+  Send(record);
+}
+
+Status Transmitter::Flush() {
+  PLASTREAM_RETURN_NOT_OK(status_);
+  return codec_->Flush(channel_);
 }
 
 }  // namespace plastream

@@ -1,42 +1,67 @@
 // Copyright (c) 2026 The plastream Authors. MIT license.
 //
 // Transmitter: adapts a filter's segment output to wire records on a
-// channel. Create the filter with the transmitter as its sink:
+// channel, serialized by a WireCodec. Create the filter with the
+// transmitter as its sink:
 //
 //   Channel channel;
-//   Transmitter tx(&channel);
+//   Transmitter tx(&channel);               // default "frame" codec
 //   auto filter = SlideFilter::Create(options, SlideHullMode::kConvexHull,
 //                                     &tx).value();
 //   for (const auto& p : signal.points) filter->Append(p);
 //   filter->Finish();
+//   tx.Flush();   // emit anything a buffering codec still holds
 
 #ifndef PLASTREAM_STREAM_TRANSMITTER_H_
 #define PLASTREAM_STREAM_TRANSMITTER_H_
 
 #include <cstddef>
+#include <memory>
 
 #include "core/segment_sink.h"
 #include "stream/channel.h"
+#include "stream/wire_codec.h"
 
 namespace plastream {
 
-/// SegmentSink that serializes filter output onto a Channel.
+/// SegmentSink that serializes filter output onto a Channel via a
+/// WireCodec.
 class Transmitter : public SegmentSink {
  public:
-  /// `channel` is borrowed and must outlive the transmitter.
-  explicit Transmitter(Channel* channel) : channel_(channel) {}
+  /// Transmits through an owned default "frame" codec. `channel` is
+  /// borrowed and must outlive the transmitter.
+  explicit Transmitter(Channel* channel);
+
+  /// Transmits through `codec`. Both pointers are borrowed and must
+  /// outlive the transmitter; the codec instance must be exclusive to
+  /// this stream (codecs are stateful).
+  Transmitter(Channel* channel, WireCodec* codec);
 
   /// Encodes the segment's recordings onto the channel.
   void OnSegment(const Segment& segment) override;
   /// Encodes the provisional line commit onto the channel.
   void OnProvisionalLine(const ProvisionalLine& line) override;
 
+  /// Flushes the codec's buffered records onto the channel (no-op for
+  /// unbuffered codecs). Call after the filter finishes, before the
+  /// channel's final drain.
+  Status Flush();
+
+  /// First codec failure observed by the sink callbacks (which cannot
+  /// propagate errors themselves); OK while the transport is healthy.
+  const Status& status() const { return status_; }
+
   /// Wire records sent so far (== the paper's recording count, plus one
   /// record per provisional commit).
   size_t records_sent() const { return records_sent_; }
 
  private:
+  void Send(const WireRecord& record);
+
   Channel* channel_;
+  std::unique_ptr<WireCodec> owned_codec_;  // set by the channel-only ctor
+  WireCodec* codec_;
+  Status status_ = Status::OK();
   size_t records_sent_ = 0;
 };
 

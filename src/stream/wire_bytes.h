@@ -1,0 +1,119 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Shared little-endian byte primitives for the wire codecs: fixed-width
+// integer/double packing, LEB128 varints, zigzag mapping, and the CRC32C
+// frame trailer. Every codec TU (codec.cc, frame/delta/batch) builds its
+// frames from these, so the byte order, varint shape and integrity
+// trailer are defined exactly once.
+
+#ifndef PLASTREAM_STREAM_WIRE_BYTES_H_
+#define PLASTREAM_STREAM_WIRE_BYTES_H_
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/crc32c.h"
+
+namespace plastream {
+
+/// Appends `v` to `*out` as 2 little-endian bytes.
+inline void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v & 0xFF));
+  out->push_back(static_cast<uint8_t>((v >> 8) & 0xFF));
+}
+
+/// Appends `v` to `*out` as 4 little-endian bytes.
+inline void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<uint8_t>((v >> shift) & 0xFF));
+  }
+}
+
+/// Appends `v` to `*out` as its 8 IEEE-754 bytes, little-endian.
+inline void PutF64(std::vector<uint8_t>* out, double v) {
+  const uint64_t bits = std::bit_cast<uint64_t>(v);
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<uint8_t>((bits >> shift) & 0xFF));
+  }
+}
+
+/// Reads 2 little-endian bytes at `p`.
+inline uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (static_cast<uint16_t>(p[1]) << 8));
+}
+
+/// Reads 4 little-endian bytes at `p`.
+inline uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+/// Reads an 8-byte little-endian IEEE-754 double at `p`.
+inline double GetF64(const uint8_t* p) {
+  uint64_t bits = 0;
+  for (int i = 7; i >= 0; --i) bits = (bits << 8) | p[i];
+  return std::bit_cast<double>(bits);
+}
+
+/// Appends `v` to `*out` as an LEB128 varint (7 bits per byte).
+inline void PutVarint(std::vector<uint8_t>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+/// Reads an LEB128 varint from `bytes` starting at `*pos`, advancing
+/// `*pos` past it. Returns false on truncation or a varint longer than
+/// any encoder emits (> 10 bytes).
+inline bool ReadVarint(std::span<const uint8_t> bytes, size_t* pos,
+                       uint64_t* out) {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (*pos >= bytes.size()) return false;
+    const uint8_t byte = bytes[(*pos)++];
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Maps a signed value onto the unsigned varint domain with the sign in
+/// the low bit, so small magnitudes of either sign encode short.
+inline uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+/// Inverse of ZigZag.
+inline int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+/// Appends the CRC32C of everything currently in `*frame` as the 4-byte
+/// little-endian integrity trailer.
+inline void AppendCrc32cTrailer(std::vector<uint8_t>* frame) {
+  PutU32(frame, Crc32c(*frame));
+}
+
+/// Validates `frame`'s 4-byte CRC32C trailer. On success stores the
+/// checksum-free payload in `*payload` and returns true; returns false
+/// when the frame is too short to carry a trailer or the CRC mismatches.
+inline bool SplitCrc32cTrailer(std::span<const uint8_t> frame,
+                               std::span<const uint8_t>* payload) {
+  if (frame.size() < 4) return false;
+  const std::span<const uint8_t> body = frame.first(frame.size() - 4);
+  if (Crc32c(body) != GetU32(frame.data() + body.size())) return false;
+  *payload = body;
+  return true;
+}
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_STREAM_WIRE_BYTES_H_

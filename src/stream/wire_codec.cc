@@ -1,0 +1,90 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "stream/wire_codec.h"
+
+#include <utility>
+
+namespace plastream {
+
+CodecRegistry& CodecRegistry::Global() {
+  static CodecRegistry* registry = [] {
+    auto* r = new CodecRegistry();
+    RegisterBuiltinWireCodecs(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status CodecRegistry::Register(std::string name, Factory factory) {
+  if (name.empty()) {
+    return Status::InvalidArgument("wire codec name is empty");
+  }
+  if (factory == nullptr) {
+    return Status::InvalidArgument("wire codec factory for '" + name +
+                                   "' is null");
+  }
+  const auto [it, inserted] =
+      factories_.emplace(std::move(name), std::move(factory));
+  if (!inserted) {
+    return Status::FailedPrecondition("wire codec '" + it->first +
+                                      "' is already registered");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<WireCodec>> CodecRegistry::MakeCodec(
+    const FilterSpec& spec) const {
+  const auto it = factories_.find(spec.family);
+  if (it == factories_.end()) {
+    std::string known;
+    for (const auto& [name, factory] : factories_) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    return Status::NotFound("unknown wire codec '" + spec.family +
+                            "' (registered: " + known + ")");
+  }
+  // The eps/dims/max_lag keys configure filters; a codec spec carrying
+  // them is a config mix-up worth failing loudly on.
+  if (!spec.options.epsilon.empty() || spec.options.max_lag != 0) {
+    return Status::InvalidArgument(
+        "wire codec spec '" + spec.Format() +
+        "' carries filter options (eps/dims/max_lag)");
+  }
+  PLASTREAM_ASSIGN_OR_RETURN(auto codec, it->second(spec));
+  if (codec == nullptr) {
+    return Status::Internal("factory for wire codec '" + spec.family +
+                            "' returned null");
+  }
+  return codec;
+}
+
+Result<std::unique_ptr<WireCodec>> CodecRegistry::MakeCodec(
+    std::string_view spec_text) const {
+  PLASTREAM_ASSIGN_OR_RETURN(const FilterSpec spec,
+                             FilterSpec::Parse(spec_text));
+  return MakeCodec(spec);
+}
+
+std::vector<std::string> CodecRegistry::ListCodecs() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+bool CodecRegistry::Contains(std::string_view name) const {
+  return factories_.find(name) != factories_.end();
+}
+
+void RegisterBuiltinWireCodecs(CodecRegistry& registry) {
+  RegisterFrameWireCodec(registry);
+  RegisterDeltaWireCodec(registry);
+  RegisterBatchWireCodec(registry);
+}
+
+Result<std::unique_ptr<WireCodec>> MakeWireCodec(std::string_view spec_text) {
+  return CodecRegistry::Global().MakeCodec(spec_text);
+}
+
+}  // namespace plastream

@@ -3,11 +3,15 @@
 // Unit tests for src/common: Status/Result, RNG, statistics, strings.
 
 #include <cmath>
+#include <cstdint>
 #include <set>
+#include <span>
+#include <string_view>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/crc32c.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -16,6 +20,45 @@
 
 namespace plastream {
 namespace {
+
+// ---------------------------------------------------------------------------
+// CRC32C
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> Bytes(std::string_view s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 / the canonical Castagnoli check value.
+  EXPECT_EQ(Crc32c(Bytes("123456789")), 0xE3069283u);
+  EXPECT_EQ(Crc32c(Bytes("")), 0x00000000u);
+  // iSCSI test pattern: 32 zero bytes.
+  EXPECT_EQ(Crc32c(std::vector<uint8_t>(32, 0x00)), 0x8A9136AAu);
+  EXPECT_EQ(Crc32c(std::vector<uint8_t>(32, 0xFF)), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, ChainingMatchesOneShot) {
+  const auto data = Bytes("the quick brown fox jumps over the lazy dog");
+  for (size_t split = 0; split <= data.size(); ++split) {
+    const std::span<const uint8_t> head(data.data(), split);
+    const std::span<const uint8_t> tail(data.data() + split,
+                                        data.size() - split);
+    EXPECT_EQ(Crc32c(tail, Crc32c(head)), Crc32c(data)) << split;
+  }
+}
+
+TEST(Crc32cTest, SingleBitFlipsAlwaysChangeTheChecksum) {
+  const auto data = Bytes("plastream wire frame");
+  const uint32_t clean = Crc32c(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto corrupted = data;
+      corrupted[i] ^= static_cast<uint8_t>(1u << bit);
+      EXPECT_NE(Crc32c(corrupted), clean) << i << ":" << bit;
+    }
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Status / Result

@@ -16,6 +16,7 @@
 #include "stream/codec.h"
 #include "stream/receiver.h"
 #include "stream/transmitter.h"
+#include "stream/wire_codec.h"
 
 namespace plastream {
 namespace {
@@ -112,6 +113,25 @@ TEST(ChannelTest, CorruptLastFrame) {
   EXPECT_EQ((*channel.Pop())[0], 0xFF);
 }
 
+TEST(ChannelTest, CorruptFrameTargetsAnyQueuedFrame) {
+  Channel channel;
+  EXPECT_FALSE(channel.CorruptFrame(0, 0));
+  channel.Push({0x10, 0x11});
+  channel.Push({0x20, 0x21});
+  channel.Push({0x30, 0x31});
+  // Out-of-range index or offset: untouched, reported.
+  EXPECT_FALSE(channel.CorruptFrame(3, 0));
+  EXPECT_FALSE(channel.CorruptFrame(1, 2));
+  // Index 0 is the oldest queued frame; masks XOR into the byte.
+  EXPECT_TRUE(channel.CorruptFrame(0, 1, 0x0F));
+  EXPECT_TRUE(channel.CorruptFrame(1, 0));  // default mask 0xFF
+  EXPECT_EQ(*channel.Pop(), (std::vector<uint8_t>{0x10, 0x1E}));
+  EXPECT_EQ(*channel.Pop(), (std::vector<uint8_t>{0xDF, 0x21}));
+  EXPECT_EQ(*channel.Pop(), (std::vector<uint8_t>{0x30, 0x31}));
+  // After draining, indices are gone.
+  EXPECT_FALSE(channel.CorruptFrame(0, 0));
+}
+
 // ---------------------------------------------------------------------------
 // Transmitter -> Receiver round trips
 // ---------------------------------------------------------------------------
@@ -188,6 +208,30 @@ TEST(StreamRoundTripTest, PointSegmentSurvivesTheWire) {
   ASSERT_EQ(rx.segments().size(), 1u);
   EXPECT_TRUE(rx.segments()[0].IsPoint());
   EXPECT_DOUBLE_EQ(rx.segments()[0].x_start[0], 9.0);
+}
+
+TEST(StreamRoundTripTest, BorrowedCodecDrivesTransmitterAndReceiver) {
+  // The non-default transport wiring: one codec instance, borrowed by both
+  // ends of the stream (encode and decode state are independent).
+  const Signal signal = MakeWalk(2500, 27);
+  Channel channel;
+  auto codec = MakeWireCodec("batch(n=16)").value();
+  Transmitter tx(&channel, codec.get());
+  Receiver rx(codec.get());
+  auto filter = SlideFilter::Create(FilterOptions::Scalar(0.6),
+                                    SlideHullMode::kConvexHull, &tx)
+                    .value();
+  for (const DataPoint& p : signal.points) {
+    ASSERT_TRUE(filter->Append(p).ok());
+    ASSERT_TRUE(rx.Poll(&channel).ok());  // interleaved polling
+  }
+  ASSERT_TRUE(filter->Finish().ok());
+  ASSERT_TRUE(tx.Flush().ok());  // emit the partial batch
+  ASSERT_TRUE(rx.Poll(&channel).ok());
+  ASSERT_TRUE(rx.FinishStream().ok());
+  EXPECT_EQ(rx.records_received(), tx.records_sent());
+  EXPECT_EQ(rx.segments(), filter->TakeSegments());
+  EXPECT_TRUE(tx.status().ok());
 }
 
 TEST(StreamRoundTripTest, ReceiverDetectsCorruptedFrame) {

@@ -1,0 +1,517 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Tests for the pluggable wire-codec subsystem: CodecRegistry spec
+// handling, the frozen "frame" byte layout (golden bytes), the CRC32C
+// integrity upgrade (two same-position bit flips no longer cancel, unlike
+// the old XOR checksum), and a randomized round-trip + corruption sweep
+// over every registered codec.
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stream/channel.h"
+#include "stream/codec.h"
+#include "stream/wire_codec.h"
+
+namespace plastream {
+namespace {
+
+// Codec specs the cross-codec suites run against: every registered family,
+// with parameter variations that exercise distinct frame shapes.
+const char* const kCodecSpecs[] = {
+    "frame",
+    "delta",
+    "delta(varint=true)",
+    "delta(varint=false)",
+    "batch",
+    "batch(n=1)",
+    "batch(n=7,crc=crc32c)",
+    "batch(n=256,crc=none)",
+};
+
+std::unique_ptr<WireCodec> Make(const std::string& spec) {
+  auto codec = MakeWireCodec(spec);
+  EXPECT_TRUE(codec.ok()) << spec << ": " << codec.status().ToString();
+  return std::move(codec).value();
+}
+
+// ---------------------------------------------------------------------------
+// CodecRegistry
+// ---------------------------------------------------------------------------
+
+TEST(CodecRegistryTest, BuiltinsAreRegistered) {
+  const auto names = CodecRegistry::Global().ListCodecs();
+  EXPECT_EQ(names, (std::vector<std::string>{"batch", "delta", "frame"}));
+  EXPECT_TRUE(CodecRegistry::Global().Contains("frame"));
+  EXPECT_FALSE(CodecRegistry::Global().Contains("zstd"));
+}
+
+TEST(CodecRegistryTest, UnknownCodecIsNotFound) {
+  EXPECT_EQ(MakeWireCodec("zstd").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CodecRegistryTest, MalformedSpecIsInvalidArgument) {
+  EXPECT_EQ(MakeWireCodec("batch(n=").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CodecRegistryTest, FilterOptionsInCodecSpecAreRejected) {
+  // eps/dims/max_lag configure filters; a codec spec carrying them is a
+  // config mix-up.
+  EXPECT_EQ(MakeWireCodec("frame(eps=0.5)").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeWireCodec("delta(max_lag=8)").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CodecRegistryTest, UnknownParamsAreRejected) {
+  EXPECT_EQ(MakeWireCodec("frame(n=2)").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeWireCodec("delta(zigzag=true)").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeWireCodec("batch(window=4)").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CodecRegistryTest, BadParamValuesAreRejected) {
+  EXPECT_EQ(MakeWireCodec("delta(varint=maybe)").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeWireCodec("batch(n=0)").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeWireCodec("batch(n=65536)").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeWireCodec("batch(n=-3)").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeWireCodec("batch(crc=md5)").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CodecRegistryTest, RegisterValidatesItsArguments) {
+  CodecRegistry registry;
+  EXPECT_EQ(registry.Register("", nullptr).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.Register("x", nullptr).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(registry
+                  .Register("x",
+                            [](const FilterSpec&) {
+                              return Result<std::unique_ptr<WireCodec>>(
+                                  MakeFrameWireCodec());
+                            })
+                  .ok());
+  EXPECT_EQ(registry
+                .Register("x",
+                          [](const FilterSpec&) {
+                            return Result<std::unique_ptr<WireCodec>>(
+                                MakeFrameWireCodec());
+                          })
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// Golden bytes: the "frame" wire format is frozen
+// ---------------------------------------------------------------------------
+
+// These bytes are the wire format contract: if either test starts failing,
+// the change is a wire-format break, not a refactor.
+TEST(FrameGoldenBytesTest, SegmentBreakScalar) {
+  WireRecord record;
+  record.type = WireRecordType::kSegmentBreak;
+  record.t = 4.0;
+  record.x = {1.5};
+  const std::vector<uint8_t> expected{
+      0x02, 0x01, 0x00,                                // type, dims
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x10, 0x40,  // t = 4.0
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF8, 0x3F,  // x = 1.5
+      0x8B, 0xF5, 0x69, 0x26,                          // crc32c
+  };
+  EXPECT_EQ(EncodeWireRecord(record), expected);
+
+  // The "frame" codec emits exactly the free-function bytes.
+  Channel channel;
+  auto codec = Make("frame");
+  ASSERT_TRUE(codec->Encode(record, &channel).ok());
+  ASSERT_TRUE(codec->Flush(&channel).ok());
+  EXPECT_EQ(*channel.Pop(), expected);
+}
+
+TEST(FrameGoldenBytesTest, ProvisionalLineTwoDims) {
+  WireRecord record;
+  record.type = WireRecordType::kProvisionalLine;
+  record.t = -1.0;
+  record.x = {2.0, 0.25};
+  record.slope = {0.5, -3.0};
+  const std::vector<uint8_t> expected{
+      0x03, 0x02, 0x00,                                            // type, dims
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF0, 0xBF,              // t = -1.0
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x40,              // x[0] = 2.0
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xD0, 0x3F,              // x[1] = .25
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xE0, 0x3F,              // s[0] = 0.5
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x08, 0xC0,              // s[1] = -3
+      0x5C, 0x54, 0xB3, 0x2D,                                      // crc32c
+  };
+  EXPECT_EQ(EncodeWireRecord(record), expected);
+  EXPECT_EQ(expected.size(),
+            EncodedWireRecordSize(record.type, record.x.size()));
+}
+
+// ---------------------------------------------------------------------------
+// CRC32C integrity: the XOR checksum's blind spot is covered
+// ---------------------------------------------------------------------------
+
+TEST(FrameIntegrityTest, TwoFlipsOfTheSameBitPositionAreDetected) {
+  // Regression for the old XOR-byte checksum: flipping the same bit
+  // position in two different payload bytes left the XOR unchanged, so the
+  // corrupted frame decoded "successfully". CRC32C has Hamming distance
+  // >= 4 at these lengths; every 1-, 2- and 3-bit error is detected.
+  WireRecord record;
+  record.type = WireRecordType::kSegmentPoint;
+  record.t = 123.456;
+  record.x = {1.0, -2.0, 3.5};
+  const auto frame = EncodeWireRecord(record);
+  const size_t payload = frame.size() - 4;
+  size_t checked = 0;
+  for (size_t i = 0; i < payload; ++i) {
+    for (size_t j = i + 1; j < payload; j += 5) {  // sampled pairs
+      auto corrupted = frame;
+      corrupted[i] ^= 0x40;
+      corrupted[j] ^= 0x40;  // cancels under XOR, not under CRC32C
+      EXPECT_EQ(DecodeWireRecord(corrupted).status().code(),
+                StatusCode::kCorruption)
+          << "bytes " << i << " and " << j;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 50u);
+}
+
+TEST(FrameIntegrityTest, EverySingleByteFlipIsDetected) {
+  WireRecord record;
+  record.type = WireRecordType::kSegmentBreak;
+  record.t = 1.0;
+  record.x = {2.0};
+  const auto frame = EncodeWireRecord(record);
+  for (size_t offset = 0; offset < frame.size(); ++offset) {
+    for (const uint8_t mask : {0x01, 0x40, 0xFF}) {
+      auto corrupted = frame;
+      corrupted[offset] ^= mask;
+      EXPECT_EQ(DecodeWireRecord(corrupted).status().code(),
+                StatusCode::kCorruption)
+          << "offset " << offset << " mask " << int(mask);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized round-trip over every registered codec
+// ---------------------------------------------------------------------------
+
+// A randomized record sequence shaped like real transmitter output: mostly
+// monotone times (integral and fractional), every record type, a mix of
+// integral, fractional, tiny, huge and negative values.
+std::vector<WireRecord> RandomRecords(Rng* rng, size_t count, size_t dims) {
+  std::vector<WireRecord> records;
+  records.reserve(count);
+  double t = rng->Uniform(-1e3, 1e3);
+  for (size_t i = 0; i < count; ++i) {
+    WireRecord record;
+    const uint64_t type_draw = rng->UniformInt(4);
+    record.type = static_cast<WireRecordType>(type_draw + 1);
+    // Mix integral steps (delta's sweet spot) with awkward ones.
+    switch (rng->UniformInt(4)) {
+      case 0: t += static_cast<double>(rng->UniformInt(100)); break;
+      case 1: t += rng->Uniform(0.0, 2.0); break;
+      case 2: t += 1.0; break;
+      default: t = rng->Uniform(-1e17, 1e17); break;
+    }
+    record.t = t;
+    record.x.resize(dims);
+    for (double& v : record.x) {
+      switch (rng->UniformInt(4)) {
+        case 0: v = static_cast<double>(rng->UniformInt(1000)) - 500.0; break;
+        case 1: v = rng->Uniform(-1e6, 1e6); break;
+        case 2: v = rng->Uniform(-1e300, 1e300); break;
+        default: v = rng->Gaussian(); break;
+      }
+    }
+    if (record.type == WireRecordType::kProvisionalLine) {
+      record.slope.resize(dims);
+      for (double& v : record.slope) v = rng->Gaussian(0.0, 10.0);
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+class AllCodecsTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AllCodecsTest, RandomizedRoundTripAllTypesAndDims) {
+  Rng rng(0xC0DEC);
+  for (size_t dims = 1; dims <= 8; ++dims) {
+    auto codec = Make(GetParam());
+    const auto records = RandomRecords(&rng, 200, dims);
+    Channel channel;
+    for (const WireRecord& record : records) {
+      ASSERT_TRUE(codec->Encode(record, &channel).ok());
+    }
+    ASSERT_TRUE(codec->Flush(&channel).ok());
+
+    std::vector<WireRecord> decoded;
+    while (auto frame = channel.Pop()) {
+      ASSERT_TRUE(codec->Decode(*frame, &decoded).ok()) << "dims " << dims;
+    }
+    ASSERT_EQ(decoded.size(), records.size()) << "dims " << dims;
+    for (size_t i = 0; i < records.size(); ++i) {
+      EXPECT_EQ(decoded[i], records[i]) << "dims " << dims << " record " << i;
+    }
+  }
+}
+
+TEST_P(AllCodecsTest, FlushIsIdempotentAndMidStreamSafe) {
+  auto codec = Make(GetParam());
+  Channel channel;
+  Rng rng(7);
+  const auto records = RandomRecords(&rng, 10, 2);
+  std::vector<WireRecord> decoded;
+  for (const WireRecord& record : records) {
+    ASSERT_TRUE(codec->Encode(record, &channel).ok());
+    ASSERT_TRUE(codec->Flush(&channel).ok());  // flush after every record
+    ASSERT_TRUE(codec->Flush(&channel).ok());  // and again, with nothing new
+  }
+  while (auto frame = channel.Pop()) {
+    ASSERT_TRUE(codec->Decode(*frame, &decoded).ok());
+  }
+  EXPECT_EQ(decoded, records);
+}
+
+TEST_P(AllCodecsTest, TruncatedFramesAreCorruption) {
+  auto codec = Make(GetParam());
+  Rng rng(0xBADF00D);
+  const auto records = RandomRecords(&rng, 40, 3);
+  Channel channel;
+  for (const WireRecord& record : records) {
+    ASSERT_TRUE(codec->Encode(record, &channel).ok());
+  }
+  ASSERT_TRUE(codec->Flush(&channel).ok());
+  while (auto frame = channel.Pop()) {
+    for (const size_t drop : {size_t{1}, size_t{4}, frame->size()}) {
+      if (drop > frame->size()) continue;
+      auto truncated = *frame;
+      truncated.resize(frame->size() - drop);
+      auto fresh = Make(GetParam());  // decoder state untouched by failures
+      std::vector<WireRecord> out;
+      EXPECT_EQ(fresh->Decode(truncated, &out).code(),
+                StatusCode::kCorruption);
+      EXPECT_TRUE(out.empty());
+    }
+  }
+}
+
+TEST_P(AllCodecsTest, BitFlipsAreCorruptionWhenChecksummed) {
+  const std::string spec = GetParam();
+  if (spec.find("crc=none") != std::string::npos) {
+    GTEST_SKIP() << "codec configured without integrity";
+  }
+  auto encoder = Make(spec);
+  Rng rng(0xF11);
+  const auto records = RandomRecords(&rng, 30, 2);
+  Channel channel;
+  for (const WireRecord& record : records) {
+    ASSERT_TRUE(encoder->Encode(record, &channel).ok());
+  }
+  ASSERT_TRUE(encoder->Flush(&channel).ok());
+
+  std::vector<std::vector<uint8_t>> frames;
+  while (auto frame = channel.Pop()) frames.push_back(std::move(*frame));
+
+  for (size_t i = 0; i < frames.size(); ++i) {
+    // Stateful decoders need the intact prefix before the corrupt frame.
+    for (const size_t offset :
+         {size_t{0}, frames[i].size() / 2, frames[i].size() - 1}) {
+      auto decoder = Make(spec);
+      std::vector<WireRecord> out;
+      for (size_t k = 0; k < i; ++k) {
+        ASSERT_TRUE(decoder->Decode(frames[k], &out).ok());
+      }
+      auto corrupted = frames[i];
+      corrupted[offset] ^= 0x20;
+      const size_t before = out.size();
+      EXPECT_EQ(decoder->Decode(corrupted, &out).code(),
+                StatusCode::kCorruption)
+          << "frame " << i << " offset " << offset;
+      EXPECT_EQ(out.size(), before);  // nothing appended on error
+    }
+  }
+}
+
+TEST_P(AllCodecsTest, EncodedSizeBoundHolds) {
+  // The advertised per-record bound dominates the realized bytes/record.
+  auto codec = Make(GetParam());
+  Rng rng(99);
+  for (size_t dims = 1; dims <= 8; ++dims) {
+    const auto records = RandomRecords(&rng, 64, dims);
+    Channel channel;
+    size_t bound = 0;
+    for (const WireRecord& record : records) {
+      bound += codec->EncodedSizeBound(record.type, dims);
+      ASSERT_TRUE(codec->Encode(record, &channel).ok());
+    }
+    ASSERT_TRUE(codec->Flush(&channel).ok());
+    EXPECT_LE(channel.bytes_sent(), bound) << "dims " << dims;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EveryCodec, AllCodecsTest,
+                         ::testing::ValuesIn(kCodecSpecs),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Codec-specific behavior
+// ---------------------------------------------------------------------------
+
+TEST(DeltaCodecTest, CompressesIntegralTimeWalks) {
+  // Integral timestamps with small steps — the shape of sampled telemetry —
+  // must come out well under the fixed frame size.
+  auto delta = Make("delta");
+  auto frame = Make("frame");
+  Channel delta_channel;
+  Channel frame_channel;
+  for (int j = 0; j < 200; ++j) {
+    WireRecord record;
+    record.type = WireRecordType::kSegmentPointConnected;
+    record.t = 1000.0 + j;
+    record.x = {j * 0.37};  // fractional values: stay raw f64
+    ASSERT_TRUE(delta->Encode(record, &delta_channel).ok());
+    ASSERT_TRUE(frame->Encode(record, &frame_channel).ok());
+  }
+  EXPECT_LT(delta_channel.bytes_sent() * 4, frame_channel.bytes_sent() * 3)
+      << "delta should save >= 25% on integral-time scalar streams";
+}
+
+TEST(DeltaCodecTest, DeltaTimeBeforeStreamStartIsCorruption) {
+  // A decoder that never saw an absolute time cannot apply a delta; feed
+  // it the second frame of another stream.
+  auto encoder = Make("delta");
+  Channel channel;
+  WireRecord record;
+  record.type = WireRecordType::kSegmentBreak;
+  record.t = 10.0;
+  record.x = {1.0};
+  ASSERT_TRUE(encoder->Encode(record, &channel).ok());
+  record.t = 11.0;
+  ASSERT_TRUE(encoder->Encode(record, &channel).ok());
+  const auto first = *channel.Pop();
+  const auto second = *channel.Pop();
+
+  auto decoder = Make("delta");
+  std::vector<WireRecord> out;
+  EXPECT_EQ(decoder->Decode(second, &out).code(), StatusCode::kCorruption);
+  // The intact prefix still decodes.
+  EXPECT_TRUE(decoder->Decode(first, &out).ok());
+  EXPECT_TRUE(decoder->Decode(second, &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].t, 11.0);
+}
+
+TEST(DeltaCodecTest, NonInvertibleTimeDeltasFallBackToRawExactness) {
+  // prev + (t - prev) does not always equal t in floating point; the
+  // encoder must detect that and ship the raw bits instead.
+  auto codec = Make("delta");
+  Channel channel;
+  const double times[] = {0.1, 1e17, 1e17 + 2.0, 3e17};
+  std::vector<WireRecord> records;
+  for (const double t : times) {
+    WireRecord record;
+    record.type = WireRecordType::kSegmentPoint;
+    record.t = t;
+    record.x = {1.0};
+    records.push_back(record);
+    ASSERT_TRUE(codec->Encode(record, &channel).ok());
+  }
+  std::vector<WireRecord> out;
+  while (auto frame = channel.Pop()) {
+    ASSERT_TRUE(codec->Decode(*frame, &out).ok());
+  }
+  ASSERT_EQ(out.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(out[i].t, records[i].t) << i;  // exact, not approximate
+  }
+}
+
+TEST(BatchCodecTest, BatchesNRecordsPerFrame) {
+  auto codec = Make("batch(n=8)");
+  Channel channel;
+  Rng rng(5);
+  const auto records = RandomRecords(&rng, 20, 1);
+  for (const WireRecord& record : records) {
+    ASSERT_TRUE(codec->Encode(record, &channel).ok());
+  }
+  EXPECT_EQ(channel.queued(), 2u);  // two full batches of 8
+  ASSERT_TRUE(codec->Flush(&channel).ok());
+  EXPECT_EQ(channel.queued(), 3u);  // + the 4-record remainder
+  std::vector<WireRecord> out;
+  while (auto frame = channel.Pop()) {
+    ASSERT_TRUE(codec->Decode(*frame, &out).ok());
+  }
+  EXPECT_EQ(out, records);
+}
+
+TEST(BatchCodecTest, OverstatedRecordCountIsCorruptionNotAllocation) {
+  // A frame claiming ~2^63 records must be rejected by the count-vs-payload
+  // bound before any count-sized allocation is attempted.
+  auto codec = Make("batch(n=4,crc=none)");
+  const std::vector<uint8_t> huge{0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                                  0xFF, 0xFF, 0xFF, 0xFF, 0x01};
+  std::vector<WireRecord> out;
+  EXPECT_EQ(codec->Decode(huge, &out).code(), StatusCode::kCorruption);
+
+  // Count one higher than the payload actually carries: also Corruption.
+  WireRecord record;
+  record.type = WireRecordType::kSegmentPoint;
+  record.t = 1.0;
+  record.x = {2.0};
+  Channel channel;
+  ASSERT_TRUE(codec->Encode(record, &channel).ok());
+  ASSERT_TRUE(codec->Flush(&channel).ok());
+  auto frame = *channel.Pop();
+  ASSERT_EQ(frame[0], 0x01);  // count varint
+  frame[0] = 0x02;
+  EXPECT_EQ(codec->Decode(frame, &out).code(), StatusCode::kCorruption);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BatchCodecTest, AmortizesFramingOverhead) {
+  auto batch = Make("batch(n=64)");
+  auto frame = Make("frame");
+  Channel batch_channel;
+  Channel frame_channel;
+  for (int j = 0; j < 256; ++j) {
+    WireRecord record;
+    record.type = WireRecordType::kSegmentPointConnected;
+    record.t = j * 0.5;
+    record.x = {std::sin(j * 0.1)};
+    ASSERT_TRUE(batch->Encode(record, &batch_channel).ok());
+    ASSERT_TRUE(frame->Encode(record, &frame_channel).ok());
+  }
+  ASSERT_TRUE(batch->Flush(&batch_channel).ok());
+  EXPECT_LT(batch_channel.bytes_sent(), frame_channel.bytes_sent());
+  EXPECT_LT(batch_channel.frames_sent(), frame_channel.frames_sent());
+}
+
+}  // namespace
+}  // namespace plastream
