@@ -1,0 +1,242 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Archive-storage byte and throughput economics: the paper motivates PLA
+// as what a DSMS persists *instead of* raw samples — this bench measures
+// that end to end for the "file" storage backend. For each archive codec
+// (frame, delta) × sync mode (none, flush) it times file-backed ingest,
+// measures archive bytes/segment, replays the file through
+// SegmentArchiveReader (recovery-path throughput), and verifies the
+// reloaded stores equal the live ones segment-for-segment.
+//
+//   $ ./build/bench_archive_io [--keys K] [--points N] [--json PATH]
+//
+// --json writes the series as a machine-readable artifact (CI uploads it
+// alongside the codec and sharding artifacts). Exits non-zero when a
+// reload diverges from the live store or "delta" stops beating "frame"
+// on bytes/segment.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "datagen/random_walk.h"
+#include "plastream.h"
+
+namespace plastream::bench {
+namespace {
+
+struct Config {
+  size_t keys = 8;
+  size_t points = 20000;  // per key
+  std::string json_path;
+};
+
+struct ArchiveRun {
+  std::string codec;
+  std::string sync;
+  size_t segments = 0;
+  uint64_t file_bytes = 0;
+  double bytes_per_segment = 0.0;
+  double ingest_mpts_per_sec = 0.0;
+  double replay_mseg_per_sec = 0.0;
+  double vs_raw = 0.0;  // raw (t, x) f64 bytes / archive bytes
+  bool lossless = false;
+};
+
+std::vector<std::pair<std::string, Signal>> Workload(const Config& config) {
+  std::vector<std::pair<std::string, Signal>> streams;
+  for (size_t k = 0; k < config.keys; ++k) {
+    RandomWalkOptions o;
+    o.count = config.points;
+    o.max_delta = 0.9;
+    o.x0 = 20.0 + 5.0 * static_cast<double>(k);
+    o.seed = 1000 + k;
+    streams.emplace_back("host-" + std::to_string(k) + ".metric",
+                         *GenerateRandomWalk(o));
+  }
+  return streams;
+}
+
+ArchiveRun RunArchive(const std::string& codec, const std::string& sync,
+                      const std::vector<std::pair<std::string, Signal>>&
+                          streams,
+                      size_t total_points) {
+  ArchiveRun run;
+  run.codec = codec;
+  run.sync = sync;
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("bench_archive_io_" + codec + "_" + sync + ".plar"))
+          .string();
+  std::remove(path.c_str());
+
+  auto pipeline = ValueOrDie(
+      Pipeline::Builder()
+          .DefaultSpec("slide(eps=0.5)")
+          .Storage("file(path=" + path + ",codec=" + codec +
+                   ",sync=" + sync + ")")
+          .Build(),
+      "build file-backed pipeline");
+  const auto ingest_start = std::chrono::steady_clock::now();
+  for (const auto& [key, signal] : streams) {
+    for (const DataPoint& p : signal.points) {
+      CheckOk(pipeline->Append(key, p), "Append");
+    }
+  }
+  CheckOk(pipeline->Finish(), "Finish");
+  const std::chrono::duration<double> ingest_elapsed =
+      std::chrono::steady_clock::now() - ingest_start;
+  run.ingest_mpts_per_sec =
+      static_cast<double>(total_points) / ingest_elapsed.count() / 1e6;
+
+  const auto stats = pipeline->Stats();
+  run.segments = stats.segments;
+  run.file_bytes = pipeline->GetStorageBackend().bytes_written();
+  run.bytes_per_segment = run.segments > 0
+                              ? static_cast<double>(run.file_bytes) /
+                                    static_cast<double>(run.segments)
+                              : 0.0;
+  run.vs_raw = static_cast<double>(total_points) * 2 * sizeof(double) /
+               static_cast<double>(run.file_bytes);
+
+  // Replay: the crash-recovery path, timed, then checked for exactness
+  // against the live in-memory stores.
+  const auto replay_start = std::chrono::steady_clock::now();
+  auto reader =
+      ValueOrDie(SegmentArchiveReader::Open(path), "reopen archive");
+  const std::chrono::duration<double> replay_elapsed =
+      std::chrono::steady_clock::now() - replay_start;
+  run.replay_mseg_per_sec =
+      static_cast<double>(reader->segment_count()) / replay_elapsed.count() /
+      1e6;
+  run.lossless = !reader->torn_tail() &&
+                 reader->segment_count() == run.segments;
+  for (const auto& [key, signal] : streams) {
+    const SegmentStore* live = pipeline->Store(key);
+    const SegmentStore* reloaded = reader->Store(key);
+    if (live == nullptr || reloaded == nullptr ||
+        live->segment_count() != reloaded->segment_count()) {
+      run.lossless = false;
+      continue;
+    }
+    for (size_t i = 0; i < live->segment_count(); ++i) {
+      if (!(live->segments()[i] == reloaded->segments()[i])) {
+        run.lossless = false;
+        break;
+      }
+    }
+  }
+  std::remove(path.c_str());
+  return run;
+}
+
+int Main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value after %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--keys") == 0) {
+      config.keys = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--points") == 0) {
+      config.points = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      config.json_path = next();
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: bench_archive_io [--keys K] [--points N] [--json PATH]\n");
+      return 2;
+    }
+  }
+
+  const auto streams = Workload(config);
+  const size_t total_points = config.keys * config.points;
+  std::printf(
+      "Archive-storage economics: %zu streams x %zu points "
+      "(slide(eps=0.5) -> file backend)\n"
+      "raw input: %.1f MB ((t, x) as f64)\n\n",
+      config.keys, config.points,
+      static_cast<double>(total_points) * 16 / 1e6);
+
+  std::printf("  %-7s %-6s %10s %12s %12s %12s %14s %10s %8s\n", "codec",
+              "sync", "segments", "file bytes", "bytes/seg", "ingest Mp/s",
+              "replay Mseg/s", "vs raw", "check");
+  std::vector<ArchiveRun> runs;
+  bool all_lossless = true;
+  double frame_bps = 0.0;
+  double delta_bps = 0.0;
+  for (const char* codec : {"frame", "delta"}) {
+    for (const char* sync : {"none", "flush"}) {
+      const ArchiveRun run = RunArchive(codec, sync, streams, total_points);
+      runs.push_back(run);
+      all_lossless = all_lossless && run.lossless;
+      if (run.codec == "frame" && run.sync == "none") {
+        frame_bps = run.bytes_per_segment;
+      }
+      if (run.codec == "delta" && run.sync == "none") {
+        delta_bps = run.bytes_per_segment;
+      }
+      std::printf("  %-7s %-6s %10zu %12llu %12.2f %12.2f %14.2f %9.1fx %8s\n",
+                  run.codec.c_str(), run.sync.c_str(), run.segments,
+                  static_cast<unsigned long long>(run.file_bytes),
+                  run.bytes_per_segment, run.ingest_mpts_per_sec,
+                  run.replay_mseg_per_sec, run.vs_raw,
+                  run.lossless ? "lossless" : "DIVERGED");
+    }
+  }
+
+  const double delta_saving =
+      frame_bps > 0.0 ? 100.0 * (1.0 - delta_bps / frame_bps) : 0.0;
+  const bool delta_ok = delta_bps < frame_bps;
+  std::printf("\nshape checks:\n");
+  std::printf("  every reload equals the live store:  %s\n",
+              all_lossless ? "yes" : "NO");
+  std::printf("  delta beats frame on bytes/segment:  %s (%.1f%% smaller)\n",
+              delta_ok ? "yes" : "NO", delta_saving);
+
+  if (!config.json_path.empty()) {
+    std::FILE* out = std::fopen(config.json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", config.json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"bench\": \"archive_io\",\n  \"keys\": %zu,\n"
+                 "  \"points_per_key\": %zu,\n  \"lossless\": %s,\n"
+                 "  \"delta_saving_pct\": %.2f,\n  \"results\": [\n",
+                 config.keys, config.points, all_lossless ? "true" : "false",
+                 delta_saving);
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const ArchiveRun& run = runs[i];
+      std::fprintf(
+          out,
+          "    {\"codec\": \"%s\", \"sync\": \"%s\", \"segments\": %zu, "
+          "\"file_bytes\": %llu, \"bytes_per_segment\": %.3f, "
+          "\"ingest_mpts_per_sec\": %.3f, \"replay_mseg_per_sec\": %.3f, "
+          "\"vs_raw\": %.2f}%s\n",
+          run.codec.c_str(), run.sync.c_str(), run.segments,
+          static_cast<unsigned long long>(run.file_bytes),
+          run.bytes_per_segment, run.ingest_mpts_per_sec,
+          run.replay_mseg_per_sec, run.vs_raw,
+          i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", config.json_path.c_str());
+  }
+  return all_lossless && delta_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace plastream::bench
+
+int main(int argc, char** argv) { return plastream::bench::Main(argc, argv); }

@@ -66,13 +66,14 @@ int main() {
               static_cast<double>(stats.bytes_raw) /
                   static_cast<double>(stats.bytes_sent));
 
-  for (const std::string& key : pipeline->Keys()) {
-    const SegmentStore* store = pipeline->Store(key);
+  // Per-key archive sizes come straight from Stats() — no need to walk
+  // the stores.
+  for (const auto& key_stats : stats.per_key) {
     std::printf("%-10s %6zu segments for %zu samples (%.1fx fewer "
                 "objects)\n",
-                key.c_str(), store->segment_count(), kSamples,
+                key_stats.key.c_str(), key_stats.segments, kSamples,
                 static_cast<double>(kSamples) /
-                    static_cast<double>(store->segment_count()));
+                    static_cast<double>(key_stats.segments));
   }
 
   // --- dashboard queries --------------------------------------------------

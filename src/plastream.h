@@ -42,6 +42,8 @@
 #include "core/segment_sink.h"
 #include "core/segment_store.h"
 #include "core/types.h"
+#include "storage/archive_reader.h"
+#include "storage/storage_backend.h"
 #include "stream/pipeline.h"
 #include "stream/sharded_filter_bank.h"
 #include "stream/wire_codec.h"

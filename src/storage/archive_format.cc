@@ -1,0 +1,432 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "storage/archive_format.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "stream/wire_bytes.h"
+
+namespace plastream {
+namespace {
+
+constexpr uint8_t kMagic[4] = {'P', 'L', 'A', 'R'};
+constexpr uint8_t kVersion = 1;
+
+// Delta segment-body flags.
+constexpr uint8_t kConnected = 0x01;     // start point elided (== prev end)
+constexpr uint8_t kStartTimeDelta = 0x02;  // t_start as zigzag dt vs prev end
+constexpr uint8_t kEndTimeDelta = 0x04;    // t_end as zigzag dt vs t_start
+constexpr uint8_t kStartValuesVarint = 0x08;
+constexpr uint8_t kEndValuesVarint = 0x10;
+constexpr uint8_t kDeltaFlagMask = 0x1F;
+
+// Frame segment-body flags.
+constexpr uint8_t kFrameConnected = 0x01;
+
+// True when every element of `values` has a compact integral form,
+// filling `*out` with the int64 mappings.
+bool AllCompactIntegral(const std::vector<double>& values,
+                        std::vector<int64_t>* out) {
+  out->resize(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!IsCompactIntegral(values[i], &(*out)[i])) return false;
+  }
+  return !values.empty();
+}
+
+}  // namespace
+
+Result<ArchiveSegmentCodec> ParseArchiveSegmentCodec(std::string_view name) {
+  if (name == "frame") return ArchiveSegmentCodec::kFrame;
+  if (name == "delta") return ArchiveSegmentCodec::kDelta;
+  return Status::InvalidArgument("unknown archive segment codec '" +
+                                 std::string(name) +
+                                 "' (supported: frame, delta)");
+}
+
+std::string_view ArchiveSegmentCodecName(ArchiveSegmentCodec codec) {
+  return codec == ArchiveSegmentCodec::kFrame ? "frame" : "delta";
+}
+
+std::vector<uint8_t> EncodeArchiveHeader(ArchiveSegmentCodec codec) {
+  std::vector<uint8_t> header;
+  header.reserve(kArchiveHeaderSize);
+  header.insert(header.end(), std::begin(kMagic), std::end(kMagic));
+  header.push_back(kVersion);
+  header.push_back(static_cast<uint8_t>(codec));
+  PutU16(&header, 0);  // reserved
+  AppendCrc32cTrailer(&header);
+  return header;
+}
+
+Result<ArchiveSegmentCodec> DecodeArchiveHeader(
+    std::span<const uint8_t> bytes) {
+  if (bytes.size() < kArchiveHeaderSize) {
+    return Status::Corruption("archive shorter than its header");
+  }
+  const std::span<const uint8_t> header = bytes.first(kArchiveHeaderSize);
+  std::span<const uint8_t> body;
+  if (!SplitCrc32cTrailer(header, &body)) {
+    return Status::Corruption("archive header checksum mismatch");
+  }
+  for (size_t i = 0; i < 4; ++i) {
+    if (body[i] != kMagic[i]) {
+      return Status::Corruption("archive magic mismatch (not a plastream "
+                                "segment archive)");
+    }
+  }
+  if (body[4] != kVersion) {
+    return Status::Corruption("unsupported archive version " +
+                              std::to_string(body[4]));
+  }
+  const uint8_t codec = body[5];
+  if (codec != static_cast<uint8_t>(ArchiveSegmentCodec::kFrame) &&
+      codec != static_cast<uint8_t>(ArchiveSegmentCodec::kDelta)) {
+    return Status::Corruption("unsupported archive segment codec tag " +
+                              std::to_string(codec));
+  }
+  return static_cast<ArchiveSegmentCodec>(codec);
+}
+
+std::vector<uint8_t> FrameArchiveRecord(std::span<const uint8_t> payload) {
+  std::vector<uint8_t> record;
+  record.reserve(payload.size() + 8);
+  PutU32(&record, static_cast<uint32_t>(payload.size()));
+  record.insert(record.end(), payload.begin(), payload.end());
+  PutU32(&record, Crc32c(payload));
+  return record;
+}
+
+std::vector<uint8_t> EncodeStreamOpenPayload(uint64_t stream_id,
+                                             std::string_view key,
+                                             size_t dimensions) {
+  std::vector<uint8_t> payload;
+  PutVarint(&payload, stream_id);
+  payload.push_back(kArchiveRecordStreamOpen);
+  PutVarint(&payload, key.size());
+  payload.insert(payload.end(), key.begin(), key.end());
+  PutVarint(&payload, dimensions);
+  return payload;
+}
+
+ArchiveSegmentCoder::ArchiveSegmentCoder(ArchiveSegmentCodec codec,
+                                         size_t dimensions)
+    : codec_(codec), dimensions_(dimensions) {}
+
+void ArchiveSegmentCoder::EncodeBody(const Segment& segment,
+                                     std::vector<uint8_t>* out) {
+  if (codec_ == ArchiveSegmentCodec::kFrame) {
+    out->push_back(segment.connected_to_prev ? kFrameConnected : 0);
+    PutF64(out, segment.t_start);
+    PutF64(out, segment.t_end);
+    for (const double v : segment.x_start) PutF64(out, v);
+    for (const double v : segment.x_end) PutF64(out, v);
+  } else {
+    uint8_t flags = 0;
+    int64_t dt_start = 0;
+    bool start_time_delta = false;
+    std::vector<int64_t> start_int;
+    bool start_varint = false;
+    if (segment.connected_to_prev) {
+      // Start point == previous end point (SegmentStore-validated), so it
+      // costs zero bytes; the decoder replays it from chain state.
+      flags |= kConnected;
+    } else {
+      if (has_prev_) {
+        const double dt = segment.t_start - prev_t_end_;
+        start_time_delta = IsCompactIntegral(dt, &dt_start) &&
+                           prev_t_end_ + static_cast<double>(dt_start) ==
+                               segment.t_start;
+      }
+      if (start_time_delta) flags |= kStartTimeDelta;
+      start_varint = AllCompactIntegral(segment.x_start, &start_int);
+      if (start_varint) flags |= kStartValuesVarint;
+    }
+    int64_t dt_end = 0;
+    const double de = segment.t_end - segment.t_start;
+    const bool end_time_delta =
+        IsCompactIntegral(de, &dt_end) &&
+        segment.t_start + static_cast<double>(dt_end) == segment.t_end;
+    if (end_time_delta) flags |= kEndTimeDelta;
+    std::vector<int64_t> end_int;
+    const bool end_varint = AllCompactIntegral(segment.x_end, &end_int);
+    if (end_varint) flags |= kEndValuesVarint;
+
+    out->push_back(flags);
+    if (!segment.connected_to_prev) {
+      if (start_time_delta) {
+        PutVarint(out, ZigZag(dt_start));
+      } else {
+        PutF64(out, segment.t_start);
+      }
+      for (size_t i = 0; i < segment.x_start.size(); ++i) {
+        if (start_varint) {
+          PutVarint(out, ZigZag(start_int[i]));
+        } else {
+          PutF64(out, segment.x_start[i]);
+        }
+      }
+    }
+    if (end_time_delta) {
+      PutVarint(out, ZigZag(dt_end));
+    } else {
+      PutF64(out, segment.t_end);
+    }
+    for (size_t i = 0; i < segment.x_end.size(); ++i) {
+      if (end_varint) {
+        PutVarint(out, ZigZag(end_int[i]));
+      } else {
+        PutF64(out, segment.x_end[i]);
+      }
+    }
+  }
+  has_prev_ = true;
+  prev_t_end_ = segment.t_end;
+  prev_x_end_ = segment.x_end;
+}
+
+Result<Segment> ArchiveSegmentCoder::DecodeBody(
+    std::span<const uint8_t> body) {
+  Segment segment;
+  ByteReader reader(body);
+  uint8_t flags = 0;
+  if (!reader.ReadU8(&flags)) {
+    return Status::Corruption("segment body truncated at flags");
+  }
+  if (codec_ == ArchiveSegmentCodec::kFrame) {
+    if ((flags & ~kFrameConnected) != 0) {
+      return Status::Corruption("frame segment body with reserved flags");
+    }
+    segment.connected_to_prev = (flags & kFrameConnected) != 0;
+    if (segment.connected_to_prev && !has_prev_) {
+      return Status::Corruption("connected segment with no predecessor");
+    }
+    segment.x_start.resize(dimensions_);
+    segment.x_end.resize(dimensions_);
+    if (!reader.ReadF64(&segment.t_start) || !reader.ReadF64(&segment.t_end)) {
+      return Status::Corruption("frame segment body times truncated");
+    }
+    for (double& v : segment.x_start) {
+      if (!reader.ReadF64(&v)) {
+        return Status::Corruption("frame segment body values truncated");
+      }
+    }
+    for (double& v : segment.x_end) {
+      if (!reader.ReadF64(&v)) {
+        return Status::Corruption("frame segment body values truncated");
+      }
+    }
+  } else {
+    if ((flags & ~kDeltaFlagMask) != 0) {
+      return Status::Corruption("delta segment body with reserved flags");
+    }
+    segment.connected_to_prev = (flags & kConnected) != 0;
+    if (segment.connected_to_prev) {
+      if (!has_prev_) {
+        return Status::Corruption("connected segment with no predecessor");
+      }
+      if ((flags & (kStartTimeDelta | kStartValuesVarint)) != 0) {
+        return Status::Corruption(
+            "connected segment carries explicit start-point flags");
+      }
+      segment.t_start = prev_t_end_;
+      segment.x_start = prev_x_end_;
+    } else {
+      if ((flags & kStartTimeDelta) != 0) {
+        if (!has_prev_) {
+          return Status::Corruption(
+              "delta-coded start time with no predecessor");
+        }
+        uint64_t zz = 0;
+        if (!reader.ReadVarint(&zz)) {
+          return Status::Corruption("segment body start time truncated");
+        }
+        segment.t_start = prev_t_end_ + static_cast<double>(UnZigZag(zz));
+      } else if (!reader.ReadF64(&segment.t_start)) {
+        return Status::Corruption("segment body start time truncated");
+      }
+      segment.x_start.resize(dimensions_);
+      for (double& v : segment.x_start) {
+        if ((flags & kStartValuesVarint) != 0) {
+          uint64_t zz = 0;
+          if (!reader.ReadVarint(&zz)) {
+            return Status::Corruption("segment body start values truncated");
+          }
+          v = static_cast<double>(UnZigZag(zz));
+        } else if (!reader.ReadF64(&v)) {
+          return Status::Corruption("segment body start values truncated");
+        }
+      }
+    }
+    if ((flags & kEndTimeDelta) != 0) {
+      uint64_t zz = 0;
+      if (!reader.ReadVarint(&zz)) {
+        return Status::Corruption("segment body end time truncated");
+      }
+      segment.t_end = segment.t_start + static_cast<double>(UnZigZag(zz));
+    } else if (!reader.ReadF64(&segment.t_end)) {
+      return Status::Corruption("segment body end time truncated");
+    }
+    segment.x_end.resize(dimensions_);
+    for (double& v : segment.x_end) {
+      if ((flags & kEndValuesVarint) != 0) {
+        uint64_t zz = 0;
+        if (!reader.ReadVarint(&zz)) {
+          return Status::Corruption("segment body end values truncated");
+        }
+        v = static_cast<double>(UnZigZag(zz));
+      } else if (!reader.ReadF64(&v)) {
+        return Status::Corruption("segment body end values truncated");
+      }
+    }
+  }
+  if (!reader.Done()) {
+    return Status::Corruption("segment body length mismatch");
+  }
+  has_prev_ = true;
+  prev_t_end_ = segment.t_end;
+  prev_x_end_ = segment.x_end;
+  return segment;
+}
+
+void ArchiveSegmentCoder::Prime(const Segment& segment) {
+  has_prev_ = true;
+  prev_t_end_ = segment.t_end;
+  prev_x_end_ = segment.x_end;
+}
+
+Result<ArchiveScan> ScanArchiveFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open archive '" + path + "' for reading");
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buffer[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    bytes.insert(bytes.end(), buffer, buffer + n);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    return Status::IOError("error reading archive '" + path + "'");
+  }
+
+  ArchiveScan scan;
+  scan.file_bytes = bytes.size();
+  PLASTREAM_ASSIGN_OR_RETURN(scan.codec, DecodeArchiveHeader(bytes));
+  scan.valid_bytes = kArchiveHeaderSize;
+  // Per-stream chain state, scan-local: a torn record may pollute its
+  // coder, so recovering writers re-Prime fresh coders from the stores.
+  std::vector<std::unique_ptr<ArchiveSegmentCoder>> coders;
+
+  // Prefix scan: every record must be intact and semantically valid; the
+  // first one that is not marks the torn tail and ends the scan, keeping
+  // everything before it.
+  const auto tear = [&scan](std::string reason) {
+    scan.torn = true;
+    scan.torn_reason = std::move(reason);
+  };
+  size_t offset = kArchiveHeaderSize;
+  while (offset < bytes.size()) {
+    const size_t remaining = bytes.size() - offset;
+    if (remaining < 8) {
+      tear("truncated record framing");
+      break;
+    }
+    const uint32_t len = GetU32(bytes.data() + offset);
+    if (len > remaining - 8) {
+      tear("record length exceeds the file");
+      break;
+    }
+    const std::span<const uint8_t> payload(bytes.data() + offset + 4, len);
+    if (Crc32c(payload) != GetU32(bytes.data() + offset + 4 + len)) {
+      tear("record checksum mismatch");
+      break;
+    }
+
+    size_t pos = 0;
+    uint64_t stream_id = 0;
+    if (!ReadVarint(payload, &pos, &stream_id) || pos >= payload.size()) {
+      tear("record payload truncated at stream id");
+      break;
+    }
+    const uint8_t kind = payload[pos++];
+    bool ok = false;
+    if (kind == kArchiveRecordStreamOpen) {
+      uint64_t key_len = 0;
+      uint64_t dims = 0;
+      std::string key;
+      if (ReadVarint(payload, &pos, &key_len) &&
+          payload.size() - pos >= key_len) {
+        key.assign(reinterpret_cast<const char*>(payload.data() + pos),
+                   key_len);
+        pos += key_len;
+        if (ReadVarint(payload, &pos, &dims) && pos == payload.size() &&
+            dims >= 1 && dims <= 65535) {  // same bound as the wire codecs
+          if (stream_id < scan.streams.size()) {
+            // Idempotent redeclaration of a known stream is tolerated;
+            // anything conflicting is treated as tail corruption.
+            const ArchiveStream& existing = *scan.streams[stream_id];
+            ok = existing.key == key && existing.dimensions == dims;
+            if (!ok) tear("conflicting stream redeclaration");
+          } else if (stream_id == scan.streams.size()) {
+            if (scan.by_key.contains(key)) {
+              tear("stream key redeclared under a new id");
+            } else {
+              auto stream = std::make_unique<ArchiveStream>();
+              stream->key = key;
+              stream->dimensions = dims;
+              stream->store = std::make_unique<SegmentStore>(dims);
+              coders.push_back(
+                  std::make_unique<ArchiveSegmentCoder>(scan.codec, dims));
+              scan.by_key.emplace(std::move(key), scan.streams.size());
+              scan.streams.push_back(std::move(stream));
+              ok = true;
+            }
+          } else {
+            tear("non-sequential stream id");
+          }
+        } else {
+          // Covers truncation, stray bytes and an out-of-range
+          // dimensionality — a CRC-valid but absurd dims must tear, not
+          // feed a multi-terabyte resize.
+          tear("stream-open record malformed");
+        }
+      } else {
+        tear("stream-open record malformed");
+      }
+    } else if (kind == kArchiveRecordSegment) {
+      if (stream_id >= scan.streams.size()) {
+        tear("segment for an undeclared stream");
+      } else {
+        ArchiveStream& stream = *scan.streams[stream_id];
+        auto segment = coders[stream_id]->DecodeBody(payload.subspan(pos));
+        if (!segment.ok()) {
+          tear(segment.status().message());
+        } else if (const Status appended = stream.store->Append(*segment);
+                   !appended.ok()) {
+          tear("segment violates the chain: " + appended.message());
+        } else {
+          ++scan.segments;
+          ok = true;
+        }
+      }
+    } else {
+      tear("unknown record kind " + std::to_string(kind));
+    }
+    if (!ok) break;
+
+    const uint64_t record_bytes = 8 + static_cast<uint64_t>(len);
+    if (stream_id < scan.streams.size()) {
+      scan.streams[stream_id]->bytes += record_bytes;
+    }
+    ++scan.records;
+    offset += record_bytes;
+    scan.valid_bytes = offset;
+  }
+  return scan;
+}
+
+}  // namespace plastream

@@ -1,0 +1,50 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "storage/archive_reader.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace plastream {
+
+Result<std::unique_ptr<SegmentArchiveReader>> SegmentArchiveReader::Open(
+    const std::string& path) {
+  PLASTREAM_ASSIGN_OR_RETURN(ArchiveScan scan, ScanArchiveFile(path));
+  return std::unique_ptr<SegmentArchiveReader>(
+      new SegmentArchiveReader(std::move(scan)));
+}
+
+std::vector<std::string> SegmentArchiveReader::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(scan_.by_key.size());
+  for (const auto& [key, id] : scan_.by_key) keys.push_back(key);
+  return keys;  // map iteration order is already sorted
+}
+
+const SegmentStore* SegmentArchiveReader::Store(std::string_view key) const {
+  const auto it = scan_.by_key.find(key);
+  if (it == scan_.by_key.end()) return nullptr;
+  return scan_.streams[it->second]->store.get();
+}
+
+Result<double> SegmentArchiveReader::ValueAt(std::string_view key, double t,
+                                             size_t dim) const {
+  const SegmentStore* store = Store(key);
+  if (store == nullptr) {
+    return Status::NotFound("no stream '" + std::string(key) +
+                            "' in the archive");
+  }
+  return store->ValueAt(t, dim);
+}
+
+Result<SegmentStore::RangeAggregate> SegmentArchiveReader::RangeAggregate(
+    std::string_view key, double t_begin, double t_end, size_t dim) const {
+  const SegmentStore* store = Store(key);
+  if (store == nullptr) {
+    return Status::NotFound("no stream '" + std::string(key) +
+                            "' in the archive");
+  }
+  return store->Aggregate(t_begin, t_end, dim);
+}
+
+}  // namespace plastream

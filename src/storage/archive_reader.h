@@ -1,0 +1,95 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// SegmentArchiveReader: reload a segment archive file into a queryable
+// handle without building a Pipeline. This is the replay side of the
+// "file" storage backend — offline analysis opens the log a collector
+// wrote (possibly after a crash) and answers the same error-bounded
+// range queries the live pipeline served:
+//
+//   auto reader = SegmentArchiveReader::Open("segments.plar").value();
+//   double v   = reader->ValueAt("web-1.cpu", 12345.0, 0).value();
+//   auto hour  = reader->RangeAggregate("web-1.cpu", t0, t1, 0).value();
+//
+// Opening never modifies the file: a torn tail is reported (torn_tail(),
+// truncated_bytes()) and everything before it is served. Reopening the
+// same file with the "file" backend is what physically truncates.
+
+#ifndef PLASTREAM_STORAGE_ARCHIVE_READER_H_
+#define PLASTREAM_STORAGE_ARCHIVE_READER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/segment_store.h"
+#include "storage/archive_format.h"
+
+namespace plastream {
+
+/// Read-only, queryable view of one segment-archive file.
+class SegmentArchiveReader {
+ public:
+  /// Scans and validates the archive at `path`. Errors with IOError when
+  /// the file cannot be read and Corruption when it is not an archive at
+  /// all; a torn tail is NOT an error — the reader serves the intact
+  /// prefix and reports the damage.
+  static Result<std::unique_ptr<SegmentArchiveReader>> Open(
+      const std::string& path);
+
+  /// Stream keys in the archive, sorted.
+  std::vector<std::string> Keys() const;
+
+  /// The stream's recovered store, or nullptr for an unknown key.
+  const SegmentStore* Store(std::string_view key) const;
+
+  /// Value of `key`'s dimension `dim` at time t. Errors with NotFound
+  /// for an unknown key or a coverage gap.
+  Result<double> ValueAt(std::string_view key, double t, size_t dim) const;
+
+  /// Range aggregate of `key`'s dimension `dim` over [t_begin, t_end].
+  /// Errors with NotFound for an unknown key or an uncovered range.
+  Result<SegmentStore::RangeAggregate> RangeAggregate(std::string_view key,
+                                                      double t_begin,
+                                                      double t_end,
+                                                      size_t dim) const;
+
+  /// Streams in the archive.
+  size_t stream_count() const { return scan_.streams.size(); }
+
+  /// Intact segments across every stream.
+  size_t segment_count() const { return scan_.segments; }
+
+  /// Intact records (stream declarations + segments).
+  size_t record_count() const { return scan_.records; }
+
+  /// The archive's segment codec name ("frame" or "delta").
+  std::string_view codec_name() const {
+    return ArchiveSegmentCodecName(scan_.codec);
+  }
+
+  /// Bytes of the intact prefix (header + valid records).
+  uint64_t valid_bytes() const { return scan_.valid_bytes; }
+
+  /// Bytes past the intact prefix — a crash's torn tail. 0 when clean.
+  uint64_t truncated_bytes() const {
+    return scan_.file_bytes - scan_.valid_bytes;
+  }
+
+  /// True when the file carried a torn tail (truncated_bytes() > 0).
+  bool torn_tail() const { return scan_.torn; }
+
+  /// Why the scan stopped, when torn_tail() ("record checksum mismatch",
+  /// "truncated record framing", ...).
+  const std::string& torn_reason() const { return scan_.torn_reason; }
+
+ private:
+  explicit SegmentArchiveReader(ArchiveScan scan) : scan_(std::move(scan)) {}
+
+  ArchiveScan scan_;
+};
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_STORAGE_ARCHIVE_READER_H_

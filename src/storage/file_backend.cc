@@ -1,0 +1,328 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// "file": the durable storage backend — one append-only archive log per
+// pipeline, in the format of storage/archive_format.h. Every segment the
+// receivers rebuild is framed as a stream-id-tagged, CRC32C-trailed
+// record and appended to the log; Open() on an existing file runs crash
+// recovery (scan, truncate the torn tail, rebuild every stream's
+// in-memory store) and then keeps appending where the intact prefix
+// ended.
+//
+// Concurrency: segment bodies are encoded on the stream's shard with no
+// shared state; only the final byte-append onto the log serializes, on a
+// mutex held for one fwrite. Segments are orders of magnitude rarer than
+// points (that is the point of PLA), so the shared append is off the
+// per-point hot path entirely.
+//
+// Spec: "file(path=...,codec=frame|delta,sync=none|flush)"
+//   path   (required) the archive log's filesystem path
+//   codec  segment body encoding, default "delta" (see STORAGE.md)
+//   sync   "flush" pushes every record to the OS immediately (crash
+//          loses at most the record being written); "none" (default)
+//          buffers until Flush()/Close().
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "storage/archive_format.h"
+#include "storage/storage_backend.h"
+#include "stream/wire_bytes.h"
+
+namespace plastream {
+namespace {
+
+class FileBackend;
+
+// One stream's slice of the archive: the queryable in-memory store, the
+// chain-state coder, and this stream's byte accounting. Append runs only
+// on the stream's shard; the backend serializes the final log write.
+class FileStreamStorage final : public StreamStorage {
+ public:
+  FileStreamStorage(FileBackend* backend, uint64_t stream_id,
+                    ArchiveSegmentCodec codec, size_t dimensions,
+                    std::unique_ptr<SegmentStore> store)
+      : backend_(backend),
+        stream_id_(stream_id),
+        coder_(codec, dimensions),
+        store_(std::move(store)) {
+    if (!store_->empty()) coder_.Prime(store_->segments().back());
+  }
+
+  Status Append(const Segment& segment) override;
+
+  const SegmentStore* store() const override { return store_.get(); }
+
+  uint64_t bytes_written() const override { return bytes_; }
+
+  void add_bytes(uint64_t n) { bytes_ += n; }
+
+ private:
+  FileBackend* const backend_;
+  const uint64_t stream_id_;
+  ArchiveSegmentCoder coder_;
+  std::unique_ptr<SegmentStore> store_;
+  uint64_t bytes_ = 0;
+};
+
+class FileBackend final : public StorageBackend {
+ public:
+  FileBackend(std::string path, ArchiveSegmentCodec codec, bool sync_flush)
+      : path_(std::move(path)), codec_(codec), sync_flush_(sync_flush) {}
+
+  ~FileBackend() override {
+    const Status closed = Close();
+    (void)closed;  // Destructor cannot propagate; Close() is idempotent.
+  }
+
+  Status Open() override {
+    if (file_ != nullptr) return Status::OK();
+    std::error_code ec;
+    const bool exists = std::filesystem::exists(path_, ec) && !ec;
+    const uint64_t size =
+        exists ? static_cast<uint64_t>(std::filesystem::file_size(path_, ec))
+               : 0;
+    if (exists && size > 0) {
+      PLASTREAM_RETURN_NOT_OK(Recover(size));
+    }
+    file_ = std::fopen(path_.c_str(), recovered_ ? "ab" : "wb");
+    if (file_ == nullptr) {
+      return Status::IOError("cannot open archive '" + path_ +
+                             "' for appending");
+    }
+    if (!recovered_) {
+      const std::vector<uint8_t> header = EncodeArchiveHeader(codec_);
+      if (std::fwrite(header.data(), 1, header.size(), file_) !=
+              header.size() ||
+          std::fflush(file_) != 0) {
+        return Status::IOError("cannot write archive header to '" + path_ +
+                               "'");
+      }
+      bytes_written_ = header.size();
+    }
+    return Status::OK();
+  }
+
+  Result<StreamStorage*> OpenStream(std::string_view key,
+                                    size_t dimensions) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (file_ == nullptr) {
+      return Status::FailedPrecondition("archive '" + path_ +
+                                        "' is not open");
+    }
+    const auto it = streams_.find(key);
+    if (it != streams_.end()) {
+      if (it->second->store()->dimensions() != dimensions) {
+        return Status::InvalidArgument(
+            "stream '" + std::string(key) + "' in archive '" + path_ +
+            "' has dimensionality " +
+            std::to_string(it->second->store()->dimensions()) + ", not " +
+            std::to_string(dimensions));
+      }
+      return it->second.get();
+    }
+    const uint64_t stream_id = next_stream_id_++;
+    auto handle = std::make_unique<FileStreamStorage>(
+        this, stream_id, codec_, dimensions,
+        std::make_unique<SegmentStore>(dimensions));
+    FileStreamStorage* borrowed = handle.get();
+    const std::vector<uint8_t> payload =
+        EncodeStreamOpenPayload(stream_id, key, dimensions);
+    PLASTREAM_RETURN_NOT_OK(WriteRecordLocked(payload, borrowed));
+    streams_.emplace(std::string(key), std::move(handle));
+    return borrowed;
+  }
+
+  std::vector<std::string> StreamKeys() const override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> keys;
+    keys.reserve(streams_.size());
+    for (const auto& [key, handle] : streams_) keys.push_back(key);
+    return keys;
+  }
+
+  const StreamStorage* FindStream(std::string_view key) const override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = streams_.find(key);
+    return it == streams_.end() ? nullptr : it->second.get();
+  }
+
+  Status Flush() override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    PLASTREAM_RETURN_NOT_OK(write_status_);
+    if (file_ != nullptr && std::fflush(file_) != 0) {
+      write_status_ = Status::IOError("cannot flush archive '" + path_ + "'");
+    }
+    return write_status_;
+  }
+
+  Status Close() override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (file_ == nullptr) return write_status_;
+    if (std::fflush(file_) != 0 && write_status_.ok()) {
+      write_status_ = Status::IOError("cannot flush archive '" + path_ + "'");
+    }
+    if (std::fclose(file_) != 0 && write_status_.ok()) {
+      write_status_ = Status::IOError("cannot close archive '" + path_ + "'");
+    }
+    file_ = nullptr;
+    return write_status_;
+  }
+
+  uint64_t bytes_written() const override { return bytes_written_; }
+
+  std::string_view name() const override { return "file"; }
+
+  /// Frames `payload` and appends it to the log under the file mutex,
+  /// crediting `stream`'s byte accounting.
+  Status WriteRecord(std::span<const uint8_t> payload,
+                     FileStreamStorage* stream) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return WriteRecordLocked(payload, stream);
+  }
+
+  /// The sticky first append failure (OK while the log is healthy).
+  Status write_status() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return write_status_;
+  }
+
+  /// Segments recovered from a pre-existing archive at Open() time.
+  size_t recovered_segments() const { return recovered_segments_; }
+
+  /// Bytes dropped from a torn tail at Open() time.
+  uint64_t truncated_bytes() const { return truncated_bytes_; }
+
+ private:
+  Status WriteRecordLocked(std::span<const uint8_t> payload,
+                           FileStreamStorage* stream) {
+    PLASTREAM_RETURN_NOT_OK(write_status_);
+    if (file_ == nullptr) {
+      return Status::FailedPrecondition("archive '" + path_ +
+                                        "' is already closed");
+    }
+    const std::vector<uint8_t> record = FrameArchiveRecord(payload);
+    if (std::fwrite(record.data(), 1, record.size(), file_) !=
+        record.size()) {
+      write_status_ =
+          Status::IOError("cannot append record to archive '" + path_ + "'");
+      return write_status_;
+    }
+    if (sync_flush_ && std::fflush(file_) != 0) {
+      write_status_ =
+          Status::IOError("cannot flush archive '" + path_ + "'");
+      return write_status_;
+    }
+    bytes_written_ += record.size();
+    if (stream != nullptr) stream->add_bytes(record.size());
+    return Status::OK();
+  }
+
+  // Scans the existing log, truncates a torn tail, and adopts every
+  // recovered stream (store + chain state) so appends continue the file.
+  Status Recover(uint64_t size) {
+    PLASTREAM_ASSIGN_OR_RETURN(ArchiveScan scan, ScanArchiveFile(path_));
+    if (scan.codec != codec_) {
+      return Status::InvalidArgument(
+          "archive '" + path_ + "' uses codec '" +
+          std::string(ArchiveSegmentCodecName(scan.codec)) +
+          "', spec asks for '" +
+          std::string(ArchiveSegmentCodecName(codec_)) + "'");
+    }
+    if (scan.torn) {
+      std::error_code ec;
+      std::filesystem::resize_file(path_, scan.valid_bytes, ec);
+      if (ec) {
+        return Status::IOError("cannot truncate torn tail of archive '" +
+                               path_ + "': " + ec.message());
+      }
+      truncated_bytes_ = size - scan.valid_bytes;
+    }
+    for (size_t id = 0; id < scan.streams.size(); ++id) {
+      ArchiveStream& recovered = *scan.streams[id];
+      recovered_segments_ += recovered.store->segment_count();
+      auto handle = std::make_unique<FileStreamStorage>(
+          this, id, codec_, recovered.dimensions, std::move(recovered.store));
+      handle->add_bytes(recovered.bytes);
+      streams_.emplace(std::move(recovered.key), std::move(handle));
+    }
+    next_stream_id_ = scan.streams.size();
+    bytes_written_ = scan.valid_bytes;
+    recovered_ = true;
+    return Status::OK();
+  }
+
+  const std::string path_;
+  const ArchiveSegmentCodec codec_;
+  const bool sync_flush_;
+
+  mutable std::mutex mutex_;  // guards the stream map, FILE*, write_status_
+  std::FILE* file_ = nullptr;
+  Status write_status_ = Status::OK();  // first append failure, sticky
+  std::map<std::string, std::unique_ptr<FileStreamStorage>, std::less<>>
+      streams_;
+  uint64_t next_stream_id_ = 0;
+  uint64_t bytes_written_ = 0;
+  bool recovered_ = false;
+  size_t recovered_segments_ = 0;
+  uint64_t truncated_bytes_ = 0;
+};
+
+Status FileStreamStorage::Append(const Segment& segment) {
+  // A sticky log failure must keep reporting itself — not morph into a
+  // chain error when a retried segment hits the already-updated store.
+  PLASTREAM_RETURN_NOT_OK(backend_->write_status());
+  // Validate (and publish to the queryable view) before any byte reaches
+  // the log, so an invalid segment can never corrupt the archive.
+  PLASTREAM_RETURN_NOT_OK(store_->Append(segment));
+  // Encode on the stream's shard, lock-free; only the log append below
+  // serializes across shards.
+  std::vector<uint8_t> payload;
+  PutVarint(&payload, stream_id_);
+  payload.push_back(kArchiveRecordSegment);
+  coder_.EncodeBody(segment, &payload);
+  return backend_->WriteRecord(payload, this);
+}
+
+}  // namespace
+
+void RegisterFileStorageBackend(StorageRegistry& registry) {
+  const Status status = registry.Register(
+      "file",
+      [](const FilterSpec& spec) -> Result<std::unique_ptr<StorageBackend>> {
+        PLASTREAM_RETURN_NOT_OK(
+            spec.ExpectParamsIn({"path", "codec", "sync"}));
+        const std::string* path = spec.FindParam("path");
+        if (path == nullptr || path->empty()) {
+          return Status::InvalidArgument(
+              "storage backend 'file' needs a path parameter, e.g. "
+              "\"file(path=segments.plar)\"");
+        }
+        ArchiveSegmentCodec codec = ArchiveSegmentCodec::kDelta;
+        if (const std::string* name = spec.FindParam("codec");
+            name != nullptr) {
+          PLASTREAM_ASSIGN_OR_RETURN(codec, ParseArchiveSegmentCodec(*name));
+        }
+        bool sync_flush = false;
+        if (const std::string* sync = spec.FindParam("sync");
+            sync != nullptr) {
+          if (*sync == "flush") {
+            sync_flush = true;
+          } else if (*sync != "none") {
+            return Status::InvalidArgument(
+                "storage backend 'file' parameter 'sync' must be none or "
+                "flush, got '" +
+                *sync + "'");
+          }
+        }
+        return std::unique_ptr<StorageBackend>(
+            new FileBackend(*path, codec, sync_flush));
+      });
+  (void)status;  // Double registration is caller error; see Register().
+}
+
+}  // namespace plastream

@@ -1,0 +1,91 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "storage/storage_backend.h"
+
+#include <utility>
+
+namespace plastream {
+
+StorageRegistry& StorageRegistry::Global() {
+  static StorageRegistry* registry = [] {
+    auto* r = new StorageRegistry();
+    RegisterBuiltinStorageBackends(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status StorageRegistry::Register(std::string name, Factory factory) {
+  if (name.empty()) {
+    return Status::InvalidArgument("storage backend name is empty");
+  }
+  if (factory == nullptr) {
+    return Status::InvalidArgument("storage backend factory for '" + name +
+                                   "' is null");
+  }
+  const auto [it, inserted] =
+      factories_.emplace(std::move(name), std::move(factory));
+  if (!inserted) {
+    return Status::FailedPrecondition("storage backend '" + it->first +
+                                      "' is already registered");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<StorageBackend>> StorageRegistry::MakeBackend(
+    const FilterSpec& spec) const {
+  const auto it = factories_.find(spec.family);
+  if (it == factories_.end()) {
+    std::string known;
+    for (const auto& [name, factory] : factories_) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    return Status::NotFound("unknown storage backend '" + spec.family +
+                            "' (registered: " + known + ")");
+  }
+  // The eps/dims/max_lag keys configure filters; a storage spec carrying
+  // them is a config mix-up worth failing loudly on.
+  if (!spec.options.epsilon.empty() || spec.options.max_lag != 0) {
+    return Status::InvalidArgument(
+        "storage spec '" + spec.Format() +
+        "' carries filter options (eps/dims/max_lag)");
+  }
+  PLASTREAM_ASSIGN_OR_RETURN(auto backend, it->second(spec));
+  if (backend == nullptr) {
+    return Status::Internal("factory for storage backend '" + spec.family +
+                            "' returned null");
+  }
+  return backend;
+}
+
+Result<std::unique_ptr<StorageBackend>> StorageRegistry::MakeBackend(
+    std::string_view spec_text) const {
+  PLASTREAM_ASSIGN_OR_RETURN(const FilterSpec spec,
+                             FilterSpec::Parse(spec_text));
+  return MakeBackend(spec);
+}
+
+std::vector<std::string> StorageRegistry::ListBackends() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+bool StorageRegistry::Contains(std::string_view name) const {
+  return factories_.find(name) != factories_.end();
+}
+
+void RegisterBuiltinStorageBackends(StorageRegistry& registry) {
+  RegisterMemoryStorageBackend(registry);
+  RegisterNullStorageBackend(registry);
+  RegisterFileStorageBackend(registry);
+}
+
+Result<std::unique_ptr<StorageBackend>> MakeStorageBackend(
+    std::string_view spec_text) {
+  return StorageRegistry::Global().MakeBackend(spec_text);
+}
+
+}  // namespace plastream

@@ -42,46 +42,6 @@ constexpr uint8_t kTimeVarint = 0x08;
 constexpr uint8_t kValuesVarint = 0x10;
 constexpr uint8_t kSlopesVarint = 0x20;
 
-// A cursor over a frame's payload with bounds-checked reads, built on the
-// shared wire_bytes.h primitives.
-class ByteReader {
- public:
-  explicit ByteReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
-
-  bool ReadU8(uint8_t* out) {
-    if (pos_ >= bytes_.size()) return false;
-    *out = bytes_[pos_++];
-    return true;
-  }
-
-  bool ReadF64(double* out) {
-    if (bytes_.size() - pos_ < 8) return false;
-    *out = GetF64(bytes_.data() + pos_);
-    pos_ += 8;
-    return true;
-  }
-
-  bool ReadVarint(uint64_t* out) {
-    return ::plastream::ReadVarint(bytes_, &pos_, out);
-  }
-
-  bool Done() const { return pos_ == bytes_.size(); }
-
- private:
-  std::span<const uint8_t> bytes_;
-  size_t pos_ = 0;
-};
-
-// True when `v` is an integer that survives the int64 round trip and is
-// small enough that its zigzag varint beats (or ties) a raw f64.
-bool IsCompactIntegral(double v, int64_t* out) {
-  constexpr double kLimit = 2147483648.0;  // 2^31 -> varint <= 5 bytes
-  if (!(v >= -kLimit && v <= kLimit)) return false;  // false for NaN too
-  if (std::floor(v) != v) return false;
-  *out = static_cast<int64_t>(v);
-  return static_cast<double>(*out) == v;
-}
-
 class DeltaCodec final : public WireCodec {
  public:
   explicit DeltaCodec(bool varint) : varint_(varint) {}

@@ -2,13 +2,15 @@
 
 #include "stream/pipeline.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace plastream {
 
 Pipeline::Builder::Builder()
     : registry_(&FilterRegistry::Global()),
-      codec_registry_(&CodecRegistry::Global()) {}
+      codec_registry_(&CodecRegistry::Global()),
+      storage_registry_(&StorageRegistry::Global()) {}
 
 Pipeline::Builder& Pipeline::Builder::DefaultSpec(FilterSpec spec) {
   default_spec_ = std::move(spec);
@@ -40,8 +42,51 @@ Pipeline::Builder& Pipeline::Builder::PerKeySpec(std::string_view key,
   return PerKeySpec(key, std::move(parsed).value());
 }
 
-Pipeline::Builder& Pipeline::Builder::WithStore(bool enable) {
-  with_store_ = enable;
+Pipeline::Builder& Pipeline::Builder::PrefixSpec(std::string_view prefix,
+                                                 FilterSpec spec) {
+  // Longest prefix first; a repeated prefix overrides in place.
+  const auto it = std::find_if(
+      prefixes_.begin(), prefixes_.end(),
+      [prefix](const auto& entry) { return entry.first == prefix; });
+  if (it != prefixes_.end()) {
+    it->second = std::move(spec);
+    return *this;
+  }
+  const auto pos = std::find_if(
+      prefixes_.begin(), prefixes_.end(), [prefix](const auto& entry) {
+        return entry.first.size() < prefix.size();
+      });
+  prefixes_.emplace(pos, std::string(prefix), std::move(spec));
+  return *this;
+}
+
+Pipeline::Builder& Pipeline::Builder::PrefixSpec(std::string_view prefix,
+                                                 std::string_view spec_text) {
+  auto parsed = FilterSpec::Parse(spec_text);
+  if (!parsed.ok()) {
+    if (deferred_.ok()) deferred_ = parsed.status();
+    return *this;
+  }
+  return PrefixSpec(prefix, std::move(parsed).value());
+}
+
+Pipeline::Builder& Pipeline::Builder::Storage(FilterSpec spec) {
+  storage_spec_ = std::move(spec);
+  return *this;
+}
+
+Pipeline::Builder& Pipeline::Builder::Storage(std::string_view spec_text) {
+  auto parsed = FilterSpec::Parse(spec_text);
+  if (!parsed.ok()) {
+    if (deferred_.ok()) deferred_ = parsed.status();
+    return *this;
+  }
+  return Storage(std::move(parsed).value());
+}
+
+Pipeline::Builder& Pipeline::Builder::WithStorageRegistry(
+    const StorageRegistry* registry) {
+  storage_registry_ = registry;
   return *this;
 }
 
@@ -94,9 +139,13 @@ Result<std::unique_ptr<Pipeline>> Pipeline::Builder::Build() {
   if (codec_registry_ == nullptr) {
     return Status::InvalidArgument("Pipeline codec registry is null");
   }
-  if (!default_spec_.has_value() && per_key_.empty()) {
+  if (storage_registry_ == nullptr) {
+    return Status::InvalidArgument("Pipeline storage registry is null");
+  }
+  if (!default_spec_.has_value() && per_key_.empty() && prefixes_.empty()) {
     return Status::InvalidArgument(
-        "Pipeline has no filter specs: call DefaultSpec or PerKeySpec");
+        "Pipeline has no filter specs: call DefaultSpec, PerKeySpec or "
+        "PrefixSpec");
   }
   if (shards_ == 0) {
     return Status::InvalidArgument("Pipeline needs Shards >= 1");
@@ -114,32 +163,50 @@ Result<std::unique_ptr<Pipeline>> Pipeline::Builder::Build() {
   for (const auto& [key, spec] : per_key_) {
     PLASTREAM_RETURN_NOT_OK(registry_->MakeFilter(spec, nullptr).status());
   }
+  for (const auto& [prefix, spec] : prefixes_) {
+    PLASTREAM_RETURN_NOT_OK(registry_->MakeFilter(spec, nullptr).status());
+  }
   // Same early-failure contract for the codec: an unknown codec or a bad
   // codec parameter is a Build()-time error, not a first-append surprise.
   FilterSpec codec_spec;
   codec_spec.family = "frame";
   if (codec_spec_.has_value()) codec_spec = *codec_spec_;
   PLASTREAM_RETURN_NOT_OK(codec_registry_->MakeCodec(codec_spec).status());
+  // The storage backend is built AND opened here: an unknown backend, a
+  // bad parameter, an unwritable path or an unrecoverable archive all
+  // fail the build. File backends run crash recovery inside Open().
+  FilterSpec storage_spec;
+  storage_spec.family = "memory";
+  if (storage_spec_.has_value()) storage_spec = *storage_spec_;
+  PLASTREAM_ASSIGN_OR_RETURN(auto storage,
+                             storage_registry_->MakeBackend(storage_spec));
+  PLASTREAM_RETURN_NOT_OK(storage->Open());
   ShardedFilterBank::Options bank_options;
   bank_options.shards = shards_;
   bank_options.threaded = threaded_;
   bank_options.queue_capacity = queue_capacity_;
   return std::unique_ptr<Pipeline>(new Pipeline(
-      std::move(default_spec_), std::move(per_key_), with_store_, registry_,
-      std::move(codec_spec), codec_registry_, std::move(bank_options)));
+      std::move(default_spec_), std::move(per_key_), std::move(prefixes_),
+      registry_, std::move(codec_spec), codec_registry_,
+      std::move(storage_spec), std::move(storage), std::move(bank_options)));
 }
 
 Pipeline::Pipeline(std::optional<FilterSpec> default_spec,
                    std::map<std::string, FilterSpec, std::less<>> per_key,
-                   bool with_store, const FilterRegistry* registry,
-                   FilterSpec codec_spec, const CodecRegistry* codec_registry,
+                   std::vector<std::pair<std::string, FilterSpec>> prefixes,
+                   const FilterRegistry* registry, FilterSpec codec_spec,
+                   const CodecRegistry* codec_registry,
+                   FilterSpec storage_spec,
+                   std::unique_ptr<StorageBackend> storage,
                    ShardedFilterBank::Options bank_options)
     : default_spec_(std::move(default_spec)),
       per_key_(std::move(per_key)),
-      with_store_(with_store),
+      prefixes_(std::move(prefixes)),
       registry_(registry),
       codec_spec_(std::move(codec_spec)),
-      codec_registry_(codec_registry) {
+      codec_registry_(codec_registry),
+      storage_spec_(std::move(storage_spec)),
+      storage_(std::move(storage)) {
   stream_shards_.reserve(bank_options.shards);
   for (size_t i = 0; i < bank_options.shards; ++i) {
     stream_shards_.push_back(std::make_unique<StreamShard>());
@@ -160,10 +227,12 @@ Pipeline::Pipeline(std::optional<FilterSpec> default_spec,
                                codec_registry_->MakeCodec(codec_spec_));
     stream->transmitter.emplace(&stream->channel, stream->codec.get());
     stream->receiver.emplace(stream->codec.get());
-    if (with_store_) {
-      stream->store =
-          std::make_unique<SegmentStore>(spec.options.epsilon.size());
-    }
+    // The backend hands back this stream's archive handle (or nullptr
+    // for "none"); a file backend that recovered the key returns the
+    // handle with every pre-crash segment already queryable.
+    PLASTREAM_ASSIGN_OR_RETURN(
+        stream->storage,
+        storage_->OpenStream(key, spec.options.epsilon.size()));
     return registry_->MakeFilter(spec, &*stream->transmitter);
   };
   bank_options.post_append = [this](std::string_view key) {
@@ -177,6 +246,11 @@ Pipeline::Pipeline(std::optional<FilterSpec> default_spec,
 Result<FilterSpec> Pipeline::SpecFor(std::string_view key) const {
   const auto it = per_key_.find(key);
   if (it != per_key_.end()) return it->second;
+  // prefixes_ is ordered longest-first, so the first hit is the most
+  // specific wildcard.
+  for (const auto& [prefix, spec] : prefixes_) {
+    if (key.starts_with(prefix)) return spec;
+  }
   if (default_spec_.has_value()) return *default_spec_;
   return Status::NotFound("no filter spec for stream '" + std::string(key) +
                           "' and no default spec");
@@ -220,16 +294,19 @@ Status Pipeline::Flush() {
       PLASTREAM_RETURN_NOT_OK(Drain(stream));
     }
   }
-  return Status::OK();
+  // Durability point: everything archived so far reaches the backend's
+  // medium before Flush returns.
+  return storage_->Flush();
 }
 
 Status Pipeline::Drain(Stream& stream) {
   PLASTREAM_RETURN_NOT_OK(stream.transmitter->status());
   PLASTREAM_RETURN_NOT_OK(stream.receiver->Poll(&stream.channel));
-  if (stream.store == nullptr) return Status::OK();
+  if (stream.storage == nullptr) return Status::OK();
   const std::vector<Segment>& segments = stream.receiver->segments();
   for (; stream.archived < segments.size(); ++stream.archived) {
-    PLASTREAM_RETURN_NOT_OK(stream.store->Append(segments[stream.archived]));
+    PLASTREAM_RETURN_NOT_OK(
+        stream.storage->Append(segments[stream.archived]));
   }
   return Status::OK();
 }
@@ -250,10 +327,22 @@ Status Pipeline::Finish() {
     }
   }
   finished_ = true;
-  return Status::OK();
+  // Finalize the archive medium; the in-memory stores stay queryable.
+  return storage_->Close();
 }
 
-std::vector<std::string> Pipeline::Keys() const { return bank_->Keys(); }
+std::vector<std::string> Pipeline::Keys() const {
+  // Streams recovered from a pre-existing archive exist in the backend
+  // before (and whether or not) anything re-appends to them; the key
+  // list is the union of both sides.
+  std::vector<std::string> keys = bank_->Keys();
+  for (std::string& key : storage_->StreamKeys()) {
+    keys.push_back(std::move(key));
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
 
 const Pipeline::Stream* Pipeline::Find(std::string_view key) const {
   const StreamShard& shard = *stream_shards_[bank_->ShardOf(key)];
@@ -281,7 +370,12 @@ Result<PiecewiseLinearFunction> Pipeline::Reconstruction(
 
 const SegmentStore* Pipeline::Store(std::string_view key) const {
   const Stream* stream = Find(key);
-  return stream == nullptr ? nullptr : stream->store.get();
+  if (stream != nullptr) {
+    return stream->storage == nullptr ? nullptr : stream->storage->store();
+  }
+  // Not live this run — maybe recovered from a pre-existing archive.
+  const StreamStorage* recovered = storage_->FindStream(key);
+  return recovered == nullptr ? nullptr : recovered->store();
 }
 
 const Filter* Pipeline::GetFilter(std::string_view key) const {
@@ -291,6 +385,15 @@ const Filter* Pipeline::GetFilter(std::string_view key) const {
 Result<Pipeline::StreamStats> Pipeline::StatsFor(std::string_view key) const {
   const Stream* stream = Find(key);
   if (stream == nullptr) {
+    // A recovered-but-untouched stream has archive stats and nothing
+    // else (no filter, no transport this run).
+    if (const StreamStorage* recovered = storage_->FindStream(key);
+        recovered != nullptr) {
+      StreamStats stats;
+      stats.segments_archived = recovered->store()->segment_count();
+      stats.storage_bytes = static_cast<size_t>(recovered->bytes_written());
+      return stats;
+    }
     return Status::NotFound("unknown stream '" + std::string(key) + "'");
   }
   StreamStats stats;
@@ -300,29 +403,52 @@ Result<Pipeline::StreamStats> Pipeline::StatsFor(std::string_view key) const {
   stats.records_sent = stream->transmitter->records_sent();
   stats.frames_sent = stream->channel.frames_sent();
   stats.bytes_sent = stream->channel.bytes_sent();
+  if (stream->storage != nullptr) {
+    stats.segments_archived = stream->storage->store()->segment_count();
+    stats.storage_bytes =
+        static_cast<size_t>(stream->storage->bytes_written());
+  }
   return stats;
 }
 
 Pipeline::PipelineStats Pipeline::Stats() const {
   PipelineStats stats;
   const FilterBank::BankStats bank = bank_->Stats();
-  stats.streams = bank.streams;
   stats.points = bank.points;
   // One lock at a time (a stream-shard mutex is never nested with a bank
   // shard mutex): snapshot the keys, then look each side up independently.
-  for (const std::string& key : bank_->Keys()) {
+  for (const std::string& key : Keys()) {
+    KeyStats key_stats;
+    key_stats.key = key;
     const Stream* stream = Find(key);
-    if (stream == nullptr) continue;
-    stats.segments += stream->receiver->segments().size();
-    stats.records_sent += stream->transmitter->records_sent();
-    stats.frames_sent += stream->channel.frames_sent();
-    stats.bytes_sent += stream->channel.bytes_sent();
-    const Filter* filter = bank_->GetFilter(key);
-    if (filter != nullptr) {
-      stats.bytes_raw +=
-          filter->points_seen() * (filter->dimensions() + 1) * sizeof(double);
+    if (stream != nullptr) {
+      stats.segments += stream->receiver->segments().size();
+      stats.records_sent += stream->transmitter->records_sent();
+      stats.frames_sent += stream->channel.frames_sent();
+      stats.bytes_sent += stream->channel.bytes_sent();
+      const Filter* filter = bank_->GetFilter(key);
+      if (filter != nullptr) {
+        stats.bytes_raw += filter->points_seen() *
+                           (filter->dimensions() + 1) * sizeof(double);
+      }
+      if (stream->storage != nullptr) {
+        key_stats.segments = stream->storage->store()->segment_count();
+        key_stats.storage_bytes =
+            static_cast<size_t>(stream->storage->bytes_written());
+      }
+    } else if (const StreamStorage* recovered = storage_->FindStream(key);
+               recovered != nullptr) {
+      // Recovered from a pre-existing archive, untouched this run.
+      key_stats.segments = recovered->store()->segment_count();
+      key_stats.storage_bytes =
+          static_cast<size_t>(recovered->bytes_written());
     }
+    stats.per_key.push_back(std::move(key_stats));
   }
+  stats.streams = stats.per_key.size();
+  // Backend-level total (includes framing a stream cannot be billed for,
+  // e.g. the archive header).
+  stats.storage_bytes = static_cast<size_t>(storage_->bytes_written());
   return stats;
 }
 

@@ -10,6 +10,7 @@
 //                       .DefaultSpec("slide(eps=0.05)")
 //                       .PerKeySpec("db-1.iops", "swing(eps=2,max_lag=64)")
 //                       .Codec("batch(n=32)")          // wire format by spec
+//                       .Storage("file(path=segments.plar)")  // durable log
 //                       .Build().value();
 //   pipeline->Append("web-1.cpu", t, value);   // ... stream points in ...
 //   pipeline->Finish();
@@ -34,6 +35,7 @@
 #include "core/filter_spec.h"
 #include "core/reconstruction.h"
 #include "core/segment_store.h"
+#include "storage/storage_backend.h"
 #include "stream/channel.h"
 #include "stream/receiver.h"
 #include "stream/sharded_filter_bank.h"
@@ -72,8 +74,42 @@ class Pipeline {
     /// Parses `spec_text`; a parse failure surfaces at Build().
     Builder& PerKeySpec(std::string_view key, std::string_view spec_text);
 
-    /// Enables (default) or disables the per-stream SegmentStore archive.
-    Builder& WithStore(bool enable = true);
+    /// Spec for every key starting with `prefix` — the `web-*`
+    /// wildcard of config files. An exact PerKeySpec beats any prefix;
+    /// among prefixes the longest match wins; DefaultSpec is the
+    /// fallback.
+    Builder& PrefixSpec(std::string_view prefix, FilterSpec spec);
+    /// Parses `spec_text`; a parse failure surfaces at Build().
+    Builder& PrefixSpec(std::string_view prefix, std::string_view spec_text);
+
+    /// Storage backend for the per-stream segment archives, as a
+    /// storage spec (e.g. "memory" — the default, "none",
+    /// "file(path=segments.plar,codec=delta,sync=flush)"). The backend
+    /// is created and Open()ed at Build(), so an unwritable archive
+    /// path or a torn file that cannot be recovered fails the build,
+    /// not the first append.
+    Builder& Storage(FilterSpec spec);
+    /// Parses `spec_text`; a parse failure surfaces at Build().
+    Builder& Storage(std::string_view spec_text);
+
+    /// Uses `registry` for storage specs instead of
+    /// StorageRegistry::Global(); `registry` is borrowed and must
+    /// outlive the builder's Build() call.
+    Builder& WithStorageRegistry(const StorageRegistry* registry);
+
+    /// Loads builder configuration from the INI-style file at `path`
+    /// (see FromConfigString for the format). Read or parse failures
+    /// surface at Build().
+    Builder& FromConfigFile(const std::string& path);
+
+    /// Loads builder configuration from INI-style `text`: top-level
+    /// `key-pattern = filter-spec` lines (an exact key, a `prefix*`
+    /// wildcard, or `*` alone for the default spec) plus a `[pipeline]`
+    /// section with `codec`, `storage` and `shards` keys. `#`/`;` start
+    /// comments. `context` names the source in error messages
+    /// (e.g. the file path); parse errors surface at Build().
+    Builder& FromConfigString(std::string_view text,
+                              std::string_view context = "config");
 
     /// Wire codec used by every stream's transport, as a codec spec
     /// (e.g. "frame", "delta(varint=true)", "batch(n=32,crc=crc32c)";
@@ -106,8 +142,10 @@ class Pipeline {
     Builder& WithRegistry(const FilterRegistry* registry);
 
     /// Builds the pipeline. Errors when no spec was configured, a spec
-    /// string failed to parse, a spec names an unregistered filter family
-    /// or codec, or the sharding configuration is invalid (Shards(0),
+    /// string or config file failed to parse, a spec names an
+    /// unregistered filter family, codec or storage backend, the storage
+    /// backend fails to open (unwritable or unrecoverable archive file),
+    /// or the sharding configuration is invalid (Shards(0),
     /// QueueCapacity(0)).
     Result<std::unique_ptr<Pipeline>> Build();
 
@@ -115,13 +153,15 @@ class Pipeline {
     Status deferred_ = Status::OK();  // first spec-string parse failure
     std::optional<FilterSpec> default_spec_;
     std::map<std::string, FilterSpec, std::less<>> per_key_;
-    bool with_store_ = true;
+    std::vector<std::pair<std::string, FilterSpec>> prefixes_;
     std::optional<FilterSpec> codec_spec_;
+    std::optional<FilterSpec> storage_spec_;
     size_t shards_ = 1;
     bool threaded_ = false;
     size_t queue_capacity_ = 1024;
     const FilterRegistry* registry_;
     const CodecRegistry* codec_registry_;
+    const StorageRegistry* storage_registry_;
   };
 
   /// Pipelines own per-stream transports and are not copyable.
@@ -151,7 +191,8 @@ class Pipeline {
   /// is an error.
   Status Finish();
 
-  /// Stream keys seen so far, sorted.
+  /// Stream keys seen so far, sorted — including streams recovered from
+  /// a pre-existing archive file that nothing has re-appended to yet.
   std::vector<std::string> Keys() const;
 
   /// The segments reconstructed by `key`'s receiver so far.
@@ -161,7 +202,11 @@ class Pipeline {
   Result<PiecewiseLinearFunction> Reconstruction(std::string_view key) const;
 
   /// The stream's archive, or nullptr for an unknown key or a pipeline
-  /// built with WithStore(false).
+  /// built with Storage("none"). With a file backend the store also
+  /// contains every segment recovered from a pre-existing archive, and
+  /// recovered streams are queryable here before (and without) any new
+  /// Append to them. The transport accessors (Segments, Reconstruction,
+  /// GetFilter) only know streams that are live this run.
   const SegmentStore* Store(std::string_view key) const;
 
   /// The stream's filter (for counters/statistics), or nullptr.
@@ -171,27 +216,41 @@ class Pipeline {
   /// NotFound when the pipeline has no spec for it.
   Result<FilterSpec> SpecFor(std::string_view key) const;
 
-  /// Transport statistics of one stream.
+  /// Transport and archive statistics of one stream.
   struct StreamStats {
     size_t points = 0;         ///< samples accepted by the filter
     size_t segments = 0;       ///< segments received
     size_t records_sent = 0;   ///< wire records on this stream's channel
     size_t frames_sent = 0;    ///< channel frames (== records for "frame")
     size_t bytes_sent = 0;     ///< encoded bytes on this stream's channel
+    size_t segments_archived = 0;  ///< segments in the storage backend
+    size_t storage_bytes = 0;  ///< bytes this stream appended to storage
   };
 
-  /// Per-stream transport statistics; NotFound for an unknown key.
+  /// Per-stream statistics; NotFound for an unknown key. A stream
+  /// recovered from a pre-existing archive but untouched this run
+  /// reports only its archive fields (no points, no transport).
   Result<StreamStats> StatsFor(std::string_view key) const;
+
+  /// Per-key archive statistics inside PipelineStats, so monitors need
+  /// not recompute them from the stores.
+  struct KeyStats {
+    std::string key;           ///< the stream's key
+    size_t segments = 0;       ///< segments archived for this key
+    size_t storage_bytes = 0;  ///< bytes this key appended to storage
+  };
 
   /// Aggregate transport and archive statistics across every stream.
   struct PipelineStats {
-    size_t streams = 0;            ///< distinct keys seen
+    size_t streams = 0;            ///< distinct keys (live + recovered)
     size_t points = 0;             ///< samples accepted across streams
     size_t segments = 0;           ///< segments received across streams
     size_t records_sent = 0;       ///< wire records (the paper's recordings)
     size_t frames_sent = 0;        ///< channel frames across streams
     size_t bytes_sent = 0;         ///< encoded bytes on all channels
     size_t bytes_raw = 0;          ///< (t, X) doubles of the raw input
+    size_t storage_bytes = 0;      ///< bytes on the storage backend's medium
+    std::vector<KeyStats> per_key;  ///< per-key archive stats, sorted by key
   };
   PipelineStats Stats() const;
 
@@ -205,27 +264,37 @@ class Pipeline {
   /// The codec spec every stream's transport uses (default "frame").
   const FilterSpec& CodecSpec() const { return codec_spec_; }
 
+  /// The storage spec the archives live behind (default "memory").
+  const FilterSpec& StorageSpec() const { return storage_spec_; }
+
+  /// The storage backend, for byte accounting and backend-specific
+  /// inspection. Owned by the pipeline; never null.
+  const StorageBackend& GetStorageBackend() const { return *storage_; }
+
   /// True once Finish() has run.
   bool finished() const { return finished_; }
 
  private:
-  // Per-stream transport + archive. Channel/Codec/Receiver/Store live
-  // here; the filter itself is owned by the bank. Only the stream's shard
-  // touches this state during ingest, so no per-stream lock is needed and
-  // the per-stream codec instance makes encode lock-free in threaded mode.
+  // Per-stream transport + archive handle. Channel/Codec/Receiver live
+  // here; the filter is owned by the bank, the storage handle by the
+  // backend. Only the stream's shard touches this state during ingest,
+  // so no per-stream lock is needed and the per-stream codec instance
+  // makes encode lock-free in threaded mode.
   struct Stream {
     Channel channel;
     std::unique_ptr<WireCodec> codec;
     std::optional<Transmitter> transmitter;
     std::optional<Receiver> receiver;
-    std::unique_ptr<SegmentStore> store;
-    size_t archived = 0;  // receiver segments already in the store
+    StreamStorage* storage = nullptr;  // borrowed; null for "none"
+    size_t archived = 0;  // receiver segments already handed to storage
   };
 
   Pipeline(std::optional<FilterSpec> default_spec,
            std::map<std::string, FilterSpec, std::less<>> per_key,
-           bool with_store, const FilterRegistry* registry,
-           FilterSpec codec_spec, const CodecRegistry* codec_registry,
+           std::vector<std::pair<std::string, FilterSpec>> prefixes,
+           const FilterRegistry* registry, FilterSpec codec_spec,
+           const CodecRegistry* codec_registry, FilterSpec storage_spec,
+           std::unique_ptr<StorageBackend> storage,
            ShardedFilterBank::Options bank_options);
 
   // Decodes whatever the transmitter queued and archives new segments.
@@ -239,10 +308,13 @@ class Pipeline {
 
   std::optional<FilterSpec> default_spec_;
   std::map<std::string, FilterSpec, std::less<>> per_key_;
-  bool with_store_;
+  // Prefix-wildcard specs, longest prefix first so the first match wins.
+  std::vector<std::pair<std::string, FilterSpec>> prefixes_;
   const FilterRegistry* registry_;
   FilterSpec codec_spec_;
   const CodecRegistry* codec_registry_;
+  FilterSpec storage_spec_;
+  std::unique_ptr<StorageBackend> storage_;
   // Stream state is partitioned exactly like the bank's keys, one map per
   // shard, so the per-point drain lookup and stream creation synchronize
   // only within a shard — appends on different shards share no lock. The

@@ -1,0 +1,160 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Config-file loading for Pipeline::Builder: an INI-style format that
+// makes a deployment fully config-driven — filter precision per key
+// pattern, wire codec, storage backend and shard count all come from one
+// file, no recompile:
+//
+//   # collector.conf
+//   web-*     = slide(eps=0.5)          ; prefix wildcard
+//   db-1.iops = swing(eps=2,max_lag=64) ; exact key
+//   *         = slide(eps=0.1)          ; default spec
+//
+//   [pipeline]
+//   codec   = delta(varint=true)
+//   storage = file(path=segments.plar,sync=flush)
+//   shards  = 4
+//
+// Top-level lines are `key-pattern = filter-spec`; a pattern is an exact
+// key, `prefix*` (longest prefix wins), or `*` alone (the default).
+// Sections follow INI rules (a header applies until the next header), so
+// stream lines below a `[pipeline]` section need a `[streams]` header.
+// `#` and `;` start comments. Parse errors carry file:line context and
+// surface at Build(), like every other deferred builder error.
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/str_util.h"
+#include "stream/pipeline.h"
+
+namespace plastream {
+namespace {
+
+// Strips comments ('#' or ';' to end of line) and surrounding blanks.
+std::string_view StripLine(std::string_view line) {
+  const size_t comment = line.find_first_of("#;");
+  if (comment != std::string_view::npos) line = line.substr(0, comment);
+  return TrimWhitespace(line);
+}
+
+}  // namespace
+
+Pipeline::Builder& Pipeline::Builder::FromConfigFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    if (deferred_.ok()) {
+      deferred_ =
+          Status::IOError("cannot read pipeline config file '" + path + "'");
+    }
+    return *this;
+  }
+  std::ostringstream content;
+  content << file.rdbuf();
+  return FromConfigString(content.str(), path);
+}
+
+Pipeline::Builder& Pipeline::Builder::FromConfigString(
+    std::string_view text, std::string_view context) {
+  const auto fail = [this, context](size_t line_no, const std::string& what) {
+    if (deferred_.ok()) {
+      deferred_ = Status::InvalidArgument(std::string(context) + ":" +
+                                          std::to_string(line_no) + ": " +
+                                          what);
+    }
+  };
+
+  bool in_pipeline_section = false;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t eol = text.find('\n', pos);
+    const std::string_view raw =
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    const std::string_view line = StripLine(raw);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line == "[pipeline]") {
+        in_pipeline_section = true;
+      } else if (line == "[streams]") {
+        in_pipeline_section = false;
+      } else {
+        fail(line_no, "unknown section " + std::string(line) +
+                          " (expected [pipeline] or [streams])");
+      }
+      continue;
+    }
+
+    const size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      fail(line_no, "expected 'key = value', got '" + std::string(line) + "'");
+      continue;
+    }
+    const std::string_view key = TrimWhitespace(line.substr(0, eq));
+    const std::string_view value = TrimWhitespace(line.substr(eq + 1));
+    if (key.empty()) {
+      fail(line_no, "empty key before '='");
+      continue;
+    }
+    if (value.empty()) {
+      fail(line_no, "empty value for '" + std::string(key) + "'");
+      continue;
+    }
+
+    if (in_pipeline_section) {
+      if (key == "codec" || key == "storage") {
+        auto spec = FilterSpec::Parse(value);
+        if (!spec.ok()) {
+          fail(line_no, std::string(key) + " spec: " + spec.status().message());
+        } else if (key == "codec") {
+          Codec(std::move(spec).value());
+        } else {
+          Storage(std::move(spec).value());
+        }
+      } else if (key == "shards") {
+        size_t shards = 0;
+        const auto [end, ec] = std::from_chars(
+            value.data(), value.data() + value.size(), shards);
+        if (ec != std::errc() || end != value.data() + value.size() ||
+            shards == 0) {
+          fail(line_no, "shards must be a positive integer, got '" +
+                            std::string(value) + "'");
+        } else {
+          Shards(shards);
+        }
+      } else {
+        fail(line_no, "unknown [pipeline] key '" + std::string(key) +
+                          "' (supported: codec, storage, shards)");
+      }
+      continue;
+    }
+
+    // A stream line: key-pattern = filter-spec.
+    auto spec = FilterSpec::Parse(value);
+    if (!spec.ok()) {
+      fail(line_no, "filter spec for '" + std::string(key) +
+                        "': " + spec.status().message());
+      continue;
+    }
+    const size_t star = key.find('*');
+    if (star == std::string_view::npos) {
+      PerKeySpec(key, std::move(spec).value());
+    } else if (star != key.size() - 1) {
+      fail(line_no, "only prefix wildcards are supported ('" +
+                        std::string(key) + "' has '*' before the end)");
+    } else if (key.size() == 1) {
+      DefaultSpec(std::move(spec).value());
+    } else {
+      PrefixSpec(key.substr(0, key.size() - 1), std::move(spec).value());
+    }
+  }
+  return *this;
+}
+
+}  // namespace plastream

@@ -10,6 +10,7 @@
 #define PLASTREAM_STREAM_WIRE_BYTES_H_
 
 #include <bit>
+#include <cmath>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -95,6 +96,54 @@ inline uint64_t ZigZag(int64_t v) {
 inline int64_t UnZigZag(uint64_t v) {
   return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
 }
+
+/// True when `v` is an integer that survives the int64 round trip and is
+/// small enough that its zigzag varint beats (or ties) a raw f64 — the
+/// exactness gate both the delta wire codec and the archive segment coder
+/// apply before choosing a compact form.
+inline bool IsCompactIntegral(double v, int64_t* out) {
+  constexpr double kLimit = 2147483648.0;  // 2^31 -> varint <= 5 bytes
+  if (!(v >= -kLimit && v <= kLimit)) return false;  // false for NaN too
+  if (std::floor(v) != v) return false;
+  *out = static_cast<int64_t>(v);
+  return static_cast<double>(*out) == v;
+}
+
+/// A cursor over a frame or record payload with bounds-checked reads,
+/// built on the primitives above. Shared by the delta wire codec and the
+/// archive segment coder.
+class ByteReader {
+ public:
+  /// A reader positioned at the front of `bytes` (borrowed).
+  explicit ByteReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  /// Reads one byte; false when exhausted.
+  bool ReadU8(uint8_t* out) {
+    if (pos_ >= bytes_.size()) return false;
+    *out = bytes_[pos_++];
+    return true;
+  }
+
+  /// Reads a little-endian f64; false on truncation.
+  bool ReadF64(double* out) {
+    if (bytes_.size() - pos_ < 8) return false;
+    *out = GetF64(bytes_.data() + pos_);
+    pos_ += 8;
+    return true;
+  }
+
+  /// Reads an LEB128 varint; false on truncation or overlength.
+  bool ReadVarint(uint64_t* out) {
+    return ::plastream::ReadVarint(bytes_, &pos_, out);
+  }
+
+  /// True when every byte has been consumed.
+  bool Done() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+};
 
 /// Appends the CRC32C of everything currently in `*frame` as the 4-byte
 /// little-endian integrity trailer.

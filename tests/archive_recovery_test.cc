@@ -1,0 +1,300 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Crash-recovery semantics of the file storage backend and
+// SegmentArchiveReader: a torn write (truncated or bit-flipped tail
+// record) loses at most the last record; everything before it stays
+// queryable; reopening for append physically truncates the tail and
+// continues the chain — including a delta chain whose compact forms
+// depend on the recovered state.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/random_walk.h"
+#include "plastream.h"
+
+namespace plastream {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "plastream_recovery_" + name + ".plar";
+}
+
+Signal Walk(uint64_t seed) {
+  RandomWalkOptions o;
+  o.count = 800;
+  o.max_delta = 1.0;
+  o.x0 = 30.0;
+  o.seed = seed;
+  return *GenerateRandomWalk(o);
+}
+
+// Writes a two-stream archive and returns its path.
+std::string WriteArchive(const std::string& name, const char* codec) {
+  const std::string path = TempPath(name);
+  std::remove(path.c_str());
+  auto pipeline = Pipeline::Builder()
+                      .DefaultSpec("slide(eps=0.4)")
+                      .Storage("file(path=" + path + ",codec=" + codec + ")")
+                      .Build()
+                      .value();
+  const Signal a = Walk(21);
+  const Signal b = Walk(22);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(pipeline->Append("a", a.points[i]).ok());
+    EXPECT_TRUE(pipeline->Append("b", b.points[i]).ok());
+  }
+  EXPECT_TRUE(pipeline->Finish().ok());
+  return path;
+}
+
+uint64_t FileSize(const std::string& path) {
+  return static_cast<uint64_t>(std::filesystem::file_size(path));
+}
+
+void FlipByte(const std::string& path, uint64_t offset, uint8_t mask) {
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(file, nullptr);
+  ASSERT_EQ(std::fseek(file, static_cast<long>(offset), SEEK_SET), 0);
+  const int byte = std::fgetc(file);
+  ASSERT_NE(byte, EOF);
+  ASSERT_EQ(std::fseek(file, static_cast<long>(offset), SEEK_SET), 0);
+  ASSERT_NE(std::fputc(byte ^ mask, file), EOF);
+  std::fclose(file);
+}
+
+class RecoveryTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RecoveryTest, TruncatedTailLosesAtMostTheLastRecord) {
+  const std::string path = WriteArchive(
+      std::string("trunc_") + GetParam(), GetParam());
+  auto clean = SegmentArchiveReader::Open(path);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_FALSE((*clean)->torn_tail());
+  const size_t clean_segments = (*clean)->segment_count();
+  const size_t clean_records = (*clean)->record_count();
+
+  // Chop into the middle of the last record: a torn write.
+  std::filesystem::resize_file(path, FileSize(path) - 3);
+  auto torn = SegmentArchiveReader::Open(path);
+  ASSERT_TRUE(torn.ok());
+  EXPECT_TRUE((*torn)->torn_tail());
+  EXPECT_EQ((*torn)->record_count(), clean_records - 1);
+  EXPECT_GE((*torn)->segment_count(), clean_segments - 1);
+  EXPECT_GT((*torn)->truncated_bytes(), 0u);
+  // Everything before the tear is still queryable.
+  const SegmentStore* store = (*torn)->Store("a");
+  ASSERT_NE(store, nullptr);
+  EXPECT_TRUE((*torn)->ValueAt("a", store->t_min(), 0).ok());
+  std::remove(path.c_str());
+}
+
+TEST_P(RecoveryTest, BitFlippedTailRecordIsDropped) {
+  const std::string path = WriteArchive(
+      std::string("flip_") + GetParam(), GetParam());
+  auto clean = SegmentArchiveReader::Open(path);
+  ASSERT_TRUE(clean.ok());
+  const size_t clean_records = (*clean)->record_count();
+  const uint64_t valid = (*clean)->valid_bytes();
+  ASSERT_EQ(valid, FileSize(path));
+
+  // Flip one payload bit inside the last record; its CRC32C must catch it.
+  FlipByte(path, FileSize(path) - 6, 0x40);
+  auto torn = SegmentArchiveReader::Open(path);
+  ASSERT_TRUE(torn.ok());
+  EXPECT_TRUE((*torn)->torn_tail());
+  EXPECT_EQ((*torn)->record_count(), clean_records - 1);
+  EXPECT_EQ((*torn)->torn_reason(), "record checksum mismatch");
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, RecoveryTest,
+                         ::testing::Values("frame", "delta"));
+
+TEST(RecoveryTest, BitFlippedLengthFieldTearsTheTail) {
+  const std::string path = WriteArchive("length_flip", "delta");
+  auto clean = SegmentArchiveReader::Open(path);
+  ASSERT_TRUE(clean.ok());
+  const size_t clean_records = (*clean)->record_count();
+  // The last record starts at valid_bytes - (its size); locate its length
+  // prefix by scanning: easier — flip a high bit of the length prefix of
+  // the final record, which lives 8 bytes before its payload's end. We
+  // find the record start by re-reading the clean reader's accounting.
+  const uint64_t file_size = FileSize(path);
+  // Flip the high length byte of the last record's 4-byte prefix. The
+  // last record spans [start, file_size); its payload length L satisfies
+  // start + 4 + L + 4 == file_size. Corrupting the length makes the
+  // record exceed the file, which must tear, not crash.
+  // Find `start` by replaying the record sizes is overkill: flipping the
+  // most significant byte of ANY length prefix makes that record
+  // overrun. Use the first record after the header.
+  (void)file_size;
+  FlipByte(path, 12 + 3, 0x7F);  // header is 12 bytes; length is LE
+  auto torn = SegmentArchiveReader::Open(path);
+  ASSERT_TRUE(torn.ok());
+  EXPECT_TRUE((*torn)->torn_tail());
+  EXPECT_EQ((*torn)->torn_reason(), "record length exceeds the file");
+  EXPECT_LT((*torn)->record_count(), clean_records);
+  std::remove(path.c_str());
+}
+
+TEST(RecoveryTest, MidFileCorruptionKeepsThePrefix) {
+  const std::string path = WriteArchive("midfile", "delta");
+  auto clean = SegmentArchiveReader::Open(path);
+  ASSERT_TRUE(clean.ok());
+  const size_t clean_records = (*clean)->record_count();
+  ASSERT_GT(clean_records, 10u);
+
+  FlipByte(path, FileSize(path) / 2, 0x10);
+  auto torn = SegmentArchiveReader::Open(path);
+  ASSERT_TRUE(torn.ok());
+  EXPECT_TRUE((*torn)->torn_tail());
+  EXPECT_LT((*torn)->record_count(), clean_records);
+  EXPECT_GT((*torn)->valid_bytes(), 12u);
+  std::remove(path.c_str());
+}
+
+TEST(RecoveryTest, HeaderDamageIsCorruptionNotATear) {
+  const std::string path = WriteArchive("header", "delta");
+  FlipByte(path, 2, 0xFF);  // inside the magic
+  EXPECT_EQ(SegmentArchiveReader::Open(path).status().code(),
+            StatusCode::kCorruption);
+  // The file backend refuses to clobber a file it cannot recognize.
+  EXPECT_EQ(Pipeline::Builder()
+                .DefaultSpec("cache(eps=1)")
+                .Storage("file(path=" + path + ")")
+                .Build()
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(RecoveryTest, EmptyAndHeaderOnlyFiles) {
+  const std::string path = TempPath("empty");
+  std::remove(path.c_str());
+  // A zero-byte file is not an archive...
+  { std::fclose(std::fopen(path.c_str(), "wb")); }
+  EXPECT_EQ(SegmentArchiveReader::Open(path).status().code(),
+            StatusCode::kCorruption);
+  // ...but the file backend treats it like a fresh archive.
+  {
+    auto pipeline = Pipeline::Builder()
+                        .DefaultSpec("cache(eps=1)")
+                        .Storage("file(path=" + path + ")")
+                        .Build()
+                        .value();
+    ASSERT_TRUE(pipeline->Finish().ok());
+  }
+  // Now it is a header-only archive: zero streams, no tear.
+  auto reader = SegmentArchiveReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->stream_count(), 0u);
+  EXPECT_EQ((*reader)->segment_count(), 0u);
+  EXPECT_FALSE((*reader)->torn_tail());
+  std::remove(path.c_str());
+}
+
+TEST(RecoveryTest, AbsurdStreamDimensionalityTearsInsteadOfCrashing) {
+  // A CRC-valid stream-open record declaring a multi-terabyte
+  // dimensionality must tear the tail, not feed a resize().
+  const std::string path = TempPath("huge_dims");
+  std::remove(path.c_str());
+  {
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    const auto header = EncodeArchiveHeader(ArchiveSegmentCodec::kDelta);
+    std::fwrite(header.data(), 1, header.size(), file);
+    const auto payload =
+        EncodeStreamOpenPayload(0, "k", uint64_t{1} << 61);
+    const auto record = FrameArchiveRecord(payload);
+    std::fwrite(record.data(), 1, record.size(), file);
+    std::fclose(file);
+  }
+  auto reader = SegmentArchiveReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE((*reader)->torn_tail());
+  EXPECT_EQ((*reader)->stream_count(), 0u);
+  EXPECT_EQ((*reader)->torn_reason(), "stream-open record malformed");
+  std::remove(path.c_str());
+}
+
+TEST(RecoveryTest, MissingFileIsIOError) {
+  EXPECT_EQ(SegmentArchiveReader::Open(TempPath("does_not_exist"))
+                .status()
+                .code(),
+            StatusCode::kIOError);
+}
+
+// The full crash loop: tear the tail, reopen for append (which truncates
+// the file), stream more data, and verify the final archive is one valid
+// chain — the delta codec's compact forms must survive the recovered
+// chain state.
+TEST(RecoveryTest, ReopenAfterTornWriteTruncatesAndContinues) {
+  for (const char* codec : {"frame", "delta"}) {
+    const std::string path = WriteArchive(
+        std::string("continue_") + codec, codec);
+    auto clean = SegmentArchiveReader::Open(path);
+    ASSERT_TRUE(clean.ok());
+    const uint64_t clean_size = FileSize(path);
+
+    // Tear the tail mid-record.
+    std::filesystem::resize_file(path, clean_size - 5);
+    const uint64_t last_t = [&] {
+      auto torn = SegmentArchiveReader::Open(path);
+      EXPECT_TRUE(torn.ok());
+      double t = 0.0;
+      for (const std::string& key : (*torn)->Keys()) {
+        t = std::max(t, (*torn)->Store(key)->t_max());
+      }
+      return static_cast<uint64_t>(t) + 1;
+    }();
+
+    const std::string spec =
+        "file(path=" + path + ",codec=" + std::string(codec) + ")";
+    size_t recovered_segments = 0;
+    {
+      auto pipeline = Pipeline::Builder()
+                          .DefaultSpec("slide(eps=0.4)")
+                          .Storage(spec)
+                          .Build()
+                          .value();
+      // Build() already truncated the torn tail off the file.
+      EXPECT_LT(FileSize(path), clean_size - 5);
+      auto reader = SegmentArchiveReader::Open(path);
+      ASSERT_TRUE(reader.ok());
+      EXPECT_FALSE((*reader)->torn_tail());
+      recovered_segments = (*reader)->segment_count();
+
+      const Signal more = Walk(33);
+      for (const DataPoint& p : more.points) {
+        DataPoint shifted = p;
+        shifted.t += static_cast<double>(last_t);
+        ASSERT_TRUE(pipeline->Append("a", shifted).ok());
+      }
+      ASSERT_TRUE(pipeline->Finish().ok());
+    }
+    auto final_reader = SegmentArchiveReader::Open(path);
+    ASSERT_TRUE(final_reader.ok());
+    EXPECT_FALSE((*final_reader)->torn_tail());
+    EXPECT_GT((*final_reader)->segment_count(), recovered_segments);
+    // One continuous, valid chain per stream: the store rebuilt without
+    // a single chain violation proves junction integrity across the
+    // recovery boundary.
+    for (const std::string& key : (*final_reader)->Keys()) {
+      const SegmentStore* store = (*final_reader)->Store(key);
+      EXPECT_TRUE(store->empty() ||
+                  store->t_max() >= store->t_min());
+    }
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace plastream

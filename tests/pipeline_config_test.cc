@@ -1,0 +1,147 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Config-file loading for Pipeline::Builder: INI parsing, prefix-wildcard
+// key patterns, [pipeline] keys, and the file:line error context that
+// surfaces at Build().
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "plastream.h"
+
+namespace plastream {
+namespace {
+
+constexpr const char* kConfig = R"(
+# collector config
+web-*     = slide(eps=0.5)
+db-1.iops = swing(eps=2)
+db-*      = slide(eps=1)
+*         = slide(eps=0.1)
+
+[pipeline]
+codec   = delta(varint=true)   ; compact wire format
+shards  = 4
+)";
+
+TEST(PipelineConfigTest, ParsesSectionsPatternsAndDefaults) {
+  auto pipeline =
+      Pipeline::Builder().FromConfigString(kConfig).Build().value();
+  EXPECT_EQ(pipeline->shard_count(), 4u);
+  EXPECT_EQ(pipeline->CodecSpec().Format(), "delta(varint=true)");
+  // Exact beats prefix beats default; longest prefix wins.
+  EXPECT_EQ(pipeline->SpecFor("web-1.cpu")->Format(), "slide(eps=0.5)");
+  EXPECT_EQ(pipeline->SpecFor("db-1.iops")->Format(), "swing(eps=2)");
+  EXPECT_EQ(pipeline->SpecFor("db-2.iops")->Format(), "slide(eps=1)");
+  EXPECT_EQ(pipeline->SpecFor("host9.mem")->Format(), "slide(eps=0.1)");
+}
+
+TEST(PipelineConfigTest, LongestPrefixWinsRegardlessOfOrder) {
+  auto pipeline = Pipeline::Builder()
+                      .FromConfigString("a* = slide(eps=1)\n"
+                                        "a.b.* = slide(eps=2)\n"
+                                        "a.* = slide(eps=3)\n")
+                      .Build()
+                      .value();
+  EXPECT_EQ(pipeline->SpecFor("a.b.c")->Format(), "slide(eps=2)");
+  EXPECT_EQ(pipeline->SpecFor("a.x")->Format(), "slide(eps=3)");
+  EXPECT_EQ(pipeline->SpecFor("ax")->Format(), "slide(eps=1)");
+  EXPECT_EQ(pipeline->SpecFor("zz").status().code(), StatusCode::kNotFound);
+}
+
+TEST(PipelineConfigTest, StorageKeyBuildsTheBackend) {
+  const std::string path =
+      ::testing::TempDir() + "plastream_config_storage.plar";
+  std::remove(path.c_str());
+  auto pipeline = Pipeline::Builder()
+                      .FromConfigString("[pipeline]\n"
+                                        "storage = file(path=" +
+                                        path +
+                                        ",codec=frame)\n"
+                                        "[streams]\n"
+                                        "* = cache(eps=1)\n")
+                      .Build()
+                      .value();
+  ASSERT_TRUE(pipeline->Append("k", 0.0, 1.0).ok());
+  ASSERT_TRUE(pipeline->Finish().ok());
+  EXPECT_EQ(pipeline->StorageSpec().family, "file");
+  auto reader = SegmentArchiveReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->stream_count(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(PipelineConfigTest, ErrorsCarryContextAndLineNumbers) {
+  const auto built = Pipeline::Builder()
+                         .FromConfigString("* = slide(eps=0.1)\n"
+                                           "web = not-a-filter(\n",
+                                           "prod.conf")
+                         .Build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(built.status().message().find("prod.conf:2"), std::string::npos)
+      << built.status().message();
+}
+
+TEST(PipelineConfigTest, RejectsMalformedLines) {
+  const char* const bad_configs[] = {
+      "just a line\n",                    // no '='
+      "= slide(eps=1)\n",                 // empty key
+      "web = \n",                         // empty value
+      "[turbines]\n",                     // unknown section
+      "[pipeline]\nspeed = 9\n",          // unknown pipeline key
+      "[pipeline]\nshards = zero\n",      // non-numeric shards
+      "[pipeline]\nshards = 0\n",         // zero shards
+      "a*b = slide(eps=1)\n",             // infix wildcard
+      "[pipeline]\ncodec = nope(\n",      // bad codec spec
+  };
+  for (const char* config : bad_configs) {
+    Pipeline::Builder builder;
+    builder.DefaultSpec("cache(eps=1)").FromConfigString(config);
+    EXPECT_EQ(builder.Build().status().code(), StatusCode::kInvalidArgument)
+        << config;
+  }
+}
+
+TEST(PipelineConfigTest, FromConfigFileReadsAndReportsMissing) {
+  const std::string path = ::testing::TempDir() + "plastream_test.conf";
+  {
+    std::ofstream file(path);
+    file << kConfig;
+  }
+  auto pipeline =
+      Pipeline::Builder().FromConfigFile(path).Build().value();
+  EXPECT_EQ(pipeline->shard_count(), 4u);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(Pipeline::Builder()
+                .FromConfigFile(::testing::TempDir() + "no_such.conf")
+                .Build()
+                .status()
+                .code(),
+            StatusCode::kIOError);
+}
+
+TEST(PipelineConfigTest, PrefixSpecValidatedAtBuild) {
+  // Prefix specs go through the same build-time filter validation as
+  // exact specs.
+  EXPECT_EQ(Pipeline::Builder()
+                .PrefixSpec("web-", "warp(eps=1)")
+                .Build()
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  // A builder with only prefix specs is buildable.
+  auto pipeline =
+      Pipeline::Builder().PrefixSpec("web-", "slide(eps=0.5)").Build();
+  ASSERT_TRUE(pipeline.ok());
+  EXPECT_TRUE((*pipeline)->Append("web-1.cpu", 0.0, 1.0).ok());
+  EXPECT_EQ((*pipeline)->Append("db-1.iops", 0.0, 1.0).code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace plastream

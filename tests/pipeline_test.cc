@@ -114,10 +114,10 @@ TEST(PipelineTest, StoreServesErrorBoundedQueries) {
   EXPECT_GE(agg->max, agg->min);
 }
 
-TEST(PipelineTest, WithStoreFalseDisablesTheArchive) {
+TEST(PipelineTest, StorageNoneDisablesTheArchive) {
   auto pipeline = Pipeline::Builder()
                       .DefaultSpec("cache(eps=1)")
-                      .WithStore(false)
+                      .Storage("none")
                       .Build()
                       .value();
   ASSERT_TRUE(pipeline->Append("k", 0.0, 1.0).ok());

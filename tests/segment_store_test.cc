@@ -109,6 +109,48 @@ TEST(SegmentStoreTest, AggregateSkipsGaps) {
   EXPECT_EQ(agg->segments_touched, 2u);
 }
 
+TEST(SegmentStoreTest, AggregateRangeInsideGapIsNotFound) {
+  SegmentStore store(1);
+  ASSERT_TRUE(store.Append(MakeSegment(0, 2, 1, 1)).ok());
+  ASSERT_TRUE(store.Append(MakeSegment(8, 10, 3, 3)).ok());
+  // Both a window and a single instant strictly inside the gap miss.
+  EXPECT_EQ(store.Aggregate(3, 7, 0).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.Aggregate(5, 5, 0).status().code(), StatusCode::kNotFound);
+  // A range that merely *touches* a segment boundary does not miss.
+  EXPECT_TRUE(store.Aggregate(2, 7, 0).ok());
+}
+
+TEST(SegmentStoreTest, AggregateAtJunctionInstant) {
+  SegmentStore store(1);
+  ASSERT_TRUE(store.Append(MakeSegment(0, 2, 0, 4)).ok());
+  ASSERT_TRUE(store.Append(MakeSegment(2, 4, 4, 0, true)).ok());
+  // t_begin == t_end == the junction: both segments touch, the covered
+  // duration is zero, and the instant-query value is the junction value.
+  const auto agg = store.Aggregate(2, 2, 0);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->segments_touched, 2u);
+  EXPECT_DOUBLE_EQ(agg->covered_duration, 0.0);
+  EXPECT_DOUBLE_EQ(agg->integral, 0.0);
+  EXPECT_DOUBLE_EQ(agg->min, 4.0);
+  EXPECT_DOUBLE_EQ(agg->max, 4.0);
+  EXPECT_DOUBLE_EQ(agg->mean, 4.0);
+}
+
+TEST(SegmentStoreTest, AggregateSingleInstantInsideSegment) {
+  SegmentStore store(1);
+  ASSERT_TRUE(store.Append(MakeSegment(0, 10, 0, 10)).ok());
+  const auto agg = store.Aggregate(5, 5, 0);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->segments_touched, 1u);
+  EXPECT_DOUBLE_EQ(agg->covered_duration, 0.0);
+  EXPECT_DOUBLE_EQ(agg->min, 5.0);
+  EXPECT_DOUBLE_EQ(agg->max, 5.0);
+  EXPECT_DOUBLE_EQ(agg->mean, 5.0);
+  // The same instant at the very edges of coverage.
+  EXPECT_DOUBLE_EQ(store.Aggregate(0, 0, 0)->mean, 0.0);
+  EXPECT_DOUBLE_EQ(store.Aggregate(10, 10, 0)->mean, 10.0);
+}
+
 TEST(SegmentStoreTest, AggregateErrorsOnEmptyRange) {
   SegmentStore store(1);
   ASSERT_TRUE(store.Append(MakeSegment(0, 2, 1, 1)).ok());
