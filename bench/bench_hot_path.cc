@@ -1,0 +1,375 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Ingest hot-path bench: points/sec and steady-state heap allocations per
+// point for the core filter families, plus batched-vs-single sharded
+// ingest throughput. This binary overrides global operator new/delete with
+// a counting allocator, so "allocations per point" is measured, not
+// estimated.
+//
+//   $ ./build/bench_hot_path [--points N] [--keys N] [--reps N]
+//                            [--json PATH] [--no-gates]
+//
+// Methodology: each filter measurement runs the same values twice on one
+// filter instance — a warm-up pass that sizes every internal buffer, then
+// a time-shifted measured pass (time translation preserves the geometry,
+// so the segment pattern and therefore the allocation pattern repeat
+// exactly). The measured pass of a warm filter is the steady state.
+//
+// Gates (CI fails when violated, unless --no-gates):
+//  - slide/swing/cache with d <= 8 (DimVec's inline capacity) allocate
+//    exactly zero times per point in steady state;
+//  - batched sharded ingest (batch=256, locked mode) reaches >= 1.3x the
+//    single-point throughput;
+//  - per-key segments from batched ingest are byte-identical to the
+//    single-point run.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <new>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/filter_registry.h"
+#include "datagen/correlated_walk.h"
+#include "stream/sharded_filter_bank.h"
+
+// ---------------------------------------------------------------------------
+// Counting allocator: every heap allocation in the process bumps a counter.
+// Deallocation stays pass-through, so counting adds one relaxed atomic add
+// per allocation and nothing per free.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace plastream::bench {
+namespace {
+
+struct Config {
+  size_t points = 200000;  // per filter measurement pass
+  size_t keys = 64;
+  size_t reps = 3;  // best-of for the throughput comparison
+  bool gates = true;
+  std::string json_path;
+};
+
+// Discards segments; keeps a checksum so the emit path cannot be
+// optimized away.
+class NullSink : public SegmentSink {
+ public:
+  void OnSegment(const Segment& segment) override { checksum_ += segment.t_end; }
+  double checksum() const { return checksum_; }
+
+ private:
+  double checksum_ = 0.0;
+};
+
+Signal MakeSignal(size_t dims, size_t count, uint64_t seed) {
+  CorrelatedWalkOptions options;
+  options.count = count;
+  options.dimensions = dims;
+  options.correlation = 0.3;
+  options.max_delta = 0.9;
+  options.seed = seed;
+  return ValueOrDie(GenerateCorrelatedWalk(options), "correlated walk");
+}
+
+// The same signal translated in time so it can be re-appended to a filter
+// that already consumed the original (strictly increasing timestamps).
+std::vector<DataPoint> TimeShifted(const Signal& signal, double shift) {
+  std::vector<DataPoint> out = signal.points;
+  for (DataPoint& p : out) p.t += shift;
+  return out;
+}
+
+struct FilterResult {
+  std::string family;
+  size_t dims = 0;
+  size_t batch = 0;  // 0 = per-point Append
+  double points_per_sec = 0.0;
+  double allocs_per_point = 0.0;
+  uint64_t allocations = 0;
+};
+
+FilterResult MeasureFilter(const std::string& family, size_t dims,
+                           size_t batch, const Config& config) {
+  const std::string spec =
+      family + "(eps=0.4,dims=" + std::to_string(dims) + ")";
+  const Signal signal = MakeSignal(dims, config.points, 17 + dims);
+
+  NullSink sink;
+  auto filter = ValueOrDie(MakeFilter(spec, &sink), spec.c_str());
+
+  // Warm-up pass: sizes every internal buffer (hulls, scratch, pending).
+  for (const DataPoint& p : signal.points) {
+    CheckOk(filter->Append(p), "warm-up append");
+  }
+
+  // Measured pass: identical values, translated times — same geometry,
+  // same segment pattern, warm buffers. This is the steady state.
+  const double shift =
+      signal.points.back().t - signal.points.front().t + 1.0;
+  const std::vector<DataPoint> shifted = TimeShifted(signal, shift);
+
+  const uint64_t allocs_before = g_allocations.load(std::memory_order_relaxed);
+  const auto start = std::chrono::steady_clock::now();
+  if (batch == 0) {
+    for (const DataPoint& p : shifted) {
+      CheckOk(filter->Append(p), "measured append");
+    }
+  } else {
+    for (size_t at = 0; at < shifted.size(); at += batch) {
+      const size_t n = std::min(batch, shifted.size() - at);
+      CheckOk(filter->AppendBatch(std::span<const DataPoint>(&shifted[at], n)),
+              "measured batch append");
+    }
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  const uint64_t allocs =
+      g_allocations.load(std::memory_order_relaxed) - allocs_before;
+
+  CheckOk(filter->Finish(), "finish");
+  if (sink.checksum() == 0.125) std::printf(" ");  // defeat DCE
+
+  FilterResult result;
+  result.family = family;
+  result.dims = dims;
+  result.batch = batch;
+  result.points_per_sec =
+      static_cast<double>(shifted.size()) / elapsed.count();
+  result.allocations = allocs;
+  result.allocs_per_point =
+      static_cast<double>(allocs) / static_cast<double>(shifted.size());
+  return result;
+}
+
+struct ShardedResult {
+  double single_pps = 0.0;
+  double batched_pps = 0.0;
+  double speedup = 0.0;
+  bool identical = true;
+};
+
+// Batched vs single-point ingest through a locked-mode ShardedFilterBank,
+// one producer, identical key-major access order (blocks of `batch`), so
+// the only difference is who pays the per-point hash/lock/lookup costs.
+ShardedResult MeasureSharded(const Config& config) {
+  const size_t kBatch = 256;
+  const size_t points_per_key = 4096;
+  std::vector<std::string> keys;
+  std::vector<std::vector<DataPoint>> data;
+  for (size_t i = 0; i < config.keys; ++i) {
+    // Realistic fleet-style keys: the single-point path pays the hash and
+    // the map compares on every point, the batched path once per batch.
+    keys.push_back("dc1.rack" + std::to_string(i % 8) + ".host" +
+                   std::to_string(i) + ".cpu.utilization.percent");
+    data.push_back(MakeSignal(1, points_per_key, 300 + i).points);
+  }
+  const auto factory = [](std::string_view) {
+    return Result<std::unique_ptr<Filter>>(MakeFilter("cache(eps=0.5)"));
+  };
+  const double total_points =
+      static_cast<double>(config.keys * points_per_key);
+
+  std::map<std::string, std::vector<Segment>> expected;
+  ShardedResult result;
+  for (size_t rep = 0; rep < config.reps; ++rep) {
+    for (const bool batched : {false, true}) {
+      ShardedFilterBank::Options options;
+      options.shards = 4;
+      auto bank = ValueOrDie(ShardedFilterBank::Create(factory, options),
+                             "ShardedFilterBank::Create");
+      const auto start = std::chrono::steady_clock::now();
+      for (size_t at = 0; at < points_per_key; at += kBatch) {
+        const size_t n = std::min(kBatch, points_per_key - at);
+        for (size_t i = 0; i < config.keys; ++i) {
+          if (batched) {
+            CheckOk(bank->AppendBatch(
+                        keys[i], std::span<const DataPoint>(&data[i][at], n)),
+                    "sharded batch append");
+          } else {
+            for (size_t j = 0; j < n; ++j) {
+              CheckOk(bank->Append(keys[i], data[i][at + j]),
+                      "sharded append");
+            }
+          }
+        }
+      }
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      CheckOk(bank->FinishAll(), "FinishAll");
+      const double pps = total_points / elapsed.count();
+      if (batched) {
+        result.batched_pps = std::max(result.batched_pps, pps);
+      } else {
+        result.single_pps = std::max(result.single_pps, pps);
+      }
+
+      // Byte-identical segments across the two ingest paths (first rep
+      // populates the baseline).
+      for (const std::string& key : keys) {
+        auto segments = ValueOrDie(bank->TakeSegments(key), "TakeSegments");
+        auto [it, inserted] = expected.try_emplace(key, segments);
+        if (!inserted && it->second != segments) result.identical = false;
+      }
+    }
+  }
+  result.speedup = result.batched_pps / result.single_pps;
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value after %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--points") == 0) {
+      config.points = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--keys") == 0) {
+      config.keys = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--reps") == 0) {
+      config.reps = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      config.json_path = next();
+    } else if (std::strcmp(argv[i], "--no-gates") == 0) {
+      config.gates = false;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_hot_path [--points N] [--keys N] [--reps N] "
+                   "[--json PATH] [--no-gates]\n");
+      return 2;
+    }
+  }
+
+  std::printf("Hot-path bench: %zu points/pass, DimVec inline capacity %zu\n\n",
+              config.points, DimVec::kInlineCapacity);
+  std::printf("%-8s %-5s %-7s %14s %14s %12s\n", "filter", "dims", "batch",
+              "points/sec", "allocs/point", "allocs");
+
+  // The gated families must be allocation-free for every inline d; linear
+  // and kalman ride along as informational rows, and d=12 shows the
+  // (bounded) cost of spilling past the inline capacity.
+  const std::vector<std::string> gated{"slide", "swing", "cache"};
+  std::vector<FilterResult> results;
+  bool zero_alloc_ok = true;
+  for (const std::string& family :
+       {std::string("slide"), std::string("swing"), std::string("cache"),
+        std::string("linear"), std::string("kalman")}) {
+    for (const size_t dims : {size_t{1}, size_t{4}, size_t{8}, size_t{12}}) {
+      for (const size_t batch : {size_t{0}, size_t{256}}) {
+        const FilterResult r = MeasureFilter(family, dims, batch, config);
+        results.push_back(r);
+        const bool gate_row =
+            config.gates && dims <= DimVec::kInlineCapacity &&
+            std::find(gated.begin(), gated.end(), family) != gated.end();
+        const bool row_ok = !gate_row || r.allocations == 0;
+        zero_alloc_ok = zero_alloc_ok && row_ok;
+        std::printf("%-8s %-5zu %-7zu %14.0f %14.4f %12llu%s\n",
+                    r.family.c_str(), r.dims, r.batch, r.points_per_sec,
+                    r.allocs_per_point,
+                    static_cast<unsigned long long>(r.allocations),
+                    row_ok ? "" : "  <- GATE: expected 0");
+      }
+    }
+  }
+
+  std::printf("\nSharded ingest, locked mode, %zu keys, batch=256:\n",
+              config.keys);
+  const ShardedResult sharded = MeasureSharded(config);
+  std::printf("  single-point: %14.0f points/sec\n", sharded.single_pps);
+  std::printf("  batched:      %14.0f points/sec  (%.2fx)\n",
+              sharded.batched_pps, sharded.speedup);
+  std::printf("  segments:     %s\n",
+              sharded.identical ? "byte-identical" : "DIVERGED");
+
+  const bool throughput_ok = !config.gates || sharded.speedup >= 1.3;
+  const bool identical_ok = !config.gates || sharded.identical;
+
+  if (!config.json_path.empty()) {
+    std::FILE* out = std::fopen(config.json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", config.json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"bench\": \"hot_path\",\n  \"points\": %zu,\n"
+                 "  \"inline_capacity\": %zu,\n  \"filters\": [\n",
+                 config.points, DimVec::kInlineCapacity);
+    for (size_t i = 0; i < results.size(); ++i) {
+      const FilterResult& r = results[i];
+      std::fprintf(out,
+                   "    {\"filter\": \"%s\", \"dims\": %zu, \"batch\": %zu, "
+                   "\"points_per_sec\": %.0f, \"allocs_per_point\": %.6f}%s\n",
+                   r.family.c_str(), r.dims, r.batch, r.points_per_sec,
+                   r.allocs_per_point, i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(out,
+                 "  ],\n  \"sharded\": {\"keys\": %zu, \"batch\": 256, "
+                 "\"single_points_per_sec\": %.0f, "
+                 "\"batched_points_per_sec\": %.0f, \"speedup\": %.3f, "
+                 "\"identical\": %s},\n"
+                 "  \"gates\": {\"zero_alloc\": %s, \"throughput\": %s, "
+                 "\"identical\": %s}\n}\n",
+                 config.keys, sharded.single_pps, sharded.batched_pps,
+                 sharded.speedup, sharded.identical ? "true" : "false",
+                 zero_alloc_ok ? "true" : "false",
+                 throughput_ok ? "true" : "false",
+                 identical_ok ? "true" : "false");
+    std::fclose(out);
+    std::printf("\nwrote %s\n", config.json_path.c_str());
+  }
+
+  if (!zero_alloc_ok) {
+    std::fprintf(stderr,
+                 "\nGATE FAILED: steady-state allocations per point must be 0 "
+                 "for slide/swing/cache at d <= %zu\n",
+                 DimVec::kInlineCapacity);
+  }
+  if (!throughput_ok) {
+    std::fprintf(stderr,
+                 "\nGATE FAILED: batched sharded ingest speedup %.2fx < 1.3x\n",
+                 sharded.speedup);
+  }
+  if (!identical_ok) {
+    std::fprintf(stderr,
+                 "\nGATE FAILED: batched segments diverged from single-point "
+                 "ingest\n");
+  }
+  return (zero_alloc_ok && throughput_ok && identical_ok) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace plastream::bench
+
+int main(int argc, char** argv) { return plastream::bench::Main(argc, argv); }

@@ -62,7 +62,7 @@ void CacheFilter::Absorb(const DataPoint& point) {
 }
 
 void CacheFilter::CloseInterval() {
-  std::vector<double> value(dimensions());
+  DimVec value(dimensions());
   for (size_t i = 0; i < dimensions(); ++i) {
     switch (mode_) {
       case CacheValueMode::kFirst:

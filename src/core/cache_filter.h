@@ -75,10 +75,10 @@ class CacheFilter : public Filter {
   double t_first_ = 0.0;
   double t_last_ = 0.0;
   size_t count_ = 0;
-  std::vector<double> first_;
-  std::vector<double> min_;
-  std::vector<double> max_;
-  std::vector<double> sum_;
+  DimVec first_;
+  DimVec min_;
+  DimVec max_;
+  DimVec sum_;
 };
 
 }  // namespace plastream

@@ -1,0 +1,221 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// DimVec: the per-dimension value container of the ingest hot path. A
+// d-dimensional stream carries d doubles per point and per segment end;
+// real deployments run d in the single digits (the paper's experiments and
+// our codec tests stop at d = 8), so a heap-allocating std::vector per
+// DataPoint/Segment is pure overhead. DimVec stores up to kInlineCapacity
+// values inline — copying a point or emitting a segment then allocates
+// nothing — and spills to the heap only above that, preserving vector
+// semantics for arbitrary d.
+
+#ifndef PLASTREAM_CORE_DIM_VEC_H_
+#define PLASTREAM_CORE_DIM_VEC_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace plastream {
+
+/// A small-vector of doubles with inline storage for the dimension counts
+/// streaming deployments actually run. API mirrors the std::vector subset
+/// the library uses; values are contiguous, so DimVec converts implicitly
+/// to std::span<const double>.
+class DimVec {
+ public:
+  /// Dimensions stored without touching the heap. d <= 8 covers every
+  /// workload in the paper and the codec/bench matrices; larger d works
+  /// and simply spills.
+  static constexpr size_t kInlineCapacity = 8;
+
+  /// Element type, for generic code.
+  using value_type = double;
+  /// Contiguous mutable iterator.
+  using iterator = double*;
+  /// Contiguous const iterator.
+  using const_iterator = const double*;
+
+  /// An empty vector (inline storage, no allocation).
+  DimVec() noexcept : data_(inline_) {}
+
+  /// `n` copies of `value`.
+  explicit DimVec(size_t n, double value = 0.0) : DimVec() {
+    assign(n, value);
+  }
+
+  /// The values of `init`, in order.
+  DimVec(std::initializer_list<double> init) : DimVec() {
+    EnsureCapacityDiscard(init.size());
+    size_ = init.size();
+    std::copy(init.begin(), init.end(), data_);
+  }
+
+  /// Implicit bridge from std::vector<double>, so existing construction
+  /// sites (datagen, tests, user code) keep compiling. Copies; hot paths
+  /// should build DimVec directly.
+  DimVec(const std::vector<double>& values) : DimVec() {
+    EnsureCapacityDiscard(values.size());
+    size_ = values.size();
+    std::copy(values.begin(), values.end(), data_);
+  }
+
+  /// Copies `other` (no allocation when it fits the current capacity).
+  DimVec(const DimVec& other) : DimVec() { CopyFrom(other); }
+
+  /// Steals `other`'s heap buffer, or copies its inline values; `other`
+  /// is left empty.
+  DimVec(DimVec&& other) noexcept : DimVec() { MoveFrom(other); }
+
+  /// Copy assignment; reuses the existing buffer when it is large enough.
+  DimVec& operator=(const DimVec& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+
+  /// Move assignment; see the move constructor.
+  DimVec& operator=(DimVec&& other) noexcept {
+    if (this != &other) {
+      ReleaseHeap();
+      data_ = inline_;
+      capacity_ = kInlineCapacity;
+      size_ = 0;
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  ~DimVec() { ReleaseHeap(); }
+
+  /// Number of dimensions held.
+  size_t size() const noexcept { return size_; }
+  /// True when empty.
+  bool empty() const noexcept { return size_ == 0; }
+  /// Current capacity (>= kInlineCapacity).
+  size_t capacity() const noexcept { return capacity_; }
+  /// True while the values live in the inline buffer (diagnostics/tests).
+  bool is_inline() const noexcept { return data_ == inline_; }
+
+  /// Contiguous storage.
+  double* data() noexcept { return data_; }
+  /// Contiguous storage.
+  const double* data() const noexcept { return data_; }
+  /// Begin iterator.
+  iterator begin() noexcept { return data_; }
+  /// End iterator.
+  iterator end() noexcept { return data_ + size_; }
+  /// Begin iterator.
+  const_iterator begin() const noexcept { return data_; }
+  /// End iterator.
+  const_iterator end() const noexcept { return data_ + size_; }
+
+  /// Unchecked element access.
+  double& operator[](size_t i) noexcept { return data_[i]; }
+  /// Unchecked element access.
+  double operator[](size_t i) const noexcept { return data_[i]; }
+  /// First element; undefined when empty.
+  double& front() noexcept { return data_[0]; }
+  /// First element; undefined when empty.
+  double front() const noexcept { return data_[0]; }
+  /// Last element; undefined when empty.
+  double& back() noexcept { return data_[size_ - 1]; }
+  /// Last element; undefined when empty.
+  double back() const noexcept { return data_[size_ - 1]; }
+
+  /// Grows the buffer to hold at least `n` values, preserving contents.
+  void reserve(size_t n) {
+    if (n > capacity_) Grow(n);
+  }
+
+  /// Resizes to `n` values; new values are zero, the kept prefix is
+  /// preserved (std::vector semantics).
+  void resize(size_t n) {
+    reserve(n);
+    if (n > size_) std::fill(data_ + size_, data_ + n, 0.0);
+    size_ = n;
+  }
+
+  /// Replaces the contents with `n` copies of `value`.
+  void assign(size_t n, double value) {
+    EnsureCapacityDiscard(n);
+    std::fill(data_, data_ + n, value);
+    size_ = n;
+  }
+
+  /// Empties the vector; capacity is retained.
+  void clear() noexcept { size_ = 0; }
+
+  /// Appends one value, growing geometrically when full.
+  void push_back(double value) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    data_[size_++] = value;
+  }
+
+  /// Element-wise equality.
+  bool operator==(const DimVec& other) const noexcept {
+    return size_ == other.size_ &&
+           std::equal(data_, data_ + size_, other.data_);
+  }
+
+  /// Copies the values into a std::vector (analytics/test convenience;
+  /// not for hot paths).
+  std::vector<double> ToVector() const {
+    return std::vector<double>(data_, data_ + size_);
+  }
+
+ private:
+  // Reallocates to capacity `n`, preserving the current contents. Callers
+  // pass an already-grown target (geometric where it matters).
+  void Grow(size_t n) {
+    double* fresh = new double[n];
+    std::copy(data_, data_ + size_, fresh);
+    ReleaseHeap();
+    data_ = fresh;
+    capacity_ = n;
+  }
+
+  // Makes room for `n` values without preserving the current contents.
+  // Allocates before releasing so a throwing `new` leaves *this intact.
+  void EnsureCapacityDiscard(size_t n) {
+    if (n <= capacity_) return;
+    double* fresh = new double[n];
+    ReleaseHeap();
+    data_ = fresh;
+    capacity_ = n;
+  }
+
+  void CopyFrom(const DimVec& other) {
+    EnsureCapacityDiscard(other.size_);
+    size_ = other.size_;
+    std::copy(other.data_, other.data_ + other.size_, data_);
+  }
+
+  // *this must be in the freshly-initialized inline state.
+  void MoveFrom(DimVec& other) noexcept {
+    if (other.is_inline()) {
+      size_ = other.size_;
+      std::copy(other.data_, other.data_ + other.size_, data_);
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_;
+      other.capacity_ = kInlineCapacity;
+    }
+    other.size_ = 0;
+  }
+
+  void ReleaseHeap() noexcept {
+    if (!is_inline()) delete[] data_;
+  }
+
+  size_t size_ = 0;
+  size_t capacity_ = kInlineCapacity;
+  double* data_;
+  double inline_[kInlineCapacity];
+};
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_CORE_DIM_VEC_H_

@@ -73,6 +73,13 @@ Status Filter::Append(const DataPoint& point) {
   return Status::OK();
 }
 
+Status Filter::AppendBatch(std::span<const DataPoint> points) {
+  for (const DataPoint& point : points) {
+    PLASTREAM_RETURN_NOT_OK(Append(point));
+  }
+  return Status::OK();
+}
+
 Status Filter::Finish() {
   if (finished_) return Status::OK();
   PLASTREAM_RETURN_NOT_OK(FinishImpl());
@@ -87,9 +94,17 @@ std::vector<Segment> Filter::TakeSegments() {
 }
 
 void Filter::Emit(Segment segment) {
-  if (sink_ != nullptr) sink_->OnSegment(segment);
-  pending_out_.push_back(std::move(segment));
   ++segments_emitted_;
+  // Exactly one consumer holds the segment: the sink when one exists
+  // (transports encode straight from the reference, collecting sinks make
+  // the single copy), else the TakeSegments buffer by move. Buffering on
+  // top of a sink would both copy twice and grow without bound on
+  // long-running sinked streams.
+  if (sink_ != nullptr) {
+    sink_->OnSegment(segment);
+    return;
+  }
+  pending_out_.push_back(std::move(segment));
 }
 
 std::optional<double> Filter::Counter(std::string_view name) const {

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -76,8 +77,9 @@ Status ValidateFilterOptions(const FilterOptions& options);
 ///
 /// Lifecycle: construct -> Append(point)* -> Finish(). Finish flushes the
 /// open filtering interval; appending after Finish is an error. Segments
-/// are pushed to the sink passed at construction (if any) and are always
-/// also retrievable via TakeSegments().
+/// are pushed to the sink passed at construction; without a sink they are
+/// buffered for TakeSegments(). Exactly one of the two paths holds a
+/// segment, so a long-running sinked stream never accumulates output.
 class Filter {
  public:
   /// `sink` may be null; it is borrowed, not owned, and must outlive the
@@ -99,12 +101,22 @@ class Filter {
   /// may continue with a corrected point.
   Status Append(const DataPoint& point);
 
+  /// Consumes a batch of data points in order — the hot-path entry for
+  /// bulk ingest. Semantically identical to calling Append per point
+  /// (same validation, same segments); stops at the first error, leaving
+  /// earlier points of the batch applied, exactly like a per-point loop.
+  /// The default implementation loops over Append; families with a
+  /// vectorizable inner loop may override it, but must keep the emitted
+  /// segment chain byte-identical to the per-point path.
+  virtual Status AppendBatch(std::span<const DataPoint> points);
+
   /// Flushes the open interval and finalizes the approximation.
   /// Idempotent; appending afterwards is an error.
   Status Finish();
 
   /// Segments finalized so far (drained; repeated calls return only new
-  /// segments). Available whether or not a sink was provided.
+  /// segments). Only populated when the filter was constructed without a
+  /// sink — a sink receives each segment instead (see the class comment).
   std::vector<Segment> TakeSegments();
 
   /// Human-readable filter family name ("swing", "slide", ...).
@@ -151,7 +163,8 @@ class Filter {
   /// Flush logic; runs exactly once.
   virtual Status FinishImpl() = 0;
 
-  /// Emits a finalized segment to the buffer and the sink.
+  /// Emits a finalized segment: handed to the sink when one exists (no
+  /// second buffered copy), otherwise moved into the TakeSegments buffer.
   void Emit(Segment segment);
 
   /// Emits a provisional line commit and charges its recording cost.

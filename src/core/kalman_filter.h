@@ -78,8 +78,8 @@ class KalmanFilter : public Filter {
   KalmanOptions kalman_;
   bool have_state_ = false;
   double segment_start_t_ = 0.0;
-  std::vector<double> segment_start_x_;
-  std::vector<double> segment_velocity_;  // frozen slope of the open segment
+  DimVec segment_start_x_;
+  DimVec segment_velocity_;  // frozen slope of the open segment
   double t_state_ = 0.0;                  // time the state refers to
   double t_last_ = 0.0;                   // last accepted sample time
   std::vector<DimState> dims_;

@@ -72,7 +72,7 @@ Status LinearFilter::AppendValidated(const DataPoint& point) {
   }
   // Violation: terminate the current segment at its prediction for t_last_.
   const bool was_shared = anchor_is_shared_;
-  std::vector<double> terminal(dimensions());
+  DimVec terminal(dimensions());
   for (size_t i = 0; i < dimensions(); ++i) terminal[i] = Predict(t_last_, i);
   const double terminal_t = t_last_;
   EmitCurrent(/*connected=*/was_shared);

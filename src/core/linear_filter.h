@@ -68,8 +68,8 @@ class LinearFilter : public Filter {
   bool slope_defined_ = false;
   bool anchor_is_shared_ = false;  // anchor equals previous segment's end
   double anchor_t_ = 0.0;
-  std::vector<double> anchor_x_;
-  std::vector<double> slope_;
+  DimVec anchor_x_;
+  DimVec slope_;
   double t_last_ = 0.0;
 };
 

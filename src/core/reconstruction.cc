@@ -36,8 +36,7 @@ Result<double> PiecewiseLinearFunction::Evaluate(double t, size_t dim) const {
   return segments_[*idx].ValueAt(t, dim);
 }
 
-Result<std::vector<double>> PiecewiseLinearFunction::EvaluateAll(
-    double t) const {
+Result<DimVec> PiecewiseLinearFunction::EvaluateAll(double t) const {
   const auto idx = FindSegment(t);
   if (!idx.has_value()) {
     return Status::NotFound("no segment covers t=" + std::to_string(t));

@@ -50,7 +50,7 @@ class PiecewiseLinearFunction {
   Result<double> Evaluate(double t, size_t dim) const;
 
   /// Values of all dimensions at time t.
-  Result<std::vector<double>> EvaluateAll(double t) const;
+  Result<DimVec> EvaluateAll(double t) const;
 
   /// Earliest covered time. Requires at least one segment.
   double t_min() const { return segments_.front().t_start; }

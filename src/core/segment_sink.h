@@ -23,9 +23,9 @@ struct ProvisionalLine {
   /// Anchor time of the committed line.
   double t = 0.0;
   /// Line value per dimension at the anchor time.
-  std::vector<double> x;
+  DimVec x;
   /// Line slope per dimension.
-  std::vector<double> slope;
+  DimVec slope;
   /// Transmission cost in recordings (1 when the anchor was already known
   /// to the receiver, 2 for a fresh disconnected line).
   size_t recording_cost = 0;

@@ -44,6 +44,10 @@ Status SegmentStore::Append(const Segment& segment) {
   } else if (segment.connected_to_prev) {
     return Status::InvalidArgument("first segment marked connected");
   }
+  // push_back's own growth is already geometric; a small first reserve
+  // just skips the 1->2->4 steps without the per-key memory spike a large
+  // floor would cost now that Segment inlines its DimVecs.
+  if (segments_.empty()) segments_.reserve(8);
   segments_.push_back(segment);
   return Status::OK();
 }

@@ -440,9 +440,10 @@ void SlideFilter::ResolveCloseAndShift(
       // Pin the bounds so that every feasible slope crosses g^(k-1) inside
       // [alpha, beta] (Algorithm 2, lines 11-16). The slopes induced at the
       // window's ends delimit the pinned pencil; the larger is the new
-      // upper bound.
-      std::vector<Line> pinned_u = cur_.u;
-      std::vector<Line> pinned_l = cur_.l;
+      // upper bound. The pinned lines build in member scratch vectors so a
+      // junction allocates nothing once the filter is warm.
+      pinned_u_.resize(d);
+      pinned_l_.resize(d);
       bool pin_ok = true;
       for (size_t i = 0; i < d && pin_ok; ++i) {
         const Line& g_prev = pending_.g[i];
@@ -453,12 +454,12 @@ void SlideFilter::ResolveCloseAndShift(
           pin_ok = false;
           break;
         }
-        pinned_u[i] = Line(z, std::max(slope_a, slope_b));
-        pinned_l[i] = Line(z, std::min(slope_a, slope_b));
+        pinned_u_[i] = Line(z, std::max(slope_a, slope_b));
+        pinned_l_[i] = Line(z, std::min(slope_a, slope_b));
       }
       if (pin_ok) {
-        cur_.u = std::move(pinned_u);
-        cur_.l = std::move(pinned_l);
+        cur_.u = pinned_u_;  // element-wise copy into retained capacity
+        cur_.l = pinned_l_;
         connected = true;
         if (d == 1) {
           // Exact path: the clamped-LSQ slope determines the junction.
@@ -527,51 +528,55 @@ void SlideFilter::ResolveCloseAndShift(
   }
 
   // ---- The closing interval becomes the new pending segment. ----
-  Pending np;
-  np.exists = true;
-  np.n = cur_.n;
-  np.t_end = cur_.last.t;
-  np.g.resize(d);
+  // Updated in place: pending_'s vectors keep their capacity and the final
+  // bound vectors swap with cur_'s (which InitBounds rewrites for the next
+  // interval anyway), so closing an interval allocates nothing in steady
+  // state. In the connected branch each pending_.g[i] is read (for the
+  // junction's start value) before it is overwritten.
+  pending_.exists = true;
+  pending_.n = cur_.n;
+  pending_.t_end = cur_.last.t;
+  pending_.g.resize(d);
+  pending_.start_x.resize(d);
   if (connected) {
-    np.start_t = junction_t;
-    np.start_x.resize(d);
-    np.start_connected = true;
+    pending_.start_t = junction_t;
+    pending_.start_connected = true;
     for (size_t i = 0; i < d; ++i) {
       const Point2& z = *zs[i];
       const double start_x = pending_.g[i].ValueAt(junction_t);
-      np.start_x[i] = start_x;
+      pending_.start_x[i] = start_x;
       const double slope = (z.x - start_x) / (z.t - junction_t);
-      np.g[i] = Line(z, slope);
+      pending_.g[i] = Line(z, slope);
     }
   } else {
-    np.start_t = cur_.first.t;
-    np.start_x.resize(d);
-    np.start_connected = false;
+    pending_.start_t = cur_.first.t;
+    pending_.start_connected = false;
     for (size_t i = 0; i < d; ++i) {
       if (zs[i].has_value()) {
         const double a = ClampedLsqSlopeThrough(
             i, *zs[i], cur_.l[i].slope(), cur_.u[i].slope());
-        np.g[i] = Line(*zs[i], a);
+        pending_.g[i] = Line(*zs[i], a);
       } else {
         // Parallel bounds: the feasible pencil degenerated to one slope;
         // use the mid-line.
         const double mid = 0.5 * (cur_.u[i].ValueAt(cur_.first.t) +
                                   cur_.l[i].ValueAt(cur_.first.t));
-        np.g[i] = Line(Point2{cur_.first.t, mid}, cur_.u[i].slope());
+        pending_.g[i] = Line(Point2{cur_.first.t, mid}, cur_.u[i].slope());
       }
-      np.start_x[i] = np.g[i].ValueAt(cur_.first.t);
+      pending_.start_x[i] = pending_.g[i].ValueAt(cur_.first.t);
     }
   }
-  np.u = cur_.u;
-  np.l = cur_.l;
-  pending_ = std::move(np);
+  pending_.u.swap(cur_.u);
+  pending_.l.swap(cur_.l);
+  cur_.u.resize(d);  // restore shape for the next interval's InitBounds
+  cur_.l.resize(d);
 }
 
 void SlideFilter::CloseCurrentInterval() {
   const size_t d = dimensions();
-  std::vector<std::optional<Point2>> zs(d);
-  for (size_t i = 0; i < d; ++i) zs[i] = PinchPoint(i);
-  ResolveCloseAndShift(zs);
+  zs_scratch_.resize(d);
+  for (size_t i = 0; i < d; ++i) zs_scratch_[i] = PinchPoint(i);
+  ResolveCloseAndShift(zs_scratch_);
   cur_.open = false;
 }
 
@@ -597,11 +602,11 @@ void SlideFilter::FlushPendingDisconnectedEnd() {
 
 void SlideFilter::FreezeCurrent() {
   const size_t d = dimensions();
-  std::vector<std::optional<Point2>> zs(d);
-  for (size_t i = 0; i < d; ++i) zs[i] = PinchPoint(i);
+  zs_scratch_.resize(d);
+  for (size_t i = 0; i < d; ++i) zs_scratch_[i] = PinchPoint(i);
   // Resolve exactly as if the interval closed now: emits the pending
   // segment and computes this interval's line and start point...
-  ResolveCloseAndShift(zs);
+  ResolveCloseAndShift(zs_scratch_);
   // ...but the interval stays open in committed (linear-filter) mode, so
   // the resolution must not linger as an emittable pending segment.
   cur_.frozen = true;

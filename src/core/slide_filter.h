@@ -140,7 +140,7 @@ class SlideFilter : public Filter {
     bool frozen = false;
     std::vector<Line> committed;
     double start_t = 0.0;               // segment start fixed at freeze
-    std::vector<double> start_x;
+    DimVec start_x;
     bool start_connected = false;
   };
 
@@ -152,7 +152,7 @@ class SlideFilter : public Filter {
     std::vector<Line> l;
     double t_end = 0.0;      // time of the interval's last point
     double start_t = 0.0;    // segment start (junction or first point)
-    std::vector<double> start_x;
+    DimVec start_x;
     bool start_connected = false;
     size_t n = 0;
   };
@@ -207,6 +207,11 @@ class SlideFilter : public Filter {
   SlideJunctionPolicy junction_policy_;
   Interval cur_;
   Pending pending_;
+  // Junction scratch buffers, hoisted onto the filter so closing an
+  // interval reuses their capacity instead of allocating per segment cut.
+  std::vector<Line> pinned_u_;
+  std::vector<Line> pinned_l_;
+  std::vector<std::optional<Point2>> zs_scratch_;
   size_t pinning_fallbacks_ = 0;
   size_t connected_junctions_ = 0;
   size_t max_hull_vertices_ = 0;

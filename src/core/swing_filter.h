@@ -71,15 +71,15 @@ class SwingFilter : public Filter {
   // the segment under construction.
   bool have_pivot_ = false;
   double pivot_t_ = 0.0;
-  std::vector<double> pivot_x_;
+  DimVec pivot_x_;
   bool first_segment_ = true;
 
   // Interval state.
   bool bounds_defined_ = false;
-  std::vector<double> slope_u_;
-  std::vector<double> slope_l_;
+  DimVec slope_u_;
+  DimVec slope_l_;
   double t_last_ = 0.0;
-  std::vector<double> x_last_;
+  DimVec x_last_;
   size_t interval_points_ = 0;
 
   // Incremental least-squares sums relative to the pivot (Eq. 6):
@@ -90,7 +90,7 @@ class SwingFilter : public Filter {
   // Max-lag freeze state: when frozen, the interval proceeds as a linear
   // filter along the committed slopes (Section 3.3).
   bool frozen_ = false;
-  std::vector<double> frozen_slope_;
+  DimVec frozen_slope_;
   size_t unreported_ = 0;
 };
 

@@ -15,8 +15,8 @@ double Segment::ValueAt(double t, size_t dim) const {
   return x_start[dim] + w * (x_end[dim] - x_start[dim]);
 }
 
-std::vector<double> Segment::ValueAt(double t) const {
-  std::vector<double> out(dimensions());
+DimVec Segment::ValueAt(double t) const {
+  DimVec out(dimensions());
   for (size_t i = 0; i < out.size(); ++i) out[i] = ValueAt(t, i);
   return out;
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/dim_vec.h"
 
 /// Online piece-wise linear approximation of numerical streams with
 /// per-dimension precision guarantees (Elmeleegy, Elmagarmid, Cecchet,
@@ -24,13 +25,15 @@ struct DataPoint {
   /// Sample time. Filters require strictly increasing times per stream.
   double t = 0.0;
   /// One value per dimension; size is the stream's dimensionality d.
-  std::vector<double> x;
+  /// Stored inline for d <= DimVec::kInlineCapacity, so copying a point on
+  /// the ingest path allocates nothing.
+  DimVec x;
 
   /// Zero-time, zero-dimension point; fill `t` and `x` before use.
   DataPoint() = default;
-  /// Constructs the sample (time, values).
-  DataPoint(double time, std::vector<double> values)
-      : t(time), x(std::move(values)) {}
+  /// Constructs the sample (time, values). DimVec converts implicitly from
+  /// an initializer list or a std::vector<double>.
+  DataPoint(double time, DimVec values) : t(time), x(std::move(values)) {}
 
   /// Convenience constructor for 1-dimensional streams.
   static DataPoint Scalar(double time, double value) {
@@ -53,10 +56,10 @@ struct Segment {
   double t_start = 0.0;
   /// Last covered time (== t_start for a point segment).
   double t_end = 0.0;
-  /// Per-dimension value at t_start.
-  std::vector<double> x_start;
-  /// Per-dimension value at t_end.
-  std::vector<double> x_end;
+  /// Per-dimension value at t_start (inline for d <= 8; see DimVec).
+  DimVec x_start;
+  /// Per-dimension value at t_end (inline for d <= 8; see DimVec).
+  DimVec x_end;
   /// True when the start point equals the previous segment's end point.
   bool connected_to_prev = false;
 
@@ -74,7 +77,7 @@ struct Segment {
   double ValueAt(double t, size_t dim) const;
 
   /// Linear interpolation of every dimension at time `t`.
-  std::vector<double> ValueAt(double t) const;
+  DimVec ValueAt(double t) const;
 
   /// Debug representation, e.g. "[0, 4] (1, 2) -> (3, 4) connected".
   std::string ToString() const;

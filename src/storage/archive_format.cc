@@ -26,7 +26,7 @@ constexpr uint8_t kFrameConnected = 0x01;
 
 // True when every element of `values` has a compact integral form,
 // filling `*out` with the int64 mappings.
-bool AllCompactIntegral(const std::vector<double>& values,
+bool AllCompactIntegral(std::span<const double> values,
                         std::vector<int64_t>* out) {
   out->resize(values.size());
   for (size_t i = 0; i < values.size(); ++i) {

@@ -116,7 +116,7 @@ class ArchiveSegmentCoder {
   const size_t dimensions_;
   bool has_prev_ = false;
   double prev_t_end_ = 0.0;
-  std::vector<double> prev_x_end_;
+  DimVec prev_x_end_;
 };
 
 /// One stream reconstructed by scanning an archive file.

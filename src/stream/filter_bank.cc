@@ -9,7 +9,7 @@ namespace plastream {
 FilterBank::FilterBank(FilterFactory factory)
     : factory_(std::move(factory)) {}
 
-Status FilterBank::Append(std::string_view key, const DataPoint& point) {
+Result<Filter*> FilterBank::FindOrCreate(std::string_view key) {
   if (finished_) {
     return Status::FailedPrecondition("Append after FinishAll");
   }
@@ -22,7 +22,19 @@ Status FilterBank::Append(std::string_view key, const DataPoint& point) {
     }
     it = filters_.emplace(std::string(key), std::move(filter)).first;
   }
-  return it->second->Append(point);
+  return it->second.get();
+}
+
+Status FilterBank::Append(std::string_view key, const DataPoint& point) {
+  PLASTREAM_ASSIGN_OR_RETURN(Filter* const filter, FindOrCreate(key));
+  return filter->Append(point);
+}
+
+Status FilterBank::AppendBatch(std::string_view key,
+                               std::span<const DataPoint> points) {
+  if (points.empty()) return Status::OK();
+  PLASTREAM_ASSIGN_OR_RETURN(Filter* const filter, FindOrCreate(key));
+  return filter->AppendBatch(points);
 }
 
 Status FilterBank::FinishAll() {

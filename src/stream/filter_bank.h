@@ -11,6 +11,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -35,6 +36,12 @@ class FilterBank {
   /// Appends a point to the stream named `key`, creating its filter on
   /// first use. Propagates factory and filter errors.
   Status Append(std::string_view key, const DataPoint& point);
+
+  /// Appends a batch of points to the stream named `key`: one filter
+  /// lookup for the whole batch instead of one per point. Segments are
+  /// byte-identical to per-point Append; stops at the first error with
+  /// earlier points of the batch applied.
+  Status AppendBatch(std::string_view key, std::span<const DataPoint> points);
 
   /// Finishes every stream's filter (idempotent).
   Status FinishAll();
@@ -64,6 +71,9 @@ class FilterBank {
   BankStats Stats() const;
 
  private:
+  // The stream's filter, created through the factory on first use.
+  Result<Filter*> FindOrCreate(std::string_view key);
+
   FilterFactory factory_;
   // Ordered map: heterogeneous lookup by string_view avoids a per-Append
   // allocation, and Keys() falls out sorted.

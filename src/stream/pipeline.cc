@@ -266,6 +266,13 @@ Status Pipeline::Append(std::string_view key, double t, double value) {
   return Append(key, DataPoint::Scalar(t, value));
 }
 
+Status Pipeline::AppendBatch(std::string_view key,
+                             std::span<const DataPoint> points) {
+  // The bank batches the shard lock/queue hop and runs the post-append
+  // hook (DrainKey) once for the whole key-group.
+  return bank_->AppendBatch(key, points);
+}
+
 Status Pipeline::DrainKey(std::string_view key) {
   StreamShard& shard = *stream_shards_[bank_->ShardOf(key)];
   Stream* stream;

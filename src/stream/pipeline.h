@@ -26,6 +26,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -176,6 +177,15 @@ class Pipeline {
 
   /// Scalar-stream convenience overload.
   Status Append(std::string_view key, double t, double value);
+
+  /// Routes a time-ordered batch of points into the stream named `key`,
+  /// paying the per-append costs once per batch instead of once per
+  /// point: one shard hash, one lock acquisition (or one ingest-queue
+  /// slot in threaded mode), one filter lookup, and one transport drain.
+  /// Segments, wire bytes and archives are byte-identical to appending
+  /// the same points one at a time. Stops at the first error, leaving
+  /// earlier points applied.
+  Status AppendBatch(std::string_view key, std::span<const DataPoint> points);
 
   /// Blocks (threaded mode) until every enqueued point has been filtered,
   /// then flushes each stream's codec — a buffering codec like "batch"

@@ -79,13 +79,24 @@ Status ShardedFilterBank::AppendNow(Shard& shard, std::string_view key,
   return Status::OK();
 }
 
-Status ShardedFilterBank::Append(std::string_view key,
-                                 const DataPoint& point) {
-  Shard& shard = *shards_[ShardOf(key)];
-  if (!threaded_) {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
-    return AppendNow(shard, key, point);
-  }
+Status ShardedFilterBank::AppendBatchNow(Shard& shard, std::string_view key,
+                                         std::span<const DataPoint> points) {
+  const Status appended = shard.bank.AppendBatch(key, points);
+  if (options_.post_append == nullptr) return appended;
+  // Run the hook even after a partial batch: earlier points may have
+  // emitted segments the hook's transport still has to drain. The
+  // filter's own error stays the one reported.
+  const Status hook = options_.post_append(key);
+  return appended.ok() ? hook : appended;
+}
+
+Status ShardedFilterBank::Enqueue(Shard& shard, std::string_view key,
+                                  const DataPoint* point,
+                                  std::span<const DataPoint> points) {
+  // Copy the batch before taking the shard mutex — the worker and every
+  // other producer on this shard contend for it, so the allocation and
+  // memcpy must not sit inside the critical section.
+  std::vector<DataPoint> batch(points.begin(), points.end());
   std::unique_lock<std::mutex> lock(shard.mutex);
   // The stop/error state can change while blocked on a full queue, so the
   // wait wakes on it and the checks run after the wait, not before.
@@ -103,11 +114,41 @@ Status ShardedFilterBank::Append(std::string_view key,
   if (interned == shard.keys.end()) {
     interned = shard.keys.insert(std::string(key)).first;
   }
-  shard.queue.push_back(Task{*interned, point});
+  Task task;
+  task.key = *interned;
+  if (point != nullptr) {
+    task.point = *point;
+  } else {
+    task.batch = std::move(batch);
+  }
+  shard.queue.push_back(std::move(task));
   ++shard.in_flight;
   lock.unlock();
   shard.ingest_cv.notify_one();
   return Status::OK();
+}
+
+Status ShardedFilterBank::Append(std::string_view key,
+                                 const DataPoint& point) {
+  Shard& shard = *shards_[ShardOf(key)];
+  if (!threaded_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    return AppendNow(shard, key, point);
+  }
+  return Enqueue(shard, key, &point, {});
+}
+
+Status ShardedFilterBank::AppendBatch(std::string_view key,
+                                      std::span<const DataPoint> points) {
+  if (points.empty()) return Status::OK();
+  Shard& shard = *shards_[ShardOf(key)];
+  if (!threaded_) {
+    // The whole key-group pays for one lock acquisition.
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    return AppendBatchNow(shard, key, points);
+  }
+  // One queue slot (and one worker wakeup) for the whole key-group.
+  return Enqueue(shard, key, nullptr, points);
 }
 
 void ShardedFilterBank::WorkerLoop(Shard& shard) {
@@ -122,7 +163,9 @@ void ShardedFilterBank::WorkerLoop(Shard& shard) {
     shard.drained_cv.notify_all();
 
     // The bank is touched without the lock: this worker is its only writer.
-    Status status = AppendNow(shard, task.key, task.point);
+    Status status = task.batch.empty()
+                        ? AppendNow(shard, task.key, task.point)
+                        : AppendBatchNow(shard, task.key, task.batch);
 
     lock.lock();
     if (!status.ok() && shard.deferred.ok()) {

@@ -26,6 +26,7 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <span>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -70,8 +71,9 @@ class ShardedFilterBank {
     size_t shards = 1;
     /// Dedicated worker thread + bounded ingest queue per shard.
     bool threaded = false;
-    /// Queue capacity per shard in threaded mode; Append blocks while the
-    /// shard's queue is full (backpressure).
+    /// Queue capacity per shard in threaded mode, counted in enqueued
+    /// tasks — a single Append and a whole AppendBatch each occupy one
+    /// slot. Append blocks while the shard's queue is full (backpressure).
     size_t queue_capacity = 1024;
     /// See PostAppendHook.
     PostAppendHook post_append;
@@ -97,6 +99,16 @@ class ShardedFilterBank {
   /// surfaces on the next Append to that shard, on Flush, and on
   /// FinishAll.
   Status Append(std::string_view key, const DataPoint& point);
+
+  /// Appends a batch of points to the stream named `key`, paying the
+  /// shard costs once per batch instead of once per point: one hash, one
+  /// lock acquisition (locked mode) or one queue slot (threaded mode),
+  /// and one filter lookup. Segments are byte-identical to per-point
+  /// Append. Locked mode stops at the first error with earlier points
+  /// applied; threaded mode copies the batch, enqueues, and returns OK
+  /// (errors surface like Append's). The per-key ordering contract is
+  /// unchanged: one producer at a time per key.
+  Status AppendBatch(std::string_view key, std::span<const DataPoint> points);
 
   /// Threaded mode: blocks until every queued point has been processed and
   /// returns the first deferred error, if any. Locked mode: errors are
@@ -144,12 +156,14 @@ class ShardedFilterBank {
   size_t ShardOf(std::string_view key) const;
 
  private:
-  // One queued point, waiting for the shard worker. The key borrows the
-  // shard's intern set (node addresses are stable), so queueing a point
-  // for an already-seen key allocates nothing for the key.
+  // One queued unit of ingest — a single point or a whole batch —
+  // waiting for the shard worker. The key borrows the shard's intern set
+  // (node addresses are stable), so queueing work for an already-seen key
+  // allocates nothing for the key.
   struct Task {
     std::string_view key;
-    DataPoint point;
+    DataPoint point;               // the payload when batch is empty
+    std::vector<DataPoint> batch;  // the payload when non-empty
   };
 
   // A shard: its bank plus the mutex that serializes access to it. In
@@ -182,6 +196,16 @@ class ShardedFilterBank {
   // Synchronous append + hook, shard lock already held by the caller
   // (locked mode) or exclusivity guaranteed by the worker (threaded mode).
   Status AppendNow(Shard& shard, std::string_view key, const DataPoint& point);
+
+  // Batch counterpart of AppendNow: whole batch through the bank, hook
+  // once. The hook still runs after a partial batch so transports drain
+  // what was emitted; the filter's error wins.
+  Status AppendBatchNow(Shard& shard, std::string_view key,
+                        std::span<const DataPoint> points);
+
+  // Shared threaded-mode enqueue path (backpressure, key interning).
+  Status Enqueue(Shard& shard, std::string_view key, const DataPoint* point,
+                 std::span<const DataPoint> points);
 
   Options options_;
   bool threaded_ = false;

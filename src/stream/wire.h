@@ -13,7 +13,8 @@
 #define PLASTREAM_STREAM_WIRE_H_
 
 #include <cstdint>
-#include <vector>
+
+#include "core/dim_vec.h"
 
 namespace plastream {
 
@@ -39,10 +40,10 @@ struct WireRecord {
   WireRecordType type = WireRecordType::kSegmentPoint;
   /// Recording time.
   double t = 0.0;
-  /// Values per dimension.
-  std::vector<double> x;
+  /// Values per dimension (inline for d <= 8; see DimVec).
+  DimVec x;
   /// Slopes per dimension; only present for kProvisionalLine.
-  std::vector<double> slope;
+  DimVec slope;
 
   /// Field-wise equality.
   bool operator==(const WireRecord&) const = default;

@@ -1,0 +1,179 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// DimVec: the inline/spill boundary, copy/move semantics and vector-subset
+// behavior the hot path depends on.
+
+#include "core/dim_vec.h"
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace plastream {
+namespace {
+
+TEST(DimVecTest, DefaultIsEmptyInline) {
+  DimVec v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.capacity(), DimVec::kInlineCapacity);
+}
+
+TEST(DimVecTest, StaysInlineUpToCapacity) {
+  DimVec v;
+  for (size_t i = 0; i < DimVec::kInlineCapacity; ++i) {
+    v.push_back(static_cast<double>(i));
+    EXPECT_TRUE(v.is_inline()) << "spilled at " << i;
+  }
+  EXPECT_EQ(v.size(), DimVec::kInlineCapacity);
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v[i], static_cast<double>(i));
+  }
+}
+
+TEST(DimVecTest, SpillsBeyondInlineCapacityAndPreservesValues) {
+  DimVec v;
+  const size_t n = DimVec::kInlineCapacity + 5;
+  for (size_t i = 0; i < n; ++i) v.push_back(static_cast<double>(i) * 0.5);
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_EQ(v.size(), n);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(v[i], static_cast<double>(i) * 0.5);
+}
+
+TEST(DimVecTest, ResizePreservesPrefixAndZeroFills) {
+  DimVec v{1.0, 2.0, 3.0};
+  v.resize(5);
+  EXPECT_EQ(v, (DimVec{1.0, 2.0, 3.0, 0.0, 0.0}));
+  v.resize(2);
+  EXPECT_EQ(v, (DimVec{1.0, 2.0}));
+  // Growing again after shrinking re-zeroes the exposed tail.
+  v.resize(3);
+  EXPECT_EQ(v, (DimVec{1.0, 2.0, 0.0}));
+}
+
+TEST(DimVecTest, ResizeAcrossTheSpillBoundary) {
+  DimVec v{1.0, 2.0};
+  v.resize(DimVec::kInlineCapacity + 3);
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_EQ(v[0], 1.0);
+  EXPECT_EQ(v[1], 2.0);
+  EXPECT_EQ(v[DimVec::kInlineCapacity + 2], 0.0);
+}
+
+TEST(DimVecTest, AssignAndClearKeepCapacity) {
+  DimVec v;
+  v.assign(4, 7.5);
+  EXPECT_EQ(v, (DimVec{7.5, 7.5, 7.5, 7.5}));
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_GE(v.capacity(), 4u);
+}
+
+TEST(DimVecTest, CopyInline) {
+  DimVec a{1.0, 2.0, 3.0};
+  DimVec b = a;
+  EXPECT_EQ(a, b);
+  b[0] = 9.0;
+  EXPECT_EQ(a[0], 1.0);  // deep copy
+}
+
+TEST(DimVecTest, CopySpilled) {
+  DimVec a;
+  for (size_t i = 0; i < 20; ++i) a.push_back(static_cast<double>(i));
+  DimVec b = a;
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.data(), b.data());
+}
+
+TEST(DimVecTest, CopyAssignReusesBuffer) {
+  DimVec a;
+  a.resize(20);  // heap buffer, capacity >= 20
+  const double* buffer = a.data();
+  DimVec small{1.0, 2.0};
+  a = small;
+  EXPECT_EQ(a, small);
+  EXPECT_EQ(a.data(), buffer);  // no reallocation for a smaller payload
+}
+
+TEST(DimVecTest, MoveInlineCopiesAndEmptiesSource) {
+  DimVec a{1.0, 2.0};
+  DimVec b = std::move(a);
+  EXPECT_EQ(b, (DimVec{1.0, 2.0}));
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): documented
+  EXPECT_TRUE(a.is_inline());
+}
+
+TEST(DimVecTest, MoveSpilledStealsBuffer) {
+  DimVec a;
+  for (size_t i = 0; i < 20; ++i) a.push_back(static_cast<double>(i));
+  const double* buffer = a.data();
+  DimVec b = std::move(a);
+  EXPECT_EQ(b.data(), buffer);  // stolen, not copied
+  EXPECT_EQ(b.size(), 20u);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): documented
+  EXPECT_TRUE(a.is_inline());
+  a.push_back(1.0);  // the source remains usable
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(DimVecTest, MoveAssignmentReleasesOldHeap) {
+  DimVec a;
+  a.resize(30);
+  DimVec b;
+  for (size_t i = 0; i < 20; ++i) b.push_back(2.0);
+  a = std::move(b);
+  EXPECT_EQ(a.size(), 20u);
+  EXPECT_EQ(a[7], 2.0);
+}
+
+TEST(DimVecTest, Equality) {
+  EXPECT_EQ(DimVec{}, DimVec{});
+  EXPECT_EQ((DimVec{1.0, 2.0}), (DimVec{1.0, 2.0}));
+  EXPECT_FALSE((DimVec{1.0, 2.0}) == (DimVec{1.0, 3.0}));
+  EXPECT_FALSE((DimVec{1.0}) == (DimVec{1.0, 1.0}));
+  // Inline vs spilled with equal contents still compares equal.
+  DimVec spilled;
+  spilled.reserve(20);
+  spilled.push_back(1.0);
+  spilled.push_back(2.0);
+  EXPECT_EQ(spilled, (DimVec{1.0, 2.0}));
+}
+
+TEST(DimVecTest, VectorBridgeAndToVector) {
+  const std::vector<double> source{3.0, 4.0, 5.0};
+  DimVec v = source;  // implicit bridge
+  EXPECT_EQ(v, (DimVec{3.0, 4.0, 5.0}));
+  EXPECT_EQ(v.ToVector(), source);
+}
+
+TEST(DimVecTest, ConvertsToSpan) {
+  DimVec v{1.0, 2.0, 3.0};
+  const std::span<const double> s = v;
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[1], 2.0);
+  EXPECT_EQ(s.data(), v.data());
+}
+
+TEST(DimVecTest, RangeForAndIterators) {
+  DimVec v{1.0, 2.0, 3.0};
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  EXPECT_EQ(sum, 6.0);
+  for (double& x : v) x *= 2.0;
+  EXPECT_EQ(v, (DimVec{2.0, 4.0, 6.0}));
+}
+
+TEST(DimVecTest, SelfAssignment) {
+  DimVec v{1.0, 2.0};
+  DimVec& alias = v;
+  v = alias;
+  EXPECT_EQ(v, (DimVec{1.0, 2.0}));
+  v = std::move(alias);
+  EXPECT_EQ(v, (DimVec{1.0, 2.0}));
+}
+
+}  // namespace
+}  // namespace plastream

@@ -160,7 +160,16 @@ TEST(StreamRoundTripTest, SlideFilterSegmentsSurviveTheWire) {
   ASSERT_TRUE(rx.Poll(&channel).ok());
   ASSERT_TRUE(rx.FinishStream().ok());
 
-  const auto local = filter->TakeSegments();
+  // A sinked filter hands everything to its sink; a sink-less shadow run
+  // over the same signal yields the reference segments (deterministic).
+  auto shadow = SlideFilter::Create(FilterOptions::Scalar(0.75),
+                                    SlideHullMode::kConvexHull)
+                    .value();
+  for (const DataPoint& p : signal.points) {
+    ASSERT_TRUE(shadow->Append(p).ok());
+  }
+  ASSERT_TRUE(shadow->Finish().ok());
+  const auto local = shadow->TakeSegments();
   ASSERT_EQ(rx.segments().size(), local.size());
   for (size_t k = 0; k < local.size(); ++k) {
     EXPECT_EQ(rx.segments()[k].connected_to_prev, local[k].connected_to_prev);
@@ -230,7 +239,14 @@ TEST(StreamRoundTripTest, BorrowedCodecDrivesTransmitterAndReceiver) {
   ASSERT_TRUE(rx.Poll(&channel).ok());
   ASSERT_TRUE(rx.FinishStream().ok());
   EXPECT_EQ(rx.records_received(), tx.records_sent());
-  EXPECT_EQ(rx.segments(), filter->TakeSegments());
+  auto shadow = SlideFilter::Create(FilterOptions::Scalar(0.6),
+                                    SlideHullMode::kConvexHull)
+                    .value();
+  for (const DataPoint& p : signal.points) {
+    ASSERT_TRUE(shadow->Append(p).ok());
+  }
+  ASSERT_TRUE(shadow->Finish().ok());
+  EXPECT_EQ(rx.segments(), shadow->TakeSegments());
   EXPECT_TRUE(tx.status().ok());
 }
 
