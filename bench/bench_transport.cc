@@ -1,0 +1,263 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Network-transport throughput and backpressure on loopback: the full
+// producer pipeline (filter -> codec -> ProducerClient) into an
+// in-process CollectorServer over tcp and uds, per codec; plus the
+// stalled-collector scenario proving the producer's memory stays
+// bounded — sends block (counted as backpressure stalls) instead of
+// buffering without limit.
+//
+//   $ ./build/bench_transport [--keys N] [--points N] [--json PATH]
+//
+// Gates (exit 1):
+//   * tcp loopback with the batch(n=256) codec sustains >= 100k
+//     points/sec through one connection
+//   * every networked run delivers all streams' FINISH to the collector
+//   * the stalled-collector producer queues no more than its unacked
+//     window (+ one frame) and observes >= 1 backpressure stall
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "datagen/random_walk.h"
+#include "stream/pipeline.h"
+#include "transport/collector_server.h"
+#include "transport/producer_client.h"
+#include "transport/socket_util.h"
+
+namespace plastream::bench {
+namespace {
+
+struct Config {
+  size_t keys = 8;
+  size_t points_per_key = 20000;
+  std::string json_path;
+  double min_tcp_batch_pps = 100000.0;
+};
+
+struct NetRun {
+  std::string transport;
+  std::string codec;
+  double seconds = 0.0;
+  double points_per_sec = 0.0;
+  size_t wire_bytes = 0;
+  bool delivered = false;  // collector applied every stream's FINISH
+};
+
+NetRun RunNet(const Config& config, const std::string& transport,
+              const std::string& codec,
+              const std::vector<std::string>& keys,
+              const std::vector<Signal>& signals) {
+  const std::string uds_path = "/tmp/plastream_bench_transport.sock";
+  const std::string listen_spec =
+      transport == "tcp" ? std::string("tcp(host=127.0.0.1,port=0)")
+                         : "uds(path=" + uds_path + ")";
+  auto server =
+      ValueOrDie(CollectorServer::Listen(listen_spec), "Collector::Listen");
+  std::thread serving([&] { CheckOk(server->Serve(), "Collector::Serve"); });
+
+  auto pipeline = ValueOrDie(Pipeline::Builder()
+                                 .DefaultSpec("slide(eps=0.5)")
+                                 .Codec(codec)
+                                 .Transport(server->endpoint())
+                                 .Build(),
+                             "Pipeline::Build");
+
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t j = 0; j < config.points_per_key; ++j) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      CheckOk(pipeline->Append(keys[k], signals[k].points[j]),
+              "Pipeline::Append");
+    }
+  }
+  CheckOk(pipeline->Finish(), "Pipeline::Finish");
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+
+  NetRun run;
+  run.transport = transport;
+  run.codec = codec;
+  run.seconds = elapsed.count();
+  run.points_per_sec =
+      static_cast<double>(keys.size() * config.points_per_key) /
+      elapsed.count();
+  run.wire_bytes = pipeline->Stats().transport.bytes_sent;
+  run.delivered = server->GetStats().streams_finished == keys.size();
+
+  server->Shutdown();
+  serving.join();
+  if (transport == "uds") std::remove(uds_path.c_str());
+  return run;
+}
+
+struct StallRun {
+  size_t frames_accepted = 0;   // SendFrame calls that returned
+  size_t window_bytes = 0;      // configured unacked bound
+  size_t frame_bytes = 0;
+  uint64_t backpressure_stalls = 0;
+  bool bounded = false;  // accepted payload never outgrew the window
+};
+
+// A listener that never accepts: the TCP handshake completes via the
+// backlog, the socket buffers fill, and the producer's unacked window is
+// the only buffer left — SendFrame must block at its bound.
+StallRun RunStalledCollector() {
+  StallRun run;
+  run.window_bytes = 64 * 1024;
+  run.frame_bytes = 1024;
+
+  auto listener =
+      ValueOrDie(TcpListen("127.0.0.1", 0), "TcpListen");
+  const uint16_t port = ValueOrDie(BoundTcpPort(listener), "BoundTcpPort");
+
+  ProducerClient::Options options;
+  options.max_unacked_bytes = run.window_bytes;
+  options.retries = 0;
+  auto client = ValueOrDie(
+      ProducerClient::Connect("tcp(host=127.0.0.1,port=" +
+                                  std::to_string(port) + ")",
+                              "frame", options),
+      "ProducerClient::Connect");
+  const uint32_t stream =
+      ValueOrDie(client->OpenStream("stalled", 1), "OpenStream");
+
+  // Unblock the (expected) stalled send after a grace period.
+  std::thread watchdog([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    client->Abort();
+  });
+
+  const std::vector<uint8_t> frame(run.frame_bytes, 0x5A);
+  for (size_t i = 0; i < 100000; ++i) {
+    if (!client->SendFrame(stream, frame).ok()) break;
+    ++run.frames_accepted;
+  }
+  watchdog.join();
+
+  const ProducerClient::Stats stats = client->GetStats();
+  run.backpressure_stalls = stats.backpressure_stalls;
+  // Memory bound: every accepted frame sits in the unacked buffer (the
+  // collector never ACKs), so accepted payload must stay within the
+  // window plus the one frame a blocked send holds.
+  run.bounded = run.frames_accepted * run.frame_bytes <=
+                run.window_bytes + 2 * run.frame_bytes;
+  return run;
+}
+
+int Main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value after %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--keys") == 0) {
+      config.keys = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--points") == 0) {
+      config.points_per_key = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      config.json_path = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_transport [--keys N] [--points N] "
+                   "[--json PATH]\n");
+      return 2;
+    }
+  }
+
+  std::vector<std::string> keys;
+  std::vector<Signal> signals;
+  for (size_t i = 0; i < config.keys; ++i) {
+    keys.push_back("host" + std::to_string(i) + ".metric");
+    RandomWalkOptions walk;
+    walk.count = config.points_per_key;
+    walk.max_delta = 0.8;
+    walk.seed = 4000 + i;
+    signals.push_back(ValueOrDie(GenerateRandomWalk(walk), "random walk"));
+  }
+
+  std::printf("Transport loopback: %zu keys x %zu points through one "
+              "connection\n\n",
+              config.keys, config.points_per_key);
+  std::printf("%-6s %-14s %10s %16s %14s %10s\n", "wire", "codec",
+              "seconds", "points/sec", "wire-bytes", "finish");
+
+  std::vector<NetRun> runs;
+  double tcp_batch_pps = 0.0;
+  bool all_delivered = true;
+  for (const char* transport : {"uds", "tcp"}) {
+    for (const char* codec : {"frame", "delta", "batch(n=256)"}) {
+      const NetRun run = RunNet(config, transport, codec, keys, signals);
+      runs.push_back(run);
+      all_delivered = all_delivered && run.delivered;
+      if (run.transport == "tcp" && run.codec == "batch(n=256)") {
+        tcp_batch_pps = run.points_per_sec;
+      }
+      std::printf("%-6s %-14s %10.3f %16.0f %14zu %10s\n",
+                  run.transport.c_str(), run.codec.c_str(), run.seconds,
+                  run.points_per_sec, run.wire_bytes,
+                  run.delivered ? "applied" : "LOST");
+    }
+  }
+
+  const StallRun stall = RunStalledCollector();
+  std::printf("\nstalled collector: %zu x %zu-byte frames accepted into a "
+              "%zu-byte window, %llu backpressure stalls -> %s\n",
+              stall.frames_accepted, stall.frame_bytes, stall.window_bytes,
+              static_cast<unsigned long long>(stall.backpressure_stalls),
+              stall.bounded ? "bounded" : "UNBOUNDED");
+
+  const bool throughput_ok = tcp_batch_pps >= config.min_tcp_batch_pps;
+  const bool stall_ok = stall.bounded && stall.backpressure_stalls >= 1;
+  std::printf("\nshape: tcp+batch(n=256) %.0f points/sec (gate %.0f) %s; "
+              "producer memory under a stalled collector is %s\n",
+              tcp_batch_pps, config.min_tcp_batch_pps,
+              throughput_ok ? "OK" : "FAIL",
+              stall_ok ? "bounded" : "NOT BOUNDED");
+
+  if (!config.json_path.empty()) {
+    std::FILE* out = std::fopen(config.json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", config.json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"bench\": \"transport\",\n  \"keys\": %zu,\n"
+                 "  \"points_per_key\": %zu,\n  \"results\": [\n",
+                 config.keys, config.points_per_key);
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const NetRun& run = runs[i];
+      std::fprintf(out,
+                   "    {\"transport\": \"%s\", \"codec\": \"%s\", "
+                   "\"seconds\": %.6f, \"points_per_sec\": %.0f, "
+                   "\"wire_bytes\": %zu, \"delivered\": %s}%s\n",
+                   run.transport.c_str(), run.codec.c_str(), run.seconds,
+                   run.points_per_sec, run.wire_bytes,
+                   run.delivered ? "true" : "false",
+                   i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(out,
+                 "  ],\n  \"stalled_collector\": {\"frames_accepted\": %zu, "
+                 "\"window_bytes\": %zu, \"backpressure_stalls\": %llu, "
+                 "\"bounded\": %s}\n}\n",
+                 stall.frames_accepted, stall.window_bytes,
+                 static_cast<unsigned long long>(stall.backpressure_stalls),
+                 stall.bounded ? "true" : "false");
+    std::fclose(out);
+    std::printf("wrote %s\n", config.json_path.c_str());
+  }
+  return throughput_ok && all_delivered && stall_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace plastream::bench
+
+int main(int argc, char** argv) { return plastream::bench::Main(argc, argv); }

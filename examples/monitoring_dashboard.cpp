@@ -66,6 +66,17 @@ int main() {
               static_cast<double>(stats.bytes_raw) /
                   static_cast<double>(stats.bytes_sent));
 
+  // The same Stats() call carries the transport counters. This example
+  // runs on the default inproc transport, so they are zero; point the
+  // Builder at Transport("tcp(host=...,port=...)") and the identical
+  // dashboard reports the network's health (see examples/net_producer).
+  std::printf("transport: %zu bytes sent, %zu frames resent, "
+              "%zu reconnects, %zu backpressure stalls\n\n",
+              static_cast<size_t>(stats.transport.bytes_sent),
+              static_cast<size_t>(stats.transport.frames_resent),
+              static_cast<size_t>(stats.transport.reconnects),
+              static_cast<size_t>(stats.transport.backpressure_stalls));
+
   // Per-key archive sizes come straight from Stats() — no need to walk
   // the stores.
   for (const auto& key_stats : stats.per_key) {

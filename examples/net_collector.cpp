@@ -1,0 +1,144 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// The collector half of a networked plastream deployment: listens on a
+// tcp/uds endpoint, multiplexes every producer connection onto per-key
+// decode + archive state, and answers for the segments afterwards. Pair
+// it with examples/net_producer on the other end of the socket.
+//
+//   terminal 1:  ./build/net_collector --expect-streams 4 --dump
+//   terminal 2:  ./build/net_producer --keys 4
+//
+// (both default to tcp(host=127.0.0.1,port=9099); pass --listen /
+// --connect to change the endpoint)
+//
+// The collector exits once --expect-streams streams have delivered their
+// FINISH (or on SIGINT/SIGTERM), printing one line per stream to stderr.
+// With --dump it prints every archived segment to stdout in %a hex floats
+// — a byte-exact textual form the chaos CI script diffs against an
+// uninterrupted run. --chaos-drop-ms N hard-closes every producer
+// connection every N milliseconds to exercise reconnect-and-resume.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "plastream.h"
+
+using namespace plastream;
+
+namespace {
+
+std::atomic<bool> g_interrupted{false};
+
+void OnSignal(int) { g_interrupted.store(true); }
+
+void DumpSegments(const CollectorServer& server) {
+  // %a renders doubles exactly, so equal segments produce equal lines.
+  for (const std::string& key : server.Keys()) {
+    const auto segments = server.Segments(key);
+    if (!segments.ok()) continue;
+    for (const Segment& s : segments.value()) {
+      std::printf("%s %a %a %d", key.c_str(), s.t_start, s.t_end,
+                  s.connected_to_prev ? 1 : 0);
+      for (size_t d = 0; d < s.dimensions(); ++d) {
+        std::printf(" %a %a", s.x_start[d], s.x_end[d]);
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string listen_spec = "tcp(host=127.0.0.1,port=9099)";
+  std::string storage_spec = "memory";
+  size_t expect_streams = 0;
+  long chaos_drop_ms = 0;
+  bool dump = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--listen" && i + 1 < argc) {
+      listen_spec = argv[++i];
+    } else if (arg == "--storage" && i + 1 < argc) {
+      storage_spec = argv[++i];
+    } else if (arg == "--expect-streams" && i + 1 < argc) {
+      expect_streams = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (arg == "--chaos-drop-ms" && i + 1 < argc) {
+      chaos_drop_ms = std::atol(argv[++i]);
+    } else if (arg == "--dump") {
+      dump = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: net_collector [--listen SPEC] [--storage SPEC]\n"
+                   "                     [--expect-streams N] "
+                   "[--chaos-drop-ms N] [--dump]\n");
+      return 2;
+    }
+  }
+
+  CollectorServer::Options options;
+  options.storage_spec = storage_spec;
+  auto listened = CollectorServer::Listen(listen_spec, options);
+  if (!listened.ok()) {
+    std::fprintf(stderr, "listen failed: %s\n",
+                 listened.status().message().c_str());
+    return 1;
+  }
+  CollectorServer& server = *listened.value();
+  std::fprintf(stderr, "listening on %s\n", server.endpoint().c_str());
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  std::thread serving([&] {
+    const Status status = server.Serve();
+    if (!status.ok()) {
+      std::fprintf(stderr, "serve failed: %s\n", status.message().c_str());
+    }
+  });
+
+  // Wait for the expected FINISHes (or a signal), optionally severing
+  // every connection on a timer so producers must reconnect and resume.
+  auto last_drop = std::chrono::steady_clock::now();
+  while (!g_interrupted.load()) {
+    const CollectorServer::Stats stats = server.GetStats();
+    if (expect_streams > 0 && stats.streams_finished >= expect_streams) {
+      break;
+    }
+    if (chaos_drop_ms > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_drop >= std::chrono::milliseconds(chaos_drop_ms)) {
+        server.DropConnections();
+        last_drop = now;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  server.Shutdown();
+  serving.join();
+
+  const CollectorServer::Stats stats = server.GetStats();
+  std::fprintf(stderr,
+               "collected %zu streams (%zu finished) over %zu connections: "
+               "%zu frames applied, %zu deduped resends, %zu records, "
+               "%zu bytes received, %zu drops\n",
+               stats.streams, stats.streams_finished,
+               stats.connections_accepted, stats.frames_applied,
+               stats.frames_deduped, stats.records_applied,
+               stats.bytes_received, stats.connections_dropped);
+  for (const std::string& key : server.Keys()) {
+    const auto segments = server.Segments(key);
+    const Status key_status = server.KeyStatus(key);
+    std::fprintf(stderr, "  %-12s %5zu segments%s%s\n", key.c_str(),
+                 segments.ok() ? segments.value().size() : 0,
+                 key_status.ok() ? "" : "  ERROR: ",
+                 key_status.ok() ? "" : key_status.message().c_str());
+  }
+  if (dump) DumpSegments(server);
+  return 0;
+}

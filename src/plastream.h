@@ -47,5 +47,8 @@
 #include "stream/pipeline.h"
 #include "stream/sharded_filter_bank.h"
 #include "stream/wire_codec.h"
+#include "transport/collector_server.h"
+#include "transport/producer_client.h"
+#include "transport/transport.h"
 
 #endif  // PLASTREAM_PLASTREAM_H_

@@ -1,0 +1,71 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "stream/frame_splitter.h"
+
+#include <cstring>
+#include <string>
+
+#include "stream/wire_bytes.h"
+
+namespace plastream {
+
+FrameSplitter::FrameSplitter(size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {}
+
+Status FrameSplitter::Feed(std::span<const uint8_t> bytes) {
+  if (!status_.ok()) return status_;
+  // Spans handed out by NextFrame are only valid until the next Feed, so
+  // this is the one safe moment to drop the consumed prefix — compacting
+  // here keeps the buffer proportional to the unpopped backlog.
+  if (consumed_ > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+    scanned_ -= consumed_;
+    consumed_ = 0;
+  }
+  if (!bytes.empty()) {
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  }
+  Scan();
+  return status_;
+}
+
+void FrameSplitter::Scan() {
+  if (status_.ok()) {
+    while (scanned_ + 4 <= buffer_.size()) {
+      const uint32_t length = GetU32(buffer_.data() + scanned_);
+      if (length == 0 || length > max_frame_bytes_) {
+        status_ = Status::Corruption(
+            "frame length " + std::to_string(length) + " outside (0, " +
+            std::to_string(max_frame_bytes_) + "] — byte stream corrupt");
+        // The buffer is not cleared here: intact frames before the corrupt
+        // prefix are still poppable and a span NextFrame just handed out
+        // may still alias it. Reset() discards everything.
+        break;
+      }
+      if (buffer_.size() - scanned_ - 4 < length) break;
+      scanned_ += 4 + static_cast<size_t>(length);
+    }
+  }
+  has_frame_ = scanned_ > consumed_;
+}
+
+std::span<const uint8_t> FrameSplitter::NextFrame() {
+  const uint32_t length = GetU32(buffer_.data() + consumed_);
+  const std::span<const uint8_t> frame(buffer_.data() + consumed_ + 4,
+                                       length);
+  consumed_ += 4 + static_cast<size_t>(length);
+  ++frames_split_;
+  Scan();
+  return frame;
+}
+
+void FrameSplitter::Reset() {
+  buffer_.clear();
+  consumed_ = 0;
+  scanned_ = 0;
+  has_frame_ = false;
+  status_ = Status::OK();
+}
+
+}  // namespace plastream

@@ -1,0 +1,88 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// FrameSplitter: the one place partial reads become whole frames. A byte
+// stream (a TCP/UDS socket, a file tail) delivers length-prefixed frames
+// in arbitrary chunks — half a length here, three frames and a torn
+// prefix there. Both ends of the network transport (the collector
+// server's connection reader and the producer client's ack reader) feed
+// their raw reads through a FrameSplitter and pop complete frames, so
+// reassembly and corrupt-length rejection are implemented exactly once;
+// the Receiver then applies each popped frame the same way it applies a
+// whole Channel frame (Receiver::ApplyFrame).
+//
+// Framing: every frame is a 4-byte little-endian payload length followed
+// by that many payload bytes. A declared length of zero or above the
+// configured bound is Corruption — the stream is unrecoverable past a bad
+// length (there is no resynchronization point), so the error is sticky.
+
+#ifndef PLASTREAM_STREAM_FRAME_SPLITTER_H_
+#define PLASTREAM_STREAM_FRAME_SPLITTER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace plastream {
+
+/// Incremental reassembler of u32-length-prefixed frames from a byte
+/// stream delivered in arbitrary chunks.
+class FrameSplitter {
+ public:
+  /// The default per-frame payload bound (16 MiB) — far above any frame a
+  /// plastream codec emits, low enough that a corrupt length cannot ask
+  /// for gigabytes of buffer.
+  static constexpr size_t kDefaultMaxFrameBytes = 16 * 1024 * 1024;
+
+  /// A splitter accepting payloads up to `max_frame_bytes`.
+  explicit FrameSplitter(size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  /// Appends one chunk of the byte stream. Errors with Corruption (sticky)
+  /// as soon as any buffered length prefix declares a zero length or one
+  /// above the bound; intact frames before the corrupt prefix remain
+  /// poppable, bytes after it are dropped.
+  Status Feed(std::span<const uint8_t> bytes);
+
+  /// True when a complete frame is ready to pop. False after corruption.
+  bool HasFrame() const { return has_frame_; }
+
+  /// Pops the frame at the front of the stream. Requires HasFrame(); the
+  /// span points into internal storage and is valid until the next Feed,
+  /// NextFrame or Reset call.
+  std::span<const uint8_t> NextFrame();
+
+  /// The sticky stream status: OK, or the Corruption that ended it.
+  const Status& status() const { return status_; }
+
+  /// Bytes buffered but not yet popped (reassembly backlog, including
+  /// length prefixes) — the splitter's contribution to a bounded
+  /// per-connection read buffer.
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+  /// Complete frames popped so far.
+  size_t frames_split() const { return frames_split_; }
+
+  /// Forgets buffered bytes and clears a sticky error — for reusing the
+  /// splitter on a brand-new stream (e.g. a reconnected socket).
+  void Reset();
+
+ private:
+  // Walks every not-yet-validated length prefix in the buffer, advancing
+  // scanned_ over complete frames — so a corrupt length is reported by
+  // the Feed that buffers it, even while intact frames ahead of it are
+  // still unpopped.
+  void Scan();
+
+  size_t max_frame_bytes_;
+  std::vector<uint8_t> buffer_;
+  size_t consumed_ = 0;      // bytes of buffer_ already popped
+  size_t scanned_ = 0;       // bytes covered by validated complete frames
+  bool has_frame_ = false;   // front length prefix + payload complete
+  size_t frames_split_ = 0;
+  Status status_ = Status::OK();
+};
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_STREAM_FRAME_SPLITTER_H_

@@ -10,7 +10,8 @@ namespace plastream {
 Pipeline::Builder::Builder()
     : registry_(&FilterRegistry::Global()),
       codec_registry_(&CodecRegistry::Global()),
-      storage_registry_(&StorageRegistry::Global()) {}
+      storage_registry_(&StorageRegistry::Global()),
+      transport_registry_(&TransportRegistry::Global()) {}
 
 Pipeline::Builder& Pipeline::Builder::DefaultSpec(FilterSpec spec) {
   default_spec_ = std::move(spec);
@@ -110,6 +111,26 @@ Pipeline::Builder& Pipeline::Builder::WithCodecRegistry(
   return *this;
 }
 
+Pipeline::Builder& Pipeline::Builder::Transport(FilterSpec spec) {
+  transport_spec_ = std::move(spec);
+  return *this;
+}
+
+Pipeline::Builder& Pipeline::Builder::Transport(std::string_view spec_text) {
+  auto parsed = FilterSpec::Parse(spec_text);
+  if (!parsed.ok()) {
+    if (deferred_.ok()) deferred_ = parsed.status();
+    return *this;
+  }
+  return Transport(std::move(parsed).value());
+}
+
+Pipeline::Builder& Pipeline::Builder::WithTransportRegistry(
+    const TransportRegistry* registry) {
+  transport_registry_ = registry;
+  return *this;
+}
+
 Pipeline::Builder& Pipeline::Builder::Shards(size_t n) {
   shards_ = n;
   return *this;
@@ -142,6 +163,9 @@ Result<std::unique_ptr<Pipeline>> Pipeline::Builder::Build() {
   if (storage_registry_ == nullptr) {
     return Status::InvalidArgument("Pipeline storage registry is null");
   }
+  if (transport_registry_ == nullptr) {
+    return Status::InvalidArgument("Pipeline transport registry is null");
+  }
   if (!default_spec_.has_value() && per_key_.empty() && prefixes_.empty()) {
     return Status::InvalidArgument(
         "Pipeline has no filter specs: call DefaultSpec, PerKeySpec or "
@@ -172,11 +196,29 @@ Result<std::unique_ptr<Pipeline>> Pipeline::Builder::Build() {
   codec_spec.family = "frame";
   if (codec_spec_.has_value()) codec_spec = *codec_spec_;
   PLASTREAM_RETURN_NOT_OK(codec_registry_->MakeCodec(codec_spec).status());
+  // The transport is built AND connected here: an unknown family, a bad
+  // endpoint spec or an unreachable collector all fail the build. The
+  // default "inproc" transport keeps everything in-process.
+  FilterSpec transport_spec;
+  transport_spec.family = "inproc";
+  if (transport_spec_.has_value()) transport_spec = *transport_spec_;
+  PLASTREAM_ASSIGN_OR_RETURN(
+      auto transport, transport_registry_->MakeTransport(transport_spec));
+  if (transport->remote() && storage_spec_.has_value() &&
+      storage_spec_->family != "none") {
+    return Status::InvalidArgument(
+        "Storage('" + storage_spec_->Format() +
+        "') conflicts with remote transport '" + transport_spec.Format() +
+        "': the collector owns the archives — configure storage there, or "
+        "pass Storage(\"none\")");
+  }
+  PLASTREAM_RETURN_NOT_OK(transport->Connect(codec_spec.Format()));
   // The storage backend is built AND opened here: an unknown backend, a
   // bad parameter, an unwritable path or an unrecoverable archive all
   // fail the build. File backends run crash recovery inside Open().
+  // With a remote transport there is nothing to archive locally.
   FilterSpec storage_spec;
-  storage_spec.family = "memory";
+  storage_spec.family = transport->remote() ? "none" : "memory";
   if (storage_spec_.has_value()) storage_spec = *storage_spec_;
   PLASTREAM_ASSIGN_OR_RETURN(auto storage,
                              storage_registry_->MakeBackend(storage_spec));
@@ -188,7 +230,9 @@ Result<std::unique_ptr<Pipeline>> Pipeline::Builder::Build() {
   return std::unique_ptr<Pipeline>(new Pipeline(
       std::move(default_spec_), std::move(per_key_), std::move(prefixes_),
       registry_, std::move(codec_spec), codec_registry_,
-      std::move(storage_spec), std::move(storage), std::move(bank_options)));
+      std::move(storage_spec), std::move(storage),
+      std::move(transport_spec), std::move(transport),
+      std::move(bank_options)));
 }
 
 Pipeline::Pipeline(std::optional<FilterSpec> default_spec,
@@ -198,6 +242,8 @@ Pipeline::Pipeline(std::optional<FilterSpec> default_spec,
                    const CodecRegistry* codec_registry,
                    FilterSpec storage_spec,
                    std::unique_ptr<StorageBackend> storage,
+                   FilterSpec transport_spec,
+                   std::unique_ptr<class Transport> transport,
                    ShardedFilterBank::Options bank_options)
     : default_spec_(std::move(default_spec)),
       per_key_(std::move(per_key)),
@@ -206,7 +252,9 @@ Pipeline::Pipeline(std::optional<FilterSpec> default_spec,
       codec_spec_(std::move(codec_spec)),
       codec_registry_(codec_registry),
       storage_spec_(std::move(storage_spec)),
-      storage_(std::move(storage)) {
+      storage_(std::move(storage)),
+      transport_spec_(std::move(transport_spec)),
+      transport_(std::move(transport)) {
   stream_shards_.reserve(bank_options.shards);
   for (size_t i = 0; i < bank_options.shards; ++i) {
     stream_shards_.push_back(std::make_unique<StreamShard>());
@@ -226,13 +274,22 @@ Pipeline::Pipeline(std::optional<FilterSpec> default_spec,
     PLASTREAM_ASSIGN_OR_RETURN(stream->codec,
                                codec_registry_->MakeCodec(codec_spec_));
     stream->transmitter.emplace(&stream->channel, stream->codec.get());
-    stream->receiver.emplace(stream->codec.get());
-    // The backend hands back this stream's archive handle (or nullptr
-    // for "none"); a file backend that recovered the key returns the
-    // handle with every pre-crash segment already queryable.
-    PLASTREAM_ASSIGN_OR_RETURN(
-        stream->storage,
-        storage_->OpenStream(key, spec.options.epsilon.size()));
+    if (transport_->remote()) {
+      // Frames leave through the transport; the collector decodes and
+      // archives. DrainKey forwards the channel into the link.
+      PLASTREAM_ASSIGN_OR_RETURN(
+          stream->link,
+          transport_->OpenLink(
+              key, static_cast<uint16_t>(spec.options.epsilon.size())));
+    } else {
+      stream->receiver.emplace(stream->codec.get());
+      // The backend hands back this stream's archive handle (or nullptr
+      // for "none"); a file backend that recovered the key returns the
+      // handle with every pre-crash segment already queryable.
+      PLASTREAM_ASSIGN_OR_RETURN(
+          stream->storage,
+          storage_->OpenStream(key, spec.options.epsilon.size()));
+    }
     return registry_->MakeFilter(spec, &*stream->transmitter);
   };
   bank_options.post_append = [this](std::string_view key) {
@@ -302,12 +359,22 @@ Status Pipeline::Flush() {
     }
   }
   // Durability point: everything archived so far reaches the backend's
-  // medium before Flush returns.
+  // medium — and, over a remote transport, everything sent is
+  // acknowledged by the collector — before Flush returns.
+  PLASTREAM_RETURN_NOT_OK(transport_->Flush());
   return storage_->Flush();
 }
 
 Status Pipeline::Drain(Stream& stream) {
   PLASTREAM_RETURN_NOT_OK(stream.transmitter->status());
+  if (stream.link != nullptr) {
+    // Remote: every queued frame goes out over the transport, which may
+    // block on backpressure and reconnect under the hood.
+    while (std::optional<std::vector<uint8_t>> frame = stream.channel.Pop()) {
+      PLASTREAM_RETURN_NOT_OK(stream.link->SendFrame(*frame));
+    }
+    return Status::OK();
+  }
   PLASTREAM_RETURN_NOT_OK(stream.receiver->Poll(&stream.channel));
   if (stream.storage == nullptr) return Status::OK();
   const std::vector<Segment>& segments = stream.receiver->segments();
@@ -328,13 +395,20 @@ Status Pipeline::Finish() {
     const std::lock_guard<std::mutex> lock(shard->mutex);
     for (auto& [key, stream] : shard->streams) {
       PLASTREAM_RETURN_NOT_OK(stream.transmitter->Flush());
+      if (stream.link != nullptr) {
+        PLASTREAM_RETURN_NOT_OK(Drain(stream));
+        PLASTREAM_RETURN_NOT_OK(stream.link->Finish());
+        continue;
+      }
       PLASTREAM_RETURN_NOT_OK(stream.receiver->Poll(&stream.channel));
       PLASTREAM_RETURN_NOT_OK(stream.receiver->FinishStream());
       PLASTREAM_RETURN_NOT_OK(Drain(stream));
     }
   }
   finished_ = true;
-  // Finalize the archive medium; the in-memory stores stay queryable.
+  // Wait for the collector's acknowledgment of every frame (remote), then
+  // finalize the archive medium; the in-memory stores stay queryable.
+  PLASTREAM_RETURN_NOT_OK(transport_->Flush());
   return storage_->Close();
 }
 
@@ -359,6 +433,11 @@ const Pipeline::Stream* Pipeline::Find(std::string_view key) const {
 }
 
 Result<std::vector<Segment>> Pipeline::Segments(std::string_view key) const {
+  if (transport_->remote()) {
+    return Status::FailedPrecondition(
+        "segments live on the collector with a remote transport ('" +
+        transport_spec_.Format() + "'); query the CollectorServer");
+  }
   const Stream* stream = Find(key);
   if (stream == nullptr) {
     return Status::NotFound("unknown stream '" + std::string(key) + "'");
@@ -368,6 +447,11 @@ Result<std::vector<Segment>> Pipeline::Segments(std::string_view key) const {
 
 Result<PiecewiseLinearFunction> Pipeline::Reconstruction(
     std::string_view key) const {
+  if (transport_->remote()) {
+    return Status::FailedPrecondition(
+        "segments live on the collector with a remote transport ('" +
+        transport_spec_.Format() + "'); query the CollectorServer");
+  }
   const Stream* stream = Find(key);
   if (stream == nullptr) {
     return Status::NotFound("unknown stream '" + std::string(key) + "'");
@@ -406,7 +490,11 @@ Result<Pipeline::StreamStats> Pipeline::StatsFor(std::string_view key) const {
   StreamStats stats;
   const Filter* filter = bank_->GetFilter(key);
   if (filter != nullptr) stats.points = filter->points_seen();
-  stats.segments = stream->receiver->segments().size();
+  // Remote streams have no local receiver; their segments are counted by
+  // the collector.
+  if (stream->receiver.has_value()) {
+    stats.segments = stream->receiver->segments().size();
+  }
   stats.records_sent = stream->transmitter->records_sent();
   stats.frames_sent = stream->channel.frames_sent();
   stats.bytes_sent = stream->channel.bytes_sent();
@@ -429,7 +517,9 @@ Pipeline::PipelineStats Pipeline::Stats() const {
     key_stats.key = key;
     const Stream* stream = Find(key);
     if (stream != nullptr) {
-      stats.segments += stream->receiver->segments().size();
+      if (stream->receiver.has_value()) {
+        stats.segments += stream->receiver->segments().size();
+      }
       stats.records_sent += stream->transmitter->records_sent();
       stats.frames_sent += stream->channel.frames_sent();
       stats.bytes_sent += stream->channel.bytes_sent();
@@ -456,6 +546,7 @@ Pipeline::PipelineStats Pipeline::Stats() const {
   // Backend-level total (includes framing a stream cannot be billed for,
   // e.g. the archive header).
   stats.storage_bytes = static_cast<size_t>(storage_->bytes_written());
+  stats.transport = transport_->GetStats();
   return stats;
 }
 

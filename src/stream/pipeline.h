@@ -42,6 +42,7 @@
 #include "stream/sharded_filter_bank.h"
 #include "stream/transmitter.h"
 #include "stream/wire_codec.h"
+#include "transport/transport.h"
 
 namespace plastream {
 
@@ -124,6 +125,23 @@ class Pipeline {
     /// `registry` is borrowed and must outlive the pipeline.
     Builder& WithCodecRegistry(const CodecRegistry* registry);
 
+    /// Where encoded frames go, as a transport spec (default "inproc" —
+    /// the in-process Channel → Receiver path; "tcp(host=...,port=...)"
+    /// or "uds(path=...)" ship them to a CollectorServer instead). With
+    /// a remote transport the collector owns decode and archive state:
+    /// Segments/Reconstruction error with FailedPrecondition, Store
+    /// returns nullptr, and Storage() must stay unset (or "none") — the
+    /// archive spec belongs to the collector. The transport connects at
+    /// Build(), so an unreachable collector fails the build.
+    Builder& Transport(FilterSpec spec);
+    /// Parses `spec_text`; a parse failure surfaces at Build().
+    Builder& Transport(std::string_view spec_text);
+
+    /// Uses `registry` for transport specs instead of
+    /// TransportRegistry::Global(); `registry` is borrowed and must
+    /// outlive the builder's Build() call.
+    Builder& WithTransportRegistry(const TransportRegistry* registry);
+
     /// Hash-partitions keys across `n` shards (default 1) so producers on
     /// different shards ingest in parallel. 0 is an error at Build().
     Builder& Shards(size_t n);
@@ -157,12 +175,14 @@ class Pipeline {
     std::vector<std::pair<std::string, FilterSpec>> prefixes_;
     std::optional<FilterSpec> codec_spec_;
     std::optional<FilterSpec> storage_spec_;
+    std::optional<FilterSpec> transport_spec_;
     size_t shards_ = 1;
     bool threaded_ = false;
     size_t queue_capacity_ = 1024;
     const FilterRegistry* registry_;
     const CodecRegistry* codec_registry_;
     const StorageRegistry* storage_registry_;
+    const TransportRegistry* transport_registry_;
   };
 
   /// Pipelines own per-stream transports and are not copyable.
@@ -260,6 +280,9 @@ class Pipeline {
     size_t bytes_sent = 0;         ///< encoded bytes on all channels
     size_t bytes_raw = 0;          ///< (t, X) doubles of the raw input
     size_t storage_bytes = 0;      ///< bytes on the storage backend's medium
+    /// Transport-level counters (socket bytes, resends, reconnects,
+    /// backpressure stalls). All zero for the default inproc transport.
+    TransportStats transport;
     std::vector<KeyStats> per_key;  ///< per-key archive stats, sorted by key
   };
   PipelineStats Stats() const;
@@ -274,8 +297,20 @@ class Pipeline {
   /// The codec spec every stream's transport uses (default "frame").
   const FilterSpec& CodecSpec() const { return codec_spec_; }
 
-  /// The storage spec the archives live behind (default "memory").
+  /// The storage spec the archives live behind (default "memory";
+  /// forced to "none" by a remote transport — the collector archives).
   const FilterSpec& StorageSpec() const { return storage_spec_; }
+
+  /// The transport spec frames leave through (default "inproc").
+  const FilterSpec& TransportSpec() const { return transport_spec_; }
+
+  /// The transport instance (for counters); never null.
+  const class Transport& GetTransport() const { return *transport_; }
+
+  /// True when frames leave the process (a tcp/uds transport): decode
+  /// and archive state live on the collector, so Segments,
+  /// Reconstruction and Store do not answer locally.
+  bool remote() const { return transport_->remote(); }
 
   /// The storage backend, for byte accounting and backend-specific
   /// inspection. Owned by the pipeline; never null.
@@ -294,9 +329,12 @@ class Pipeline {
     Channel channel;
     std::unique_ptr<WireCodec> codec;
     std::optional<Transmitter> transmitter;
+    // Local (inproc) path: decode + archive in-process.
     std::optional<Receiver> receiver;
     StreamStorage* storage = nullptr;  // borrowed; null for "none"
     size_t archived = 0;  // receiver segments already handed to storage
+    // Remote path: frames leave through the transport instead.
+    std::unique_ptr<TransportLink> link;
   };
 
   Pipeline(std::optional<FilterSpec> default_spec,
@@ -305,6 +343,8 @@ class Pipeline {
            const FilterRegistry* registry, FilterSpec codec_spec,
            const CodecRegistry* codec_registry, FilterSpec storage_spec,
            std::unique_ptr<StorageBackend> storage,
+           FilterSpec transport_spec,
+           std::unique_ptr<class Transport> transport,
            ShardedFilterBank::Options bank_options);
 
   // Decodes whatever the transmitter queued and archives new segments.
@@ -325,6 +365,8 @@ class Pipeline {
   const CodecRegistry* codec_registry_;
   FilterSpec storage_spec_;
   std::unique_ptr<StorageBackend> storage_;
+  FilterSpec transport_spec_;
+  std::unique_ptr<class Transport> transport_;
   // Stream state is partitioned exactly like the bank's keys, one map per
   // shard, so the per-point drain lookup and stream creation synchronize
   // only within a shard — appends on different shards share no lock. The

@@ -11,9 +11,10 @@
 //   *         = slide(eps=0.1)          ; default spec
 //
 //   [pipeline]
-//   codec   = delta(varint=true)
-//   storage = file(path=segments.plar,sync=flush)
-//   shards  = 4
+//   codec     = delta(varint=true)
+//   storage   = file(path=segments.plar,sync=flush)
+//   transport = tcp(host=collector,port=9099)   ; default inproc
+//   shards    = 4
 //
 // Top-level lines are `key-pattern = filter-spec`; a pattern is an exact
 // key, `prefix*` (longest prefix wins), or `*` alone (the default).
@@ -108,14 +109,16 @@ Pipeline::Builder& Pipeline::Builder::FromConfigString(
     }
 
     if (in_pipeline_section) {
-      if (key == "codec" || key == "storage") {
+      if (key == "codec" || key == "storage" || key == "transport") {
         auto spec = FilterSpec::Parse(value);
         if (!spec.ok()) {
           fail(line_no, std::string(key) + " spec: " + spec.status().message());
         } else if (key == "codec") {
           Codec(std::move(spec).value());
-        } else {
+        } else if (key == "storage") {
           Storage(std::move(spec).value());
+        } else {
+          Transport(std::move(spec).value());
         }
       } else if (key == "shards") {
         size_t shards = 0;
@@ -130,7 +133,7 @@ Pipeline::Builder& Pipeline::Builder::FromConfigString(
         }
       } else {
         fail(line_no, "unknown [pipeline] key '" + std::string(key) +
-                          "' (supported: codec, storage, shards)");
+                          "' (supported: codec, storage, transport, shards)");
       }
       continue;
     }

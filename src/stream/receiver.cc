@@ -17,11 +17,16 @@ Receiver::Receiver(WireCodec* codec) : codec_(codec) {}
 
 Status Receiver::Poll(Channel* channel) {
   while (auto frame = channel->Pop()) {
-    decoded_.clear();
-    PLASTREAM_RETURN_NOT_OK(codec_->Decode(*frame, &decoded_));
-    for (const WireRecord& record : decoded_) {
-      PLASTREAM_RETURN_NOT_OK(Apply(record));
-    }
+    PLASTREAM_RETURN_NOT_OK(ApplyFrame(*frame));
+  }
+  return Status::OK();
+}
+
+Status Receiver::ApplyFrame(std::span<const uint8_t> frame) {
+  decoded_.clear();
+  PLASTREAM_RETURN_NOT_OK(codec_->Decode(frame, &decoded_));
+  for (const WireRecord& record : decoded_) {
+    PLASTREAM_RETURN_NOT_OK(Apply(record));
   }
   return Status::OK();
 }

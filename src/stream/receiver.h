@@ -8,9 +8,11 @@
 #ifndef PLASTREAM_STREAM_RECEIVER_H_
 #define PLASTREAM_STREAM_RECEIVER_H_
 
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/result.h"
@@ -39,6 +41,14 @@ class Receiver {
   /// records each carries. Stops at the first corrupt frame with its
   /// Corruption status.
   Status Poll(Channel* channel);
+
+  /// Decodes one complete frame and applies the records it carries — the
+  /// unit Poll repeats per queued Channel frame. Byte-stream transports
+  /// (the network collector) reassemble partial reads with a
+  /// FrameSplitter and feed each popped frame here, so Channel-fed and
+  /// socket-fed streams share one decode path. Errors with Corruption on
+  /// a frame that fails validation; previously applied records stand.
+  Status ApplyFrame(std::span<const uint8_t> frame);
 
   /// Marks end-of-stream: a trailing segment-break becomes a point segment.
   Status FinishStream();

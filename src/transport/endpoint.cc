@@ -1,0 +1,83 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "transport/endpoint.h"
+
+#include <charconv>
+
+namespace plastream {
+namespace {
+
+// Parses a non-negative integer param; InvalidArgument on garbage.
+Status ParseSizeParam(const FilterSpec& spec, std::string_view key,
+                      uint64_t max, uint64_t* out) {
+  const std::string* value = spec.FindParam(key);
+  if (value == nullptr) return Status::OK();
+  uint64_t parsed = 0;
+  const auto [end, ec] = std::from_chars(
+      value->data(), value->data() + value->size(), parsed);
+  if (ec != std::errc() || end != value->data() + value->size() ||
+      parsed > max) {
+    return Status::InvalidArgument(
+        "transport spec '" + spec.Format() + "': " + std::string(key) +
+        " must be an integer in [0, " + std::to_string(max) + "], got '" +
+        *value + "'");
+  }
+  *out = parsed;
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string NetEndpoint::Format() const {
+  if (kind == Kind::kUds) return "uds(path=" + path + ")";
+  return "tcp(host=" + host + ",port=" + std::to_string(port) + ")";
+}
+
+Result<NetEndpoint> ParseNetEndpoint(const FilterSpec& spec) {
+  if (!spec.options.epsilon.empty() || spec.options.max_lag != 0) {
+    return Status::InvalidArgument(
+        "transport spec '" + spec.Format() +
+        "' carries filter options (eps/dims/max_lag)");
+  }
+  NetEndpoint endpoint;
+  if (spec.family == "tcp") {
+    endpoint.kind = NetEndpoint::Kind::kTcp;
+    PLASTREAM_RETURN_NOT_OK(spec.ExpectParamsIn(
+        {"host", "port", "max_unacked_kb", "retries", "backoff_ms"}));
+    if (const std::string* host = spec.FindParam("host")) {
+      endpoint.host = *host;
+    }
+    if (spec.FindParam("port") == nullptr) {
+      return Status::InvalidArgument("transport spec '" + spec.Format() +
+                                     "' needs a port= parameter");
+    }
+    uint64_t port = 0;
+    PLASTREAM_RETURN_NOT_OK(ParseSizeParam(spec, "port", 65535, &port));
+    endpoint.port = static_cast<uint16_t>(port);
+  } else if (spec.family == "uds") {
+    endpoint.kind = NetEndpoint::Kind::kUds;
+    PLASTREAM_RETURN_NOT_OK(spec.ExpectParamsIn(
+        {"path", "max_unacked_kb", "retries", "backoff_ms"}));
+    const std::string* path = spec.FindParam("path");
+    if (path == nullptr || path->empty()) {
+      return Status::InvalidArgument("transport spec '" + spec.Format() +
+                                     "' needs a path= parameter");
+    }
+    endpoint.path = *path;
+  } else {
+    return Status::InvalidArgument("'" + spec.family +
+                                   "' is not a network endpoint family "
+                                   "(expected tcp or uds)");
+  }
+  // Validate the producer-tuning keys here so both sides reject garbage
+  // early, even though only the producer client consumes them.
+  uint64_t ignored = 0;
+  PLASTREAM_RETURN_NOT_OK(
+      ParseSizeParam(spec, "max_unacked_kb", 1ULL << 32, &ignored));
+  PLASTREAM_RETURN_NOT_OK(ParseSizeParam(spec, "retries", 1000, &ignored));
+  PLASTREAM_RETURN_NOT_OK(
+      ParseSizeParam(spec, "backoff_ms", 60 * 1000, &ignored));
+  return endpoint;
+}
+
+}  // namespace plastream

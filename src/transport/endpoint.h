@@ -1,0 +1,51 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// NetEndpoint: the parsed form of a network transport spec — the one
+// grammar shared by producers (Pipeline::Builder::Transport,
+// ProducerClient) and collectors (CollectorServer::Listen):
+//
+//   "tcp(host=10.0.0.5,port=9099)"   TCP; host defaults to 127.0.0.1,
+//                                    port is required (0 = ephemeral,
+//                                    listen side only)
+//   "uds(path=/run/plastream.sock)"  Unix-domain stream socket
+//
+// Producer-side tuning keys (max_unacked_kb, retries, backoff_ms) are
+// part of the same grammar so one spec string can be pasted on either
+// side; the collector ignores them.
+
+#ifndef PLASTREAM_TRANSPORT_ENDPOINT_H_
+#define PLASTREAM_TRANSPORT_ENDPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "core/filter_spec.h"
+
+namespace plastream {
+
+/// A parsed tcp/uds endpoint.
+struct NetEndpoint {
+  /// Address family of the endpoint.
+  enum class Kind { kTcp, kUds };
+
+  Kind kind = Kind::kTcp;            ///< tcp or uds
+  std::string host = "127.0.0.1";    ///< tcp host (name or address)
+  uint16_t port = 0;                 ///< tcp port (0 = ephemeral listen)
+  std::string path;                  ///< uds socket path
+
+  /// The canonical endpoint spec string ("tcp(host=...,port=...)" or
+  /// "uds(path=...)").
+  std::string Format() const;
+};
+
+/// Parses the endpoint half of a transport spec whose family is "tcp" or
+/// "uds". Unknown params, filter options (eps/dims/max_lag), a missing
+/// port/path, or an out-of-range port are InvalidArgument; the
+/// producer-tuning keys are validated as present-and-numeric but not
+/// returned here.
+Result<NetEndpoint> ParseNetEndpoint(const FilterSpec& spec);
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_TRANSPORT_ENDPOINT_H_

@@ -1,0 +1,202 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "transport/net_protocol.h"
+
+#include <limits>
+
+#include "stream/wire_bytes.h"
+
+namespace plastream {
+namespace {
+
+// Appends v as 8 little-endian bytes.
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<uint8_t>((v >> shift) & 0xFF));
+  }
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+// Appends a u16-length-prefixed string.
+Status PutString16(std::vector<uint8_t>* out, std::string_view s) {
+  if (s.size() > std::numeric_limits<uint16_t>::max()) {
+    return Status::InvalidArgument("protocol string exceeds 64 KiB");
+  }
+  PutU16(out, static_cast<uint16_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+  return Status::OK();
+}
+
+// Begins a message body: the type byte. The length prefix is added by
+// AppendNetMessage once the body is complete.
+std::vector<uint8_t> Body(NetMessageType type) {
+  return {static_cast<uint8_t>(type)};
+}
+
+Status CheckLength(std::span<const uint8_t> payload, size_t need,
+                   const char* what) {
+  if (payload.size() < need) {
+    return Status::Corruption(std::string("truncated ") + what + " message");
+  }
+  return Status::OK();
+}
+
+// Length check plus the type byte — a parser refuses a payload of the
+// wrong message type instead of misreading its body.
+Status CheckHeader(std::span<const uint8_t> payload, size_t need,
+                   NetMessageType type, const char* what) {
+  PLASTREAM_RETURN_NOT_OK(CheckLength(payload, need, what));
+  if (payload[0] != static_cast<uint8_t>(type)) {
+    return Status::Corruption(std::string("not a ") + what + " message");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void AppendNetMessage(std::vector<uint8_t>* out,
+                      std::span<const uint8_t> payload) {
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+void AppendHelloMessage(std::vector<uint8_t>* out,
+                        std::string_view codec_spec) {
+  std::vector<uint8_t> body = Body(NetMessageType::kHello);
+  PutU32(&body, kNetMagic);
+  PutU16(&body, kNetProtocolVersion);
+  // Codec specs are short by construction; the bound cannot trip.
+  (void)PutString16(&body, codec_spec);
+  AppendNetMessage(out, body);
+}
+
+void AppendOpenStreamMessage(std::vector<uint8_t>* out, uint32_t stream_id,
+                             uint16_t dims, std::string_view key) {
+  std::vector<uint8_t> body = Body(NetMessageType::kOpenStream);
+  PutU32(&body, stream_id);
+  PutU16(&body, dims);
+  (void)PutString16(&body, key);
+  AppendNetMessage(out, body);
+}
+
+void AppendFrameMessage(std::vector<uint8_t>* out, uint32_t stream_id,
+                        uint64_t seq, std::span<const uint8_t> frame) {
+  std::vector<uint8_t> body = Body(NetMessageType::kFrame);
+  PutU32(&body, stream_id);
+  PutU64(&body, seq);
+  body.insert(body.end(), frame.begin(), frame.end());
+  AppendNetMessage(out, body);
+}
+
+void AppendFinishMessage(std::vector<uint8_t>* out, uint32_t stream_id,
+                         uint64_t seq) {
+  std::vector<uint8_t> body = Body(NetMessageType::kFinish);
+  PutU32(&body, stream_id);
+  PutU64(&body, seq);
+  AppendNetMessage(out, body);
+}
+
+void AppendAckMessage(std::vector<uint8_t>* out, uint32_t stream_id,
+                      uint64_t seq) {
+  std::vector<uint8_t> body = Body(NetMessageType::kAck);
+  PutU32(&body, stream_id);
+  PutU64(&body, seq);
+  AppendNetMessage(out, body);
+}
+
+void AppendErrorMessage(std::vector<uint8_t>* out, std::string_view reason) {
+  std::vector<uint8_t> body = Body(NetMessageType::kError);
+  body.insert(body.end(), reason.begin(), reason.end());
+  AppendNetMessage(out, body);
+}
+
+Result<NetMessageType> ParseMessageType(std::span<const uint8_t> payload) {
+  if (payload.empty()) {
+    return Status::Corruption("empty protocol message");
+  }
+  const uint8_t type = payload[0];
+  if (type < static_cast<uint8_t>(NetMessageType::kHello) ||
+      type > static_cast<uint8_t>(NetMessageType::kError)) {
+    return Status::Corruption("unknown protocol message type " +
+                              std::to_string(type));
+  }
+  return static_cast<NetMessageType>(type);
+}
+
+Result<NetHello> ParseHelloMessage(std::span<const uint8_t> payload) {
+  PLASTREAM_RETURN_NOT_OK(
+      CheckHeader(payload, 1 + 4 + 2 + 2, NetMessageType::kHello, "HELLO"));
+  if (GetU32(payload.data() + 1) != kNetMagic) {
+    return Status::Corruption("HELLO magic mismatch — not a plastream peer");
+  }
+  NetHello hello;
+  hello.version = GetU16(payload.data() + 5);
+  const size_t spec_len = GetU16(payload.data() + 7);
+  PLASTREAM_RETURN_NOT_OK(CheckLength(payload, 9 + spec_len, "HELLO"));
+  hello.codec_spec.assign(payload.begin() + 9,
+                          payload.begin() + 9 + spec_len);
+  return hello;
+}
+
+Result<NetOpenStream> ParseOpenStreamMessage(
+    std::span<const uint8_t> payload) {
+  PLASTREAM_RETURN_NOT_OK(CheckHeader(payload, 1 + 4 + 2 + 2,
+                                      NetMessageType::kOpenStream,
+                                      "OPEN_STREAM"));
+  NetOpenStream open;
+  open.stream_id = GetU32(payload.data() + 1);
+  open.dims = GetU16(payload.data() + 5);
+  const size_t key_len = GetU16(payload.data() + 7);
+  PLASTREAM_RETURN_NOT_OK(CheckLength(payload, 9 + key_len, "OPEN_STREAM"));
+  open.key.assign(payload.begin() + 9, payload.begin() + 9 + key_len);
+  if (open.key.empty()) {
+    return Status::Corruption("OPEN_STREAM with an empty key");
+  }
+  return open;
+}
+
+namespace {
+
+Result<NetFrameHead> ParseHead(std::span<const uint8_t> payload,
+                               NetMessageType type, const char* what,
+                               bool carries_frame) {
+  PLASTREAM_RETURN_NOT_OK(CheckHeader(payload, 1 + 4 + 8, type, what));
+  NetFrameHead head;
+  head.stream_id = GetU32(payload.data() + 1);
+  head.seq = GetU64(payload.data() + 5);
+  if (head.seq == 0) {
+    return Status::Corruption(std::string(what) + " with seq 0");
+  }
+  if (carries_frame) head.frame = payload.subspan(13);
+  return head;
+}
+
+}  // namespace
+
+Result<NetFrameHead> ParseFrameMessage(std::span<const uint8_t> payload) {
+  return ParseHead(payload, NetMessageType::kFrame, "FRAME",
+                   /*carries_frame=*/true);
+}
+
+Result<NetFrameHead> ParseFinishMessage(std::span<const uint8_t> payload) {
+  return ParseHead(payload, NetMessageType::kFinish, "FINISH",
+                   /*carries_frame=*/false);
+}
+
+Result<NetFrameHead> ParseAckMessage(std::span<const uint8_t> payload) {
+  return ParseHead(payload, NetMessageType::kAck, "ACK",
+                   /*carries_frame=*/false);
+}
+
+Result<std::string> ParseErrorMessage(std::span<const uint8_t> payload) {
+  PLASTREAM_RETURN_NOT_OK(
+      CheckHeader(payload, 1, NetMessageType::kError, "ERROR"));
+  return std::string(payload.begin() + 1, payload.end());
+}
+
+}  // namespace plastream

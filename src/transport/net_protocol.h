@@ -1,0 +1,109 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// The producer↔collector network protocol: how a pipeline's codec frames
+// cross a socket. One connection multiplexes many streams; every message
+// is a FrameSplitter frame (4-byte little-endian length prefix + payload)
+// whose payload starts with a one-byte type:
+//
+//   HELLO       producer→collector  magic, protocol version, codec spec
+//   OPEN_STREAM producer→collector  stream_id ↔ key binding + dimensions
+//   FRAME       producer→collector  stream_id, seq, one codec frame
+//   FINISH      producer→collector  stream_id, seq — end of stream
+//   ACK         collector→producer  stream_id, cumulative applied seq
+//   ERROR       collector→producer  human-readable reason, then close
+//
+// Reliability model: the producer numbers each stream's frames 1, 2, ...
+// and keeps every un-ACKed frame in a bounded resend buffer. The
+// collector applies frames in order, remembers each key's highest applied
+// seq *across connections*, and ACKs cumulatively. After a reconnect the
+// producer resends everything un-ACKed; the collector drops frames whose
+// seq it has already applied BEFORE they reach the codec, so the decode
+// byte stream — and with it the delta codec's chain state — continues
+// exactly where it left off. A FINISH occupies the stream's next seq so
+// its delivery is acknowledged like any frame.
+
+#ifndef PLASTREAM_TRANSPORT_NET_PROTOCOL_H_
+#define PLASTREAM_TRANSPORT_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace plastream {
+
+/// First payload byte of every protocol message.
+enum class NetMessageType : uint8_t {
+  kHello = 1,        ///< producer→collector: magic, version, codec spec
+  kOpenStream = 2,   ///< producer→collector: stream_id ↔ key, dims
+  kFrame = 3,        ///< producer→collector: stream_id, seq, codec frame
+  kFinish = 4,       ///< producer→collector: stream_id, seq (end of stream)
+  kAck = 5,          ///< collector→producer: stream_id, cumulative seq
+  kError = 6,        ///< collector→producer: reason string, then close
+};
+
+/// "PLST" — rejects non-plastream peers at the first message.
+inline constexpr uint32_t kNetMagic = 0x504C5354;
+/// Protocol version this build speaks.
+inline constexpr uint16_t kNetProtocolVersion = 1;
+/// Bound on one protocol message's payload (codec frames are far smaller).
+inline constexpr size_t kNetMaxMessageBytes = 4 * 1024 * 1024;
+
+/// Parsed kHello payload.
+struct NetHello {
+  uint16_t version = 0;    ///< peer's kNetProtocolVersion
+  std::string codec_spec;  ///< canonical codec spec of every stream
+};
+
+/// Parsed kOpenStream payload.
+struct NetOpenStream {
+  uint32_t stream_id = 0;  ///< connection-local id used by kFrame/kFinish
+  uint16_t dims = 0;       ///< stream dimensionality (for storage handles)
+  std::string key;         ///< the stream's pipeline key
+};
+
+/// Parsed kFrame / kFinish / kAck payload head. For kFrame, `frame` views
+/// the embedded codec frame (aliases the decoded message; copy to keep).
+struct NetFrameHead {
+  uint32_t stream_id = 0;  ///< which stream
+  uint64_t seq = 0;        ///< per-stream sequence number (1-based)
+  std::span<const uint8_t> frame;  ///< codec frame bytes (kFrame only)
+};
+
+/// Appends a complete length-prefixed message carrying `payload` to
+/// `*out` — the inverse of FrameSplitter::NextFrame.
+void AppendNetMessage(std::vector<uint8_t>* out,
+                      std::span<const uint8_t> payload);
+
+/// Message builders. Each appends one complete length-prefixed message
+/// (prefix, type byte, body) to `*out`, ready for a socket write.
+void AppendHelloMessage(std::vector<uint8_t>* out, std::string_view codec_spec);
+void AppendOpenStreamMessage(std::vector<uint8_t>* out, uint32_t stream_id,
+                             uint16_t dims, std::string_view key);
+void AppendFrameMessage(std::vector<uint8_t>* out, uint32_t stream_id,
+                        uint64_t seq, std::span<const uint8_t> frame);
+void AppendFinishMessage(std::vector<uint8_t>* out, uint32_t stream_id,
+                         uint64_t seq);
+void AppendAckMessage(std::vector<uint8_t>* out, uint32_t stream_id,
+                      uint64_t seq);
+void AppendErrorMessage(std::vector<uint8_t>* out, std::string_view reason);
+
+/// Reads the type byte of a FrameSplitter-popped payload. Errors with
+/// Corruption on an empty payload or an unknown type.
+Result<NetMessageType> ParseMessageType(std::span<const uint8_t> payload);
+
+/// Payload parsers; `payload` is a complete message including its type
+/// byte. All error with Corruption on truncation or field violations.
+Result<NetHello> ParseHelloMessage(std::span<const uint8_t> payload);
+Result<NetOpenStream> ParseOpenStreamMessage(std::span<const uint8_t> payload);
+Result<NetFrameHead> ParseFrameMessage(std::span<const uint8_t> payload);
+Result<NetFrameHead> ParseFinishMessage(std::span<const uint8_t> payload);
+Result<NetFrameHead> ParseAckMessage(std::span<const uint8_t> payload);
+Result<std::string> ParseErrorMessage(std::span<const uint8_t> payload);
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_TRANSPORT_NET_PROTOCOL_H_

@@ -1,0 +1,271 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "transport/socket_util.h"
+
+#if defined(_WIN32)
+
+namespace plastream {
+
+void SocketFd::Close() { fd_ = -1; }
+
+namespace {
+Status Unsupported() {
+  return Status::Unimplemented("plastream network transport requires POSIX");
+}
+}  // namespace
+
+Result<SocketFd> TcpListen(const std::string&, uint16_t) {
+  return Unsupported();
+}
+Result<SocketFd> TcpConnect(const std::string&, uint16_t) {
+  return Unsupported();
+}
+Result<SocketFd> UdsListen(const std::string&) { return Unsupported(); }
+Result<SocketFd> UdsConnect(const std::string&) { return Unsupported(); }
+Result<uint16_t> BoundTcpPort(const SocketFd&) { return Unsupported(); }
+Result<SocketFd> AcceptConnection(const SocketFd&) { return Unsupported(); }
+Status SetNonBlocking(int) { return Unsupported(); }
+void SetTcpNoDelay(int) {}
+IoOutcome ReadSome(int, std::span<uint8_t>, size_t*) {
+  return IoOutcome::kError;
+}
+IoOutcome WriteSome(int, std::span<const uint8_t>, size_t*) {
+  return IoOutcome::kError;
+}
+bool PollSocket(int, bool, int) { return false; }
+Status ErrnoStatus(std::string_view context) {
+  return Status::IOError(std::string(context));
+}
+
+}  // namespace plastream
+
+#else  // POSIX
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace plastream {
+
+void SocketFd::Close() {
+  if (fd_ >= 0) {
+    int rc;
+    do {
+      rc = ::close(fd_);
+    } while (rc != 0 && errno == EINTR);
+    fd_ = -1;
+  }
+}
+
+Status ErrnoStatus(std::string_view context) {
+  return Status::IOError(std::string(context) + ": " +
+                         std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+void SetTcpNoDelay(int fd) {
+  const int one = 1;
+  // Failure (e.g. on a UDS fd) only costs latency, never correctness.
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+namespace {
+
+// Resolves host:port to an IPv4/IPv6 sockaddr via getaddrinfo.
+Result<SocketFd> TcpSocketFor(const std::string& host, uint16_t port,
+                              bool listen) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  if (listen) hints.ai_flags = AI_PASSIVE;
+  struct addrinfo* addrs = nullptr;
+  const std::string port_text = std::to_string(port);
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               port_text.c_str(), &hints, &addrs);
+  if (rc != 0) {
+    return Status::IOError("getaddrinfo('" + host + "', " + port_text +
+                           "): " + ::gai_strerror(rc));
+  }
+  Status last = Status::IOError("no addresses for '" + host + "'");
+  for (struct addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    SocketFd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!fd.valid()) {
+      last = ErrnoStatus("socket");
+      continue;
+    }
+    if (listen) {
+      const int one = 1;
+      (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                         sizeof(one));
+      if (::bind(fd.get(), ai->ai_addr, ai->ai_addrlen) != 0) {
+        last = ErrnoStatus("bind(" + host + ":" + port_text + ")");
+        continue;
+      }
+      if (::listen(fd.get(), 128) != 0) {
+        last = ErrnoStatus("listen");
+        continue;
+      }
+    } else {
+      int crc;
+      do {
+        crc = ::connect(fd.get(), ai->ai_addr, ai->ai_addrlen);
+      } while (crc != 0 && errno == EINTR);
+      if (crc != 0) {
+        last = ErrnoStatus("connect(" + host + ":" + port_text + ")");
+        continue;
+      }
+      SetTcpNoDelay(fd.get());
+    }
+    ::freeaddrinfo(addrs);
+    PLASTREAM_RETURN_NOT_OK(SetNonBlocking(fd.get()));
+    return fd;
+  }
+  ::freeaddrinfo(addrs);
+  return last;
+}
+
+Result<struct sockaddr_un> UdsAddress(const std::string& path) {
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("uds path must be 1.." +
+                                   std::to_string(sizeof(addr.sun_path) - 1) +
+                                   " bytes, got '" + path + "'");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Result<SocketFd> TcpListen(const std::string& host, uint16_t port) {
+  return TcpSocketFor(host, port, /*listen=*/true);
+}
+
+Result<SocketFd> TcpConnect(const std::string& host, uint16_t port) {
+  return TcpSocketFor(host, port, /*listen=*/false);
+}
+
+Result<SocketFd> UdsListen(const std::string& path) {
+  PLASTREAM_ASSIGN_OR_RETURN(const struct sockaddr_un addr,
+                             UdsAddress(path));
+  SocketFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) return ErrnoStatus("socket(AF_UNIX)");
+  // A stale socket file from a dead collector would fail the bind.
+  (void)::unlink(path.c_str());
+  if (::bind(fd.get(), reinterpret_cast<const struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return ErrnoStatus("bind('" + path + "')");
+  }
+  if (::listen(fd.get(), 128) != 0) return ErrnoStatus("listen");
+  PLASTREAM_RETURN_NOT_OK(SetNonBlocking(fd.get()));
+  return fd;
+}
+
+Result<SocketFd> UdsConnect(const std::string& path) {
+  PLASTREAM_ASSIGN_OR_RETURN(const struct sockaddr_un addr,
+                             UdsAddress(path));
+  SocketFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) return ErrnoStatus("socket(AF_UNIX)");
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const struct sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return ErrnoStatus("connect('" + path + "')");
+  PLASTREAM_RETURN_NOT_OK(SetNonBlocking(fd.get()));
+  return fd;
+}
+
+Result<uint16_t> BoundTcpPort(const SocketFd& fd) {
+  struct sockaddr_storage addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) != 0) {
+    return ErrnoStatus("getsockname");
+  }
+  if (addr.ss_family == AF_INET) {
+    return ntohs(reinterpret_cast<struct sockaddr_in*>(&addr)->sin_port);
+  }
+  if (addr.ss_family == AF_INET6) {
+    return ntohs(reinterpret_cast<struct sockaddr_in6*>(&addr)->sin6_port);
+  }
+  return Status::InvalidArgument("socket is not TCP");
+}
+
+Result<SocketFd> AcceptConnection(const SocketFd& listener) {
+  int fd;
+  do {
+    fd = ::accept(listener.get(), nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return SocketFd();
+    return ErrnoStatus("accept");
+  }
+  SocketFd conn(fd);
+  PLASTREAM_RETURN_NOT_OK(SetNonBlocking(conn.get()));
+  SetTcpNoDelay(conn.get());
+  return conn;
+}
+
+IoOutcome ReadSome(int fd, std::span<uint8_t> buf, size_t* n) {
+  ssize_t rc;
+  do {
+    rc = ::recv(fd, buf.data(), buf.size(), 0);
+  } while (rc < 0 && errno == EINTR);
+  if (rc > 0) {
+    *n = static_cast<size_t>(rc);
+    return IoOutcome::kProgress;
+  }
+  if (rc == 0) return IoOutcome::kClosed;
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return IoOutcome::kWouldBlock;
+  return IoOutcome::kError;
+}
+
+IoOutcome WriteSome(int fd, std::span<const uint8_t> buf, size_t* n) {
+  ssize_t rc;
+  do {
+    rc = ::send(fd, buf.data(), buf.size(), MSG_NOSIGNAL);
+  } while (rc < 0 && errno == EINTR);
+  if (rc >= 0) {
+    *n = static_cast<size_t>(rc);
+    return rc > 0 ? IoOutcome::kProgress : IoOutcome::kWouldBlock;
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return IoOutcome::kWouldBlock;
+  return IoOutcome::kError;
+}
+
+bool PollSocket(int fd, bool want_write, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = POLLIN | (want_write ? POLLOUT : 0);
+  pfd.revents = 0;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  return rc > 0;
+}
+
+}  // namespace plastream
+
+#endif  // POSIX

@@ -1,0 +1,114 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Thin POSIX socket helpers shared by the producer client and the
+// collector server: RAII fds, TCP/UDS listen+connect, nonblocking I/O
+// with errno folded into Status. Everything network-facing in plastream
+// goes through these, so platform quirks (SIGPIPE, EINTR, ephemeral
+// ports) are handled once. On non-POSIX platforms every entry point
+// returns Unimplemented and the tcp/uds transports simply fail to build
+// their connections at Pipeline::Build() time.
+
+#ifndef PLASTREAM_TRANSPORT_SOCKET_UTIL_H_
+#define PLASTREAM_TRANSPORT_SOCKET_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/result.h"
+
+namespace plastream {
+
+/// Owning file-descriptor handle; closes on destruction.
+class SocketFd {
+ public:
+  /// An empty (invalid) handle.
+  SocketFd() = default;
+  /// Takes ownership of `fd` (-1 = empty).
+  explicit SocketFd(int fd) : fd_(fd) {}
+  ~SocketFd() { Close(); }
+
+  /// Handles are move-only.
+  SocketFd(SocketFd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  /// Handles are move-only.
+  SocketFd& operator=(SocketFd&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  SocketFd(const SocketFd&) = delete;
+  SocketFd& operator=(const SocketFd&) = delete;
+
+  /// The raw descriptor (-1 when empty).
+  int get() const { return fd_; }
+  /// True when a descriptor is held.
+  bool valid() const { return fd_ >= 0; }
+  /// Closes the descriptor now (idempotent).
+  void Close();
+  /// Releases ownership without closing.
+  int Release() { return std::exchange(fd_, -1); }
+
+ private:
+  int fd_ = -1;
+};
+
+/// The result of one nonblocking read/write attempt.
+enum class IoOutcome {
+  kProgress,    ///< moved >= 1 byte
+  kWouldBlock,  ///< the socket is not ready; try again after poll
+  kClosed,      ///< orderly shutdown (read) — the peer is gone
+  kError,       ///< hard failure (ECONNRESET, EPIPE, ...)
+};
+
+/// Creates a nonblocking listening TCP socket on `host:port` (port 0 →
+/// ephemeral; see BoundTcpPort). SO_REUSEADDR is set so restarts do not
+/// trip TIME_WAIT.
+Result<SocketFd> TcpListen(const std::string& host, uint16_t port);
+
+/// Connects to `host:port` (blocking connect, then switched nonblocking).
+Result<SocketFd> TcpConnect(const std::string& host, uint16_t port);
+
+/// Creates a nonblocking listening Unix-domain socket at `path`,
+/// unlinking a stale socket file first.
+Result<SocketFd> UdsListen(const std::string& path);
+
+/// Connects to the Unix-domain socket at `path`.
+Result<SocketFd> UdsConnect(const std::string& path);
+
+/// The actual port of a bound TCP socket — resolves port 0 requests.
+Result<uint16_t> BoundTcpPort(const SocketFd& fd);
+
+/// Accepts one pending connection as a nonblocking socket; kWouldBlock
+/// outcome is reported as an empty (invalid) SocketFd with OK status.
+Result<SocketFd> AcceptConnection(const SocketFd& listener);
+
+/// Marks `fd` nonblocking.
+Status SetNonBlocking(int fd);
+
+/// Disables Nagle batching on a TCP socket (no-op on UDS).
+void SetTcpNoDelay(int fd);
+
+/// One nonblocking read into `buf`; `*n` is the byte count on kProgress.
+IoOutcome ReadSome(int fd, std::span<uint8_t> buf, size_t* n);
+
+/// One nonblocking write of `buf`; `*n` is the byte count on kProgress.
+/// SIGPIPE is suppressed (MSG_NOSIGNAL) so a dead peer is kError, not a
+/// process kill.
+IoOutcome WriteSome(int fd, std::span<const uint8_t> buf, size_t* n);
+
+/// Blocks up to `timeout_ms` (-1 = forever) until `fd` is readable
+/// (`want_write` false) or readable-or-writable (`want_write` true).
+/// Returns true when the socket became ready, false on timeout.
+bool PollSocket(int fd, bool want_write, int timeout_ms);
+
+/// errno → Status::IOError with `context` and strerror text.
+Status ErrnoStatus(std::string_view context);
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_TRANSPORT_SOCKET_UTIL_H_

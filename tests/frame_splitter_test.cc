@@ -1,0 +1,133 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// FrameSplitter: incremental reassembly of length-prefixed frames from an
+// arbitrarily fragmented byte stream — the property the network transport
+// depends on is that EVERY split of the same byte stream yields the same
+// frame sequence.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stream/frame_splitter.h"
+#include "transport/net_protocol.h"
+
+namespace plastream {
+namespace {
+
+std::vector<uint8_t> Bytes(std::initializer_list<int> values) {
+  std::vector<uint8_t> bytes;
+  for (int v : values) bytes.push_back(static_cast<uint8_t>(v));
+  return bytes;
+}
+
+// Three frames of different sizes, concatenated as they would cross a
+// socket.
+std::vector<uint8_t> SampleStream(std::vector<std::vector<uint8_t>>* frames) {
+  frames->clear();
+  frames->push_back(Bytes({0x01}));
+  frames->push_back(Bytes({0xDE, 0xAD, 0xBE, 0xEF, 0x42}));
+  std::vector<uint8_t> big;
+  for (int i = 0; i < 300; ++i) big.push_back(static_cast<uint8_t>(i));
+  frames->push_back(big);
+  std::vector<uint8_t> stream;
+  for (const auto& frame : *frames) AppendNetMessage(&stream, frame);
+  return stream;
+}
+
+TEST(FrameSplitterTest, ReassemblesWholeStreamInOneFeed) {
+  std::vector<std::vector<uint8_t>> expected;
+  const std::vector<uint8_t> stream = SampleStream(&expected);
+  FrameSplitter splitter;
+  ASSERT_TRUE(splitter.Feed(stream).ok());
+  for (const auto& frame : expected) {
+    ASSERT_TRUE(splitter.HasFrame());
+    const std::span<const uint8_t> got = splitter.NextFrame();
+    EXPECT_EQ(std::vector<uint8_t>(got.begin(), got.end()), frame);
+  }
+  EXPECT_FALSE(splitter.HasFrame());
+  EXPECT_EQ(splitter.frames_split(), expected.size());
+  EXPECT_EQ(splitter.buffered_bytes(), 0u);
+}
+
+TEST(FrameSplitterTest, EverySplitPointYieldsTheSameFrames) {
+  // The satellite contract: cut the byte stream at every possible
+  // boundary and reassemble both halves — the frames must always match.
+  std::vector<std::vector<uint8_t>> expected;
+  const std::vector<uint8_t> stream = SampleStream(&expected);
+  for (size_t cut = 0; cut <= stream.size(); ++cut) {
+    FrameSplitter splitter;
+    ASSERT_TRUE(
+        splitter.Feed(std::span<const uint8_t>(stream.data(), cut)).ok());
+    std::vector<std::vector<uint8_t>> got;
+    while (splitter.HasFrame()) {
+      const std::span<const uint8_t> frame = splitter.NextFrame();
+      got.emplace_back(frame.begin(), frame.end());
+    }
+    ASSERT_TRUE(splitter
+                    .Feed(std::span<const uint8_t>(stream.data() + cut,
+                                                   stream.size() - cut))
+                    .ok());
+    while (splitter.HasFrame()) {
+      const std::span<const uint8_t> frame = splitter.NextFrame();
+      got.emplace_back(frame.begin(), frame.end());
+    }
+    ASSERT_EQ(got, expected) << "stream cut at byte " << cut;
+  }
+}
+
+TEST(FrameSplitterTest, ByteAtATimeDelivery) {
+  std::vector<std::vector<uint8_t>> expected;
+  const std::vector<uint8_t> stream = SampleStream(&expected);
+  FrameSplitter splitter;
+  std::vector<std::vector<uint8_t>> got;
+  for (const uint8_t byte : stream) {
+    ASSERT_TRUE(splitter.Feed(std::span<const uint8_t>(&byte, 1)).ok());
+    while (splitter.HasFrame()) {
+      const std::span<const uint8_t> frame = splitter.NextFrame();
+      got.emplace_back(frame.begin(), frame.end());
+    }
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(FrameSplitterTest, RejectsOversizedLength) {
+  FrameSplitter splitter(/*max_frame_bytes=*/16);
+  std::vector<uint8_t> stream;
+  AppendNetMessage(&stream, Bytes({1, 2, 3}));  // fits
+  // A 17-byte length prefix exceeds the 16-byte bound.
+  stream.insert(stream.end(), {17, 0, 0, 0});
+  const Status status = splitter.Feed(stream);
+  EXPECT_EQ(status.code(), StatusCode::kCorruption) << status.message();
+  // The frame before the corrupt prefix is still retrievable.
+  ASSERT_TRUE(splitter.HasFrame());
+  const std::span<const uint8_t> frame = splitter.NextFrame();
+  EXPECT_EQ(std::vector<uint8_t>(frame.begin(), frame.end()),
+            Bytes({1, 2, 3}));
+  // Corruption is sticky: further feeds keep failing.
+  EXPECT_EQ(splitter.Feed(Bytes({0})).code(), StatusCode::kCorruption);
+  EXPECT_FALSE(splitter.status().ok());
+}
+
+TEST(FrameSplitterTest, RejectsZeroLength) {
+  FrameSplitter splitter;
+  EXPECT_EQ(splitter.Feed(Bytes({0, 0, 0, 0})).code(), StatusCode::kCorruption);
+}
+
+TEST(FrameSplitterTest, ResetClearsCorruptionAndBuffer) {
+  FrameSplitter splitter;
+  ASSERT_EQ(splitter.Feed(Bytes({0, 0, 0, 0})).code(), StatusCode::kCorruption);
+  splitter.Reset();
+  EXPECT_TRUE(splitter.status().ok());
+  EXPECT_EQ(splitter.buffered_bytes(), 0u);
+  std::vector<uint8_t> stream;
+  AppendNetMessage(&stream, Bytes({9}));
+  ASSERT_TRUE(splitter.Feed(stream).ok());
+  ASSERT_TRUE(splitter.HasFrame());
+}
+
+}  // namespace
+}  // namespace plastream

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -97,6 +98,7 @@ TEST(PipelineConfigTest, RejectsMalformedLines) {
       "[pipeline]\nshards = 0\n",         // zero shards
       "a*b = slide(eps=1)\n",             // infix wildcard
       "[pipeline]\ncodec = nope(\n",      // bad codec spec
+      "[pipeline]\ntransport = tcp(\n",   // bad transport spec
   };
   for (const char* config : bad_configs) {
     Pipeline::Builder builder;
@@ -123,6 +125,46 @@ TEST(PipelineConfigTest, FromConfigFileReadsAndReportsMissing) {
                 .status()
                 .code(),
             StatusCode::kIOError);
+}
+
+TEST(PipelineConfigTest, TransportKeySelectsTheTransport) {
+  // A collector to dial — Build() connects the configured transport.
+  const std::string sock =
+      ::testing::TempDir() + "plastream_config_transport.sock";
+  auto server = CollectorServer::Listen("uds(path=" + sock + ")").value();
+  std::thread serving([&] { ASSERT_TRUE(server->Serve().ok()); });
+
+  auto pipeline = Pipeline::Builder()
+                      .FromConfigString("[pipeline]\n"
+                                        "transport = uds(path=" +
+                                        sock +
+                                        ")\n"
+                                        "[streams]\n"
+                                        "* = slide(eps=1)\n")
+                      .Build()
+                      .value();
+  EXPECT_TRUE(pipeline->remote());
+  EXPECT_EQ(pipeline->TransportSpec().family, "uds");
+  ASSERT_TRUE(pipeline->Append("k", 0.0, 1.0).ok());
+  ASSERT_TRUE(pipeline->Finish().ok());
+  EXPECT_EQ(server->Segments("k").value().size(), 1u);
+
+  server->Shutdown();
+  serving.join();
+  std::remove(sock.c_str());
+}
+
+TEST(PipelineConfigTest, TransportErrorsCarryFileAndLine) {
+  const auto built = Pipeline::Builder()
+                         .FromConfigString("* = slide(eps=0.1)\n"
+                                           "[pipeline]\n"
+                                           "transport = tcp(\n",
+                                           "prod.conf")
+                         .Build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(built.status().message().find("prod.conf:3"), std::string::npos)
+      << built.status().message();
 }
 
 TEST(PipelineConfigTest, PrefixSpecValidatedAtBuild) {
