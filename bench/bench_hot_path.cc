@@ -244,6 +244,88 @@ ShardedResult MeasureSharded(const Config& config) {
   return result;
 }
 
+struct GuardResult {
+  double none_pps = 0.0;     // no ingest policy configured at all
+  double pass_pps = 0.0;     // explicit "pass" policy (no guard object)
+  double guarded_pps = 0.0;  // guard(reorder=32,...): informational
+  uint64_t none_allocs = 0;
+  uint64_t pass_allocs = 0;
+  uint64_t guarded_allocs = 0;
+};
+
+// Ingest-guard overhead probe: a pass-through policy must be free — the
+// bank attaches no guard object, so the only delta is one null check per
+// append. Gated: equal steady-state allocation count and >= 0.95x the
+// unguarded throughput. A real reorder window rides along informationally.
+GuardResult MeasureGuard(const Config& config) {
+  const size_t points_per_key = 4096;
+  const size_t n_keys = 16;
+  std::vector<std::string> keys;
+  std::vector<std::vector<DataPoint>> data;
+  for (size_t i = 0; i < n_keys; ++i) {
+    keys.push_back("guard.host" + std::to_string(i) + ".metric");
+    data.push_back(MakeSignal(1, points_per_key, 900 + i).points);
+  }
+  const auto factory = [](std::string_view) {
+    return Result<std::unique_ptr<Filter>>(MakeFilter("cache(eps=0.5)"));
+  };
+  const double total_points = static_cast<double>(n_keys * points_per_key);
+
+  GuardResult result;
+  for (size_t rep = 0; rep < config.reps; ++rep) {
+    for (const int mode : {0, 1, 2}) {
+      ShardedFilterBank::Options options;
+      options.shards = 4;
+      if (mode == 1) {
+        options.ingest = ValueOrDie(IngestPolicy::Parse("pass"), "pass");
+      } else if (mode == 2) {
+        options.ingest = ValueOrDie(
+            IngestPolicy::Parse("guard(reorder=32,nan=skip,dup=first)"),
+            "guard");
+      }
+      auto bank = ValueOrDie(ShardedFilterBank::Create(factory, options),
+                             "ShardedFilterBank::Create");
+      // Warm the banks: first pass sizes filters, maps and buffers.
+      for (size_t i = 0; i < n_keys; ++i) {
+        for (size_t j = 0; j < points_per_key; ++j) {
+          CheckOk(bank->Append(keys[i], data[i][j]), "guard warm-up");
+        }
+      }
+      const double shift = data[0].back().t - data[0].front().t + 1.0;
+      const uint64_t allocs_before =
+          g_allocations.load(std::memory_order_relaxed);
+      const auto start = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < n_keys; ++i) {
+        for (size_t j = 0; j < points_per_key; ++j) {
+          DataPoint p = data[i][j];
+          p.t += shift;
+          CheckOk(bank->Append(keys[i], p), "guard measured append");
+        }
+      }
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      const uint64_t allocs =
+          g_allocations.load(std::memory_order_relaxed) - allocs_before;
+      CheckOk(bank->FinishAll(), "guard FinishAll");
+      const double pps = total_points / elapsed.count();
+      if (mode == 0) {
+        result.none_pps = std::max(result.none_pps, pps);
+        result.none_allocs = rep == 0 ? allocs
+                                      : std::min(result.none_allocs, allocs);
+      } else if (mode == 1) {
+        result.pass_pps = std::max(result.pass_pps, pps);
+        result.pass_allocs = rep == 0 ? allocs
+                                      : std::min(result.pass_allocs, allocs);
+      } else {
+        result.guarded_pps = std::max(result.guarded_pps, pps);
+        result.guarded_allocs =
+            rep == 0 ? allocs : std::min(result.guarded_allocs, allocs);
+      }
+    }
+  }
+  return result;
+}
+
 int Main(int argc, char** argv) {
   Config config;
   for (int i = 1; i < argc; ++i) {
@@ -316,6 +398,23 @@ int Main(int argc, char** argv) {
   const bool throughput_ok = !config.gates || sharded.speedup >= 1.3;
   const bool identical_ok = !config.gates || sharded.identical;
 
+  std::printf("\nIngest-guard overhead, 16 keys, 4 shards:\n");
+  const GuardResult guard = MeasureGuard(config);
+  const double pass_ratio =
+      guard.none_pps > 0.0 ? guard.pass_pps / guard.none_pps : 0.0;
+  std::printf("  no policy:    %14.0f points/sec  %llu allocs\n",
+              guard.none_pps,
+              static_cast<unsigned long long>(guard.none_allocs));
+  std::printf("  pass:         %14.0f points/sec  %llu allocs  (%.3fx)\n",
+              guard.pass_pps,
+              static_cast<unsigned long long>(guard.pass_allocs), pass_ratio);
+  std::printf("  reorder=32:   %14.0f points/sec  %llu allocs  (info)\n",
+              guard.guarded_pps,
+              static_cast<unsigned long long>(guard.guarded_allocs));
+  const bool guard_alloc_ok =
+      !config.gates || guard.pass_allocs == guard.none_allocs;
+  const bool guard_overhead_ok = !config.gates || pass_ratio >= 0.95;
+
   if (!config.json_path.empty()) {
     std::FILE* out = std::fopen(config.json_path.c_str(), "w");
     if (out == nullptr) {
@@ -339,13 +438,26 @@ int Main(int argc, char** argv) {
                  "\"single_points_per_sec\": %.0f, "
                  "\"batched_points_per_sec\": %.0f, \"speedup\": %.3f, "
                  "\"identical\": %s},\n"
+                 "  \"ingest_guard\": {\"none_points_per_sec\": %.0f, "
+                 "\"pass_points_per_sec\": %.0f, \"pass_ratio\": %.3f, "
+                 "\"none_allocs\": %llu, \"pass_allocs\": %llu, "
+                 "\"reorder32_points_per_sec\": %.0f, "
+                 "\"reorder32_allocs\": %llu},\n"
                  "  \"gates\": {\"zero_alloc\": %s, \"throughput\": %s, "
-                 "\"identical\": %s}\n}\n",
+                 "\"identical\": %s, \"guard_pass_alloc\": %s, "
+                 "\"guard_pass_overhead\": %s}\n}\n",
                  config.keys, sharded.single_pps, sharded.batched_pps,
                  sharded.speedup, sharded.identical ? "true" : "false",
+                 guard.none_pps, guard.pass_pps, pass_ratio,
+                 static_cast<unsigned long long>(guard.none_allocs),
+                 static_cast<unsigned long long>(guard.pass_allocs),
+                 guard.guarded_pps,
+                 static_cast<unsigned long long>(guard.guarded_allocs),
                  zero_alloc_ok ? "true" : "false",
                  throughput_ok ? "true" : "false",
-                 identical_ok ? "true" : "false");
+                 identical_ok ? "true" : "false",
+                 guard_alloc_ok ? "true" : "false",
+                 guard_overhead_ok ? "true" : "false");
     std::fclose(out);
     std::printf("\nwrote %s\n", config.json_path.c_str());
   }
@@ -366,7 +478,23 @@ int Main(int argc, char** argv) {
                  "\nGATE FAILED: batched segments diverged from single-point "
                  "ingest\n");
   }
-  return (zero_alloc_ok && throughput_ok && identical_ok) ? 0 : 1;
+  if (!guard_alloc_ok) {
+    std::fprintf(stderr,
+                 "\nGATE FAILED: pass-through ingest policy allocated (%llu "
+                 "vs %llu without a policy)\n",
+                 static_cast<unsigned long long>(guard.pass_allocs),
+                 static_cast<unsigned long long>(guard.none_allocs));
+  }
+  if (!guard_overhead_ok) {
+    std::fprintf(stderr,
+                 "\nGATE FAILED: pass-through ingest throughput %.3fx of "
+                 "unguarded (< 0.95x)\n",
+                 pass_ratio);
+  }
+  return (zero_alloc_ok && throughput_ok && identical_ok && guard_alloc_ok &&
+          guard_overhead_ok)
+             ? 0
+             : 1;
 }
 
 }  // namespace

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Line-coverage gate with a ratcheted baseline.
+#
+# Builds with -DPLASTREAM_COVERAGE=ON (gcc/clang --coverage), runs the
+# full tier-1 suite, aggregates gcov line coverage over first-party
+# sources (src/), and compares against scripts/coverage_baseline.txt:
+#
+#   * below the baseline (minus a small tolerance) -> exit 1, the CI
+#     coverage job fails;
+#   * at or above -> exit 0; if coverage improved by more than the
+#     tolerance the script prints the new figure to commit as the
+#     ratcheted baseline (pass --update-baseline to write it).
+#
+# Usage: scripts/check_coverage.sh [--update-baseline] [build-dir]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+UPDATE=0
+if [[ "${1:-}" == "--update-baseline" ]]; then
+  UPDATE=1
+  shift
+fi
+BUILD="${1:-$ROOT/build-cov}"
+BASELINE_FILE="$ROOT/scripts/coverage_baseline.txt"
+GCOV="${GCOV:-gcov}"
+# Regressions smaller than this are treated as noise (inline/template
+# attribution shifts between compiler versions).
+TOLERANCE="${PLASTREAM_COVERAGE_TOLERANCE:-0.5}"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Debug \
+  -DPLASTREAM_COVERAGE=ON >/dev/null
+cmake --build "$BUILD" -j"$(nproc)"
+(cd "$BUILD" && ctest --output-on-failure -j"$(nproc)")
+
+# Aggregate "Lines executed:P% of N" per source file from gcov, keeping
+# only first-party src/ files (tests and system headers excluded).
+percent=$(cd "$BUILD" && find . -name '*.gcda' -print0 |
+  xargs -0 "$GCOV" -n -s "$ROOT" 2>/dev/null |
+  python3 -c '
+import re
+import sys
+
+covered = 0.0
+total = 0
+keep = False
+for line in sys.stdin:
+    m = re.match(r"File .(.+).$", line.strip())
+    if m:
+        path = m.group(1)
+        keep = "src/" in path and "/tests/" not in path
+        continue
+    m = re.match(r"Lines executed:([0-9.]+)% of ([0-9]+)", line.strip())
+    if m and keep:
+        pct, n = float(m.group(1)), int(m.group(2))
+        covered += pct / 100.0 * n
+        total += n
+        keep = False
+if total == 0:
+    sys.exit("no gcov data for src/ — wrong build dir or missing .gcda files")
+print(f"{100.0 * covered / total:.2f}")
+')
+
+baseline=$(cat "$BASELINE_FILE")
+echo "line coverage over src/: ${percent}% (baseline ${baseline}%)"
+
+python3 - "$percent" "$baseline" "$TOLERANCE" <<'EOF'
+import sys
+got, want, tol = map(float, sys.argv[1:4])
+if got + tol < want:
+    sys.exit(f"COVERAGE GATE FAILED: {got:.2f}% is below the "
+             f"ratcheted baseline {want:.2f}% (tolerance {tol}%)")
+if got > want + tol:
+    print(f"coverage improved: ratchet the baseline to {got:.2f} "
+          f"(scripts/check_coverage.sh --update-baseline)")
+EOF
+
+if [[ "$UPDATE" == 1 ]]; then
+  echo "$percent" >"$BASELINE_FILE"
+  echo "baseline updated to ${percent}%"
+fi

@@ -116,6 +116,13 @@ Status CacheFilter::FinishImpl() {
   return Status::OK();
 }
 
+Status CacheFilter::CutImpl() {
+  // CloseInterval clears interval_open_, so the next point opens a fresh
+  // interval exactly like the first point of a stream.
+  if (interval_open_) CloseInterval();
+  return Status::OK();
+}
+
 void RegisterCacheFilterFamily(FilterRegistry& registry) {
   (void)registry.Register(
       "cache",

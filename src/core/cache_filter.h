@@ -57,6 +57,7 @@ class CacheFilter : public Filter {
  protected:
   Status AppendValidated(const DataPoint& point) override;
   Status FinishImpl() override;
+  Status CutImpl() override;
 
  private:
   CacheFilter(FilterOptions options, CacheValueMode mode, SegmentSink* sink);

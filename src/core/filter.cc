@@ -62,6 +62,11 @@ Status Filter::Append(const DataPoint& point) {
     }
   }
   if (has_last_time_ && point.t <= last_time_) {
+    if (point.t == last_time_) {
+      return Status::OutOfOrder("duplicate timestamp " +
+                                std::to_string(point.t) +
+                                " (equal to previous point)");
+    }
     return Status::OutOfOrder("timestamp " + std::to_string(point.t) +
                               " not greater than previous " +
                               std::to_string(last_time_));
@@ -85,6 +90,20 @@ Status Filter::Finish() {
   PLASTREAM_RETURN_NOT_OK(FinishImpl());
   finished_ = true;
   return Status::OK();
+}
+
+Status Filter::Cut() {
+  if (finished_) {
+    return Status::FailedPrecondition("Cut after Finish");
+  }
+  PLASTREAM_RETURN_NOT_OK(CutImpl());
+  ++cuts_;
+  return Status::OK();
+}
+
+Status Filter::CutImpl() {
+  return Status::Unimplemented("filter family '" + std::string(name()) +
+                               "' does not support Cut");
 }
 
 std::vector<Segment> Filter::TakeSegments() {

@@ -95,10 +95,15 @@ class Filter {
 
   /// Consumes one data point.
   ///
-  /// Errors: InvalidArgument for non-finite values or dimensionality
+  /// Errors: InvalidArgument for non-finite timestamps or values (NaN and
+  /// infinity never reach the hull/slope math) or a dimensionality
   /// mismatch, OutOfOrder for non-increasing timestamps, FailedPrecondition
-  /// after Finish(). On error the filter state is unchanged and the stream
-  /// may continue with a corrected point.
+  /// after Finish(). A duplicate timestamp (exactly equal to the previous
+  /// point's) is always an OutOfOrder error whose message names it a
+  /// duplicate — the filter never silently keeps either value; callers
+  /// wanting first- or last-write-wins resolve duplicates in front of the
+  /// filter (see stream/ingest_guard.h). On error the filter state is
+  /// unchanged and the stream may continue with a corrected point.
   Status Append(const DataPoint& point);
 
   /// Consumes a batch of data points in order — the hot-path entry for
@@ -113,6 +118,17 @@ class Filter {
   /// Flushes the open interval and finalizes the approximation.
   /// Idempotent; appending afterwards is an error.
   Status Finish();
+
+  /// Cuts the segment chain at the current position: the open filtering
+  /// interval is flushed exactly as Finish() would flush it, but the
+  /// filter stays open and the next appended point starts a fresh,
+  /// disconnected chain. This is the discontinuity primitive behind the
+  /// ingest guard's gap and NaN policies (stream/ingest_guard.h): a
+  /// sampling gap or a data hole becomes a chain break instead of one
+  /// long interpolated segment. Time ordering is still enforced across
+  /// the cut. A cut with no open interval is a no-op; cutting after
+  /// Finish() is a FailedPrecondition error.
+  Status Cut();
 
   /// Segments finalized so far (drained; repeated calls return only new
   /// segments). Only populated when the filter was constructed without a
@@ -139,6 +155,9 @@ class Filter {
   /// Number of segments emitted so far.
   size_t segments_emitted() const { return segments_emitted_; }
 
+  /// Number of Cut() calls accepted so far.
+  size_t cuts() const { return cuts_; }
+
   /// Recordings charged on top of the emitted segments (provisional
   /// max-lag line commits).
   size_t extra_recordings() const { return extra_recordings_; }
@@ -163,6 +182,14 @@ class Filter {
   /// Flush logic; runs exactly once.
   virtual Status FinishImpl() = 0;
 
+  /// Cut logic: flush the open interval like FinishImpl and reset the
+  /// open-segment state so the next point starts a disconnected chain.
+  /// The base implementation returns Unimplemented — a family that does
+  /// not override it simply cannot be cut (the ingest guard surfaces the
+  /// error instead of corrupting state). All built-in families override
+  /// it.
+  virtual Status CutImpl();
+
   /// Emits a finalized segment: handed to the sink when one exists (no
   /// second buffered copy), otherwise moved into the TakeSegments buffer.
   void Emit(Segment segment);
@@ -179,6 +206,7 @@ class Filter {
   std::vector<Segment> pending_out_;
   size_t points_seen_ = 0;
   size_t segments_emitted_ = 0;
+  size_t cuts_ = 0;
   size_t extra_recordings_ = 0;
   bool finished_ = false;
   bool has_last_time_ = false;

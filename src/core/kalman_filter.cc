@@ -136,6 +136,16 @@ Status KalmanFilter::FinishImpl() {
   return Status::OK();
 }
 
+Status KalmanFilter::CutImpl() {
+  // The first point after the cut re-initializes the per-dimension state
+  // from scratch (the !have_state_ path), so dropping the flag both breaks
+  // the chain and forgets the pre-gap velocity estimate — a discontinuity
+  // invalidates it anyway.
+  PLASTREAM_RETURN_NOT_OK(FinishImpl());
+  have_state_ = false;
+  return Status::OK();
+}
+
 void RegisterKalmanFilterFamily(FilterRegistry& registry) {
   (void)registry.Register(
       "kalman",

@@ -55,6 +55,7 @@ class KalmanFilter : public Filter {
  protected:
   Status AppendValidated(const DataPoint& point) override;
   Status FinishImpl() override;
+  Status CutImpl() override;
 
  private:
   KalmanFilter(FilterOptions options, KalmanOptions kalman,

@@ -105,6 +105,16 @@ Status LinearFilter::FinishImpl() {
   return Status::OK();
 }
 
+Status LinearFilter::CutImpl() {
+  if (have_anchor_) EmitCurrent(/*connected=*/anchor_is_shared_);
+  // The next point re-anchors a disconnected segment, even in connected
+  // mode: a cut is by definition a chain break.
+  have_anchor_ = false;
+  slope_defined_ = false;
+  anchor_is_shared_ = false;
+  return Status::OK();
+}
+
 void RegisterLinearFilterFamily(FilterRegistry& registry) {
   (void)registry.Register(
       "linear",

@@ -50,6 +50,7 @@ class LinearFilter : public Filter {
  protected:
   Status AppendValidated(const DataPoint& point) override;
   Status FinishImpl() override;
+  Status CutImpl() override;
 
  private:
   LinearFilter(FilterOptions options, LinearMode mode, SegmentSink* sink);

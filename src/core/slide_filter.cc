@@ -721,6 +721,14 @@ Status SlideFilter::FinishImpl() {
   return Status::OK();
 }
 
+Status SlideFilter::CutImpl() {
+  // Every FinishImpl path leaves cur_.open == false and pending_.exists ==
+  // false — exactly the fresh-stream state: the next point reopens via
+  // OpenInterval (full reset) and the next interval close has no pending
+  // segment to junction with, so it starts disconnected.
+  return FinishImpl();
+}
+
 std::vector<FilterCounter> SlideFilter::Counters() const {
   return {
       {"connected_junctions", static_cast<double>(connected_junctions_)},

@@ -105,6 +105,7 @@ class SlideFilter : public Filter {
  protected:
   Status AppendValidated(const DataPoint& point) override;
   Status FinishImpl() override;
+  Status CutImpl() override;
 
  private:
   // Closed-form connect window [alpha, beta] for one dimension (Lemma 4.4),

@@ -195,6 +195,22 @@ Status SwingFilter::FinishImpl() {
   return Status::OK();
 }
 
+Status SwingFilter::CutImpl() {
+  // Flush exactly like Finish (CloseInterval already resets the interval
+  // state), then forget the pivot so the next point starts a fresh,
+  // disconnected chain instead of swinging from the last recording.
+  PLASTREAM_RETURN_NOT_OK(FinishImpl());
+  have_pivot_ = false;
+  first_segment_ = true;
+  bounds_defined_ = false;
+  frozen_ = false;
+  interval_points_ = 0;
+  s2_.Reset();
+  for (auto& sum : s1_) sum.Reset();
+  unreported_ = 0;
+  return Status::OK();
+}
+
 void RegisterSwingFilterFamily(FilterRegistry& registry) {
   (void)registry.Register(
       "swing",

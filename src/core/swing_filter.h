@@ -47,6 +47,7 @@ class SwingFilter : public Filter {
  protected:
   Status AppendValidated(const DataPoint& point) override;
   Status FinishImpl() override;
+  Status CutImpl() override;
 
  private:
   SwingFilter(FilterOptions options, SegmentSink* sink);

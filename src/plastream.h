@@ -44,6 +44,7 @@
 #include "core/types.h"
 #include "storage/archive_reader.h"
 #include "storage/storage_backend.h"
+#include "stream/ingest_guard.h"
 #include "stream/pipeline.h"
 #include "stream/sharded_filter_bank.h"
 #include "stream/wire_codec.h"

@@ -6,10 +6,10 @@
 
 namespace plastream {
 
-FilterBank::FilterBank(FilterFactory factory)
-    : factory_(std::move(factory)) {}
+FilterBank::FilterBank(FilterFactory factory, IngestPolicy ingest)
+    : factory_(std::move(factory)), ingest_(ingest) {}
 
-Result<Filter*> FilterBank::FindOrCreate(std::string_view key) {
+Result<FilterBank::Entry*> FilterBank::FindOrCreate(std::string_view key) {
   if (finished_) {
     return Status::FailedPrecondition("Append after FinishAll");
   }
@@ -20,27 +20,40 @@ Result<Filter*> FilterBank::FindOrCreate(std::string_view key) {
       return Status::Internal("filter factory returned null for key '" +
                               std::string(key) + "'");
     }
-    it = filters_.emplace(std::string(key), std::move(filter)).first;
+    Entry entry;
+    entry.filter = std::move(filter);
+    if (!ingest_.pass_through()) {
+      entry.guard = std::make_unique<IngestGuard>(ingest_, entry.filter.get());
+    }
+    it = filters_.emplace(std::string(key), std::move(entry)).first;
   }
-  return it->second.get();
+  return &it->second;
 }
 
 Status FilterBank::Append(std::string_view key, const DataPoint& point) {
-  PLASTREAM_ASSIGN_OR_RETURN(Filter* const filter, FindOrCreate(key));
-  return filter->Append(point);
+  PLASTREAM_ASSIGN_OR_RETURN(Entry* const entry, FindOrCreate(key));
+  if (entry->guard) return entry->guard->Admit(point);
+  return entry->filter->Append(point);
 }
 
 Status FilterBank::AppendBatch(std::string_view key,
                                std::span<const DataPoint> points) {
   if (points.empty()) return Status::OK();
-  PLASTREAM_ASSIGN_OR_RETURN(Filter* const filter, FindOrCreate(key));
-  return filter->AppendBatch(points);
+  PLASTREAM_ASSIGN_OR_RETURN(Entry* const entry, FindOrCreate(key));
+  if (entry->guard) {
+    for (const DataPoint& point : points) {
+      PLASTREAM_RETURN_NOT_OK(entry->guard->Admit(point));
+    }
+    return Status::OK();
+  }
+  return entry->filter->AppendBatch(points);
 }
 
 Status FilterBank::FinishAll() {
   if (finished_) return Status::OK();
-  for (auto& [key, filter] : filters_) {
-    PLASTREAM_RETURN_NOT_OK(filter->Finish());
+  for (auto& [key, entry] : filters_) {
+    if (entry.guard) PLASTREAM_RETURN_NOT_OK(entry.guard->Flush());
+    PLASTREAM_RETURN_NOT_OK(entry.filter->Finish());
   }
   finished_ = true;
   return Status::OK();
@@ -51,13 +64,13 @@ Result<std::vector<Segment>> FilterBank::TakeSegments(std::string_view key) {
   if (it == filters_.end()) {
     return Status::NotFound("unknown stream '" + std::string(key) + "'");
   }
-  return it->second->TakeSegments();
+  return it->second.filter->TakeSegments();
 }
 
 std::vector<std::string> FilterBank::Keys() const {
   std::vector<std::string> keys;
   keys.reserve(filters_.size());
-  for (const auto& [key, filter] : filters_) keys.push_back(key);
+  for (const auto& [key, entry] : filters_) keys.push_back(key);
   return keys;
 }
 
@@ -67,16 +80,24 @@ bool FilterBank::Contains(std::string_view key) const {
 
 const Filter* FilterBank::GetFilter(std::string_view key) const {
   const auto it = filters_.find(key);
-  return it == filters_.end() ? nullptr : it->second.get();
+  return it == filters_.end() ? nullptr : it->second.filter.get();
 }
 
 FilterBank::BankStats FilterBank::Stats() const {
   BankStats stats;
   stats.streams = filters_.size();
-  for (const auto& [key, filter] : filters_) {
-    stats.points += filter->points_seen();
-    stats.segments += filter->segments_emitted();
-    stats.extra_recordings += filter->extra_recordings();
+  for (const auto& [key, entry] : filters_) {
+    stats.points += entry.filter->points_seen();
+    stats.segments += entry.filter->segments_emitted();
+    stats.extra_recordings += entry.filter->extra_recordings();
+  }
+  return stats;
+}
+
+IngestGuardStats FilterBank::IngestStats() const {
+  IngestGuardStats stats;
+  for (const auto& [key, entry] : filters_) {
+    if (entry.guard) stats += entry.guard->stats();
   }
   return stats;
 }

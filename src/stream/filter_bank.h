@@ -20,6 +20,7 @@
 
 #include "common/result.h"
 #include "core/filter.h"
+#include "stream/ingest_guard.h"
 
 namespace plastream {
 
@@ -31,10 +32,15 @@ class FilterBank {
       std::function<Result<std::unique_ptr<Filter>>(std::string_view key)>;
 
   /// `factory` is consulted once per distinct key, on first Append.
-  explicit FilterBank(FilterFactory factory);
+  /// A non-pass-through `ingest` policy puts an IngestGuard in front of
+  /// every stream's filter (see stream/ingest_guard.h); the default
+  /// pass-through policy adds no stage and no overhead.
+  explicit FilterBank(FilterFactory factory, IngestPolicy ingest = {});
 
   /// Appends a point to the stream named `key`, creating its filter on
-  /// first use. Propagates factory and filter errors.
+  /// first use. Propagates factory and filter errors; with an ingest
+  /// guard the point goes through IngestGuard::Admit instead (which may
+  /// buffer, drop or reorder it per policy).
   Status Append(std::string_view key, const DataPoint& point);
 
   /// Appends a batch of points to the stream named `key`: one filter
@@ -43,7 +49,8 @@ class FilterBank {
   /// earlier points of the batch applied.
   Status AppendBatch(std::string_view key, std::span<const DataPoint> points);
 
-  /// Finishes every stream's filter (idempotent).
+  /// Finishes every stream's filter (idempotent), flushing each stream's
+  /// ingest-guard reorder buffer first so no admitted point is lost.
   Status FinishAll();
 
   /// Drains the finalized segments of one stream.
@@ -70,14 +77,25 @@ class FilterBank {
   /// Aggregate statistics across every stream.
   BankStats Stats() const;
 
+  /// Ingest-guard decision counters summed across every stream. All zero
+  /// for a pass-through bank.
+  IngestGuardStats IngestStats() const;
+
  private:
-  // The stream's filter, created through the factory on first use.
-  Result<Filter*> FindOrCreate(std::string_view key);
+  // One stream: its filter plus the optional guard stage in front of it.
+  struct Entry {
+    std::unique_ptr<Filter> filter;
+    std::unique_ptr<IngestGuard> guard;  // null in pass-through mode
+  };
+
+  // The stream's entry, created through the factory on first use.
+  Result<Entry*> FindOrCreate(std::string_view key);
 
   FilterFactory factory_;
+  IngestPolicy ingest_;
   // Ordered map: heterogeneous lookup by string_view avoids a per-Append
   // allocation, and Keys() falls out sorted.
-  std::map<std::string, std::unique_ptr<Filter>, std::less<>> filters_;
+  std::map<std::string, Entry, std::less<>> filters_;
   bool finished_ = false;
 };
 

@@ -131,6 +131,20 @@ Pipeline::Builder& Pipeline::Builder::WithTransportRegistry(
   return *this;
 }
 
+Pipeline::Builder& Pipeline::Builder::Ingest(FilterSpec spec) {
+  ingest_spec_ = std::move(spec);
+  return *this;
+}
+
+Pipeline::Builder& Pipeline::Builder::Ingest(std::string_view spec_text) {
+  auto parsed = FilterSpec::Parse(spec_text);
+  if (!parsed.ok()) {
+    if (deferred_.ok()) deferred_ = parsed.status();
+    return *this;
+  }
+  return Ingest(std::move(parsed).value());
+}
+
 Pipeline::Builder& Pipeline::Builder::Shards(size_t n) {
   shards_ = n;
   return *this;
@@ -227,6 +241,12 @@ Result<std::unique_ptr<Pipeline>> Pipeline::Builder::Build() {
   bank_options.shards = shards_;
   bank_options.threaded = threaded_;
   bank_options.queue_capacity = queue_capacity_;
+  if (ingest_spec_.has_value()) {
+    // An unknown policy family, a bad parameter or an inconsistent
+    // combination (dup=last without a reorder buffer) fails the build.
+    PLASTREAM_ASSIGN_OR_RETURN(bank_options.ingest,
+                               IngestPolicy::FromSpec(*ingest_spec_));
+  }
   return std::unique_ptr<Pipeline>(new Pipeline(
       std::move(default_spec_), std::move(per_key_), std::move(prefixes_),
       registry_, std::move(codec_spec), codec_registry_,
@@ -254,7 +274,8 @@ Pipeline::Pipeline(std::optional<FilterSpec> default_spec,
       storage_spec_(std::move(storage_spec)),
       storage_(std::move(storage)),
       transport_spec_(std::move(transport_spec)),
-      transport_(std::move(transport)) {
+      transport_(std::move(transport)),
+      ingest_policy_(bank_options.ingest) {
   stream_shards_.reserve(bank_options.shards);
   for (size_t i = 0; i < bank_options.shards; ++i) {
     stream_shards_.push_back(std::make_unique<StreamShard>());
@@ -547,6 +568,7 @@ Pipeline::PipelineStats Pipeline::Stats() const {
   // e.g. the archive header).
   stats.storage_bytes = static_cast<size_t>(storage_->bytes_written());
   stats.transport = transport_->GetStats();
+  stats.ingest = bank_->IngestStats();
   return stats;
 }
 

@@ -142,6 +142,16 @@ class Pipeline {
     /// outlive the builder's Build() call.
     Builder& WithTransportRegistry(const TransportRegistry* registry);
 
+    /// Ingest-guard policy applied in front of every stream's filter, as
+    /// a policy spec: "pass" (the default — no guard stage, no overhead)
+    /// or "guard(reorder=N,nan=reject|skip|gap,max_dt=SECONDS,
+    /// dup=error|first|last)". See stream/ingest_guard.h for the
+    /// semantics; guard counters surface in Stats().ingest. A bad policy
+    /// spec fails at Build().
+    Builder& Ingest(FilterSpec spec);
+    /// Parses `spec_text`; a parse failure surfaces at Build().
+    Builder& Ingest(std::string_view spec_text);
+
     /// Hash-partitions keys across `n` shards (default 1) so producers on
     /// different shards ingest in parallel. 0 is an error at Build().
     Builder& Shards(size_t n);
@@ -176,6 +186,7 @@ class Pipeline {
     std::optional<FilterSpec> codec_spec_;
     std::optional<FilterSpec> storage_spec_;
     std::optional<FilterSpec> transport_spec_;
+    std::optional<FilterSpec> ingest_spec_;
     size_t shards_ = 1;
     bool threaded_ = false;
     size_t queue_capacity_ = 1024;
@@ -283,6 +294,10 @@ class Pipeline {
     /// Transport-level counters (socket bytes, resends, reconnects,
     /// backpressure stalls). All zero for the default inproc transport.
     TransportStats transport;
+    /// Ingest-guard decision counters (reorders, late drops, NaN skips,
+    /// gap cuts, duplicate resolutions). All zero for the default
+    /// pass-through ingest policy.
+    IngestGuardStats ingest;
     std::vector<KeyStats> per_key;  ///< per-key archive stats, sorted by key
   };
   PipelineStats Stats() const;
@@ -303,6 +318,10 @@ class Pipeline {
 
   /// The transport spec frames leave through (default "inproc").
   const FilterSpec& TransportSpec() const { return transport_spec_; }
+
+  /// The ingest-guard policy in front of every stream's filter (default
+  /// pass-through).
+  const IngestPolicy& GetIngestPolicy() const { return ingest_policy_; }
 
   /// The transport instance (for counters); never null.
   const class Transport& GetTransport() const { return *transport_; }
@@ -367,6 +386,7 @@ class Pipeline {
   std::unique_ptr<StorageBackend> storage_;
   FilterSpec transport_spec_;
   std::unique_ptr<class Transport> transport_;
+  IngestPolicy ingest_policy_;
   // Stream state is partitioned exactly like the bank's keys, one map per
   // shard, so the per-point drain lookup and stream creation synchronize
   // only within a shard — appends on different shards share no lock. The

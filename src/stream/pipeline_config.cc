@@ -14,6 +14,7 @@
 //   codec     = delta(varint=true)
 //   storage   = file(path=segments.plar,sync=flush)
 //   transport = tcp(host=collector,port=9099)   ; default inproc
+//   ingest    = guard(reorder=16,nan=gap)       ; default pass
 //   shards    = 4
 //
 // Top-level lines are `key-pattern = filter-spec`; a pattern is an exact
@@ -29,6 +30,7 @@
 #include <string>
 
 #include "common/str_util.h"
+#include "stream/ingest_guard.h"
 #include "stream/pipeline.h"
 
 namespace plastream {
@@ -109,7 +111,8 @@ Pipeline::Builder& Pipeline::Builder::FromConfigString(
     }
 
     if (in_pipeline_section) {
-      if (key == "codec" || key == "storage" || key == "transport") {
+      if (key == "codec" || key == "storage" || key == "transport" ||
+          key == "ingest") {
         auto spec = FilterSpec::Parse(value);
         if (!spec.ok()) {
           fail(line_no, std::string(key) + " spec: " + spec.status().message());
@@ -117,6 +120,14 @@ Pipeline::Builder& Pipeline::Builder::FromConfigString(
           Codec(std::move(spec).value());
         } else if (key == "storage") {
           Storage(std::move(spec).value());
+        } else if (key == "ingest") {
+          // Validate eagerly so policy errors carry file:line context.
+          const auto policy = IngestPolicy::FromSpec(spec.value());
+          if (!policy.ok()) {
+            fail(line_no, "ingest spec: " + policy.status().message());
+          } else {
+            Ingest(std::move(spec).value());
+          }
         } else {
           Transport(std::move(spec).value());
         }
@@ -132,8 +143,9 @@ Pipeline::Builder& Pipeline::Builder::FromConfigString(
           Shards(shards);
         }
       } else {
-        fail(line_no, "unknown [pipeline] key '" + std::string(key) +
-                          "' (supported: codec, storage, transport, shards)");
+        fail(line_no,
+             "unknown [pipeline] key '" + std::string(key) +
+                 "' (supported: codec, storage, transport, ingest, shards)");
       }
       continue;
     }

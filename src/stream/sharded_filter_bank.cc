@@ -44,7 +44,7 @@ ShardedFilterBank::ShardedFilterBank(FilterFactory factory, Options options)
     : options_(std::move(options)), threaded_(options_.threaded) {
   shards_.reserve(options_.shards);
   for (size_t i = 0; i < options_.shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(factory));
+    shards_.push_back(std::make_unique<Shard>(factory, options_.ingest));
   }
   if (threaded_) {
     for (auto& shard : shards_) {
@@ -249,6 +249,15 @@ FilterBank::BankStats ShardedFilterBank::Stats() const {
     total.points += stats.points;
     total.segments += stats.segments;
     total.extra_recordings += stats.extra_recordings;
+  }
+  return total;
+}
+
+IngestGuardStats ShardedFilterBank::IngestStats() const {
+  IngestGuardStats total;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->bank.IngestStats();
   }
   return total;
 }

@@ -77,6 +77,10 @@ class ShardedFilterBank {
     size_t queue_capacity = 1024;
     /// See PostAppendHook.
     PostAppendHook post_append;
+    /// Ingest-guard policy applied in front of every stream's filter,
+    /// inside the shard's serialization (see stream/ingest_guard.h). The
+    /// default pass-through policy adds no stage.
+    IngestPolicy ingest;
   };
 
   /// Validates `options` (shards >= 1, queue_capacity >= 1 when threaded)
@@ -139,6 +143,10 @@ class ShardedFilterBank {
   /// Aggregate statistics summed over every shard.
   FilterBank::BankStats Stats() const;
 
+  /// Ingest-guard decision counters summed over every shard. All zero
+  /// when the bank runs the pass-through policy.
+  IngestGuardStats IngestStats() const;
+
   /// Per-shard statistics, indexed by shard; useful for balance checks.
   std::vector<FilterBank::BankStats> ShardStats() const;
 
@@ -172,7 +180,8 @@ class ShardedFilterBank {
   // zero under the mutex is what publishes the worker's writes to callers
   // of Flush/FinishAll.
   struct Shard {
-    explicit Shard(FilterFactory factory) : bank(std::move(factory)) {}
+    Shard(FilterFactory factory, const IngestPolicy& ingest)
+        : bank(std::move(factory), ingest) {}
 
     mutable std::mutex mutex;
     FilterBank bank;

@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "core/filter_registry.h"
 #include "core/reconstruction.h"
 #include "core/slide_filter.h"
 #include "datagen/correlated_walk.h"
@@ -24,6 +25,7 @@
 #include "datagen/signal.h"
 #include "eval/metrics.h"
 #include "eval/runner.h"
+#include "tests/harness/invariants.h"
 
 namespace plastream {
 namespace {
@@ -284,6 +286,105 @@ TEST(FilterOrderingTest, ZeroEpsilonStillMergesCollinearRuns) {
     const auto result = *RunFilter(*FilterSpec::Parse(text), options, signal);
     EXPECT_EQ(result.segments.size(), 1u) << text;
     EXPECT_NEAR(result.error.max_error_overall, 0.0, 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dimensionality sweep through the conformance harness checkers: every
+// guaranteed family at d = 1, 4 and 8 (the DimVec inline boundary) across
+// an eps sweep, validated by the same CheckStreamInvariants the property
+// harness asserts on every randomized scenario.
+// ---------------------------------------------------------------------------
+
+using DimSweepParam =
+    std::tuple<FilterSpec, size_t /*dims*/, double /*epsilon scale*/>;
+
+class DimSweepInvariantTest : public ::testing::TestWithParam<DimSweepParam> {
+};
+
+TEST_P(DimSweepInvariantTest, HarnessCheckersHoldAcrossDimensions) {
+  const auto [spec, dims, eps_scale] = GetParam();
+
+  CorrelatedWalkOptions o;
+  o.count = 900;
+  o.dimensions = dims;
+  o.correlation = 0.5;
+  o.max_delta = 3.0;
+  o.seed = 17 + dims;
+  const Signal signal = *GenerateCorrelatedWalk(o);
+
+  harness::ScenarioStream stream;
+  stream.key = "sweep";
+  stream.spec = spec;
+  stream.truth = signal;
+  FilterOptions options;
+  for (size_t i = 0; i < dims; ++i) {
+    const double range = signal.Range(i);
+    stream.epsilon.push_back(range > 0.0 ? range * eps_scale : eps_scale);
+  }
+  options.epsilon = stream.epsilon;
+
+  const auto result =
+      RunFilter(spec, options, signal, /*verify_precision=*/false);
+  ASSERT_TRUE(result.ok()) << spec.Label() << " d=" << dims << ": "
+                           << result.status().ToString();
+  const Status checked =
+      harness::CheckStreamInvariants(stream, result->segments);
+  EXPECT_TRUE(checked.ok())
+      << spec.Label() << " d=" << dims << " eps_scale " << eps_scale << ": "
+      << checked.message();
+}
+
+std::string DimSweepParamName(
+    const ::testing::TestParamInfo<DimSweepParam>& info) {
+  const auto [spec, dims, eps_scale] = info.param;
+  std::string name = spec.Label();
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  name += "_d" + std::to_string(dims);
+  std::string eps = std::to_string(eps_scale);
+  eps.erase(eps.find_last_not_of('0') + 1);
+  for (char& c : eps) {
+    if (c == '.') c = 'p';
+  }
+  return name + "_eps" + eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesByDims, DimSweepInvariantTest,
+    ::testing::Combine(::testing::ValuesIn(GuaranteedVariants()),
+                       ::testing::Values<size_t>(1, 4, 8),
+                       ::testing::Values(0.005, 0.05, 0.2)),
+    DimSweepParamName);
+
+// ---------------------------------------------------------------------------
+// Mid-stream cuts (the primitive behind the guard's gap handling) keep
+// both the chain invariants and the precision contract for every family.
+// ---------------------------------------------------------------------------
+
+TEST(FilterCutInvariantTest, MidStreamCutsKeepTheContract) {
+  const Signal signal = *GenerateSine(600, 10.0, 150.0);
+  for (FilterSpec spec : GuaranteedVariants()) {
+    spec.options.epsilon = {signal.Range(0) * 0.05};
+    auto filter = MakeFilter(spec).value();
+    for (size_t j = 0; j < signal.size(); ++j) {
+      // Two cuts, a third of the way in and two thirds in.
+      if (j == signal.size() / 3 || j == 2 * signal.size() / 3) {
+        ASSERT_TRUE(filter->Cut().ok()) << spec.Label();
+      }
+      ASSERT_TRUE(filter->Append(signal.points[j]).ok()) << spec.Label();
+    }
+    ASSERT_TRUE(filter->Finish().ok()) << spec.Label();
+
+    harness::ScenarioStream stream;
+    stream.key = "cut";
+    stream.spec = spec;
+    stream.epsilon = spec.options.epsilon;
+    stream.truth = signal;
+    const Status checked =
+        harness::CheckStreamInvariants(stream, filter->TakeSegments());
+    EXPECT_TRUE(checked.ok()) << spec.Label() << ": " << checked.message();
   }
 }
 

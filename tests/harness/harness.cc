@@ -1,0 +1,234 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "tests/harness/harness.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+#include <utility>
+
+#include "transport/collector_server.h"
+
+namespace plastream {
+namespace harness {
+namespace {
+
+// Unique scratch paths for file-storage archives and uds sockets; pid +
+// counter keeps parallel ctest invocations apart.
+std::string ScratchPath(const char* stem, const char* suffix) {
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  return (std::filesystem::temp_directory_path() /
+          (std::string(stem) + "-" + std::to_string(::getpid()) + "-" +
+           std::to_string(n) + suffix))
+      .string();
+}
+
+// Removes a scratch file on scope exit, success or failure.
+class ScopedRemove {
+ public:
+  explicit ScopedRemove(std::string path) : path_(std::move(path)) {}
+  ~ScopedRemove() {
+    if (!path_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove(path_, ec);
+    }
+  }
+  ScopedRemove(const ScopedRemove&) = delete;
+  ScopedRemove& operator=(const ScopedRemove&) = delete;
+
+ private:
+  std::string path_;
+};
+
+// Runs a CollectorServer's poll loop on its own thread for the scope of
+// one uds-variant run (Listen() only binds; Serve() is the loop).
+class ScopedServe {
+ public:
+  explicit ScopedServe(CollectorServer* server)
+      : server_(server), thread_([this] { serve_status_ = server_->Serve(); }) {}
+  ~ScopedServe() {
+    server_->Shutdown();
+    thread_.join();
+  }
+  ScopedServe(const ScopedServe&) = delete;
+  ScopedServe& operator=(const ScopedServe&) = delete;
+
+ private:
+  CollectorServer* server_;
+  Status serve_status_ = Status::OK();
+  std::thread thread_;
+};
+
+Status AnnotateVariant(const PipelineVariant& variant, const Status& inner) {
+  if (inner.ok()) return inner;
+  return Status(inner.code(),
+                "variant '" + variant.name + "': " + inner.message());
+}
+
+// Accounting invariants that hold on every variant: the pipeline admits
+// exactly the truth points, and the guard counters match what the
+// generator injected (every injection is exactly repairable).
+Status CheckAccounting(const Scenario& scenario,
+                       const Pipeline::PipelineStats& stats) {
+  const auto fail = [](std::string_view what, size_t got, size_t want) {
+    return Status::FailedPrecondition(std::string(what) + ": got " +
+                                      std::to_string(got) + ", expected " +
+                                      std::to_string(want));
+  };
+  if (stats.points != scenario.ExpectedPoints()) {
+    return fail("admitted points", stats.points, scenario.ExpectedPoints());
+  }
+  const IngestGuardStats& guard = stats.ingest;
+  if (guard.late_dropped != 0) {
+    return fail("late_dropped (all lateness fits the window)",
+                guard.late_dropped, 0);
+  }
+  if (guard.reordered != scenario.injected_late) {
+    return fail("reordered", guard.reordered, scenario.injected_late);
+  }
+  if (guard.dups_resolved != scenario.injected_dups) {
+    return fail("dups_resolved", guard.dups_resolved, scenario.injected_dups);
+  }
+  if (guard.nan_skipped + guard.nan_gaps != scenario.injected_nans) {
+    return fail("nan_skipped + nan_gaps", guard.nan_skipped + guard.nan_gaps,
+                scenario.injected_nans);
+  }
+  if (guard.gaps_cut != scenario.injected_gaps) {
+    return fail("gaps_cut", guard.gaps_cut, scenario.injected_gaps);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<PipelineVariant> VariantsFor(uint64_t seed) {
+  std::vector<PipelineVariant> variants;
+  variants.push_back({"shards1-frame-memory", 1, false, "frame", false, false});
+  variants.push_back(
+      {"shards3-delta-threaded", 3, true, "delta(varint=true)", false, false});
+  if (seed % 4 == 0) {
+    variants.push_back(
+        {"shards2-batch-file", 2, false, "batch(n=7)", true, false});
+  }
+  if (seed % 8 == 0) {
+    variants.push_back({"shards2-frame-uds", 2, false, "frame", false, true});
+  }
+  return variants;
+}
+
+Result<RunOutput> RunScenario(const Scenario& scenario,
+                              const PipelineVariant& variant) {
+  // Optional legs: a file-backed archive and a uds collector.
+  std::string archive_path;
+  if (variant.file_storage) {
+    archive_path = ScratchPath("plastream-prop", ".plar");
+  }
+  const ScopedRemove archive_cleanup(archive_path);
+
+  std::unique_ptr<CollectorServer> server;
+  std::unique_ptr<ScopedServe> serving;
+  std::string socket_path;
+  if (variant.uds_transport) {
+    socket_path = ScratchPath("plastream-prop", ".sock");
+    PLASTREAM_ASSIGN_OR_RETURN(
+        server, CollectorServer::Listen("uds(path=" + socket_path + ")",
+                                        CollectorServer::Options{}));
+    serving = std::make_unique<ScopedServe>(server.get());
+  }
+  const ScopedRemove socket_cleanup(socket_path);
+
+  Pipeline::Builder builder;
+  for (const ScenarioStream& stream : scenario.streams) {
+    builder.PerKeySpec(stream.key, stream.spec);
+  }
+  builder.Ingest(scenario.policy.Format())
+      .Codec(variant.codec)
+      .Shards(variant.shards);
+  if (variant.threaded) builder.Threads();
+  if (variant.file_storage) {
+    builder.Storage("file(path=" + archive_path + ")");
+  }
+  if (variant.uds_transport) builder.Transport(server->endpoint());
+  PLASTREAM_ASSIGN_OR_RETURN(std::unique_ptr<Pipeline> pipeline,
+                             builder.Build());
+
+  for (const Arrival& arrival : scenario.arrivals) {
+    const Status appended =
+        pipeline->Append(scenario.streams[arrival.stream].key, arrival.point);
+    if (!appended.ok()) {
+      return Status(appended.code(),
+                    "append t=" + std::to_string(arrival.point.t) + " key '" +
+                        scenario.streams[arrival.stream].key +
+                        "': " + appended.message());
+    }
+  }
+  PLASTREAM_RETURN_NOT_OK(pipeline->Finish());
+
+  RunOutput output;
+  output.stats = pipeline->Stats();
+  for (const ScenarioStream& stream : scenario.streams) {
+    auto segments = variant.uds_transport ? server->Segments(stream.key)
+                                          : pipeline->Segments(stream.key);
+    if (!segments.ok()) {
+      return Status(segments.status().code(), "segments for key '" +
+                                                  stream.key + "': " +
+                                                  segments.status().message());
+    }
+    output.segments.push_back(std::move(segments).value());
+  }
+  return output;
+}
+
+Status CheckScenario(const Scenario& scenario,
+                     const std::vector<PipelineVariant>& variants) {
+  const auto annotate = [&scenario](const Status& inner) {
+    if (inner.ok()) return inner;
+    return Status(inner.code(),
+                  "[" + scenario.Describe() + "] " + inner.message());
+  };
+  if (variants.empty()) {
+    return annotate(Status::InvalidArgument("no pipeline variants"));
+  }
+
+  auto reference = RunScenario(scenario, variants.front());
+  if (!reference.ok()) {
+    return annotate(AnnotateVariant(variants.front(), reference.status()));
+  }
+  PLASTREAM_RETURN_NOT_OK(annotate(AnnotateVariant(
+      variants.front(), CheckAccounting(scenario, reference.value().stats))));
+  for (size_t s = 0; s < scenario.streams.size(); ++s) {
+    PLASTREAM_RETURN_NOT_OK(annotate(
+        AnnotateVariant(variants.front(),
+                        CheckStreamInvariants(scenario.streams[s],
+                                              reference.value().segments[s]))));
+  }
+
+  for (size_t v = 1; v < variants.size(); ++v) {
+    auto run = RunScenario(scenario, variants[v]);
+    if (!run.ok()) {
+      return annotate(AnnotateVariant(variants[v], run.status()));
+    }
+    PLASTREAM_RETURN_NOT_OK(annotate(AnnotateVariant(
+        variants[v], CheckAccounting(scenario, run.value().stats))));
+    for (size_t s = 0; s < scenario.streams.size(); ++s) {
+      PLASTREAM_RETURN_NOT_OK(annotate(AnnotateVariant(
+          variants[v],
+          CheckSegmentsIdentical(scenario.streams[s].key,
+                                 run.value().segments[s], variants[v].name,
+                                 reference.value().segments[s],
+                                 variants.front().name))));
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckSeed(uint64_t seed) {
+  const Scenario scenario = GenerateScenario(seed);
+  return CheckScenario(scenario, VariantsFor(seed));
+}
+
+}  // namespace harness
+}  // namespace plastream

@@ -1,0 +1,78 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// The property-based conformance harness: runs a generated Scenario
+// through a matrix of pipeline configurations (shards x threading x wire
+// codec x storage backend x transport) and checks every conformance
+// invariant (tests/harness/invariants.h) on every run — including
+// byte-identity of each key's segment chain across all variants.
+//
+// Entry point for tests:
+//
+//   Status st = harness::CheckSeed(seed);
+//   ASSERT_TRUE(st.ok()) << st.message();   // message embeds the seed
+//
+// Every failure message starts with the scenario description (seed,
+// policy, stream specs, injection counts), so any red run names its
+// exact repro: rerun with PLASTREAM_PROPERTY_BASE_SEED=<seed>
+// PLASTREAM_PROPERTY_SEEDS=1.
+
+#ifndef PLASTREAM_TESTS_HARNESS_HARNESS_H_
+#define PLASTREAM_TESTS_HARNESS_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "stream/pipeline.h"
+#include "tests/harness/invariants.h"
+#include "tests/harness/scenario.h"
+
+namespace plastream {
+namespace harness {
+
+// One pipeline configuration of the conformance matrix.
+struct PipelineVariant {
+  std::string name;            // names the variant in failure messages
+  size_t shards = 1;
+  bool threaded = false;
+  std::string codec = "frame";
+  bool file_storage = false;   // archive to a temp file instead of memory
+  bool uds_transport = false;  // ship frames to a uds CollectorServer
+};
+
+// The matrix for `seed`: two cheap variants on every seed, plus the
+// file-storage leg every 4th seed and the uds-transport leg every 8th —
+// so sustained runs still sweep the full spread without paying socket
+// and disk setup on every scenario.
+std::vector<PipelineVariant> VariantsFor(uint64_t seed);
+
+// The observable output of one scenario run.
+struct RunOutput {
+  // Per-stream segment chains, aligned with Scenario::streams.
+  std::vector<std::vector<Segment>> segments;
+  Pipeline::PipelineStats stats;
+};
+
+// Feeds the scenario's arrivals through one pipeline variant and collects
+// each stream's segments (from the collector when the variant ships over
+// a transport). Errors if any append, flush or finish fails — generated
+// scenarios are constructed to be error-free under their policy.
+Result<RunOutput> RunScenario(const Scenario& scenario,
+                              const PipelineVariant& variant);
+
+// Runs the scenario through every variant and checks all invariants:
+// per-stream chain validity and the L-infinity contract on the reference
+// variant, admitted-point and guard-counter accounting on every variant,
+// and per-key byte-identity of every variant against the reference. The
+// failure message embeds scenario.Describe().
+Status CheckScenario(const Scenario& scenario,
+                     const std::vector<PipelineVariant>& variants);
+
+// GenerateScenario + CheckScenario(VariantsFor) for one seed.
+Status CheckSeed(uint64_t seed);
+
+}  // namespace harness
+}  // namespace plastream
+
+#endif  // PLASTREAM_TESTS_HARNESS_HARNESS_H_

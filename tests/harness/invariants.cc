@@ -1,0 +1,76 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "tests/harness/invariants.h"
+
+#include <string>
+
+#include "core/reconstruction.h"
+#include "eval/metrics.h"
+
+namespace plastream {
+namespace harness {
+
+Status CheckStreamInvariants(const ScenarioStream& stream,
+                             const std::vector<Segment>& segments) {
+  const auto fail = [&stream](const std::string& what) {
+    return Status::FailedPrecondition("stream '" + stream.key + "' (" +
+                                      stream.spec.Format() + "): " + what);
+  };
+
+  if (stream.truth.empty()) {
+    if (!segments.empty()) {
+      return fail("expected no segments for an empty admitted set, got " +
+                  std::to_string(segments.size()));
+    }
+    return Status::OK();
+  }
+  if (segments.empty()) {
+    return fail("no segments for " + std::to_string(stream.truth.size()) +
+                " admitted points");
+  }
+
+  // Invariant 1: a valid monotone / connected chain.
+  const Status chain = ValidateSegmentChain(segments);
+  if (!chain.ok()) return fail("invalid segment chain: " + chain.message());
+
+  // Invariant 2: the L-infinity contract at every admitted timestamp.
+  // PiecewiseLinearFunction::Make re-validates the chain; VerifyPrecision
+  // errors on any uncovered sample time as well as on any eps violation.
+  auto approx = PiecewiseLinearFunction::Make(segments);
+  if (!approx.ok()) {
+    return fail("reconstruction rejected the chain: " +
+                approx.status().message());
+  }
+  const Status precision =
+      VerifyPrecision(stream.truth, approx.value(), stream.epsilon);
+  if (!precision.ok()) {
+    return fail("precision violated: " + precision.message());
+  }
+  return Status::OK();
+}
+
+Status CheckSegmentsIdentical(std::string_view key,
+                              const std::vector<Segment>& got,
+                              std::string_view got_label,
+                              const std::vector<Segment>& want,
+                              std::string_view want_label) {
+  const auto fail = [&](const std::string& what) {
+    return Status::FailedPrecondition(
+        "key '" + std::string(key) + "': variant '" + std::string(got_label) +
+        "' diverges from variant '" + std::string(want_label) + "': " + what);
+  };
+  if (got.size() != want.size()) {
+    return fail("segment count " + std::to_string(got.size()) + " vs " +
+                std::to_string(want.size()));
+  }
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (!(got[i] == want[i])) {
+      return fail("segment " + std::to_string(i) + ": " + got[i].ToString() +
+                  " vs " + want[i].ToString());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace harness
+}  // namespace plastream

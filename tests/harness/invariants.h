@@ -1,0 +1,49 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Conformance invariants for the property-based harness: the checks every
+// randomized run must pass, with failure messages precise enough to act
+// on (they name the violating sample / segment, and the harness wraps
+// them with the scenario seed).
+//
+//  1. Chain validity — monotone times, consistent dimensionality, exact
+//     endpoint sharing wherever connected_to_prev is set
+//     (ValidateSegmentChain).
+//  2. The paper's L-infinity contract — every admitted sample is within
+//     its per-dimension epsilon of the reconstruction (Theorems 3.1/4.1
+//     via VerifyPrecision), and every admitted timestamp is covered.
+//  3. Determinism — per-key segment chains are byte-for-byte identical
+//     regardless of shard count, threading, wire codec, storage backend
+//     or transport.
+
+#ifndef PLASTREAM_TESTS_HARNESS_INVARIANTS_H_
+#define PLASTREAM_TESTS_HARNESS_INVARIANTS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/types.h"
+#include "tests/harness/scenario.h"
+
+namespace plastream {
+namespace harness {
+
+// Checks invariants 1 and 2 for one stream's output `segments` against
+// its expected admitted signal. FailedPrecondition names the first
+// violation.
+Status CheckStreamInvariants(const ScenarioStream& stream,
+                             const std::vector<Segment>& segments);
+
+// Checks invariant 3: byte-wise identity of two per-key segment chains
+// produced by different pipeline variants. The labels name the variants
+// in the failure message.
+Status CheckSegmentsIdentical(std::string_view key,
+                              const std::vector<Segment>& got,
+                              std::string_view got_label,
+                              const std::vector<Segment>& want,
+                              std::string_view want_label);
+
+}  // namespace harness
+}  // namespace plastream
+
+#endif  // PLASTREAM_TESTS_HARNESS_INVARIANTS_H_

@@ -1,0 +1,317 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "tests/harness/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace plastream {
+namespace harness {
+namespace {
+
+// Guard policies cycle through the interesting corners of the spec space;
+// pass-through scenarios get no injections (the arrivals must already be
+// clean) and exercise the zero-overhead path end-to-end.
+IngestPolicy PickPolicy(Rng& rng) {
+  IngestPolicy policy;
+  if (rng.Bernoulli(0.25)) return policy;  // "pass": no guard stage
+  const uint64_t windows[] = {2, 4, 16};
+  policy.reorder = windows[rng.UniformInt(3)];
+  policy.nan = rng.Bernoulli(0.5) ? NanPolicy::kSkip : NanPolicy::kGap;
+  switch (rng.UniformInt(3)) {
+    case 0: policy.dup = DupPolicy::kError; break;
+    case 1: policy.dup = DupPolicy::kFirst; break;
+    default: policy.dup = DupPolicy::kLast; break;
+  }
+  // Sampling steps below stay under 3s (dt <= 2.0 * 1.5), so an 8s
+  // max_dt only fires on the deliberate inter-regime jumps.
+  if (rng.Bernoulli(0.5)) policy.max_dt = 8.0;
+  return policy;
+}
+
+// The guaranteed families (kalman is best-effort and excluded; see
+// eval/runner.h), with the parameter variants that change segment shape.
+const char* PickFamily(Rng& rng) {
+  static const char* kFamilies[] = {
+      "cache",
+      "cache(mode=midrange)",
+      "linear",
+      "linear(mode=disconnected)",
+      "swing",
+      "slide",
+      "slide(hull=binary)",
+  };
+  return kFamilies[rng.UniformInt(7)];
+}
+
+// One regime of a truth signal: appends `count` points continuing from
+// `last` (the previous regime's final values), stepping time by an
+// irregular dt. Regimes deliberately include adversarial slopes.
+void AppendRegime(Rng& rng, size_t count, size_t dims, double base_dt,
+                  double& t, std::vector<double>& last, Signal& out) {
+  const uint64_t kind = rng.UniformInt(5);
+  std::vector<double> slope(dims), phase(dims), period(dims);
+  for (size_t d = 0; d < dims; ++d) {
+    slope[d] = rng.Uniform(-1000.0, 1000.0);  // steep, adversarial
+    phase[d] = rng.Uniform(0.0, 6.28318);
+    period[d] = rng.Uniform(10.0, 80.0) * base_dt;
+  }
+  const double amplitude = rng.Uniform(1.0, 100.0);
+  const double walk_sd = rng.Uniform(0.1, 20.0);
+  const std::vector<double> origin = last;
+  const double regime_t0 = t;
+  for (size_t i = 0; i < count; ++i) {
+    t += base_dt * rng.Uniform(0.5, 1.5);
+    DataPoint point;
+    point.t = t;
+    for (size_t d = 0; d < dims; ++d) {
+      double v = 0.0;
+      switch (kind) {
+        case 0:  // steep line
+          v = origin[d] + slope[d] * (t - regime_t0);
+          break;
+        case 1:  // sine
+          v = origin[d] +
+              amplitude * std::sin(phase[d] + 6.28318 * (t - regime_t0) /
+                                                  period[d]);
+          break;
+        case 2:  // steps: constant with occasional jumps
+          v = last[d] + (rng.Bernoulli(0.08) ? rng.Uniform(-50.0, 50.0) : 0.0);
+          break;
+        case 3:  // random walk
+          v = last[d] + rng.Gaussian(0.0, walk_sd);
+          break;
+        default:  // spikes over a flat baseline
+          v = origin[d] +
+              (rng.Bernoulli(0.05) ? rng.Uniform(-200.0, 200.0) : 0.0);
+          break;
+      }
+      point.x.push_back(v);
+      last[d] = v;
+    }
+    out.points.push_back(std::move(point));
+  }
+}
+
+ScenarioStream GenerateStream(Rng& rng, size_t index,
+                              const IngestPolicy& policy,
+                              size_t& injected_gaps) {
+  ScenarioStream stream;
+  stream.key = "key-" + std::to_string(index);
+
+  const size_t dims_choices[] = {1, 1, 2, 4, 8};
+  const size_t dims = dims_choices[rng.UniformInt(5)];
+  const double base_dt = rng.Uniform(0.5, 2.0);
+
+  double t = rng.Uniform(0.0, 100.0);
+  std::vector<double> last(dims, 0.0);
+  for (size_t d = 0; d < dims; ++d) last[d] = rng.Uniform(-100.0, 100.0);
+
+  const size_t regimes = 2 + rng.UniformInt(3);
+  for (size_t r = 0; r < regimes; ++r) {
+    if (r > 0 && policy.max_dt > 0.0 && rng.Bernoulli(0.5)) {
+      // A discontinuity the guard must cut at: jump well past max_dt.
+      t += policy.max_dt * rng.Uniform(1.5, 3.0);
+      ++injected_gaps;
+    }
+    AppendRegime(rng, 30 + rng.UniformInt(70), dims, base_dt, t, last,
+                 stream.truth);
+  }
+
+  // Per-dimension eps as a fraction of the dimension's range, with a
+  // floor so constant dimensions still get a usable band.
+  std::ostringstream eps_list;
+  for (size_t d = 0; d < dims; ++d) {
+    double eps = stream.truth.Range(d) * rng.Uniform(0.01, 0.2);
+    if (eps < 1e-6) eps = 1e-6;
+    stream.epsilon.push_back(eps);
+    if (d > 0) eps_list << ':';
+    eps_list << eps;
+  }
+
+  // Graft the eps list into the family spec string, then parse.
+  const std::string family = PickFamily(rng);
+  std::string spec_text;
+  if (family.find('(') == std::string::npos) {
+    spec_text = family + "(eps=" + eps_list.str() + ")";
+  } else {
+    spec_text = family.substr(0, family.size() - 1) + ",eps=" +
+                eps_list.str() + ")";
+  }
+  stream.spec = FilterSpec::Parse(spec_text).value();
+  // The spec string rounds eps to ostream precision; read the values back
+  // so stream.epsilon is exactly what the filter enforces.
+  stream.epsilon = stream.spec.options.epsilon;
+  return stream;
+}
+
+// A planned adversity at a truth index. Sites are chosen mutually
+// exclusive and lateness windows are kept disjoint, which keeps every
+// injection exactly repairable:
+//
+//  * a point delayed by k <= reorder positions re-sorts inside the buffer
+//    before the watermark can pass it (the k newer points fit the window);
+//  * duplicate pairs sit at natural (never delayed) indices, so the true
+//    point is still buffered — or is exactly the watermark — when its
+//    wrong-valued twin shows up;
+//  * non-finite samples are dropped before the ordering stage entirely.
+struct Injection {
+  enum Kind { kLate, kDup, kNan } kind;
+  size_t index;
+  size_t delay = 0;  // kLate only
+};
+
+std::vector<DataPoint> BuildArrivalSequence(Rng& rng,
+                                            const IngestPolicy& policy,
+                                            const ScenarioStream& stream,
+                                            Scenario& tally) {
+  std::vector<DataPoint> seq = stream.truth.points;
+  if (policy.pass_through()) return seq;  // must already be clean
+
+  const size_t n = seq.size();
+  const size_t dims = stream.truth.dimensions();
+  const size_t max_delay = std::min<size_t>(policy.reorder, 4);
+  std::vector<Injection> rotations;
+  std::vector<Injection> insertions;
+  size_t i = 0;
+  while (i < n) {
+    if (policy.reorder > 0 && i + max_delay + 1 < n && rng.Bernoulli(0.08)) {
+      const size_t k = 1 + rng.UniformInt(max_delay);
+      rotations.push_back({Injection::kLate, i, k});
+      ++tally.injected_late;
+      i += k + 1;  // reserve the whole window [i, i+k]
+    } else if (policy.dup != DupPolicy::kError && rng.Bernoulli(0.05)) {
+      insertions.push_back({Injection::kDup, i});
+      ++tally.injected_dups;
+      ++i;
+    } else if (policy.nan != NanPolicy::kReject && rng.Bernoulli(0.04)) {
+      insertions.push_back({Injection::kNan, i});
+      ++tally.injected_nans;
+      ++i;
+    } else {
+      ++i;
+    }
+  }
+
+  // Rotations permute within their window and leave every other index in
+  // place, so they can all be applied by original index.
+  for (const Injection& rot : rotations) {
+    std::rotate(seq.begin() + rot.index, seq.begin() + rot.index + 1,
+                seq.begin() + rot.index + rot.delay + 1);
+  }
+
+  // Insertions shift later indices; apply back-to-front.
+  for (auto it = insertions.rbegin(); it != insertions.rend(); ++it) {
+    if (it->kind == Injection::kDup) {
+      // A wrong-valued twin that would break the eps contract if it were
+      // ever admitted. Under first-wins the truth arrives first; under
+      // last-wins the wrong value arrives first and is overwritten.
+      DataPoint wrong = seq[it->index];
+      for (size_t d = 0; d < dims; ++d) {
+        wrong.x[d] += 5.0 * stream.epsilon[d] + 1.0;
+      }
+      const size_t at =
+          policy.dup == DupPolicy::kFirst ? it->index + 1 : it->index;
+      seq.insert(seq.begin() + at, std::move(wrong));
+    } else {
+      // A non-finite sample; its (finite, stale) timestamp is irrelevant
+      // because the nan policy drops it before the ordering stage.
+      DataPoint bad = seq[it->index];
+      bad.t += 0.01;
+      const double poisons[] = {std::numeric_limits<double>::quiet_NaN(),
+                                std::numeric_limits<double>::infinity(),
+                                -std::numeric_limits<double>::infinity()};
+      bad.x[rng.UniformInt(dims)] = poisons[rng.UniformInt(3)];
+      seq.insert(seq.begin() + it->index + 1, std::move(bad));
+    }
+  }
+  return seq;
+}
+
+bool BitEqual(double a, double b) {
+  uint64_t ua = 0, ub = 0;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+}  // namespace
+
+bool Arrival::operator==(const Arrival& other) const {
+  if (stream != other.stream || !BitEqual(point.t, other.point.t) ||
+      point.x.size() != other.point.x.size()) {
+    return false;
+  }
+  for (size_t d = 0; d < point.x.size(); ++d) {
+    if (!BitEqual(point.x[d], other.point.x[d])) return false;
+  }
+  return true;
+}
+
+size_t Scenario::ExpectedPoints() const {
+  size_t total = 0;
+  for (const ScenarioStream& stream : streams) total += stream.truth.size();
+  return total;
+}
+
+std::string Scenario::Describe() const {
+  std::ostringstream out;
+  out << "seed=" << seed << " policy=" << policy.Format() << " streams=[";
+  for (size_t i = 0; i < streams.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << streams[i].key << ":" << streams[i].spec.Format()
+        << " dims=" << streams[i].truth.dimensions()
+        << " n=" << streams[i].truth.size();
+  }
+  out << "] arrivals=" << arrivals.size() << " late=" << injected_late
+      << " dups=" << injected_dups << " nans=" << injected_nans
+      << " gaps=" << injected_gaps;
+  return out.str();
+}
+
+Scenario GenerateScenario(uint64_t seed) {
+  Scenario scenario;
+  scenario.seed = seed;
+  Rng rng(seed);
+
+  scenario.policy = PickPolicy(rng);
+
+  const size_t n_streams = 1 + rng.UniformInt(3);
+  std::vector<std::vector<DataPoint>> sequences;
+  for (size_t s = 0; s < n_streams; ++s) {
+    Rng stream_rng = rng.Split();
+    scenario.streams.push_back(GenerateStream(
+        stream_rng, s, scenario.policy, scenario.injected_gaps));
+    sequences.push_back(BuildArrivalSequence(
+        stream_rng, scenario.policy, scenario.streams.back(), scenario));
+  }
+
+  // Interleave the streams uniformly at random, preserving each stream's
+  // own arrival order.
+  std::vector<size_t> cursor(n_streams, 0);
+  size_t remaining = 0;
+  for (const auto& seq : sequences) remaining += seq.size();
+  scenario.arrivals.reserve(remaining);
+  while (remaining > 0) {
+    uint64_t pick = rng.UniformInt(remaining);
+    size_t s = 0;
+    while (true) {
+      const size_t left = sequences[s].size() - cursor[s];
+      if (pick < left) break;
+      pick -= left;
+      ++s;
+    }
+    scenario.arrivals.push_back(Arrival{s, sequences[s][cursor[s]]});
+    ++cursor[s];
+    --remaining;
+  }
+  return scenario;
+}
+
+}  // namespace harness
+}  // namespace plastream

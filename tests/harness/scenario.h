@@ -1,0 +1,95 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Seeded adversarial scenario generation for the property-based
+// conformance harness (tests/harness/).
+//
+// A Scenario is a fully-determined, reproducible workload: a set of keyed
+// streams (each with its own filter spec, per-dimension epsilon and
+// "truth" signal — the points the pipeline is expected to admit) plus an
+// interleaved arrival sequence derived from the truth by injecting the
+// adversities the ingest guard exists to absorb:
+//
+//   * regime-switching signals — steep lines, sines, steps, random walks
+//     and spike trains concatenated with irregular sampling;
+//   * bounded lateness — points delayed by at most the policy's reorder
+//     window, so a correct guard restores exact time order;
+//   * duplicate timestamps — a wrong-valued copy next to the true point,
+//     oriented so the policy's dup rule (first/last wins) keeps the truth;
+//   * non-finite values — NaN / ±inf samples the nan policy must drop;
+//   * time gaps — inter-regime jumps past the policy's max_dt that must
+//     cut the segment chain but keep both neighbours admitted.
+//
+// Every injection is constructed to be exactly repairable under the
+// scenario's IngestPolicy, so the expected admitted set per key IS the
+// truth signal — which makes the conformance invariants sharp: the
+// pipeline must admit precisely truth.size() points per stream and hold
+// the L-infinity contract at every truth timestamp.
+//
+// GenerateScenario(seed) is a pure function of the seed: the same seed
+// reproduces the same scenario bit-for-bit, and the seed is embedded in
+// Describe() so any failure names its repro.
+
+#ifndef PLASTREAM_TESTS_HARNESS_SCENARIO_H_
+#define PLASTREAM_TESTS_HARNESS_SCENARIO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/filter_spec.h"
+#include "core/types.h"
+#include "datagen/signal.h"
+#include "stream/ingest_guard.h"
+
+namespace plastream {
+namespace harness {
+
+// One keyed arrival in the interleaved adversarial sequence. Equality is
+// bitwise on the sample values, so injected NaN points compare equal to
+// themselves (generation-determinism checks depend on this).
+struct Arrival {
+  size_t stream = 0;  // index into Scenario::streams
+  DataPoint point;
+
+  bool operator==(const Arrival& other) const;
+};
+
+// One stream of a scenario: its key, filter configuration and the
+// time-ordered points a conforming pipeline must admit.
+struct ScenarioStream {
+  std::string key;
+  FilterSpec spec;
+  std::vector<double> epsilon;  // per-dimension eps carried by `spec`
+  Signal truth;                 // expected admitted points, in order
+};
+
+// A reproducible adversarial workload. See the file comment for the
+// construction rules.
+struct Scenario {
+  uint64_t seed = 0;
+  IngestPolicy policy;
+  std::vector<ScenarioStream> streams;
+  std::vector<Arrival> arrivals;
+
+  // What the generator actually injected (all exactly repairable).
+  size_t injected_late = 0;
+  size_t injected_dups = 0;
+  size_t injected_nans = 0;
+  size_t injected_gaps = 0;
+
+  // Total expected admitted points across all streams.
+  size_t ExpectedPoints() const;
+
+  // Minimal repro spec: seed, policy, per-stream specs and sizes,
+  // injection counts. Embedded in every harness failure message.
+  std::string Describe() const;
+};
+
+// Deterministically generates the scenario for `seed`.
+Scenario GenerateScenario(uint64_t seed);
+
+}  // namespace harness
+}  // namespace plastream
+
+#endif  // PLASTREAM_TESTS_HARNESS_SCENARIO_H_

@@ -1,0 +1,164 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Property-based conformance suite (ctest label: property).
+//
+// Every run draws PLASTREAM_PROPERTY_SEEDS seeded adversarial scenarios
+// (default 25; CI's property job raises it past 100) starting at
+// PLASTREAM_PROPERTY_BASE_SEED (default 20260807) and checks the full
+// conformance matrix for each: the L-infinity precision contract at
+// every admitted timestamp, chain validity, guard-counter accounting and
+// per-key byte-identity across shards x threading x codec x storage x
+// transport. A failure prints the scenario description (which embeds the
+// seed) plus the exact environment variables that reproduce it alone.
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tests/harness/harness.h"
+
+namespace plastream {
+namespace harness {
+namespace {
+
+constexpr uint64_t kDefaultBaseSeed = 20260807;
+constexpr uint64_t kDefaultSeedCount = 25;
+
+uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  return (end != nullptr && *end == '\0') ? value : fallback;
+}
+
+std::string ReproLine(uint64_t seed) {
+  return "reproduce just this scenario with:\n  PLASTREAM_PROPERTY_BASE_SEED=" +
+         std::to_string(seed) +
+         " PLASTREAM_PROPERTY_SEEDS=1 ctest -R property_harness_test "
+         "--output-on-failure";
+}
+
+TEST(PropertyHarness, SeededScenariosHoldAllInvariants) {
+  const uint64_t base = EnvOr("PLASTREAM_PROPERTY_BASE_SEED", kDefaultBaseSeed);
+  const uint64_t count = EnvOr("PLASTREAM_PROPERTY_SEEDS", kDefaultSeedCount);
+  for (uint64_t seed = base; seed < base + count; ++seed) {
+    const Status checked = CheckSeed(seed);
+    ASSERT_TRUE(checked.ok()) << checked.message() << "\n" << ReproLine(seed);
+  }
+}
+
+TEST(PropertyHarness, ScenarioGenerationIsDeterministic) {
+  const Scenario a = GenerateScenario(kDefaultBaseSeed);
+  const Scenario b = GenerateScenario(kDefaultBaseSeed);
+  ASSERT_EQ(a.arrivals.size(), b.arrivals.size());
+  EXPECT_TRUE(a.arrivals == b.arrivals);
+  EXPECT_EQ(a.policy, b.policy);
+  ASSERT_EQ(a.streams.size(), b.streams.size());
+  for (size_t s = 0; s < a.streams.size(); ++s) {
+    EXPECT_TRUE(a.streams[s].truth.points == b.streams[s].truth.points);
+    EXPECT_EQ(a.streams[s].spec.Format(), b.streams[s].spec.Format());
+  }
+
+  // Neighbouring seeds draw different workloads.
+  const Scenario c = GenerateScenario(kDefaultBaseSeed + 1);
+  EXPECT_FALSE(a.arrivals == c.arrivals);
+}
+
+TEST(PropertyHarness, DescribeEmbedsSeedPolicyAndInjectionTallies) {
+  const Scenario scenario = GenerateScenario(42);
+  const std::string description = scenario.Describe();
+  EXPECT_NE(description.find("seed=42"), std::string::npos) << description;
+  EXPECT_NE(description.find("policy="), std::string::npos) << description;
+  EXPECT_NE(description.find("late="), std::string::npos) << description;
+  EXPECT_NE(description.find("dups="), std::string::npos) << description;
+  EXPECT_NE(description.find("nans="), std::string::npos) << description;
+}
+
+// The acceptance self-test: a deliberately corrupted output must be
+// caught by the invariant checkers, and the resulting failure must name
+// the seed that reproduces the scenario.
+TEST(PropertyHarness, InjectedEpsViolationIsCaughtWithItsSeed) {
+  const uint64_t seed = kDefaultBaseSeed;
+  const Scenario scenario = GenerateScenario(seed);
+  auto run = RunScenario(scenario, VariantsFor(seed).front());
+  ASSERT_TRUE(run.ok()) << run.status().message();
+
+  // Sanity: the untouched output passes.
+  for (size_t s = 0; s < scenario.streams.size(); ++s) {
+    ASSERT_TRUE(
+        CheckStreamInvariants(scenario.streams[s], run.value().segments[s])
+            .ok());
+  }
+
+  // Shift one whole segment (and its connected successor's shared start,
+  // keeping the chain valid) by 10 eps in dimension 0: the admitted
+  // samples inside it are now far outside the band.
+  std::vector<Segment> corrupted = run.value().segments[0];
+  ASSERT_FALSE(corrupted.empty());
+  const double shift = 10.0 * scenario.streams[0].epsilon[0] + 1.0;
+  const size_t victim = corrupted.size() / 2;
+  corrupted[victim].x_start[0] += shift;
+  corrupted[victim].x_end[0] += shift;
+  if (victim > 0 && corrupted[victim].connected_to_prev) {
+    corrupted[victim - 1].x_end[0] += shift;
+  }
+  if (victim + 1 < corrupted.size() &&
+      corrupted[victim + 1].connected_to_prev) {
+    corrupted[victim + 1].x_start[0] += shift;
+  }
+
+  const Status caught =
+      CheckStreamInvariants(scenario.streams[0], corrupted);
+  ASSERT_FALSE(caught.ok()) << "corrupted output passed the checker";
+  EXPECT_EQ(caught.code(), StatusCode::kFailedPrecondition);
+
+  // The harness wraps checker failures with the scenario description, so
+  // the red run names its reproducible seed.
+  const std::string wrapped =
+      "[" + scenario.Describe() + "] " + caught.message();
+  EXPECT_NE(wrapped.find("seed=" + std::to_string(seed)), std::string::npos)
+      << wrapped;
+}
+
+// A broken connected-chain claim (invariant 1) is caught too.
+TEST(PropertyHarness, BrokenChainIsCaught) {
+  const Scenario scenario = GenerateScenario(kDefaultBaseSeed);
+  auto run = RunScenario(scenario, VariantsFor(kDefaultBaseSeed).front());
+  ASSERT_TRUE(run.ok()) << run.status().message();
+
+  std::vector<Segment> corrupted = run.value().segments[0];
+  ASSERT_FALSE(corrupted.empty());
+  // Claim a connection that does not hold.
+  Segment& victim = corrupted[corrupted.size() / 2];
+  victim.connected_to_prev = true;
+  victim.x_start[0] += 1e6;
+  victim.x_end[0] += 1e6;
+
+  const Status caught = CheckStreamInvariants(scenario.streams[0], corrupted);
+  ASSERT_FALSE(caught.ok());
+}
+
+// Cross-variant divergence (invariant 3) is caught and names both
+// variants.
+TEST(PropertyHarness, DivergentVariantsAreCaught) {
+  const Scenario scenario = GenerateScenario(kDefaultBaseSeed);
+  auto run = RunScenario(scenario, VariantsFor(kDefaultBaseSeed).front());
+  ASSERT_TRUE(run.ok()) << run.status().message();
+
+  std::vector<Segment> other = run.value().segments[0];
+  ASSERT_FALSE(other.empty());
+  other.back().x_end[0] += 0.5;
+
+  const Status caught = CheckSegmentsIdentical(
+      scenario.streams[0].key, other, "mutant", run.value().segments[0],
+      "reference");
+  ASSERT_FALSE(caught.ok());
+  EXPECT_NE(caught.message().find("mutant"), std::string::npos);
+  EXPECT_NE(caught.message().find("reference"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace harness
+}  // namespace plastream
