@@ -21,7 +21,13 @@
 //  - batched sharded ingest (batch=256, locked mode) reaches >= 1.3x the
 //    single-point throughput;
 //  - per-key segments from batched ingest are byte-identical to the
-//    single-point run.
+//    single-point run;
+//  - the vectorized batch path reaches >= 1.4x the forced-scalar path for
+//    swing at d=4, batch=256, and >= 0.95x (no-regression tripwire) for
+//    slide, whose per-point cost is dominated by inherently scalar
+//    convex-hull maintenance (see docs/PERFORMANCE.md);
+//  - the encode path (filter -> transmitter -> codec -> channel, with
+//    frame recycling) allocates zero times per point in steady state.
 
 #include <algorithm>
 #include <atomic>
@@ -36,9 +42,12 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/simd.h"
 #include "core/filter_registry.h"
 #include "datagen/correlated_walk.h"
 #include "stream/sharded_filter_bank.h"
+#include "stream/transmitter.h"
+#include "stream/wire_codec.h"
 
 // ---------------------------------------------------------------------------
 // Counting allocator: every heap allocation in the process bumps a counter.
@@ -117,9 +126,13 @@ struct FilterResult {
 };
 
 FilterResult MeasureFilter(const std::string& family, size_t dims,
-                           size_t batch, const Config& config) {
-  const std::string spec =
-      family + "(eps=0.4,dims=" + std::to_string(dims) + ")";
+                           size_t batch, const Config& config,
+                           bool force_scalar = false, double eps = 0.4) {
+  // force_scalar routes the batched overrides through the per-point
+  // scalar path — the in-process baseline the SIMD gate compares against.
+  simd::SetForceScalar(force_scalar);
+  const std::string spec = family + "(eps=" + std::to_string(eps) +
+                           ",dims=" + std::to_string(dims) + ")";
   const Signal signal = MakeSignal(dims, config.points, 17 + dims);
 
   NullSink sink;
@@ -156,6 +169,7 @@ FilterResult MeasureFilter(const std::string& family, size_t dims,
 
   CheckOk(filter->Finish(), "finish");
   if (sink.checksum() == 0.125) std::printf(" ");  // defeat DCE
+  simd::SetForceScalar(false);
 
   FilterResult result;
   result.family = family;
@@ -241,6 +255,113 @@ ShardedResult MeasureSharded(const Config& config) {
     }
   }
   result.speedup = result.batched_pps / result.single_pps;
+  return result;
+}
+
+struct SimdResult {
+  std::string family;
+  size_t dims = 0;
+  double scalar_pps = 0.0;
+  double simd_pps = 0.0;
+  double speedup = 0.0;
+};
+
+// SIMD vs forced-scalar throughput for one family/dims at batch=256,
+// best-of `reps` for each side. Both sides run the identical batched
+// entry point; the scalar side routes through the per-point fallback via
+// SetForceScalar, so the delta is exactly the vectorized kernels (the
+// property harness separately proves the two produce identical bytes).
+// The probe runs at eps=2.0 — the long-interval compression regime the
+// filters exist for, where the steady per-point accept path (the
+// vectorized part) dominates; at tiny eps the interval-close machinery,
+// which both paths share, swamps it.
+SimdResult MeasureSimd(const std::string& family, size_t dims,
+                       const Config& config) {
+  SimdResult result;
+  result.family = family;
+  result.dims = dims;
+  for (size_t rep = 0; rep < config.reps; ++rep) {
+    result.scalar_pps = std::max(
+        result.scalar_pps,
+        MeasureFilter(family, dims, 256, config, true, 2.0).points_per_sec);
+    result.simd_pps = std::max(
+        result.simd_pps,
+        MeasureFilter(family, dims, 256, config, false, 2.0).points_per_sec);
+  }
+  result.speedup = result.simd_pps / result.scalar_pps;
+  return result;
+}
+
+struct EncodeResult {
+  std::string codec;
+  double points_per_sec = 0.0;
+  uint64_t allocations = 0;
+  double allocs_per_point = 0.0;
+  uint64_t frames = 0;
+};
+
+// Encode-path steady state: a slide filter feeding a Transmitter whose
+// codec frames records onto a Channel, with the consumer popping and
+// recycling every frame. After the warm-up pass sizes each layer (filter
+// buffers, transmitter scratch record, codec scratch, channel ring and
+// free-list), the measured pass must not allocate at all — the gate that
+// keeps the whole filter->transmitter->codec->channel chain, not just the
+// filter, allocation-free.
+EncodeResult MeasureEncode(const std::string& codec_spec,
+                           const Config& config) {
+  const size_t kBatch = 256;
+  const Signal signal = MakeSignal(4, config.points, 53);
+
+  Channel channel;
+  auto codec = ValueOrDie(MakeWireCodec(codec_spec), codec_spec.c_str());
+  Transmitter tx(&channel, codec.get());
+  auto filter = ValueOrDie(MakeFilter("slide(eps=0.4,dims=4)", &tx), "slide");
+
+  const auto drain = [&channel]() {
+    uint64_t n = 0;
+    while (auto frame = channel.Pop()) {
+      channel.Recycle(std::move(*frame));
+      ++n;
+    }
+    return n;
+  };
+
+  for (size_t at = 0; at < signal.points.size(); at += kBatch) {
+    const size_t n = std::min(kBatch, signal.points.size() - at);
+    CheckOk(filter->AppendBatch(
+                std::span<const DataPoint>(&signal.points[at], n)),
+            "encode warm-up");
+    drain();
+  }
+
+  const double shift =
+      signal.points.back().t - signal.points.front().t + 1.0;
+  const std::vector<DataPoint> shifted = TimeShifted(signal, shift);
+
+  EncodeResult result;
+  result.codec = codec_spec;
+  const uint64_t allocs_before = g_allocations.load(std::memory_order_relaxed);
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t at = 0; at < shifted.size(); at += kBatch) {
+    const size_t n = std::min(kBatch, shifted.size() - at);
+    CheckOk(filter->AppendBatch(std::span<const DataPoint>(&shifted[at], n)),
+            "encode measured");
+    result.frames += drain();
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  result.allocations =
+      g_allocations.load(std::memory_order_relaxed) - allocs_before;
+
+  CheckOk(tx.status(), "transmitter status");
+  CheckOk(filter->Finish(), "encode finish");
+  CheckOk(tx.Flush(), "codec flush");
+  drain();
+
+  result.points_per_sec =
+      static_cast<double>(shifted.size()) / elapsed.count();
+  result.allocs_per_point = static_cast<double>(result.allocations) /
+                            static_cast<double>(shifted.size());
   return result;
 }
 
@@ -386,6 +507,67 @@ int Main(int argc, char** argv) {
     }
   }
 
+  // SIMD-vs-scalar: the same batched entry point with the vector kernels
+  // on and off. Every probe in this binary is single-threaded, so
+  // points/sec here is also points/sec-per-core.
+  std::printf(
+      "\nSIMD vs forced-scalar, eps=2.0, batch=256, isa=%s (single core):\n",
+      simd::kIsa);
+  std::printf("%-8s %-5s %16s %16s %9s\n", "filter", "dims", "scalar pts/s",
+              "simd pts/s", "speedup");
+  std::vector<SimdResult> simd_results;
+  bool simd_ok = true;
+  for (const std::string& family :
+       {std::string("slide"), std::string("swing"), std::string("cache")}) {
+    for (const size_t dims : {size_t{1}, size_t{4}, size_t{8}}) {
+      const SimdResult r = MeasureSimd(family, dims, config);
+      simd_results.push_back(r);
+      // Speedup gates at d=4, batch=256 (cache rides along
+      // informationally). Swing is check/clamp dominated, so the vector
+      // kernels carry most of its per-point cost: gate at >= 1.4x. Slide
+      // spends ~80% of its per-point time in inherently scalar convex-hull
+      // maintenance (ExtendChain on every accepted point, an
+      // ExtremeSlopeOverHull scan on the 30-80% of dim-points that slide a
+      // bound — the paper's O(m_H) term), so no lane width can reach 1.4x;
+      // profiled at ~1.1x on SSE2 and ~1.0x on AVX2. Its gate is a
+      // no-regression tripwire at >= 0.95x (5% noise margin). See
+      // docs/PERFORMANCE.md.
+      const double threshold =
+          family == "swing" ? 1.4 : (family == "slide" ? 0.95 : 0.0);
+      const bool gate_row = config.gates && dims == 4 && threshold > 0.0;
+      const bool row_ok = !gate_row || r.speedup >= threshold;
+      simd_ok = simd_ok && row_ok;
+      char gate_note[64] = "";
+      if (!row_ok) {
+        std::snprintf(gate_note, sizeof(gate_note),
+                      "  <- GATE: expected >= %.2fx", threshold);
+      }
+      std::printf("%-8s %-5zu %16.0f %16.0f %8.2fx%s\n", r.family.c_str(),
+                  r.dims, r.scalar_pps, r.simd_pps, r.speedup, gate_note);
+    }
+  }
+
+  // Encode path: allocations measured across the full
+  // filter->transmitter->codec->channel chain with frame recycling.
+  std::printf(
+      "\nEncode path, slide d=4, batch=256, pop+recycle (single core):\n");
+  std::printf("%-14s %14s %14s %10s\n", "codec", "points/sec", "allocs/point",
+              "frames");
+  std::vector<EncodeResult> encode_results;
+  bool encode_ok = true;
+  for (const std::string& codec_spec :
+       {std::string("frame"), std::string("delta"),
+        std::string("batch(n=32)")}) {
+    const EncodeResult r = MeasureEncode(codec_spec, config);
+    encode_results.push_back(r);
+    const bool row_ok = !config.gates || r.allocations == 0;
+    encode_ok = encode_ok && row_ok;
+    std::printf("%-14s %14.0f %14.6f %10llu%s\n", r.codec.c_str(),
+                r.points_per_sec, r.allocs_per_point,
+                static_cast<unsigned long long>(r.frames),
+                row_ok ? "" : "  <- GATE: expected 0 allocs");
+  }
+
   std::printf("\nSharded ingest, locked mode, %zu keys, batch=256:\n",
               config.keys);
   const ShardedResult sharded = MeasureSharded(config);
@@ -421,17 +603,51 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", config.json_path.c_str());
       return 1;
     }
+    // Every probe is single-threaded, so points_per_sec_per_core mirrors
+    // points_per_sec at cores=1; the field exists so dashboards comparing
+    // against multi-core runs normalize the same way.
     std::fprintf(out,
                  "{\n  \"bench\": \"hot_path\",\n  \"points\": %zu,\n"
-                 "  \"inline_capacity\": %zu,\n  \"filters\": [\n",
-                 config.points, DimVec::kInlineCapacity);
+                 "  \"inline_capacity\": %zu,\n  \"isa\": \"%s\",\n"
+                 "  \"cores\": 1,\n  \"filters\": [\n",
+                 config.points, DimVec::kInlineCapacity, simd::kIsa);
     for (size_t i = 0; i < results.size(); ++i) {
       const FilterResult& r = results[i];
       std::fprintf(out,
                    "    {\"filter\": \"%s\", \"dims\": %zu, \"batch\": %zu, "
-                   "\"points_per_sec\": %.0f, \"allocs_per_point\": %.6f}%s\n",
+                   "\"points_per_sec\": %.0f, "
+                   "\"points_per_sec_per_core\": %.0f, "
+                   "\"allocs_per_point\": %.6f}%s\n",
                    r.family.c_str(), r.dims, r.batch, r.points_per_sec,
-                   r.allocs_per_point, i + 1 < results.size() ? "," : "");
+                   r.points_per_sec, r.allocs_per_point,
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n  \"simd\": [\n");
+    for (size_t i = 0; i < simd_results.size(); ++i) {
+      const SimdResult& r = simd_results[i];
+      const double gate_min =
+          r.dims != 4 ? 0.0
+          : r.family == "swing" ? 1.4
+          : r.family == "slide" ? 0.95
+                                : 0.0;
+      std::fprintf(out,
+                   "    {\"filter\": \"%s\", \"dims\": %zu, \"batch\": 256, "
+                   "\"scalar_points_per_sec\": %.0f, "
+                   "\"simd_points_per_sec\": %.0f, \"speedup\": %.3f, "
+                   "\"gate_min_speedup\": %.2f}%s\n",
+                   r.family.c_str(), r.dims, r.scalar_pps, r.simd_pps,
+                   r.speedup, gate_min,
+                   i + 1 < simd_results.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n  \"encode\": [\n");
+    for (size_t i = 0; i < encode_results.size(); ++i) {
+      const EncodeResult& r = encode_results[i];
+      std::fprintf(out,
+                   "    {\"codec\": \"%s\", \"points_per_sec\": %.0f, "
+                   "\"allocs_per_point\": %.6f, \"frames\": %llu}%s\n",
+                   r.codec.c_str(), r.points_per_sec, r.allocs_per_point,
+                   static_cast<unsigned long long>(r.frames),
+                   i + 1 < encode_results.size() ? "," : "");
     }
     std::fprintf(out,
                  "  ],\n  \"sharded\": {\"keys\": %zu, \"batch\": 256, "
@@ -445,7 +661,8 @@ int Main(int argc, char** argv) {
                  "\"reorder32_allocs\": %llu},\n"
                  "  \"gates\": {\"zero_alloc\": %s, \"throughput\": %s, "
                  "\"identical\": %s, \"guard_pass_alloc\": %s, "
-                 "\"guard_pass_overhead\": %s}\n}\n",
+                 "\"guard_pass_overhead\": %s, \"simd_speedup\": %s, "
+                 "\"encode_zero_alloc\": %s}\n}\n",
                  config.keys, sharded.single_pps, sharded.batched_pps,
                  sharded.speedup, sharded.identical ? "true" : "false",
                  guard.none_pps, guard.pass_pps, pass_ratio,
@@ -457,7 +674,8 @@ int Main(int argc, char** argv) {
                  throughput_ok ? "true" : "false",
                  identical_ok ? "true" : "false",
                  guard_alloc_ok ? "true" : "false",
-                 guard_overhead_ok ? "true" : "false");
+                 guard_overhead_ok ? "true" : "false",
+                 simd_ok ? "true" : "false", encode_ok ? "true" : "false");
     std::fclose(out);
     std::printf("\nwrote %s\n", config.json_path.c_str());
   }
@@ -491,8 +709,19 @@ int Main(int argc, char** argv) {
                  "unguarded (< 0.95x)\n",
                  pass_ratio);
   }
+  if (!simd_ok) {
+    std::fprintf(stderr,
+                 "\nGATE FAILED: SIMD batch path must reach >= 1.40x the "
+                 "forced-scalar path for swing and >= 0.95x for slide at "
+                 "d=4, batch=256\n");
+  }
+  if (!encode_ok) {
+    std::fprintf(stderr,
+                 "\nGATE FAILED: encode path (filter->transmitter->codec->"
+                 "channel with recycling) must not allocate per point\n");
+  }
   return (zero_alloc_ok && throughput_ok && identical_ok && guard_alloc_ok &&
-          guard_overhead_ok)
+          guard_overhead_ok && simd_ok && encode_ok)
              ? 0
              : 1;
 }

@@ -18,6 +18,18 @@ void KahanSum::Add(double value) {
   sum_ = t;
 }
 
+void KahanVec::Add(size_t i, double value) {
+  // KahanSum::Add verbatim on the i-th (sum, compensation) pair, so SoA
+  // accumulators stay bit-identical to an array of KahanSum.
+  const double t = sum_[i] + value;
+  if (std::abs(sum_[i]) >= std::abs(value)) {
+    comp_[i] += (sum_[i] - t) + value;
+  } else {
+    comp_[i] += (value - t) + sum_[i];
+  }
+  sum_[i] = t;
+}
+
 void RunningStats::Add(double value) {
   if (count_ == 0) {
     min_ = value;

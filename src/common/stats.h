@@ -6,8 +6,10 @@
 #ifndef PLASTREAM_COMMON_STATS_H_
 #define PLASTREAM_COMMON_STATS_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <span>
+#include <vector>
 
 namespace plastream {
 
@@ -31,6 +33,45 @@ class KahanSum {
  private:
   double sum_ = 0.0;
   double compensation_ = 0.0;
+};
+
+/// A fixed-length array of Kahan–Neumaier accumulators in structure-of-
+/// arrays layout: all sums contiguous, all compensations contiguous, so
+/// the filters' per-dimension least-squares sums can be updated with one
+/// vector operation per lane group (common/simd.h KahanAdd) while staying
+/// bit-identical to a std::vector<KahanSum> — Add(i, v) performs exactly
+/// KahanSum::Add's operation sequence on element i.
+class KahanVec {
+ public:
+  /// Resizes to `n` zeroed accumulators.
+  void resize(size_t n) {
+    sum_.assign(n, 0.0);
+    comp_.assign(n, 0.0);
+  }
+
+  /// Number of accumulators.
+  size_t size() const { return sum_.size(); }
+
+  /// Adds one term to accumulator `i` (KahanSum::Add, element-wise).
+  void Add(size_t i, double value);
+
+  /// The compensated total of accumulator `i`.
+  double Total(size_t i) const { return sum_[i] + comp_[i]; }
+
+  /// Resets every accumulator to zero; the length is kept.
+  void Reset() {
+    std::fill(sum_.begin(), sum_.end(), 0.0);
+    std::fill(comp_.begin(), comp_.end(), 0.0);
+  }
+
+  /// Contiguous running sums (SoA half 1), for vectorized accumulation.
+  double* sum_data() { return sum_.data(); }
+  /// Contiguous compensations (SoA half 2), for vectorized accumulation.
+  double* comp_data() { return comp_.data(); }
+
+ private:
+  std::vector<double> sum_;
+  std::vector<double> comp_;
 };
 
 /// Streaming mean/variance/extrema in one pass (Welford's algorithm).

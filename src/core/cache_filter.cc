@@ -5,9 +5,58 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/simd.h"
 #include "core/filter_registry.h"
 
 namespace plastream {
+
+namespace {
+
+// Lane group of the Accepts check: true in a lane when that dimension
+// rejects the point. Each lane replicates the scalar Accepts expressions
+// operation for operation (min/max as compare+Select, not native min/max,
+// whose ±0 convention differs from the std::min/std::max they replace).
+template <typename V>
+typename V::Mask CacheRejectLanes(CacheValueMode mode, const double* x,
+                                  const double* eps, const double* first,
+                                  const double* mn, const double* mx,
+                                  const double* sum, double count_plus_one) {
+  const V vx = V::Load(x);
+  const V veps = V::Load(eps);
+  switch (mode) {
+    case CacheValueMode::kFirst:
+      return Abs(vx - V::Load(first)) > veps;
+    case CacheValueMode::kMidrange: {
+      const V vmn = V::Load(mn);
+      const V vmx = V::Load(mx);
+      const V lo = Select(vx < vmn, vx, vmn);
+      const V hi = Select(vmx < vx, vx, vmx);
+      return (hi - lo) > (V::Broadcast(2.0) * veps);
+    }
+    case CacheValueMode::kMean: {
+      const V vmn = V::Load(mn);
+      const V vmx = V::Load(mx);
+      const V lo = Select(vx < vmn, vx, vmn);
+      const V hi = Select(vmx < vx, vx, vmx);
+      const V mean = (V::Load(sum) + vx) / V::Broadcast(count_plus_one);
+      return ((hi - mean) > veps) | ((mean - lo) > veps);
+    }
+  }
+  return typename V::Mask{};
+}
+
+// Lane group of Absorb: min/max/sum updates, same blend discipline.
+template <typename V>
+void CacheAbsorbLanes(const double* x, double* mn, double* mx, double* sum) {
+  const V vx = V::Load(x);
+  const V vmn = V::Load(mn);
+  Select(vx < vmn, vx, vmn).Store(mn);
+  const V vmx = V::Load(mx);
+  Select(vmx < vx, vx, vmx).Store(mx);
+  (V::Load(sum) + vx).Store(sum);
+}
+
+}  // namespace
 
 Result<std::unique_ptr<CacheFilter>> CacheFilter::Create(FilterOptions options,
                                                          CacheValueMode mode,
@@ -95,6 +144,85 @@ void CacheFilter::OpenInterval(const DataPoint& point) {
   min_ = point.x;
   max_ = point.x;
   sum_ = point.x;
+}
+
+bool CacheFilter::AcceptsVec(const DataPoint& point) const {
+  const size_t d = dimensions();
+  const double* x = point.x.data();
+  const double* eps = options().epsilon.data();
+  const double* first = first_.data();
+  const double* mn = min_.data();
+  const double* mx = max_.data();
+  const double* sum = sum_.data();
+  const double count_plus_one = static_cast<double>(count_ + 1);
+  size_t i = 0;
+  for (; i + simd::Pack::kLanes <= d; i += simd::Pack::kLanes) {
+    if (CacheRejectLanes<simd::Pack>(mode_, x + i, eps + i, first + i, mn + i,
+                                     mx + i, sum + i, count_plus_one)
+            .Any()) {
+      return false;
+    }
+  }
+  for (; i < d; ++i) {
+    if (CacheRejectLanes<simd::Scalar>(mode_, x + i, eps + i, first + i,
+                                       mn + i, mx + i, sum + i,
+                                       count_plus_one)
+            .Any()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void CacheFilter::AbsorbVec(const DataPoint& point) {
+  t_last_ = point.t;
+  ++count_;
+  const size_t d = dimensions();
+  const double* x = point.x.data();
+  double* mn = min_.data();
+  double* mx = max_.data();
+  double* sum = sum_.data();
+  size_t i = 0;
+  for (; i + simd::Pack::kLanes <= d; i += simd::Pack::kLanes) {
+    CacheAbsorbLanes<simd::Pack>(x + i, mn + i, mx + i, sum + i);
+  }
+  for (; i < d; ++i) {
+    CacheAbsorbLanes<simd::Scalar>(x + i, mn + i, mx + i, sum + i);
+  }
+}
+
+void CacheFilter::AppendValidatedVec(const DataPoint& point) {
+  if (!interval_open_) {
+    OpenInterval(point);
+    return;
+  }
+  if (AcceptsVec(point)) {
+    AbsorbVec(point);
+    return;
+  }
+  CloseInterval();
+  OpenInterval(point);
+}
+
+Status CacheFilter::AppendBatch(std::span<const DataPoint> points) {
+  if (simd::ForceScalar()) return Filter::AppendBatch(points);
+  for (const DataPoint& point : points) {
+    PLASTREAM_RETURN_NOT_OK(ValidateForAppend(point));
+    AppendValidatedVec(point);
+    NoteAppended(point.t);
+  }
+  return Status::OK();
+}
+
+Status CacheFilter::AppendBatch(std::span<const double> ts,
+                                std::span<const double> vals) {
+  if (simd::ForceScalar()) return Filter::AppendBatch(ts, vals);
+  return ForEachColumnarPoint(ts, vals, [this](const DataPoint& point) {
+    PLASTREAM_RETURN_NOT_OK(ValidateForAppend(point));
+    AppendValidatedVec(point);
+    NoteAppended(point.t);
+    return Status::OK();
+  });
 }
 
 Status CacheFilter::AppendValidated(const DataPoint& point) {

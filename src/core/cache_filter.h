@@ -54,6 +54,15 @@ class CacheFilter : public Filter {
   /// The representative-value policy in use.
   CacheValueMode mode() const { return mode_; }
 
+  /// Batch append through the SIMD range-check kernel (vectorized across
+  /// dimensions); byte-identical to the per-point path.
+  Status AppendBatch(std::span<const DataPoint> points) override;
+
+  /// Columnar batch append through the same SIMD kernel (see
+  /// Filter::AppendBatch(ts, vals) for the layout contract).
+  Status AppendBatch(std::span<const double> ts,
+                     std::span<const double> vals) override;
+
  protected:
   Status AppendValidated(const DataPoint& point) override;
   Status FinishImpl() override;
@@ -64,6 +73,11 @@ class CacheFilter : public Filter {
 
   // True when `point` can be represented by the open interval.
   bool Accepts(const DataPoint& point) const;
+  // Accepts/Absorb with the dimension loop vectorized (bit-identical).
+  bool AcceptsVec(const DataPoint& point) const;
+  void AbsorbVec(const DataPoint& point);
+  // AppendValidated with the vectorized kernels (input already validated).
+  void AppendValidatedVec(const DataPoint& point);
   // Folds an accepted point into the interval state.
   void Absorb(const DataPoint& point);
   // Emits the open interval as a horizontal segment.

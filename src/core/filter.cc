@@ -43,7 +43,7 @@ void MergeFilterCounters(std::vector<FilterCounter>& into,
 Filter::Filter(FilterOptions options, SegmentSink* sink)
     : options_(std::move(options)), sink_(sink) {}
 
-Status Filter::Append(const DataPoint& point) {
+Status Filter::ValidateForAppend(const DataPoint& point) const {
   if (finished_) {
     return Status::FailedPrecondition("Append after Finish");
   }
@@ -71,10 +71,19 @@ Status Filter::Append(const DataPoint& point) {
                               " not greater than previous " +
                               std::to_string(last_time_));
   }
-  PLASTREAM_RETURN_NOT_OK(AppendValidated(point));
+  return Status::OK();
+}
+
+void Filter::NoteAppended(double t) {
   has_last_time_ = true;
-  last_time_ = point.t;
+  last_time_ = t;
   ++points_seen_;
+}
+
+Status Filter::Append(const DataPoint& point) {
+  PLASTREAM_RETURN_NOT_OK(ValidateForAppend(point));
+  PLASTREAM_RETURN_NOT_OK(AppendValidated(point));
+  NoteAppended(point.t);
   return Status::OK();
 }
 
@@ -83,6 +92,24 @@ Status Filter::AppendBatch(std::span<const DataPoint> points) {
     PLASTREAM_RETURN_NOT_OK(Append(point));
   }
   return Status::OK();
+}
+
+Status Filter::ValidateColumnarShape(std::span<const double> ts,
+                                     std::span<const double> vals) const {
+  if (vals.size() != ts.size() * dimensions()) {
+    return Status::InvalidArgument(
+        "columnar batch has " + std::to_string(vals.size()) +
+        " values for " + std::to_string(ts.size()) + " timestamps of a " +
+        std::to_string(dimensions()) + "-dimensional stream (expected " +
+        std::to_string(ts.size() * dimensions()) + ")");
+  }
+  return Status::OK();
+}
+
+Status Filter::AppendBatch(std::span<const double> ts,
+                           std::span<const double> vals) {
+  return ForEachColumnarPoint(
+      ts, vals, [this](const DataPoint& point) { return Append(point); });
 }
 
 Status Filter::Finish() {

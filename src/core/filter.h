@@ -112,8 +112,24 @@ class Filter {
   /// earlier points of the batch applied, exactly like a per-point loop.
   /// The default implementation loops over Append; families with a
   /// vectorizable inner loop may override it, but must keep the emitted
-  /// segment chain byte-identical to the per-point path.
+  /// segment chain byte-identical to the per-point path (the SIMD kernels
+  /// of cache/swing/slide are held to this by the property harness, and
+  /// simd::SetForceScalar routes overrides back through the scalar path).
   virtual Status AppendBatch(std::span<const DataPoint> points);
+
+  /// Columnar batch append: the zero-copy entry for CSV/Arrow-style
+  /// sources that hold timestamps and values in column arrays. `ts` holds
+  /// the batch's timestamps in order; `vals` holds the values in
+  /// dimension-major order — `vals[dim * ts.size() + j]` is dimension
+  /// `dim` of point j — and must have exactly ts.size() * dimensions()
+  /// entries, else the whole batch is rejected with InvalidArgument
+  /// (message prefix "columnar batch") and nothing is applied. An empty
+  /// batch is a no-op. Otherwise semantically identical to gathering each
+  /// point and calling Append: same per-point validation, same errors,
+  /// same stop-at-first-error partial application, byte-identical
+  /// segments.
+  virtual Status AppendBatch(std::span<const double> ts,
+                             std::span<const double> vals);
 
   /// Flushes the open interval and finalizes the approximation.
   /// Idempotent; appending afterwards is an error.
@@ -189,6 +205,51 @@ class Filter {
   /// error instead of corrupting state). All built-in families override
   /// it.
   virtual Status CutImpl();
+
+  /// Validates `point` exactly as Append does — same checks, same status
+  /// codes, same messages — without applying it. Batch overrides run this
+  /// per point so their error behavior is indistinguishable from the
+  /// per-point path.
+  Status ValidateForAppend(const DataPoint& point) const;
+
+  /// The bookkeeping Append performs after AppendValidated succeeds
+  /// (ordering watermark and points_seen). Batch overrides that bypass
+  /// Append must call this once per applied point, with the point's time.
+  void NoteAppended(double t);
+
+  /// Validates the shape of a columnar batch: vals.size() must equal
+  /// ts.size() * dimensions(). Errors with InvalidArgument (message prefix
+  /// "columnar batch"); nothing may be applied on failure.
+  Status ValidateColumnarShape(std::span<const double> ts,
+                               std::span<const double> vals) const;
+
+  /// Reused gather target for columnar appends: overrides assemble each
+  /// point into this scratch (inline DimVec storage for d <= 8, so the
+  /// gather allocates nothing in steady state).
+  DataPoint columnar_scratch_;
+
+  /// Shared driver for columnar appends: validates the span shape, then
+  /// gathers each point into columnar_scratch_ and invokes
+  /// `per_point(const DataPoint&) -> Status`, stopping at the first
+  /// error. Families build their overrides on this so row and columnar
+  /// ingest share one per-point flow.
+  template <typename PerPoint>
+  Status ForEachColumnarPoint(std::span<const double> ts,
+                              std::span<const double> vals,
+                              PerPoint&& per_point) {
+    PLASTREAM_RETURN_NOT_OK(ValidateColumnarShape(ts, vals));
+    const size_t n = ts.size();
+    const size_t d = dimensions();
+    columnar_scratch_.x.resize(d);
+    for (size_t j = 0; j < n; ++j) {
+      columnar_scratch_.t = ts[j];
+      for (size_t i = 0; i < d; ++i) {
+        columnar_scratch_.x[i] = vals[i * n + j];
+      }
+      PLASTREAM_RETURN_NOT_OK(per_point(columnar_scratch_));
+    }
+    return Status::OK();
+  }
 
   /// Emits a finalized segment: handed to the sink when one exists (no
   /// second buffered copy), otherwise moved into the TakeSegments buffer.

@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "common/simd.h"
 #include "core/filter_registry.h"
 
 #include "geometry/tangent.h"
@@ -25,6 +26,44 @@ constexpr int kJunctionGridSamples = 65;
 bool DebugJunctions() {
   static const bool enabled = std::getenv("PLASTREAM_DEBUG_JUNCTIONS");
   return enabled;
+}
+
+// Bound lines are evaluated from the SoA shadows with Line::ValueAt's
+// exact operation order (anchor.x + slope * (t - anchor.t)), so each lane
+// replicates the scalar expression bit for bit.
+//
+// Fused lane group of the Violates check and Accept's slide trigger: both
+// masks derive from one evaluation of the bound lines, halving the loads
+// and line evaluations per point. `update` is true in a lane when that
+// dimension needs a bound update (l slides up or u slides down); the
+// actual slide is rare and runs the exact scalar update for the group.
+// The bound lines are unchanged between the two scalar checks this fuses
+// (AddToGeometry touches only the hull), so fusing cannot alter behavior.
+template <typename V>
+void SlideCheckLanes(const double* x, const double* eps, const double* ut,
+                     const double* ux, const double* us, const double* lt,
+                     const double* lx, const double* ls, double t,
+                     typename V::Mask* violates, typename V::Mask* update) {
+  const V vx = V::Load(x);
+  const V veps = V::Load(eps);
+  const V vt = V::Broadcast(t);
+  const V uval = V::Load(ux) + V::Load(us) * (vt - V::Load(ut));
+  const V lval = V::Load(lx) + V::Load(ls) * (vt - V::Load(lt));
+  *violates = (vx > uval + veps) | (vx < lval - veps);
+  *update = (vx > lval + veps) | (vx < uval - veps);
+}
+
+// Lane group of AccumulateSums' per-dimension Kahan accumulation, same
+// Neumaier operation order as KahanSum::Add (via simd::KahanAdd).
+template <typename V>
+void SlideAccumulateLanes(const double* x, const double* firstx, double dt,
+                          double* sx_s, double* sx_c, double* sxt_s,
+                          double* sxt_c, double* sxx_s, double* sxx_c) {
+  const V vdx = V::Load(x) - V::Load(firstx);
+  const V vdt = V::Broadcast(dt);
+  simd::KahanAdd(sx_s, sx_c, vdx);
+  simd::KahanAdd(sxt_s, sxt_c, vdx * vdt);
+  simd::KahanAdd(sxx_s, sxx_c, vdx * vdx);
 }
 
 }  // namespace
@@ -52,6 +91,13 @@ SlideFilter::SlideFilter(FilterOptions options, SlideHullMode mode,
   cur_.sxt.resize(d);
   cur_.sxx.resize(d);
   cur_.committed.resize(d);
+  sh_ut_.resize(d);
+  sh_ux_.resize(d);
+  sh_us_.resize(d);
+  sh_lt_.resize(d);
+  sh_lx_.resize(d);
+  sh_ls_.resize(d);
+  upd_flags_.resize(d, 0);
 }
 
 size_t SlideFilter::unreported_points() const {
@@ -73,12 +119,12 @@ void SlideFilter::OpenInterval(const DataPoint& point) {
   cur_.n = 1;
   cur_.st.Reset();
   cur_.stt.Reset();
+  cur_.sx.Reset();
+  cur_.sxt.Reset();
+  cur_.sxx.Reset();
   for (size_t i = 0; i < dimensions(); ++i) {
     cur_.hulls[i].Clear();
     cur_.points[i].clear();
-    cur_.sx[i].Reset();
-    cur_.sxt[i].Reset();
-    cur_.sxx[i].Reset();
   }
   AddToGeometry(point);
   // The first point contributes zero to every first-point-relative sum, so
@@ -102,9 +148,9 @@ void SlideFilter::AccumulateSums(const DataPoint& point) {
   cur_.stt.Add(dt * dt);
   for (size_t i = 0; i < dimensions(); ++i) {
     const double dx = point.x[i] - cur_.first.x[i];
-    cur_.sx[i].Add(dx);
-    cur_.sxt[i].Add(dx * dt);
-    cur_.sxx[i].Add(dx * dx);
+    cur_.sx.Add(i, dx);
+    cur_.sxt.Add(i, dx * dt);
+    cur_.sxx.Add(i, dx * dx);
   }
 }
 
@@ -125,7 +171,19 @@ void SlideFilter::InitBounds(const DataPoint& second) {
   cur_.last = second;
   cur_.n = 2;
   cur_.bounds_ready = true;
+  RefreshBoundShadows();
   RecordHullSize();
+}
+
+void SlideFilter::RefreshBoundShadows() {
+  for (size_t i = 0; i < dimensions(); ++i) {
+    sh_ut_[i] = cur_.u[i].anchor().t;
+    sh_ux_[i] = cur_.u[i].anchor().x;
+    sh_us_[i] = cur_.u[i].slope();
+    sh_lt_[i] = cur_.l[i].anchor().t;
+    sh_lx_[i] = cur_.l[i].anchor().x;
+    sh_ls_[i] = cur_.l[i].slope();
+  }
 }
 
 bool SlideFilter::Violates(const DataPoint& point) const {
@@ -133,6 +191,36 @@ bool SlideFilter::Violates(const DataPoint& point) const {
     const double eps = epsilon(i);
     if (point.x[i] > cur_.u[i].ValueAt(point.t) + eps) return true;
     if (point.x[i] < cur_.l[i].ValueAt(point.t) - eps) return true;
+  }
+  return false;
+}
+
+bool SlideFilter::ViolatesVec(const DataPoint& point) {
+  // One fused pass fills upd_flags_ (per lane group) for AcceptVec to
+  // consume when the point is kept. An early return on violation leaves
+  // later flags stale, but the close path never reads them.
+  const size_t d = dimensions();
+  const double* x = point.x.data();
+  const double* eps = options().epsilon.data();
+  const double t = point.t;
+  size_t i = 0;
+  for (; i + simd::Pack::kLanes <= d; i += simd::Pack::kLanes) {
+    simd::Pack::Mask violates, update;
+    SlideCheckLanes<simd::Pack>(x + i, eps + i, sh_ut_.data() + i,
+                                sh_ux_.data() + i, sh_us_.data() + i,
+                                sh_lt_.data() + i, sh_lx_.data() + i,
+                                sh_ls_.data() + i, t, &violates, &update);
+    if (violates.Any()) return true;
+    upd_flags_[i] = update.Any() ? 1 : 0;
+  }
+  for (; i < d; ++i) {
+    simd::Scalar::Mask violates, update;
+    SlideCheckLanes<simd::Scalar>(x + i, eps + i, sh_ut_.data() + i,
+                                  sh_ux_.data() + i, sh_us_.data() + i,
+                                  sh_lt_.data() + i, sh_lx_.data() + i,
+                                  sh_ls_.data() + i, t, &violates, &update);
+    if (violates.Any()) return true;
+    upd_flags_[i] = update.Any() ? 1 : 0;
   }
   return false;
 }
@@ -171,30 +259,90 @@ void SlideFilter::Accept(const DataPoint& point) {
   // the time guard inside the search keeps the new point from pairing with
   // itself.
   AddToGeometry(point);
+  bool slid = false;
   for (size_t i = 0; i < dimensions(); ++i) {
-    const double eps = epsilon(i);
-    const double t = point.t;
-    const double x = point.x[i];
-    if (x > cur_.l[i].ValueAt(t) + eps) {
-      // l_i slid up: maximum-slope line through earlier (+ε) vertices and
-      // the new point's -ε image (lines 34-36).
-      const Point2 pivot{t, x - eps};
-      const double slope =
-          ExtremeCandidateSlope(i, pivot, /*vertex_offset=*/+eps,
-                                /*minimize=*/false);
-      cur_.l[i] = Line(pivot, slope);
-    }
-    if (x < cur_.u[i].ValueAt(t) - eps) {
-      // u_i slid down: minimum-slope line through earlier (-ε) vertices and
-      // the new point's +ε image (lines 37-39).
-      const Point2 pivot{t, x + eps};
-      const double slope =
-          ExtremeCandidateSlope(i, pivot, /*vertex_offset=*/-eps,
-                                /*minimize=*/true);
-      cur_.u[i] = Line(pivot, slope);
+    slid |= SlideBoundsForDim(i, point);
+  }
+  if (slid) RefreshBoundShadows();
+  AccumulateSums(point);
+  cur_.last = point;
+  ++cur_.n;
+  RecordHullSize();
+}
+
+bool SlideFilter::SlideBoundsForDim(size_t i, const DataPoint& point) {
+  const double eps = epsilon(i);
+  const double t = point.t;
+  const double x = point.x[i];
+  bool slid = false;
+  if (x > cur_.l[i].ValueAt(t) + eps) {
+    // l_i slid up: maximum-slope line through earlier (+ε) vertices and
+    // the new point's -ε image (lines 34-36).
+    const Point2 pivot{t, x - eps};
+    const double slope =
+        ExtremeCandidateSlope(i, pivot, /*vertex_offset=*/+eps,
+                              /*minimize=*/false);
+    cur_.l[i] = Line(pivot, slope);
+    slid = true;
+  }
+  if (x < cur_.u[i].ValueAt(t) - eps) {
+    // u_i slid down: minimum-slope line through earlier (-ε) vertices and
+    // the new point's +ε image (lines 37-39).
+    const Point2 pivot{t, x + eps};
+    const double slope =
+        ExtremeCandidateSlope(i, pivot, /*vertex_offset=*/-eps,
+                              /*minimize=*/true);
+    cur_.u[i] = Line(pivot, slope);
+    slid = true;
+  }
+  return slid;
+}
+
+void SlideFilter::AcceptVec(const DataPoint& point) {
+  // Same structure as Accept: geometry first (the time guard inside the
+  // bound search keeps the new point from pairing with itself), then the
+  // slide trigger from the flags ViolatesVec's fused pass just computed
+  // (the bound lines cannot have changed in between). A triggered lane
+  // group replays the exact scalar conditions and update for its
+  // dimensions — slides are data-dependent scalar work, and the replay
+  // reads the same bound values the shadows mirror, so the result is
+  // bit-identical to the per-point path.
+  AddToGeometry(point);
+  const size_t d = dimensions();
+  const double* x = point.x.data();
+  bool slid = false;
+  size_t i = 0;
+  for (; i + simd::Pack::kLanes <= d; i += simd::Pack::kLanes) {
+    if (upd_flags_[i] != 0) {
+      for (size_t j = i; j < i + simd::Pack::kLanes; ++j) {
+        slid |= SlideBoundsForDim(j, point);
+      }
     }
   }
-  AccumulateSums(point);
+  for (; i < d; ++i) {
+    if (upd_flags_[i] != 0) {
+      slid |= SlideBoundsForDim(i, point);
+    }
+  }
+  if (slid) RefreshBoundShadows();
+  // AccumulateSums with the per-dimension loop vectorized.
+  const double dt = point.t - cur_.first.t;
+  cur_.st.Add(dt);
+  cur_.stt.Add(dt * dt);
+  const double* firstx = cur_.first.x.data();
+  size_t k = 0;
+  for (; k + simd::Pack::kLanes <= d; k += simd::Pack::kLanes) {
+    SlideAccumulateLanes<simd::Pack>(
+        x + k, firstx + k, dt, cur_.sx.sum_data() + k, cur_.sx.comp_data() + k,
+        cur_.sxt.sum_data() + k, cur_.sxt.comp_data() + k,
+        cur_.sxx.sum_data() + k, cur_.sxx.comp_data() + k);
+  }
+  for (; k < d; ++k) {
+    SlideAccumulateLanes<simd::Scalar>(
+        x + k, firstx + k, dt, cur_.sx.sum_data() + k, cur_.sx.comp_data() + k,
+        cur_.sxt.sum_data() + k, cur_.sxt.comp_data() + k,
+        cur_.sxx.sum_data() + k, cur_.sxx.comp_data() + k);
+  }
   cur_.last = point;
   ++cur_.n;
   RecordHullSize();
@@ -231,9 +379,9 @@ double SlideFilter::ClampedLsqSlopeThrough(size_t dim, const Point2& z,
   const double zx = z.x - cur_.first.x[dim];
   const double st = cur_.st.Total();
   const double stt = cur_.stt.Total();
-  const double sx = cur_.sx[dim].Total();
-  const double sxt = cur_.sxt[dim].Total();
-  const double sxx = cur_.sxx[dim].Total();
+  const double sx = cur_.sx.Total(dim);
+  const double sxt = cur_.sxt.Total(dim);
+  const double sxx = cur_.sxx.Total(dim);
   const double stz = stt - 2.0 * zt * st + n * zt * zt;
   const double sxz = sxt - zx * st - zt * sx + n * zx * zt;
   const double sxxz = sxx - 2.0 * zx * sx + n * zx * zx;
@@ -659,6 +807,10 @@ void SlideFilter::CloseFrozenInterval() {
 // --------------------------------------------------------------------------
 
 Status SlideFilter::AppendValidated(const DataPoint& point) {
+  return AppendCore(point, /*vectorized=*/false);
+}
+
+Status SlideFilter::AppendCore(const DataPoint& point, bool vectorized) {
   if (!cur_.open) {
     OpenInterval(point);
     return Status::OK();
@@ -669,6 +821,7 @@ Status SlideFilter::AppendValidated(const DataPoint& point) {
     return Status::OK();
   }
   if (cur_.frozen) {
+    // Frozen mode is already a cheap linear check; it stays scalar.
     bool within = true;
     for (size_t i = 0; i < dimensions() && within; ++i) {
       within = std::abs(point.x[i] - cur_.committed[i].ValueAt(point.t)) <=
@@ -684,15 +837,40 @@ Status SlideFilter::AppendValidated(const DataPoint& point) {
     MaybeFreeze();
     return Status::OK();
   }
-  if (Violates(point)) {
+  if (vectorized ? ViolatesVec(point) : Violates(point)) {
     CloseCurrentInterval();
     OpenInterval(point);
     MaybeFreeze();
     return Status::OK();
   }
-  Accept(point);
+  if (vectorized) {
+    AcceptVec(point);
+  } else {
+    Accept(point);
+  }
   MaybeFreeze();
   return Status::OK();
+}
+
+Status SlideFilter::AppendBatch(std::span<const DataPoint> points) {
+  if (simd::ForceScalar()) return Filter::AppendBatch(points);
+  for (const DataPoint& point : points) {
+    PLASTREAM_RETURN_NOT_OK(ValidateForAppend(point));
+    PLASTREAM_RETURN_NOT_OK(AppendCore(point, /*vectorized=*/true));
+    NoteAppended(point.t);
+  }
+  return Status::OK();
+}
+
+Status SlideFilter::AppendBatch(std::span<const double> ts,
+                                std::span<const double> vals) {
+  if (simd::ForceScalar()) return Filter::AppendBatch(ts, vals);
+  return ForEachColumnarPoint(ts, vals, [this](const DataPoint& point) {
+    PLASTREAM_RETURN_NOT_OK(ValidateForAppend(point));
+    PLASTREAM_RETURN_NOT_OK(AppendCore(point, /*vectorized=*/true));
+    NoteAppended(point.t);
+    return Status::OK();
+  });
 }
 
 Status SlideFilter::FinishImpl() {

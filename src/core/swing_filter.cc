@@ -6,9 +6,54 @@
 #include <cmath>
 #include <utility>
 
+#include "common/simd.h"
 #include "core/filter_registry.h"
 
 namespace plastream {
+
+namespace {
+
+// Lane group of the Violates check: per lane, the scalar band test
+// pivot + slope * dt computed in the scalar operation order.
+template <typename V>
+typename V::Mask SwingViolatesLanes(const double* x, const double* eps,
+                                    const double* pivot, const double* su,
+                                    const double* sl, double dt) {
+  const V vx = V::Load(x);
+  const V veps = V::Load(eps);
+  const V vp = V::Load(pivot);
+  const V vdt = V::Broadcast(dt);
+  const V bu = vp + V::Load(su) * vdt;
+  const V bl = vp + V::Load(sl) * vdt;
+  return (vx > bu + veps) | (vx < bl - veps);
+}
+
+// Lane group of the filtering mechanism (Algorithm 1, lines 14-18) fused
+// with the least-squares accumulation: conditional slope clamps as
+// compute-then-blend, Kahan accumulation with KahanSum::Add's exact
+// operation sequence per lane.
+template <typename V>
+void SwingUpdateLanes(const double* x, const double* eps, const double* pivot,
+                      double* su, double* sl, double dt, double* s1_sum,
+                      double* s1_comp) {
+  const V vx = V::Load(x);
+  const V veps = V::Load(eps);
+  const V vp = V::Load(pivot);
+  const V vdt = V::Broadcast(dt);
+  const V vsl = V::Load(sl);
+  const V bl = vp + vsl * vdt;
+  // Swing l up through (pivot, point - ε) where the point clears l + ε.
+  const V new_sl = ((vx - veps) - vp) / vdt;
+  Select(vx > bl + veps, new_sl, vsl).Store(sl);
+  const V vsu = V::Load(su);
+  const V bu = vp + vsu * vdt;
+  // Swing u down through (pivot, point + ε) where the point clears u - ε.
+  const V new_su = ((vx + veps) - vp) / vdt;
+  Select(vx < bu - veps, new_su, vsu).Store(su);
+  simd::KahanAdd(s1_sum, s1_comp, (vx - vp) * vdt);
+}
+
+}  // namespace
 
 Result<std::unique_ptr<SwingFilter>> SwingFilter::Create(FilterOptions options,
                                                          SegmentSink* sink) {
@@ -49,7 +94,7 @@ double SwingFilter::ClampedLsqSlope(size_t i) const {
   const double s2 = s2_.Total();
   // s2 == 0 only for an empty interval, which CloseInterval never sees with
   // bounds defined; guard anyway and fall back to the feasible midpoint.
-  double slope = s2 > 0.0 ? s1_[i].Total() / s2
+  double slope = s2 > 0.0 ? s1_.Total(i) / s2
                           : 0.5 * (slope_l_[i] + slope_u_[i]);
   return std::clamp(slope, slope_l_[i], slope_u_[i]);
 }
@@ -58,7 +103,7 @@ void SwingFilter::Accumulate(const DataPoint& point) {
   const double dt = point.t - pivot_t_;
   s2_.Add(dt * dt);
   for (size_t i = 0; i < dimensions(); ++i) {
-    s1_[i].Add((point.x[i] - pivot_x_[i]) * dt);
+    s1_.Add(i, (point.x[i] - pivot_x_[i]) * dt);
   }
 }
 
@@ -87,7 +132,7 @@ void SwingFilter::CloseInterval() {
   frozen_ = false;
   interval_points_ = 0;
   s2_.Reset();
-  for (auto& sum : s1_) sum.Reset();
+  s1_.Reset();
   unreported_ = 0;  // The recording brings the receiver fully up to date.
 }
 
@@ -117,7 +162,56 @@ void SwingFilter::Freeze() {
   unreported_ = 0;
 }
 
-Status SwingFilter::AppendValidated(const DataPoint& point) {
+bool SwingFilter::ViolatesVec(const DataPoint& point) const {
+  if (frozen_) return Violates(point);  // rare linear-filter mode
+  const size_t d = dimensions();
+  const double* x = point.x.data();
+  const double* eps = options().epsilon.data();
+  const double* pivot = pivot_x_.data();
+  const double* su = slope_u_.data();
+  const double* sl = slope_l_.data();
+  const double dt = point.t - pivot_t_;
+  size_t i = 0;
+  for (; i + simd::Pack::kLanes <= d; i += simd::Pack::kLanes) {
+    if (SwingViolatesLanes<simd::Pack>(x + i, eps + i, pivot + i, su + i,
+                                       sl + i, dt)
+            .Any()) {
+      return true;
+    }
+  }
+  for (; i < d; ++i) {
+    if (SwingViolatesLanes<simd::Scalar>(x + i, eps + i, pivot + i, su + i,
+                                         sl + i, dt)
+            .Any()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SwingFilter::UpdateBoundsAndAccumulateVec(const DataPoint& point) {
+  const size_t d = dimensions();
+  const double* x = point.x.data();
+  const double* eps = options().epsilon.data();
+  const double* pivot = pivot_x_.data();
+  double* su = slope_u_.data();
+  double* sl = slope_l_.data();
+  double* s1_sum = s1_.sum_data();
+  double* s1_comp = s1_.comp_data();
+  const double dt = point.t - pivot_t_;
+  s2_.Add(dt * dt);
+  size_t i = 0;
+  for (; i + simd::Pack::kLanes <= d; i += simd::Pack::kLanes) {
+    SwingUpdateLanes<simd::Pack>(x + i, eps + i, pivot + i, su + i, sl + i,
+                                 dt, s1_sum + i, s1_comp + i);
+  }
+  for (; i < d; ++i) {
+    SwingUpdateLanes<simd::Scalar>(x + i, eps + i, pivot + i, su + i, sl + i,
+                                   dt, s1_sum + i, s1_comp + i);
+  }
+}
+
+Status SwingFilter::AppendCore(const DataPoint& point, bool vectorized) {
   if (!have_pivot_) {
     // Algorithm 1, lines 1-2: the first point is recorded as (t_0', X_0')
     // and becomes the pivot of the first interval.
@@ -140,7 +234,7 @@ Status SwingFilter::AppendValidated(const DataPoint& point) {
     return Status::OK();
   }
 
-  if (Violates(point)) {
+  if (vectorized ? ViolatesVec(point) : Violates(point)) {
     CloseInterval();
     StartBounds(point);
     Accumulate(point);
@@ -153,19 +247,23 @@ Status SwingFilter::AppendValidated(const DataPoint& point) {
 
   // Filtering mechanism (Algorithm 1, lines 14-18).
   if (!frozen_) {
-    for (size_t i = 0; i < dimensions(); ++i) {
-      const double eps = epsilon(i);
-      const double dt = point.t - pivot_t_;
-      if (point.x[i] > BoundAt(slope_l_[i], point.t, i) + eps) {
-        // Swing l up through (pivot, point - ε).
-        slope_l_[i] = (point.x[i] - eps - pivot_x_[i]) / dt;
+    if (vectorized) {
+      UpdateBoundsAndAccumulateVec(point);
+    } else {
+      for (size_t i = 0; i < dimensions(); ++i) {
+        const double eps = epsilon(i);
+        const double dt = point.t - pivot_t_;
+        if (point.x[i] > BoundAt(slope_l_[i], point.t, i) + eps) {
+          // Swing l up through (pivot, point - ε).
+          slope_l_[i] = (point.x[i] - eps - pivot_x_[i]) / dt;
+        }
+        if (point.x[i] < BoundAt(slope_u_[i], point.t, i) - eps) {
+          // Swing u down through (pivot, point + ε).
+          slope_u_[i] = (point.x[i] + eps - pivot_x_[i]) / dt;
+        }
       }
-      if (point.x[i] < BoundAt(slope_u_[i], point.t, i) - eps) {
-        // Swing u down through (pivot, point + ε).
-        slope_u_[i] = (point.x[i] + eps - pivot_x_[i]) / dt;
-      }
+      Accumulate(point);
     }
-    Accumulate(point);
     ++unreported_;
   }
   t_last_ = point.t;
@@ -176,6 +274,31 @@ Status SwingFilter::AppendValidated(const DataPoint& point) {
     Freeze();
   }
   return Status::OK();
+}
+
+Status SwingFilter::AppendValidated(const DataPoint& point) {
+  return AppendCore(point, /*vectorized=*/false);
+}
+
+Status SwingFilter::AppendBatch(std::span<const DataPoint> points) {
+  if (simd::ForceScalar()) return Filter::AppendBatch(points);
+  for (const DataPoint& point : points) {
+    PLASTREAM_RETURN_NOT_OK(ValidateForAppend(point));
+    PLASTREAM_RETURN_NOT_OK(AppendCore(point, /*vectorized=*/true));
+    NoteAppended(point.t);
+  }
+  return Status::OK();
+}
+
+Status SwingFilter::AppendBatch(std::span<const double> ts,
+                                std::span<const double> vals) {
+  if (simd::ForceScalar()) return Filter::AppendBatch(ts, vals);
+  return ForEachColumnarPoint(ts, vals, [this](const DataPoint& point) {
+    PLASTREAM_RETURN_NOT_OK(ValidateForAppend(point));
+    PLASTREAM_RETURN_NOT_OK(AppendCore(point, /*vectorized=*/true));
+    NoteAppended(point.t);
+    return Status::OK();
+  });
 }
 
 Status SwingFilter::FinishImpl() {
@@ -206,7 +329,7 @@ Status SwingFilter::CutImpl() {
   frozen_ = false;
   interval_points_ = 0;
   s2_.Reset();
-  for (auto& sum : s1_) sum.Reset();
+  s1_.Reset();
   unreported_ = 0;
   return Status::OK();
 }

@@ -44,6 +44,15 @@ class SwingFilter : public Filter {
     return {{"unreported_points", static_cast<double>(unreported_)}};
   }
 
+  /// Batch append through the SIMD slope-clamp kernel (vectorized across
+  /// dimensions); byte-identical to the per-point path.
+  Status AppendBatch(std::span<const DataPoint> points) override;
+
+  /// Columnar batch append through the same SIMD kernel (see
+  /// Filter::AppendBatch(ts, vals) for the layout contract).
+  Status AppendBatch(std::span<const double> ts,
+                     std::span<const double> vals) override;
+
  protected:
   Status AppendValidated(const DataPoint& point) override;
   Status FinishImpl() override;
@@ -57,6 +66,15 @@ class SwingFilter : public Filter {
   // True when the point violates the ±ε band around [l_i, u_i] in any
   // dimension (Algorithm 1, line 7).
   bool Violates(const DataPoint& point) const;
+  // Violates with the dimension loop vectorized (bit-identical); falls
+  // back to the scalar check in frozen mode.
+  bool ViolatesVec(const DataPoint& point) const;
+  // The swing updates (Algorithm 1, lines 14-18) fused with Accumulate,
+  // vectorized across dimensions with compute-then-blend slope clamps.
+  void UpdateBoundsAndAccumulateVec(const DataPoint& point);
+  // Shared body of AppendValidated and the batch overrides; `vectorized`
+  // selects the SIMD kernels for the steady-state accept path.
+  Status AppendCore(const DataPoint& point, bool vectorized);
   // Least-squares slope for dimension i, clamped into [l, u] (Eq. 5-6).
   double ClampedLsqSlope(size_t i) const;
   // Closes the interval with a recording at t_last_ and emits the segment.
@@ -85,7 +103,8 @@ class SwingFilter : public Filter {
 
   // Incremental least-squares sums relative to the pivot (Eq. 6):
   // s1_[i] = Σ (x_ij - pivot_x_i)(t_j - pivot_t), s2_ = Σ (t_j - pivot_t)^2.
-  std::vector<KahanSum> s1_;
+  // s1_ is SoA (KahanVec) so the batch kernel accumulates lane groups.
+  KahanVec s1_;
   KahanSum s2_;
 
   // Max-lag freeze state: when frozen, the interval proceeds as a linear

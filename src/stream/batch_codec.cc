@@ -48,7 +48,7 @@ class BatchCodec final : public WireCodec {
 
   Status Flush(Channel* channel) override {
     if (staged_count_ == 0) return Status::OK();
-    std::vector<uint8_t> frame;
+    std::vector<uint8_t> frame = channel->AcquireBuffer();
     frame.reserve(10 + staged_.size() + 4);
     PutVarint(&frame, staged_count_);
     frame.insert(frame.end(), staged_.begin(), staged_.end());

@@ -2,32 +2,62 @@
 
 #include "stream/channel.h"
 
+#include <utility>
+
 namespace plastream {
+
+void Channel::Grow() {
+  const size_t old_cap = ring_.size();
+  std::vector<std::vector<uint8_t>> grown(old_cap == 0 ? 16 : old_cap * 2);
+  for (size_t i = 0; i < size_; ++i) {
+    grown[i] = std::move(ring_[(head_ + i) % old_cap]);
+  }
+  ring_ = std::move(grown);
+  head_ = 0;
+}
 
 void Channel::Push(std::vector<uint8_t> frame) {
   bytes_sent_ += frame.size();
   ++frames_sent_;
-  frames_.push_back(std::move(frame));
+  if (size_ == ring_.size()) Grow();
+  ring_[(head_ + size_) % ring_.size()] = std::move(frame);
+  ++size_;
 }
 
 std::optional<std::vector<uint8_t>> Channel::Pop() {
-  if (frames_.empty()) return std::nullopt;
-  std::vector<uint8_t> frame = std::move(frames_.front());
-  frames_.pop_front();
+  if (size_ == 0) return std::nullopt;
+  std::vector<uint8_t> frame = std::move(ring_[head_]);
+  ring_[head_].clear();  // moved-from state is unspecified; make it empty
+  head_ = (head_ + 1) % ring_.size();
+  --size_;
   return frame;
 }
 
+std::vector<uint8_t> Channel::AcquireBuffer() {
+  if (free_.empty()) return {};
+  std::vector<uint8_t> buffer = std::move(free_.back());
+  free_.pop_back();
+  buffer.clear();
+  return buffer;
+}
+
+void Channel::Recycle(std::vector<uint8_t> frame) {
+  if (free_.size() >= kMaxRecycled) return;  // excess storage just frees
+  frame.clear();
+  free_.push_back(std::move(frame));
+}
+
 bool Channel::CorruptFrame(size_t index, size_t offset, uint8_t mask) {
-  if (index >= frames_.size()) return false;
-  std::vector<uint8_t>& frame = frames_[index];
+  if (index >= size_) return false;
+  std::vector<uint8_t>& frame = ring_[(head_ + index) % ring_.size()];
   if (offset >= frame.size()) return false;
   frame[offset] = static_cast<uint8_t>(frame[offset] ^ mask);
   return true;
 }
 
 bool Channel::CorruptLastFrame(size_t offset, uint8_t mask) {
-  if (frames_.empty()) return false;
-  return CorruptFrame(frames_.size() - 1, offset, mask);
+  if (size_ == 0) return false;
+  return CorruptFrame(size_ - 1, offset, mask);
 }
 
 }  // namespace plastream

@@ -47,7 +47,9 @@ class DeltaCodec final : public WireCodec {
   explicit DeltaCodec(bool varint) : varint_(varint) {}
 
   Status Encode(const WireRecord& record, Channel* channel) override {
-    std::vector<uint8_t> frame;
+    // A recycled channel buffer plus member integer scratch keeps the
+    // steady-state encode path free of heap allocations.
+    std::vector<uint8_t> frame = channel->AcquireBuffer();
     frame.reserve(EncodedSizeBound(record.type, record.x.size()));
     uint8_t flags = static_cast<uint8_t>(record.type) & kTypeMask;
 
@@ -63,19 +65,19 @@ class DeltaCodec final : public WireCodec {
     }
     if (time_varint) flags |= kTimeVarint;
 
-    std::vector<int64_t> values_int(record.x.size());
+    values_int_.assign(record.x.size(), 0);
     bool values_varint = varint_ && !record.x.empty();
     for (size_t i = 0; values_varint && i < record.x.size(); ++i) {
-      values_varint = IsCompactIntegral(record.x[i], &values_int[i]);
+      values_varint = IsCompactIntegral(record.x[i], &values_int_[i]);
     }
     if (values_varint) flags |= kValuesVarint;
 
-    std::vector<int64_t> slopes_int(record.slope.size());
+    slopes_int_.assign(record.slope.size(), 0);
     bool slopes_varint = varint_ &&
                          record.type == WireRecordType::kProvisionalLine &&
                          !record.slope.empty();
     for (size_t i = 0; slopes_varint && i < record.slope.size(); ++i) {
-      slopes_varint = IsCompactIntegral(record.slope[i], &slopes_int[i]);
+      slopes_varint = IsCompactIntegral(record.slope[i], &slopes_int_[i]);
     }
     if (slopes_varint) flags |= kSlopesVarint;
 
@@ -88,7 +90,7 @@ class DeltaCodec final : public WireCodec {
     }
     for (size_t i = 0; i < record.x.size(); ++i) {
       if (values_varint) {
-        PutVarint(&frame, ZigZag(values_int[i]));
+        PutVarint(&frame, ZigZag(values_int_[i]));
       } else {
         PutF64(&frame, record.x[i]);
       }
@@ -96,7 +98,7 @@ class DeltaCodec final : public WireCodec {
     if (record.type == WireRecordType::kProvisionalLine) {
       for (size_t i = 0; i < record.slope.size(); ++i) {
         if (slopes_varint) {
-          PutVarint(&frame, ZigZag(slopes_int[i]));
+          PutVarint(&frame, ZigZag(slopes_int_[i]));
         } else {
           PutF64(&frame, record.slope[i]);
         }
@@ -214,6 +216,9 @@ class DeltaCodec final : public WireCodec {
   double enc_prev_t_ = 0.0;
   bool dec_has_prev_ = false;
   double dec_prev_t_ = 0.0;
+  // Encode-side scratch, reused across records to stay allocation-free.
+  std::vector<int64_t> values_int_;
+  std::vector<int64_t> slopes_int_;
 };
 
 Result<bool> ParseBoolParam(const FilterSpec& spec, std::string_view key,

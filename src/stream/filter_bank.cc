@@ -40,13 +40,17 @@ Status FilterBank::AppendBatch(std::string_view key,
                                std::span<const DataPoint> points) {
   if (points.empty()) return Status::OK();
   PLASTREAM_ASSIGN_OR_RETURN(Entry* const entry, FindOrCreate(key));
-  if (entry->guard) {
-    for (const DataPoint& point : points) {
-      PLASTREAM_RETURN_NOT_OK(entry->guard->Admit(point));
-    }
-    return Status::OK();
-  }
+  if (entry->guard) return entry->guard->AdmitBatch(points);
   return entry->filter->AppendBatch(points);
+}
+
+Status FilterBank::AppendBatch(std::string_view key,
+                               std::span<const double> ts,
+                               std::span<const double> vals) {
+  if (ts.empty() && vals.empty()) return Status::OK();
+  PLASTREAM_ASSIGN_OR_RETURN(Entry* const entry, FindOrCreate(key));
+  if (entry->guard) return entry->guard->AdmitBatch(ts, vals);
+  return entry->filter->AppendBatch(ts, vals);
 }
 
 Status FilterBank::FinishAll() {

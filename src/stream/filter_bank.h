@@ -49,6 +49,12 @@ class FilterBank {
   /// earlier points of the batch applied.
   Status AppendBatch(std::string_view key, std::span<const DataPoint> points);
 
+  /// Columnar batch append: timestamps and dimension-major values as flat
+  /// column arrays (layout per Filter::AppendBatch(ts, vals)), forwarded
+  /// zero-copy to the stream's filter or guard.
+  Status AppendBatch(std::string_view key, std::span<const double> ts,
+                     std::span<const double> vals);
+
   /// Finishes every stream's filter (idempotent), flushing each stream's
   /// ingest-guard reorder buffer first so no admitted point is lost.
   Status FinishAll();

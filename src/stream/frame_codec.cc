@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "stream/codec.h"
+#include "stream/wire_bytes.h"
 #include "stream/wire_codec.h"
 
 namespace plastream {
@@ -17,7 +18,13 @@ namespace {
 class FrameCodec final : public WireCodec {
  public:
   Status Encode(const WireRecord& record, Channel* channel) override {
-    channel->Push(EncodeWireRecord(record));
+    // Same bytes as EncodeWireRecord, built in a recycled buffer so the
+    // steady-state encode path performs no heap allocation.
+    std::vector<uint8_t> frame = channel->AcquireBuffer();
+    frame.reserve(EncodedWireRecordSize(record.type, record.x.size()));
+    AppendWireRecordBody(record, &frame);
+    AppendCrc32cTrailer(&frame);
+    channel->Push(std::move(frame));
     return Status::OK();
   }
 

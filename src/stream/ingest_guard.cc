@@ -264,6 +264,59 @@ Status IngestGuard::Admit(const DataPoint& point) {
   return Status::OK();
 }
 
+Status IngestGuard::AdmitBatch(std::span<const DataPoint> points) {
+  if (policy_.pass_through() && !cut_pending_) {
+    // Pass-through adds no per-point decisions — the filter performs the
+    // exact same validation with the exact same errors — so the whole
+    // span forwards in one call. The watermark advances by the number of
+    // points the filter actually applied (partial on a mid-batch error).
+    const size_t before = filter_->points_seen();
+    const Status status = filter_->AppendBatch(points);
+    const size_t applied = filter_->points_seen() - before;
+    if (applied > 0) {
+      has_watermark_ = true;
+      watermark_ = points[applied - 1].t;
+    }
+    return status;
+  }
+  for (const DataPoint& point : points) {
+    PLASTREAM_RETURN_NOT_OK(Admit(point));
+  }
+  return Status::OK();
+}
+
+Status IngestGuard::AdmitBatch(std::span<const double> ts,
+                               std::span<const double> vals) {
+  if (policy_.pass_through() && !cut_pending_) {
+    const size_t before = filter_->points_seen();
+    const Status status = filter_->AppendBatch(ts, vals);
+    const size_t applied = filter_->points_seen() - before;
+    if (applied > 0) {
+      has_watermark_ = true;
+      watermark_ = ts[applied - 1];
+    }
+    return status;
+  }
+  // Active policy: per-point admission through a reused scratch row, with
+  // the same upfront shape check (and message) as Filter::AppendBatch.
+  const size_t d = filter_->dimensions();
+  const size_t n = ts.size();
+  if (vals.size() != n * d) {
+    return Status::InvalidArgument(
+        "columnar batch has " + std::to_string(vals.size()) +
+        " values for " + std::to_string(n) + " timestamps of a " +
+        std::to_string(d) + "-dimensional stream (expected " +
+        std::to_string(n * d) + ")");
+  }
+  columnar_scratch_.x.resize(d);
+  for (size_t j = 0; j < n; ++j) {
+    columnar_scratch_.t = ts[j];
+    for (size_t i = 0; i < d; ++i) columnar_scratch_.x[i] = vals[i * n + j];
+    PLASTREAM_RETURN_NOT_OK(Admit(columnar_scratch_));
+  }
+  return Status::OK();
+}
+
 Status IngestGuard::Flush() {
   while (!buffer_.empty()) {
     const DataPoint released = std::move(buffer_.front());

@@ -21,6 +21,7 @@
 #define PLASTREAM_STREAM_INGEST_GUARD_H_
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -140,6 +141,18 @@ class IngestGuard {
   /// releases applied, like a partial batch.
   Status Admit(const DataPoint& point);
 
+  /// Admits a batch of arrivals. Under the pass-through policy the whole
+  /// span forwards to Filter::AppendBatch in one call (the guard adds no
+  /// per-point work, keeping the pass-through overhead gate honest); any
+  /// active policy falls back to per-point Admit. Error and partial-
+  /// application semantics match calling Admit point by point.
+  Status AdmitBatch(std::span<const DataPoint> points);
+
+  /// Columnar batch admission (layout per Filter::AppendBatch(ts, vals)).
+  /// Pass-through forwards the spans zero-copy; an active policy admits
+  /// point by point through a reused scratch row.
+  Status AdmitBatch(std::span<const double> ts, std::span<const double> vals);
+
   /// Releases every buffered point to the filter in timestamp order.
   /// Called before Filter::Finish; also safe mid-stream (the next late
   /// arrival after a flush is dropped as late rather than reordered).
@@ -161,6 +174,7 @@ class IngestGuard {
   IngestPolicy policy_;
   Filter* filter_;
   std::vector<DataPoint> buffer_;  // sorted by t, ascending
+  DataPoint columnar_scratch_;     // reused row for columnar slow path
   bool cut_pending_ = false;
   bool has_watermark_ = false;
   double watermark_ = 0.0;  // largest timestamp forwarded to the filter

@@ -351,6 +351,11 @@ Status Pipeline::AppendBatch(std::string_view key,
   return bank_->AppendBatch(key, points);
 }
 
+Status Pipeline::AppendBatch(std::string_view key, std::span<const double> ts,
+                             std::span<const double> vals) {
+  return bank_->AppendBatch(key, ts, vals);
+}
+
 Status Pipeline::DrainKey(std::string_view key) {
   StreamShard& shard = *stream_shards_[bank_->ShardOf(key)];
   Stream* stream;
@@ -393,6 +398,7 @@ Status Pipeline::Drain(Stream& stream) {
     // block on backpressure and reconnect under the hood.
     while (std::optional<std::vector<uint8_t>> frame = stream.channel.Pop()) {
       PLASTREAM_RETURN_NOT_OK(stream.link->SendFrame(*frame));
+      stream.channel.Recycle(std::move(*frame));
     }
     return Status::OK();
   }

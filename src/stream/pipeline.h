@@ -218,6 +218,13 @@ class Pipeline {
   /// earlier points applied.
   Status AppendBatch(std::string_view key, std::span<const DataPoint> points);
 
+  /// Columnar batch append: timestamps and dimension-major values as flat
+  /// column arrays (layout per Filter::AppendBatch(ts, vals)) — the
+  /// zero-copy entry for CSV/Arrow-style sources. Identical semantics and
+  /// byte-identical output to the row-batch overload.
+  Status AppendBatch(std::string_view key, std::span<const double> ts,
+                     std::span<const double> vals);
+
   /// Blocks (threaded mode) until every enqueued point has been filtered,
   /// then flushes each stream's codec — a buffering codec like "batch"
   /// holds records until flushed — and drains the transports into the

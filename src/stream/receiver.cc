@@ -18,6 +18,9 @@ Receiver::Receiver(WireCodec* codec) : codec_(codec) {}
 Status Receiver::Poll(Channel* channel) {
   while (auto frame = channel->Pop()) {
     PLASTREAM_RETURN_NOT_OK(ApplyFrame(*frame));
+    // The frame's storage goes back to the channel so the next encode
+    // reuses it instead of allocating.
+    channel->Recycle(std::move(*frame));
   }
   return Status::OK();
 }

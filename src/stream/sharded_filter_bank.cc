@@ -90,13 +90,23 @@ Status ShardedFilterBank::AppendBatchNow(Shard& shard, std::string_view key,
   return appended.ok() ? hook : appended;
 }
 
+Status ShardedFilterBank::AppendColumnarNow(Shard& shard,
+                                            std::string_view key,
+                                            std::span<const double> ts,
+                                            std::span<const double> vals) {
+  const Status appended = shard.bank.AppendBatch(key, ts, vals);
+  if (options_.post_append == nullptr) return appended;
+  // Same discipline as AppendBatchNow: the hook runs even after a partial
+  // batch, the filter's error stays the one reported.
+  const Status hook = options_.post_append(key);
+  return appended.ok() ? hook : appended;
+}
+
 Status ShardedFilterBank::Enqueue(Shard& shard, std::string_view key,
-                                  const DataPoint* point,
-                                  std::span<const DataPoint> points) {
-  // Copy the batch before taking the shard mutex — the worker and every
-  // other producer on this shard contend for it, so the allocation and
-  // memcpy must not sit inside the critical section.
-  std::vector<DataPoint> batch(points.begin(), points.end());
+                                  Task&& task) {
+  // The caller copied the payload before this call — the worker and every
+  // other producer on this shard contend for the mutex, so allocations and
+  // memcpys must not sit inside the critical section.
   std::unique_lock<std::mutex> lock(shard.mutex);
   // The stop/error state can change while blocked on a full queue, so the
   // wait wakes on it and the checks run after the wait, not before.
@@ -114,13 +124,7 @@ Status ShardedFilterBank::Enqueue(Shard& shard, std::string_view key,
   if (interned == shard.keys.end()) {
     interned = shard.keys.insert(std::string(key)).first;
   }
-  Task task;
   task.key = *interned;
-  if (point != nullptr) {
-    task.point = *point;
-  } else {
-    task.batch = std::move(batch);
-  }
   shard.queue.push_back(std::move(task));
   ++shard.in_flight;
   lock.unlock();
@@ -135,7 +139,10 @@ Status ShardedFilterBank::Append(std::string_view key,
     const std::lock_guard<std::mutex> lock(shard.mutex);
     return AppendNow(shard, key, point);
   }
-  return Enqueue(shard, key, &point, {});
+  Task task;
+  task.kind = TaskKind::kPoint;
+  task.point = point;
+  return Enqueue(shard, key, std::move(task));
 }
 
 Status ShardedFilterBank::AppendBatch(std::string_view key,
@@ -148,7 +155,27 @@ Status ShardedFilterBank::AppendBatch(std::string_view key,
     return AppendBatchNow(shard, key, points);
   }
   // One queue slot (and one worker wakeup) for the whole key-group.
-  return Enqueue(shard, key, nullptr, points);
+  Task task;
+  task.kind = TaskKind::kBatch;
+  task.batch.assign(points.begin(), points.end());
+  return Enqueue(shard, key, std::move(task));
+}
+
+Status ShardedFilterBank::AppendBatch(std::string_view key,
+                                      std::span<const double> ts,
+                                      std::span<const double> vals) {
+  if (ts.empty() && vals.empty()) return Status::OK();
+  Shard& shard = *shards_[ShardOf(key)];
+  if (!threaded_) {
+    // Locked mode forwards the caller's columns zero-copy.
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    return AppendColumnarNow(shard, key, ts, vals);
+  }
+  Task task;
+  task.kind = TaskKind::kColumnar;
+  task.ts.assign(ts.begin(), ts.end());
+  task.vals.assign(vals.begin(), vals.end());
+  return Enqueue(shard, key, std::move(task));
 }
 
 void ShardedFilterBank::WorkerLoop(Shard& shard) {
@@ -163,9 +190,18 @@ void ShardedFilterBank::WorkerLoop(Shard& shard) {
     shard.drained_cv.notify_all();
 
     // The bank is touched without the lock: this worker is its only writer.
-    Status status = task.batch.empty()
-                        ? AppendNow(shard, task.key, task.point)
-                        : AppendBatchNow(shard, task.key, task.batch);
+    Status status;
+    switch (task.kind) {
+      case TaskKind::kPoint:
+        status = AppendNow(shard, task.key, task.point);
+        break;
+      case TaskKind::kBatch:
+        status = AppendBatchNow(shard, task.key, task.batch);
+        break;
+      case TaskKind::kColumnar:
+        status = AppendColumnarNow(shard, task.key, task.ts, task.vals);
+        break;
+    }
 
     lock.lock();
     if (!status.ok() && shard.deferred.ok()) {

@@ -114,6 +114,14 @@ class ShardedFilterBank {
   /// unchanged: one producer at a time per key.
   Status AppendBatch(std::string_view key, std::span<const DataPoint> points);
 
+  /// Columnar batch append: timestamps and dimension-major values as flat
+  /// column arrays (layout per Filter::AppendBatch(ts, vals)). Locked mode
+  /// forwards the spans zero-copy under the shard lock; threaded mode
+  /// copies both columns into the task before enqueueing. Error semantics
+  /// match AppendBatch's for the respective mode.
+  Status AppendBatch(std::string_view key, std::span<const double> ts,
+                     std::span<const double> vals);
+
   /// Threaded mode: blocks until every queued point has been processed and
   /// returns the first deferred error, if any. Locked mode: errors are
   /// synchronous, so there is nothing to report and Flush returns OK.
@@ -164,14 +172,20 @@ class ShardedFilterBank {
   size_t ShardOf(std::string_view key) const;
 
  private:
-  // One queued unit of ingest — a single point or a whole batch —
-  // waiting for the shard worker. The key borrows the shard's intern set
-  // (node addresses are stable), so queueing work for an already-seen key
-  // allocates nothing for the key.
+  // Payload shape of a queued ingest task.
+  enum class TaskKind { kPoint, kBatch, kColumnar };
+
+  // One queued unit of ingest — a single point, a row batch, or a
+  // columnar batch — waiting for the shard worker. The key borrows the
+  // shard's intern set (node addresses are stable), so queueing work for
+  // an already-seen key allocates nothing for the key.
   struct Task {
     std::string_view key;
-    DataPoint point;               // the payload when batch is empty
-    std::vector<DataPoint> batch;  // the payload when non-empty
+    TaskKind kind = TaskKind::kPoint;
+    DataPoint point;               // kPoint payload
+    std::vector<DataPoint> batch;  // kBatch payload
+    std::vector<double> ts;        // kColumnar payload (with vals)
+    std::vector<double> vals;
   };
 
   // A shard: its bank plus the mutex that serializes access to it. In
@@ -212,9 +226,14 @@ class ShardedFilterBank {
   Status AppendBatchNow(Shard& shard, std::string_view key,
                         std::span<const DataPoint> points);
 
-  // Shared threaded-mode enqueue path (backpressure, key interning).
-  Status Enqueue(Shard& shard, std::string_view key, const DataPoint* point,
-                 std::span<const DataPoint> points);
+  // Columnar counterpart of AppendBatchNow, same hook discipline.
+  Status AppendColumnarNow(Shard& shard, std::string_view key,
+                           std::span<const double> ts,
+                           std::span<const double> vals);
+
+  // Shared threaded-mode enqueue path (backpressure, key interning). The
+  // task's payload is already copied; Enqueue fills in the interned key.
+  Status Enqueue(Shard& shard, std::string_view key, Task&& task);
 
   Options options_;
   bool threaded_ = false;

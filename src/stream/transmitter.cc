@@ -24,30 +24,29 @@ void Transmitter::Send(const WireRecord& record) {
 }
 
 void Transmitter::OnSegment(const Segment& segment) {
+  scratch_.slope.clear();  // only provisional-line records carry slopes
   if (!segment.connected_to_prev) {
     // Transmit the start recording.
-    WireRecord start;
-    start.type = WireRecordType::kSegmentBreak;
-    start.t = segment.t_start;
-    start.x = segment.x_start;
-    Send(start);
+    scratch_.type = WireRecordType::kSegmentBreak;
+    scratch_.t = segment.t_start;
+    scratch_.x = segment.x_start;
+    Send(scratch_);
     if (segment.IsPoint()) return;  // A lone break is a point segment.
   }
-  WireRecord end;
-  end.type = segment.connected_to_prev ? WireRecordType::kSegmentPointConnected
-                                       : WireRecordType::kSegmentPoint;
-  end.t = segment.t_end;
-  end.x = segment.x_end;
-  Send(end);
+  scratch_.type = segment.connected_to_prev
+                      ? WireRecordType::kSegmentPointConnected
+                      : WireRecordType::kSegmentPoint;
+  scratch_.t = segment.t_end;
+  scratch_.x = segment.x_end;
+  Send(scratch_);
 }
 
 void Transmitter::OnProvisionalLine(const ProvisionalLine& line) {
-  WireRecord record;
-  record.type = WireRecordType::kProvisionalLine;
-  record.t = line.t;
-  record.x = line.x;
-  record.slope = line.slope;
-  Send(record);
+  scratch_.type = WireRecordType::kProvisionalLine;
+  scratch_.t = line.t;
+  scratch_.x = line.x;
+  scratch_.slope = line.slope;
+  Send(scratch_);
 }
 
 Status Transmitter::Flush() {

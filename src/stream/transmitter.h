@@ -20,6 +20,7 @@
 
 #include "core/segment_sink.h"
 #include "stream/channel.h"
+#include "stream/wire.h"
 #include "stream/wire_codec.h"
 
 namespace plastream {
@@ -63,6 +64,9 @@ class Transmitter : public SegmentSink {
   WireCodec* codec_;
   Status status_ = Status::OK();
   size_t records_sent_ = 0;
+  // Per-stream scratch record: DimVec assignment reuses its buffer, so
+  // rebuilding records here keeps the encode path allocation-free.
+  WireRecord scratch_;
 };
 
 }  // namespace plastream

@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/simd.h"
 #include "transport/collector_server.h"
 
 namespace plastream {
@@ -62,6 +63,22 @@ class ScopedServe {
   std::thread thread_;
 };
 
+// Flips simd::SetForceScalar for one run and always restores it.
+class ScopedForceScalar {
+ public:
+  explicit ScopedForceScalar(bool on) : active_(on) {
+    if (active_) simd::SetForceScalar(true);
+  }
+  ~ScopedForceScalar() {
+    if (active_) simd::SetForceScalar(false);
+  }
+  ScopedForceScalar(const ScopedForceScalar&) = delete;
+  ScopedForceScalar& operator=(const ScopedForceScalar&) = delete;
+
+ private:
+  bool active_;
+};
+
 Status AnnotateVariant(const PipelineVariant& variant, const Status& inner) {
   if (inner.ok()) return inner;
   return Status(inner.code(),
@@ -109,6 +126,26 @@ std::vector<PipelineVariant> VariantsFor(uint64_t seed) {
   variants.push_back({"shards1-frame-memory", 1, false, "frame", false, false});
   variants.push_back(
       {"shards3-delta-threaded", 3, true, "delta(varint=true)", false, false});
+  // Ingest-mode legs: the SIMD batch and columnar paths must match the
+  // point-mode reference byte-for-byte on every scenario; the forced-
+  // scalar leg proves the vector kernels match their scalar fallback.
+  {
+    PipelineVariant batch{"shards1-frame-batch", 1, false, "frame",
+                          false,                 false};
+    batch.ingest = IngestMode::kBatch;
+    variants.push_back(batch);
+    PipelineVariant columnar{"shards1-frame-columnar", 1, false, "frame",
+                             false,                    false};
+    columnar.ingest = IngestMode::kColumnar;
+    variants.push_back(columnar);
+    if (seed % 2 == 0) {
+      PipelineVariant scalar{"shards1-frame-batch-scalar", 1, false, "frame",
+                             false,                        false};
+      scalar.ingest = IngestMode::kBatch;
+      scalar.force_scalar = true;
+      variants.push_back(scalar);
+    }
+  }
   if (seed % 4 == 0) {
     variants.push_back(
         {"shards2-batch-file", 2, false, "batch(n=7)", true, false});
@@ -155,14 +192,61 @@ Result<RunOutput> RunScenario(const Scenario& scenario,
   PLASTREAM_ASSIGN_OR_RETURN(std::unique_ptr<Pipeline> pipeline,
                              builder.Build());
 
-  for (const Arrival& arrival : scenario.arrivals) {
-    const Status appended =
-        pipeline->Append(scenario.streams[arrival.stream].key, arrival.point);
-    if (!appended.ok()) {
-      return Status(appended.code(),
-                    "append t=" + std::to_string(arrival.point.t) + " key '" +
-                        scenario.streams[arrival.stream].key +
-                        "': " + appended.message());
+  // The forced-scalar leg flips the process-wide kernel switch for the
+  // duration of this run only.
+  const ScopedForceScalar scalar_guard(variant.force_scalar);
+
+  if (variant.ingest == IngestMode::kPoint) {
+    for (const Arrival& arrival : scenario.arrivals) {
+      const Status appended =
+          pipeline->Append(scenario.streams[arrival.stream].key, arrival.point);
+      if (!appended.ok()) {
+        return Status(appended.code(),
+                      "append t=" + std::to_string(arrival.point.t) + " key '" +
+                          scenario.streams[arrival.stream].key +
+                          "': " + appended.message());
+      }
+    }
+  } else {
+    // Feed maximal same-key runs of the interleaved sequence as batches,
+    // preserving each key's exact arrival order.
+    std::vector<DataPoint> run;
+    std::vector<double> ts;
+    std::vector<double> vals;
+    for (size_t i = 0; i < scenario.arrivals.size();) {
+      const size_t stream = scenario.arrivals[i].stream;
+      size_t end = i + 1;
+      while (end < scenario.arrivals.size() &&
+             scenario.arrivals[end].stream == stream) {
+        ++end;
+      }
+      const std::string& key = scenario.streams[stream].key;
+      Status appended = Status::OK();
+      if (variant.ingest == IngestMode::kBatch) {
+        run.clear();
+        for (size_t j = i; j < end; ++j) run.push_back(scenario.arrivals[j].point);
+        appended = pipeline->AppendBatch(key, run);
+      } else {
+        const size_t n = end - i;
+        const size_t dims = scenario.arrivals[i].point.x.size();
+        ts.clear();
+        vals.assign(n * dims, 0.0);
+        for (size_t j = i; j < end; ++j) {
+          const DataPoint& point = scenario.arrivals[j].point;
+          ts.push_back(point.t);
+          for (size_t dim = 0; dim < dims; ++dim) {
+            vals[dim * n + (j - i)] = point.x[dim];
+          }
+        }
+        appended = pipeline->AppendBatch(key, ts, vals);
+      }
+      if (!appended.ok()) {
+        return Status(appended.code(),
+                      "batch append at t=" +
+                          std::to_string(scenario.arrivals[i].point.t) +
+                          " key '" + key + "': " + appended.message());
+      }
+      i = end;
     }
   }
   PLASTREAM_RETURN_NOT_OK(pipeline->Finish());

@@ -31,6 +31,16 @@
 namespace plastream {
 namespace harness {
 
+// How a variant feeds the scenario's arrivals to the pipeline. Batch and
+// columnar modes group maximal same-key runs of the interleaved arrival
+// sequence, preserving each key's arrival order exactly, so all three
+// modes must produce byte-identical segments.
+enum class IngestMode {
+  kPoint,     // Pipeline::Append, one arrival at a time
+  kBatch,     // Pipeline::AppendBatch over same-key runs
+  kColumnar,  // columnar AppendBatch(ts, vals) over the same runs
+};
+
 // One pipeline configuration of the conformance matrix.
 struct PipelineVariant {
   std::string name;            // names the variant in failure messages
@@ -39,10 +49,17 @@ struct PipelineVariant {
   std::string codec = "frame";
   bool file_storage = false;   // archive to a temp file instead of memory
   bool uds_transport = false;  // ship frames to a uds CollectorServer
+  IngestMode ingest = IngestMode::kPoint;
+  // Routes the families' AppendBatch overrides back through the scalar
+  // per-point path (simd::SetForceScalar) for the duration of the run, so
+  // the matrix proves the SIMD kernels byte-identical to the scalar path
+  // on every scenario it covers.
+  bool force_scalar = false;
 };
 
-// The matrix for `seed`: two cheap variants on every seed, plus the
-// file-storage leg every 4th seed and the uds-transport leg every 8th —
+// The matrix for `seed`: the point-mode reference plus batch and columnar
+// SIMD legs on every seed, the forced-scalar batch leg every 2nd seed,
+// the file-storage leg every 4th and the uds-transport leg every 8th —
 // so sustained runs still sweep the full spread without paying socket
 // and disk setup on every scenario.
 std::vector<PipelineVariant> VariantsFor(uint64_t seed);
