@@ -4,7 +4,12 @@
 # resumes, and a byte-exact diff of the collected segments against an
 # uninterrupted local run of the same pipeline.
 #
-#   $ scripts/chaos_net_smoke.sh [BUILD_DIR]
+#   $ scripts/chaos_net_smoke.sh [BUILD_DIR] [FAULT_SPEC]
+#
+# FAULT_SPEC (e.g. 'faults(seed=7,short_io=0.1,err_rate=0.02)') is
+# exported as PLASTREAM_FAULTS to the collector and producer only, so
+# the seeded fault schedule (common/fault_injection.h) stacks on top of
+# the forced drops while the local reference run stays clean.
 #
 # Fails if the producer cannot finish, if no reconnect actually
 # happened (the chaos did not bite), or if any collected segment
@@ -13,6 +18,7 @@
 set -euo pipefail
 
 BUILD_DIR="${1:-${BUILD_DIR:-build}}"
+FAULT_SPEC="${2:-}"
 COLLECTOR="$BUILD_DIR/net_collector"
 PRODUCER="$BUILD_DIR/net_producer"
 for bin in "$COLLECTOR" "$PRODUCER"; do
@@ -35,9 +41,15 @@ POINTS=20000
 CODEC=delta
 
 # Reference: the identical pipeline on the inproc transport, no network,
-# no chaos.
-"$PRODUCER" --local --dump --keys "$KEYS" --points "$POINTS" \
+# no chaos, and explicitly no fault schedule.
+env -u PLASTREAM_FAULTS \
+  "$PRODUCER" --local --dump --keys "$KEYS" --points "$POINTS" \
   --codec "$CODEC" >"$WORK/reference.txt" 2>/dev/null
+
+if [[ -n "$FAULT_SPEC" ]]; then
+  echo "chaos_net_smoke: networked runs under PLASTREAM_FAULTS=$FAULT_SPEC"
+  export PLASTREAM_FAULTS="$FAULT_SPEC"
+fi
 
 # Collector on an ephemeral port, severing every connection every 25 ms.
 "$COLLECTOR" --listen 'tcp(host=127.0.0.1,port=0)' \

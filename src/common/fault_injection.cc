@@ -1,0 +1,246 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+
+#include "common/fault_injection.h"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "core/filter_spec.h"
+
+namespace plastream {
+namespace {
+
+// SplitMix64 finalizer: decorrelates (seed, site, op index) into 64 bits.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Uniform double in [0, 1) from 64 random bits.
+double UnitDouble(uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+// Shortest %g form that parses back to exactly `v`.
+std::string FormatDouble(double v) {
+  char buf[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    double back = 0.0;
+    const auto [ptr, ec] = std::from_chars(buf, buf + std::strlen(buf), back);
+    if (ec == std::errc() && *ptr == '\0' && back == v) break;
+  }
+  return buf;
+}
+
+Status BadParam(std::string_view key, const std::string& value,
+                std::string_view want) {
+  return Status::InvalidArgument("fault plan param '" + std::string(key) +
+                                 "=" + value + "': expected " +
+                                 std::string(want));
+}
+
+// Parses an optional probability param into [0, 1].
+Status ParseProbParam(const FilterSpec& spec, std::string_view key,
+                      double* out, bool* present = nullptr) {
+  const std::string* value = spec.FindParam(key);
+  if (present != nullptr) *present = value != nullptr;
+  if (value == nullptr) return Status::OK();
+  double parsed = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(value->data(), value->data() + value->size(), parsed);
+  if (ec != std::errc() || ptr != value->data() + value->size() ||
+      !(parsed >= 0.0 && parsed <= 1.0)) {
+    return BadParam(key, *value, "a probability in [0, 1]");
+  }
+  *out = parsed;
+  return Status::OK();
+}
+
+// Parses an optional nonnegative integer param.
+Status ParseCountParam(const FilterSpec& spec, std::string_view key,
+                       uint64_t* out) {
+  const std::string* value = spec.FindParam(key);
+  if (value == nullptr) return Status::OK();
+  uint64_t parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value->data(), value->data() + value->size(), parsed);
+  if (ec != std::errc() || ptr != value->data() + value->size()) {
+    return BadParam(key, *value, "a nonnegative integer");
+  }
+  *out = parsed;
+  return Status::OK();
+}
+
+std::mutex& FaultMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+// Every injector ever installed is retained for the process lifetime, so a
+// hook that loads the active pointer just as a scope unwinds never touches
+// a freed injector. Installs are rare (one per test/bench scope) and the
+// objects are ~100 bytes, so the retention cost is negligible.
+std::vector<std::shared_ptr<FaultInjector>>& RetainedInjectors() {
+  static auto* retained = new std::vector<std::shared_ptr<FaultInjector>>();
+  return *retained;
+}
+
+std::atomic<FaultInjector*> g_active{nullptr};
+std::once_flag g_env_once;
+
+}  // namespace
+
+std::string_view FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kSocketRead:
+      return "socket_read";
+    case FaultSite::kSocketWrite:
+      return "socket_write";
+    case FaultSite::kSocketAccept:
+      return "socket_accept";
+    case FaultSite::kSocketConnect:
+      return "socket_connect";
+    case FaultSite::kFileWrite:
+      return "file_write";
+    case FaultSite::kFileFlush:
+      return "file_flush";
+  }
+  return "unknown";
+}
+
+Result<FaultPlan> FaultPlan::Parse(std::string_view text) {
+  PLASTREAM_ASSIGN_OR_RETURN(const FilterSpec spec, FilterSpec::Parse(text));
+  if (spec.family != "faults") {
+    return Status::InvalidArgument(
+        "fault plan spec must use family 'faults', got '" + spec.family +
+        "'");
+  }
+  PLASTREAM_RETURN_NOT_OK(
+      spec.ExpectParamsIn({"seed", "short_io", "err_rate", "enospc_after",
+                           "enospc_for", "delay_ms", "delay_rate"}));
+  FaultPlan plan;
+  PLASTREAM_RETURN_NOT_OK(ParseCountParam(spec, "seed", &plan.seed));
+  PLASTREAM_RETURN_NOT_OK(ParseProbParam(spec, "short_io", &plan.short_io));
+  PLASTREAM_RETURN_NOT_OK(ParseProbParam(spec, "err_rate", &plan.err_rate));
+  PLASTREAM_RETURN_NOT_OK(
+      ParseCountParam(spec, "enospc_after", &plan.enospc_after));
+  PLASTREAM_RETURN_NOT_OK(
+      ParseCountParam(spec, "enospc_for", &plan.enospc_for));
+  PLASTREAM_RETURN_NOT_OK(ParseCountParam(spec, "delay_ms", &plan.delay_ms));
+  bool delay_rate_set = false;
+  PLASTREAM_RETURN_NOT_OK(
+      ParseProbParam(spec, "delay_rate", &plan.delay_rate, &delay_rate_set));
+  if (plan.delay_ms > 0 && !delay_rate_set) plan.delay_rate = 0.01;
+  return plan;
+}
+
+std::string FaultPlan::Format() const {
+  FilterSpec spec;
+  spec.family = "faults";
+  spec.params["seed"] = std::to_string(seed);
+  if (short_io > 0.0) spec.params["short_io"] = FormatDouble(short_io);
+  if (err_rate > 0.0) spec.params["err_rate"] = FormatDouble(err_rate);
+  if (enospc_after > 0) {
+    spec.params["enospc_after"] = std::to_string(enospc_after);
+  }
+  if (enospc_for != 4) spec.params["enospc_for"] = std::to_string(enospc_for);
+  const double default_delay_rate = delay_ms > 0 ? 0.01 : 0.0;
+  if (delay_ms > 0) spec.params["delay_ms"] = std::to_string(delay_ms);
+  if (delay_rate != default_delay_rate) {
+    spec.params["delay_rate"] = FormatDouble(delay_rate);
+  }
+  return spec.Format();
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan) : plan_(plan) {}
+
+FaultDecision FaultInjector::Next(FaultSite site, size_t io_len) {
+  FaultDecision decision;
+  if (!plan_.Enabled()) return decision;
+  const size_t s = static_cast<size_t>(site);
+  if (site == FaultSite::kFileWrite || site == FaultSite::kFileFlush) {
+    // File sites only participate in the synthetic ENOSPC window. A flush
+    // peeks at the write counter (without consuming a slot) so flushes
+    // issued inside the window fail consistently with the writes.
+    if (plan_.enospc_after == 0) return decision;
+    const size_t write_site = static_cast<size_t>(FaultSite::kFileWrite);
+    const uint64_t n =
+        site == FaultSite::kFileWrite
+            ? counters_[s].fetch_add(1, std::memory_order_relaxed)
+            : counters_[write_site].load(std::memory_order_relaxed);
+    if (n >= plan_.enospc_after &&
+        n < plan_.enospc_after + plan_.enospc_for) {
+      decision.no_space = true;
+    }
+    return decision;
+  }
+  const uint64_t n = counters_[s].fetch_add(1, std::memory_order_relaxed);
+  // One hash stream per (seed, site); successive draws re-mix so the
+  // fail/delay/short decisions for one op are independent.
+  uint64_t h =
+      Mix64(plan_.seed ^ (0xA0761D6478BD642Full * (s + 1)) ^ Mix64(n));
+  if (plan_.err_rate > 0.0 && UnitDouble(h = Mix64(h)) < plan_.err_rate) {
+    decision.fail = true;
+    return decision;
+  }
+  if (plan_.delay_ms > 0 && plan_.delay_rate > 0.0 &&
+      UnitDouble(h = Mix64(h)) < plan_.delay_rate) {
+    decision.delay_ms = plan_.delay_ms;
+  }
+  if ((site == FaultSite::kSocketRead || site == FaultSite::kSocketWrite) &&
+      plan_.short_io > 0.0 && io_len > 1 &&
+      UnitDouble(h = Mix64(h)) < plan_.short_io) {
+    decision.clamp_len = 1;
+  }
+  return decision;
+}
+
+FaultInjector* FaultInjector::Active() {
+  std::call_once(g_env_once, [] {
+    const char* value = std::getenv("PLASTREAM_FAULTS");
+    if (value == nullptr || *value == '\0') return;
+    auto plan = FaultPlan::Parse(value);
+    if (!plan.ok()) {
+      std::fprintf(stderr,
+                   "plastream: ignoring malformed PLASTREAM_FAULTS '%s': %s\n",
+                   value, plan.status().message().c_str());
+      return;
+    }
+    auto injector = std::make_shared<FaultInjector>(plan.value());
+    const std::lock_guard<std::mutex> lock(FaultMutex());
+    RetainedInjectors().push_back(injector);
+    // A ScopedFaultInjection constructed before the first hook keeps
+    // priority; it restores this injector when it unwinds.
+    if (g_active.load(std::memory_order_acquire) == nullptr) {
+      g_active.store(injector.get(), std::memory_order_release);
+    }
+  });
+  return g_active.load(std::memory_order_acquire);
+}
+
+ScopedFaultInjection::ScopedFaultInjection(const FaultPlan& plan)
+    : injector_(std::make_shared<FaultInjector>(plan)) {
+  // Force the one-time environment check first so previous_ captures an
+  // env-provided injector (restored when this scope unwinds).
+  FaultInjector::Active();
+  const std::lock_guard<std::mutex> lock(FaultMutex());
+  RetainedInjectors().push_back(injector_);
+  previous_ = g_active.load(std::memory_order_acquire);
+  g_active.store(injector_.get(), std::memory_order_release);
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  const std::lock_guard<std::mutex> lock(FaultMutex());
+  if (g_active.load(std::memory_order_acquire) == injector_.get()) {
+    g_active.store(previous_, std::memory_order_release);
+  }
+}
+
+}  // namespace plastream

@@ -1,0 +1,152 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// Seeded, deterministic fault injection for the I/O seams.
+//
+// A FaultPlan is a spec-configurable failure schedule:
+//
+//   "faults(seed=42,short_io=0.2,err_rate=0.05,enospc_after=64,delay_ms=2)"
+//
+// threaded through hook points in the socket helpers (ReadSome, WriteSome,
+// AcceptConnection, TcpConnect/UdsConnect) and the file storage backend
+// (record write, flush). Decisions are a pure function of (plan seed,
+// fault site, per-site operation index), so the N-th read always sees the
+// same fate regardless of thread interleaving — benches, examples, tests
+// and the property harness can all replay the same schedule from one seed.
+//
+// Activation:
+//   - process-wide via the PLASTREAM_FAULTS environment variable (parsed
+//     once, on the first hook that asks), or
+//   - scoped via ScopedFaultInjection for tests and benches.
+// When no plan is active the hook fast path is a single relaxed atomic
+// load.
+
+#ifndef PLASTREAM_COMMON_FAULT_INJECTION_H_
+#define PLASTREAM_COMMON_FAULT_INJECTION_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace plastream {
+
+/// The I/O seams a FaultPlan can perturb. Each site keeps its own
+/// deterministic operation counter.
+enum class FaultSite {
+  kSocketRead = 0,   ///< socket_util ReadSome
+  kSocketWrite = 1,  ///< socket_util WriteSome
+  kSocketAccept = 2, ///< socket_util AcceptConnection
+  kSocketConnect = 3,///< socket_util TcpConnect / UdsConnect
+  kFileWrite = 4,    ///< file backend record write
+  kFileFlush = 5,    ///< file backend flush
+};
+
+/// Number of distinct FaultSite values.
+inline constexpr size_t kNumFaultSites = 6;
+
+/// Display name of a fault site ("socket_read", "file_write", ...).
+std::string_view FaultSiteName(FaultSite site);
+
+/// A seeded failure schedule, parsed from the spec grammar
+/// `faults(seed=,short_io=,err_rate=,enospc_after=,enospc_for=,delay_ms=,
+/// delay_rate=)`. All parameters optional; an all-default plan injects
+/// nothing.
+struct FaultPlan {
+  /// Seeds every per-site decision stream. Same seed, same schedule.
+  uint64_t seed = 1;
+  /// Probability that a socket read/write is clamped to a 1-byte transfer
+  /// (exercises partial-I/O handling). Range [0, 1].
+  double short_io = 0.0;
+  /// Probability that a socket operation (read/write/accept/connect) fails
+  /// with a transient injected error. Range [0, 1].
+  double err_rate = 0.0;
+  /// When > 0, file writes start failing with a synthetic ENOSPC at the
+  /// enospc_after-th write (0-based per-site counter) ...
+  uint64_t enospc_after = 0;
+  /// ... and keep failing for this many writes before the "disk" frees up
+  /// again, so degrade-and-resume paths can be exercised end to end.
+  uint64_t enospc_for = 4;
+  /// Injected latency per delayed socket operation, in milliseconds.
+  uint64_t delay_ms = 0;
+  /// Probability that a socket operation is delayed by delay_ms. Defaults
+  /// to 0.01 when delay_ms is set and delay_rate is not.
+  double delay_rate = 0.0;
+
+  /// Parses the `faults(...)` spec form. Errors with InvalidArgument on an
+  /// unknown family, unknown key, or out-of-range value.
+  static Result<FaultPlan> Parse(std::string_view text);
+
+  /// Canonical spec string; Parse(Format()) round-trips exactly.
+  std::string Format() const;
+
+  /// True when the plan can inject at least one fault.
+  bool Enabled() const {
+    return short_io > 0.0 || err_rate > 0.0 || enospc_after > 0 ||
+           (delay_ms > 0 && delay_rate > 0.0);
+  }
+};
+
+/// What a hook should do to the operation it guards. Default: nothing.
+struct FaultDecision {
+  bool fail = false;      ///< fail the operation with an injected error
+  bool no_space = false;  ///< fail a file write as if the disk were full
+  size_t clamp_len = 0;   ///< when > 0, shrink the transfer to this size
+  uint64_t delay_ms = 0;  ///< sleep this long before the operation
+};
+
+/// Evaluates a FaultPlan. Decisions are deterministic per (site, op index);
+/// the per-site indices are atomics so concurrent hooks each consume a
+/// unique slot of the schedule.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  /// The fate of the next operation at `site`. `io_len` is the attempted
+  /// transfer size for read/write sites (bounds short-I/O clamping).
+  FaultDecision Next(FaultSite site, size_t io_len = 0);
+
+  /// The plan this injector replays.
+  const FaultPlan& plan() const { return plan_; }
+
+  /// The process-wide active injector, or nullptr. The first call checks
+  /// PLASTREAM_FAULTS once; a malformed value warns on stderr and is
+  /// ignored. ScopedFaultInjection overrides the environment plan.
+  static FaultInjector* Active();
+
+ private:
+  friend class ScopedFaultInjection;
+
+  FaultPlan plan_;
+  std::array<std::atomic<uint64_t>, kNumFaultSites> counters_{};
+};
+
+/// Installs a FaultPlan as the process-wide active schedule for the scope's
+/// lifetime, then restores the previous injector (environment-provided or
+/// an enclosing scope). Retired injectors are retained for the process
+/// lifetime so a hook that raced the uninstall never dereferences a freed
+/// injector.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(const FaultPlan& plan);
+  ~ScopedFaultInjection();
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+  /// The injector this scope installed (e.g. to inspect plan()).
+  FaultInjector* injector() const { return injector_.get(); }
+
+ private:
+  std::shared_ptr<FaultInjector> injector_;
+  FaultInjector* previous_ = nullptr;
+};
+
+}  // namespace plastream
+
+#endif  // PLASTREAM_COMMON_FAULT_INJECTION_H_

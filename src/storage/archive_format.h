@@ -111,6 +111,12 @@ class ArchiveSegmentCoder {
   /// truncated archive left off.
   void Prime(const Segment& segment);
 
+  /// Resets the chain state to "no previous segment" — the state of a
+  /// fresh coder. A writer that failed to log a segment (e.g. disk full
+  /// under the degrade policy) rolls back with Prime(last logged) or, when
+  /// nothing was ever logged, with Reset().
+  void Reset() { has_prev_ = false; }
+
  private:
   const ArchiveSegmentCodec codec_;
   const size_t dimensions_;

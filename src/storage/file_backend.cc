@@ -14,21 +14,43 @@
 // points (that is the point of PLA), so the shared append is off the
 // per-point hot path entirely.
 //
-// Spec: "file(path=...,codec=frame|delta,sync=none|flush)"
-//   path   (required) the archive log's filesystem path
-//   codec  segment body encoding, default "delta" (see STORAGE.md)
-//   sync   "flush" pushes every record to the OS immediately (crash
-//          loses at most the record being written); "none" (default)
-//          buffers until Flush()/Close().
+// Spec: "file(path=...,codec=frame|delta,sync=none|flush,on_error=fail|degrade)"
+//   path     (required) the archive log's filesystem path
+//   codec    segment body encoding, default "delta" (see STORAGE.md)
+//   sync     "flush" pushes every record to the OS immediately (crash
+//            loses at most the record being written); "none" (default)
+//            buffers until Flush()/Close().
+//   on_error what a medium write failure (ENOSPC, I/O error) does:
+//            "fail" (default) makes the failure sticky — every later
+//            append reports it; "degrade" keeps serving ingest with
+//            archiving suspended (dropped segments stay queryable in the
+//            in-memory stores), re-probes the medium on every segment and
+//            auto-resumes when writes succeed again, logging the first
+//            post-gap segment disconnected. Health() reports
+//            ok/degraded/failing with the failure cause. `degrade`
+//            implies per-record flushing (sync=flush semantics): the
+//            backend must know exactly which bytes reached the OS to keep
+//            the log tail consistent across failures.
+//
+// Failure classification: every medium error Status embeds strerror(errno)
+// and ENOSPC failures carry an "[ENOSPC]" tag — IsDiskFull() in
+// storage_backend.h keys on it. The seeded fault-injection hooks
+// (common/fault_injection.h, sites kFileWrite/kFileFlush) fail records
+// here as synthetic ENOSPC so degrade-and-resume is testable without
+// filling a real disk.
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "storage/archive_format.h"
 #include "storage/storage_backend.h"
 #include "stream/wire_bytes.h"
@@ -38,19 +60,31 @@ namespace {
 
 class FileBackend;
 
+// An I/O failure Status with strerror text; ENOSPC is tagged so callers
+// (degrade policy, tests) can classify full-disk failures via IsDiskFull.
+Status MediumError(const std::string& what, int err) {
+  std::string message = what + ": " + std::strerror(err);
+  if (err == ENOSPC) message += " [ENOSPC]";
+  return Status::IOError(std::move(message));
+}
+
 // One stream's slice of the archive: the queryable in-memory store, the
 // chain-state coder, and this stream's byte accounting. Append runs only
-// on the stream's shard; the backend serializes the final log write.
+// on the stream's shard; the backend serializes the final log write and
+// owns the commit/rollback of the chain state it guards.
 class FileStreamStorage final : public StreamStorage {
  public:
-  FileStreamStorage(FileBackend* backend, uint64_t stream_id,
+  FileStreamStorage(FileBackend* backend, std::string key,
                     ArchiveSegmentCodec codec, size_t dimensions,
                     std::unique_ptr<SegmentStore> store)
       : backend_(backend),
-        stream_id_(stream_id),
+        key_(std::move(key)),
         coder_(codec, dimensions),
         store_(std::move(store)) {
-    if (!store_->empty()) coder_.Prime(store_->segments().back());
+    if (!store_->empty()) {
+      coder_.Prime(store_->segments().back());
+      last_logged_ = store_->segments().back();
+    }
   }
 
   Status Append(const Segment& segment) override;
@@ -61,18 +95,64 @@ class FileStreamStorage final : public StreamStorage {
 
   void add_bytes(uint64_t n) { bytes_ += n; }
 
+  const std::string& key() const { return key_; }
+
+  // The log-record stream id, assigned when the stream-open record
+  // actually reaches the log (the scanner requires ids to appear in
+  // sequential order, so a degraded stream's id is deferred with its open
+  // record).
+  bool has_log_id() const { return log_id_.has_value(); }
+  uint64_t log_id() const { return *log_id_; }
+  void set_log_id(uint64_t id) { log_id_ = id; }
+
+  // The copy of the last appended segment as it would be logged (forced
+  // disconnected while a degrade gap is pending).
+  const Segment& pending_logged() const { return pending_logged_; }
+
+  // The logged chain advanced past pending_logged(): commit it as the new
+  // rollback point and clear any pending gap.
+  void CommitLogged() {
+    last_logged_ = pending_logged_;
+    gap_pending_ = false;
+  }
+
+  // The log write failed after EncodeBody advanced the coder: rewind the
+  // chain state to the last segment that actually reached the log.
+  void RollbackCoder() {
+    if (last_logged_.has_value()) {
+      coder_.Prime(*last_logged_);
+    } else {
+      coder_.Reset();
+    }
+  }
+
+  // A segment was dropped from the log (degrade): the next logged segment
+  // must be encoded disconnected, since its true predecessor was never
+  // archived and a connected flag would decode the wrong geometry.
+  void MarkGap() { gap_pending_ = true; }
+
  private:
   FileBackend* const backend_;
-  const uint64_t stream_id_;
+  const std::string key_;
   ArchiveSegmentCoder coder_;
   std::unique_ptr<SegmentStore> store_;
   uint64_t bytes_ = 0;
+  std::optional<uint64_t> log_id_;
+  std::optional<Segment> last_logged_;
+  Segment pending_logged_;
+  bool gap_pending_ = false;
+
+  friend class FileBackend;
 };
 
 class FileBackend final : public StorageBackend {
  public:
-  FileBackend(std::string path, ArchiveSegmentCodec codec, bool sync_flush)
-      : path_(std::move(path)), codec_(codec), sync_flush_(sync_flush) {}
+  FileBackend(std::string path, ArchiveSegmentCodec codec, bool sync_flush,
+              bool degrade)
+      : path_(std::move(path)),
+        codec_(codec),
+        sync_flush_(sync_flush),
+        degrade_(degrade) {}
 
   ~FileBackend() override {
     const Status closed = Close();
@@ -91,16 +171,17 @@ class FileBackend final : public StorageBackend {
     }
     file_ = std::fopen(path_.c_str(), recovered_ ? "ab" : "wb");
     if (file_ == nullptr) {
-      return Status::IOError("cannot open archive '" + path_ +
-                             "' for appending");
+      return MediumError("cannot open archive '" + path_ + "' for appending",
+                         errno);
     }
     if (!recovered_) {
       const std::vector<uint8_t> header = EncodeArchiveHeader(codec_);
+      errno = 0;
       if (std::fwrite(header.data(), 1, header.size(), file_) !=
               header.size() ||
           std::fflush(file_) != 0) {
-        return Status::IOError("cannot write archive header to '" + path_ +
-                               "'");
+        return MediumError("cannot write archive header to '" + path_ + "'",
+                           errno != 0 ? errno : EIO);
       }
       bytes_written_ = header.size();
     }
@@ -110,7 +191,7 @@ class FileBackend final : public StorageBackend {
   Result<StreamStorage*> OpenStream(std::string_view key,
                                     size_t dimensions) override {
     const std::lock_guard<std::mutex> lock(mutex_);
-    if (file_ == nullptr) {
+    if (file_ == nullptr && !archiving_lost_) {
       return Status::FailedPrecondition("archive '" + path_ +
                                         "' is not open");
     }
@@ -125,14 +206,22 @@ class FileBackend final : public StorageBackend {
       }
       return it->second.get();
     }
-    const uint64_t stream_id = next_stream_id_++;
     auto handle = std::make_unique<FileStreamStorage>(
-        this, stream_id, codec_, dimensions,
+        this, std::string(key), codec_, dimensions,
         std::make_unique<SegmentStore>(dimensions));
     FileStreamStorage* borrowed = handle.get();
-    const std::vector<uint8_t> payload =
-        EncodeStreamOpenPayload(stream_id, key, dimensions);
-    PLASTREAM_RETURN_NOT_OK(WriteRecordLocked(payload, borrowed));
+    const Status opened = LogStreamOpenLocked(borrowed);
+    if (!opened.ok()) {
+      if (!degrade_) {
+        // fail policy: the stream never existed.
+        StickyFailLocked(opened);
+        return opened;
+      }
+      // degrade: the stream is served from memory; its open record (and
+      // log id) will be written when the medium comes back, before its
+      // first archived segment.
+      if (!archiving_lost_) EnterDegradedLocked(opened);
+    }
     streams_.emplace(std::string(key), std::move(handle));
     return borrowed;
   }
@@ -153,42 +242,104 @@ class FileBackend final : public StorageBackend {
 
   Status Flush() override {
     const std::lock_guard<std::mutex> lock(mutex_);
+    if (degrade_) {
+      // While archiving is suspended there is nothing buffered to push —
+      // degrade mode flushes per record; ingest must keep being served.
+      if (degraded_ || archiving_lost_ || file_ == nullptr) {
+        return Status::OK();
+      }
+      const Status flushed = FlushFileLocked();
+      if (!flushed.ok()) EnterDegradedLocked(flushed);
+      return Status::OK();
+    }
     PLASTREAM_RETURN_NOT_OK(write_status_);
-    if (file_ != nullptr && std::fflush(file_) != 0) {
-      write_status_ = Status::IOError("cannot flush archive '" + path_ + "'");
+    if (file_ != nullptr) {
+      const Status flushed = FlushFileLocked();
+      if (!flushed.ok()) StickyFailLocked(flushed);
     }
     return write_status_;
   }
 
   Status Close() override {
     const std::lock_guard<std::mutex> lock(mutex_);
-    if (file_ == nullptr) return write_status_;
-    if (std::fflush(file_) != 0 && write_status_.ok()) {
-      write_status_ = Status::IOError("cannot flush archive '" + path_ + "'");
+    if (file_ == nullptr) return degrade_ ? Status::OK() : write_status_;
+    Status failed = Status::OK();
+    errno = 0;
+    if (std::fflush(file_) != 0) {
+      failed = MediumError("cannot flush archive '" + path_ + "'",
+                           errno != 0 ? errno : EIO);
     }
-    if (std::fclose(file_) != 0 && write_status_.ok()) {
-      write_status_ = Status::IOError("cannot close archive '" + path_ + "'");
+    errno = 0;
+    if (std::fclose(file_) != 0 && failed.ok()) {
+      failed = MediumError("cannot close archive '" + path_ + "'",
+                           errno != 0 ? errno : EIO);
     }
     file_ = nullptr;
+    if (!failed.ok()) {
+      if (degrade_) {
+        // Finish must not fail because the archive medium is gone; the
+        // in-memory stores remain authoritative and health says why.
+        archiving_lost_ = true;
+        health_.state = StorageHealth::State::kFailing;
+        health_.cause = failed.message();
+        return Status::OK();
+      }
+      StickyFailLocked(failed);
+    }
     return write_status_;
   }
 
   uint64_t bytes_written() const override { return bytes_written_; }
 
-  std::string_view name() const override { return "file"; }
-
-  /// Frames `payload` and appends it to the log under the file mutex,
-  /// crediting `stream`'s byte accounting.
-  Status WriteRecord(std::span<const uint8_t> payload,
-                     FileStreamStorage* stream) {
+  StorageHealth Health() const override {
     const std::lock_guard<std::mutex> lock(mutex_);
-    return WriteRecordLocked(payload, stream);
+    return health_;
   }
 
-  /// The sticky first append failure (OK while the log is healthy).
-  Status write_status() {
+  std::string_view name() const override { return "file"; }
+
+  // The gate Append checks before touching the store: under `fail` a
+  // sticky medium failure keeps reporting itself; under `degrade` ingest
+  // is always served.
+  Status AppendGate() {
     const std::lock_guard<std::mutex> lock(mutex_);
-    return write_status_;
+    return degrade_ ? Status::OK() : write_status_;
+  }
+
+  /// Appends one encoded segment record for `stream`, applying the
+  /// on_error policy. `body` is the record payload minus the stream-id
+  /// varint (prepended here, where the log id is known).
+  Status ArchiveSegment(std::span<const uint8_t> body,
+                        FileStreamStorage* stream) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!degrade_ && !write_status_.ok()) {
+      stream->RollbackCoder();
+      return write_status_;
+    }
+    if (archiving_lost_) {
+      DropSegmentLocked(stream);
+      return Status::OK();
+    }
+    // Degraded or healthy: every segment re-probes the medium, which is
+    // exactly the auto-resume path. The stream-open record (with the
+    // stream's deferred log id) must land first.
+    if (!stream->has_log_id()) {
+      const Status opened = LogStreamOpenLocked(stream);
+      if (!opened.ok()) return SegmentWriteFailedLocked(opened, stream);
+    }
+    std::vector<uint8_t> payload;
+    PutVarint(&payload, stream->log_id());
+    payload.insert(payload.end(), body.begin(), body.end());
+    const Status wrote = TryWriteRecordLocked(payload, stream);
+    if (!wrote.ok()) return SegmentWriteFailedLocked(wrote, stream);
+    stream->CommitLogged();
+    if (degraded_) {
+      degraded_ = false;
+      health_.state = StorageHealth::State::kOk;
+      health_.cause.clear();
+      ++health_.recoveries;
+    }
+    return Status::OK();
   }
 
   /// Segments recovered from a pre-existing archive at Open() time.
@@ -198,27 +349,126 @@ class FileBackend final : public StorageBackend {
   uint64_t truncated_bytes() const { return truncated_bytes_; }
 
  private:
-  Status WriteRecordLocked(std::span<const uint8_t> payload,
-                           FileStreamStorage* stream) {
-    PLASTREAM_RETURN_NOT_OK(write_status_);
+  // One fflush with the fault hook and errno folded in. Lock held.
+  Status FlushFileLocked() {
+    if (FaultInjector* faults = FaultInjector::Active()) {
+      if (faults->Next(FaultSite::kFileFlush).no_space) {
+        return MediumError("cannot flush archive '" + path_ + "'", ENOSPC);
+      }
+    }
+    errno = 0;
+    if (std::fflush(file_) != 0) {
+      return MediumError("cannot flush archive '" + path_ + "'",
+                         errno != 0 ? errno : EIO);
+    }
+    return Status::OK();
+  }
+
+  // Attempts one framed append (no failure policy applied): fault hook,
+  // fwrite, and the per-record flush `degrade` relies on. Accounts bytes
+  // on success. Lock held.
+  Status TryWriteRecordLocked(std::span<const uint8_t> payload,
+                              FileStreamStorage* stream) {
     if (file_ == nullptr) {
       return Status::FailedPrecondition("archive '" + path_ +
                                         "' is already closed");
     }
     const std::vector<uint8_t> record = FrameArchiveRecord(payload);
+    if (FaultInjector* faults = FaultInjector::Active()) {
+      if (faults->Next(FaultSite::kFileWrite, record.size()).no_space) {
+        return MediumError("cannot append record to archive '" + path_ + "'",
+                           ENOSPC);
+      }
+    }
+    errno = 0;
     if (std::fwrite(record.data(), 1, record.size(), file_) !=
         record.size()) {
-      write_status_ =
-          Status::IOError("cannot append record to archive '" + path_ + "'");
-      return write_status_;
+      return MediumError("cannot append record to archive '" + path_ + "'",
+                         errno != 0 ? errno : EIO);
     }
-    if (sync_flush_ && std::fflush(file_) != 0) {
-      write_status_ =
-          Status::IOError("cannot flush archive '" + path_ + "'");
-      return write_status_;
+    if (sync_flush_ || degrade_) {
+      PLASTREAM_RETURN_NOT_OK(FlushFileLocked());
     }
     bytes_written_ += record.size();
     if (stream != nullptr) stream->add_bytes(record.size());
+    return Status::OK();
+  }
+
+  // Writes `stream`'s stream-open record, assigning its log id on
+  // success. Ids must appear sequentially in the log (the scanner
+  // enforces it), so next_stream_id_ only advances when the record lands.
+  Status LogStreamOpenLocked(FileStreamStorage* stream) {
+    const std::vector<uint8_t> payload = EncodeStreamOpenPayload(
+        next_stream_id_, stream->key(), stream->store()->dimensions());
+    const Status wrote = TryWriteRecordLocked(payload, stream);
+    if (!wrote.ok()) return wrote;
+    stream->set_log_id(next_stream_id_++);
+    return Status::OK();
+  }
+
+  // The on_error policy for a failed segment (or deferred-open) write.
+  // Lock held. Returns what Append should report.
+  Status SegmentWriteFailedLocked(const Status& failed,
+                                  FileStreamStorage* stream) {
+    stream->RollbackCoder();
+    if (!degrade_) {
+      StickyFailLocked(failed);
+      return failed;
+    }
+    DropSegmentLocked(stream);
+    EnterDegradedLocked(failed);
+    return Status::OK();
+  }
+
+  void DropSegmentLocked(FileStreamStorage* stream) {
+    stream->MarkGap();
+    ++health_.segments_dropped;
+  }
+
+  void StickyFailLocked(const Status& failed) {
+    ++health_.write_failures;
+    write_status_ = failed;
+    health_.state = StorageHealth::State::kFailing;
+    health_.cause = failed.message();
+  }
+
+  // Enters (or stays in) degraded mode and restores the log tail so the
+  // next probe appends to a clean, torn-tail-free file.
+  void EnterDegradedLocked(const Status& failed) {
+    ++health_.write_failures;
+    degraded_ = true;
+    health_.state = StorageHealth::State::kDegraded;
+    health_.cause = failed.message();
+    const Status restored = RestoreLogTailLocked();
+    if (!restored.ok()) {
+      // Even reopening the file fails: archiving is lost for good, but
+      // ingest keeps being served from the in-memory stores.
+      archiving_lost_ = true;
+      health_.state = StorageHealth::State::kFailing;
+      health_.cause = restored.message();
+    }
+  }
+
+  // After a failed stdio write the buffer state is unknowable: close the
+  // handle (discarding or flushing whatever stdio still holds), truncate
+  // to the last committed byte and reopen in append mode. Every committed
+  // record was flushed (degrade implies per-record flush), so
+  // bytes_written_ is exactly the intact prefix.
+  Status RestoreLogTailLocked() {
+    if (file_ != nullptr) {
+      (void)std::fclose(file_);  // flush failure is fine; truncating below
+      file_ = nullptr;
+    }
+    std::error_code ec;
+    std::filesystem::resize_file(path_, bytes_written_, ec);
+    if (ec) {
+      return Status::IOError("cannot restore archive tail of '" + path_ +
+                             "': " + ec.message());
+    }
+    file_ = std::fopen(path_.c_str(), "ab");
+    if (file_ == nullptr) {
+      return MediumError("cannot reopen archive '" + path_ + "'", errno);
+    }
     return Status::OK();
   }
 
@@ -246,7 +496,9 @@ class FileBackend final : public StorageBackend {
       ArchiveStream& recovered = *scan.streams[id];
       recovered_segments_ += recovered.store->segment_count();
       auto handle = std::make_unique<FileStreamStorage>(
-          this, id, codec_, recovered.dimensions, std::move(recovered.store));
+          this, recovered.key, codec_, recovered.dimensions,
+          std::move(recovered.store));
+      handle->set_log_id(id);
       handle->add_bytes(recovered.bytes);
       streams_.emplace(std::move(recovered.key), std::move(handle));
     }
@@ -259,8 +511,10 @@ class FileBackend final : public StorageBackend {
   const std::string path_;
   const ArchiveSegmentCodec codec_;
   const bool sync_flush_;
+  const bool degrade_;  // on_error=degrade
 
-  mutable std::mutex mutex_;  // guards the stream map, FILE*, write_status_
+  // guards the stream map, FILE*, write_status_, health_
+  mutable std::mutex mutex_;
   std::FILE* file_ = nullptr;
   Status write_status_ = Status::OK();  // first append failure, sticky
   std::map<std::string, std::unique_ptr<FileStreamStorage>, std::less<>>
@@ -270,22 +524,28 @@ class FileBackend final : public StorageBackend {
   bool recovered_ = false;
   size_t recovered_segments_ = 0;
   uint64_t truncated_bytes_ = 0;
+  bool degraded_ = false;        // archiving suspended, probing for resume
+  bool archiving_lost_ = false;  // medium unrecoverable; memory-only now
+  StorageHealth health_;
 };
 
 Status FileStreamStorage::Append(const Segment& segment) {
-  // A sticky log failure must keep reporting itself — not morph into a
-  // chain error when a retried segment hits the already-updated store.
-  PLASTREAM_RETURN_NOT_OK(backend_->write_status());
+  // Under `fail` a sticky log failure must keep reporting itself — not
+  // morph into a chain error when a retried segment hits the
+  // already-updated store. Under `degrade` ingest is always served.
+  PLASTREAM_RETURN_NOT_OK(backend_->AppendGate());
   // Validate (and publish to the queryable view) before any byte reaches
   // the log, so an invalid segment can never corrupt the archive.
   PLASTREAM_RETURN_NOT_OK(store_->Append(segment));
   // Encode on the stream's shard, lock-free; only the log append below
-  // serializes across shards.
-  std::vector<uint8_t> payload;
-  PutVarint(&payload, stream_id_);
-  payload.push_back(kArchiveRecordSegment);
-  coder_.EncodeBody(segment, &payload);
-  return backend_->WriteRecord(payload, this);
+  // serializes across shards. The logged copy is forced disconnected
+  // while a degrade gap is pending (see MarkGap).
+  pending_logged_ = segment;
+  if (gap_pending_) pending_logged_.connected_to_prev = false;
+  std::vector<uint8_t> body;
+  body.push_back(kArchiveRecordSegment);
+  coder_.EncodeBody(pending_logged_, &body);
+  return backend_->ArchiveSegment(body, this);
 }
 
 }  // namespace
@@ -295,7 +555,7 @@ void RegisterFileStorageBackend(StorageRegistry& registry) {
       "file",
       [](const FilterSpec& spec) -> Result<std::unique_ptr<StorageBackend>> {
         PLASTREAM_RETURN_NOT_OK(
-            spec.ExpectParamsIn({"path", "codec", "sync"}));
+            spec.ExpectParamsIn({"path", "codec", "sync", "on_error"}));
         const std::string* path = spec.FindParam("path");
         if (path == nullptr || path->empty()) {
           return Status::InvalidArgument(
@@ -319,8 +579,20 @@ void RegisterFileStorageBackend(StorageRegistry& registry) {
                 *sync + "'");
           }
         }
+        bool degrade = false;
+        if (const std::string* on_error = spec.FindParam("on_error");
+            on_error != nullptr) {
+          if (*on_error == "degrade") {
+            degrade = true;
+          } else if (*on_error != "fail") {
+            return Status::InvalidArgument(
+                "storage backend 'file' parameter 'on_error' must be fail "
+                "or degrade, got '" +
+                *on_error + "'");
+          }
+        }
         return std::unique_ptr<StorageBackend>(
-            new FileBackend(*path, codec, sync_flush));
+            new FileBackend(*path, codec, sync_flush, degrade));
       });
   (void)status;  // Double registration is caller error; see Register().
 }

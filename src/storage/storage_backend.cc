@@ -6,6 +6,25 @@
 
 namespace plastream {
 
+std::string_view StorageHealthStateName(StorageHealth::State state) {
+  switch (state) {
+    case StorageHealth::State::kOk:
+      return "ok";
+    case StorageHealth::State::kDegraded:
+      return "degraded";
+    case StorageHealth::State::kFailing:
+      return "failing";
+  }
+  return "unknown";
+}
+
+bool IsDiskFull(const Status& status) {
+  // The file backend tags every ENOSPC-classified failure (real errno or
+  // injected fault) with this marker; see file_backend.cc.
+  return !status.ok() &&
+         status.message().find("[ENOSPC]") != std::string::npos;
+}
+
 StorageRegistry& StorageRegistry::Global() {
   static StorageRegistry* registry = [] {
     auto* r = new StorageRegistry();

@@ -38,6 +38,38 @@
 
 namespace plastream {
 
+/// Health of a storage backend's medium — how archiving is doing,
+/// independent of whether ingest is still served (the in-memory stores
+/// always are).
+struct StorageHealth {
+  /// The medium's state.
+  enum class State {
+    kOk,        ///< archiving normally
+    kDegraded,  ///< medium failing (e.g. ENOSPC); archiving suspended,
+                ///< ingest still served, auto-resume on recovery
+    kFailing,   ///< medium lost for good (or policy `fail` tripped)
+  };
+  /// Current state.
+  State state = State::kOk;
+  /// The most recent medium failure, empty while kOk.
+  std::string cause;
+  /// Failed medium writes/flushes observed (cumulative).
+  uint64_t write_failures = 0;
+  /// Segments not archived because the medium was degraded. They remain
+  /// queryable in the in-memory stores; the on-disk chain records the gap
+  /// (the next logged segment is forced disconnected).
+  uint64_t segments_dropped = 0;
+  /// Degraded-to-ok transitions (the medium came back).
+  uint64_t recoveries = 0;
+};
+
+/// Display name of a health state: "ok", "degraded" or "failing".
+std::string_view StorageHealthStateName(StorageHealth::State state);
+
+/// True when `status` reports a full medium — an ENOSPC-classified write
+/// failure from the file backend (real errno or injected fault).
+bool IsDiskFull(const Status& status);
+
 /// Per-stream archive handle, owned by its StorageBackend and borrowed by
 /// the pipeline's stream state.
 ///
@@ -121,6 +153,12 @@ class StorageBackend {
   /// Total bytes appended to the backing medium, including file framing
   /// (header and per-record length/CRC); 0 for non-durable backends.
   virtual uint64_t bytes_written() const = 0;
+
+  /// The medium's health. Non-durable backends are always kOk (the
+  /// default); the file backend reports degraded/failing states and the
+  /// drop/recovery counters (see its `on_error` policy). Safe to call
+  /// concurrently with Append.
+  virtual StorageHealth Health() const { return StorageHealth{}; }
 
   /// The backend's registered family name ("memory", "none", "file", ...).
   virtual std::string_view name() const = 0;

@@ -575,7 +575,16 @@ Pipeline::PipelineStats Pipeline::Stats() const {
   stats.storage_bytes = static_cast<size_t>(storage_->bytes_written());
   stats.transport = transport_->GetStats();
   stats.ingest = bank_->IngestStats();
+  stats.storage_health = storage_->Health();
   return stats;
+}
+
+Pipeline::HealthSnapshot Pipeline::Health() const {
+  HealthSnapshot health;
+  health.storage = storage_->Health();
+  health.state = health.storage.state;
+  health.cause = health.storage.cause;
+  return health;
 }
 
 std::vector<FilterCounter> Pipeline::AggregateCounters() const {

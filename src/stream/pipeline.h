@@ -305,9 +305,31 @@ class Pipeline {
     /// gap cuts, duplicate resolutions). All zero for the default
     /// pass-through ingest policy.
     IngestGuardStats ingest;
+    /// The storage medium's health counters (degradations, dropped
+    /// segments, recoveries); always kOk for non-durable backends.
+    StorageHealth storage_health;
     std::vector<KeyStats> per_key;  ///< per-key archive stats, sorted by key
   };
   PipelineStats Stats() const;
+
+  /// Pipeline health: whether every durable piece is doing its job, as
+  /// opposed to Stats()' throughput counters. Today the signal is the
+  /// storage medium (a file backend under `on_error=degrade` keeps
+  /// serving ingest with archiving suspended and reports kDegraded here
+  /// until the medium recovers); `state` is the roll-up, `cause` says
+  /// why it is not kOk.
+  struct HealthSnapshot {
+    /// Roll-up state: ok (everything healthy), degraded (running with
+    /// reduced durability) or failing (a durable piece is lost).
+    StorageHealth::State state = StorageHealth::State::kOk;
+    /// Why `state` is not kOk; empty when healthy.
+    std::string cause;
+    /// The storage backend's full health report.
+    StorageHealth storage;
+  };
+
+  /// Health snapshot; safe to call concurrently with ingest.
+  HealthSnapshot Health() const;
 
   /// Family-specific diagnostic counters summed by name across the filters
   /// of every stream on every shard.

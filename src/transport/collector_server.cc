@@ -3,6 +3,7 @@
 #include "transport/collector_server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "transport/endpoint.h"
@@ -24,8 +25,12 @@ struct CollectorServer::Connection {
   std::vector<uint8_t> outbuf;  // pending ACK/ERROR bytes
   size_t out_written = 0;       // prefix of outbuf already on the socket
   bool got_hello = false;
-  bool closing = false;         // flush outbuf, then close
-  std::string codec_spec;       // canonical, from the hello
+  bool closing = false;          // flush outbuf, then close
+  int64_t accepted_ms = 0;       // steady-clock accept time
+  int64_t last_read_ms = 0;      // steady-clock time of the last byte read
+  int64_t closing_since_ms = 0;  // when the terminal ERROR was queued
+  uint64_t bytes_read = 0;       // cumulative inbound bytes
+  std::string codec_spec;        // canonical, from the hello
   std::map<uint32_t, KeyState*> streams;  // connection-local id → key
 
   explicit Connection(SocketFd fd_in, size_t max_message_bytes)
@@ -136,11 +141,23 @@ Status CollectorServer::Serve() {
 Status CollectorServer::LoopOnce(bool*) {
   return Status::Unimplemented("collector server requires POSIX");
 }
-void CollectorServer::AcceptPending() {}
+void CollectorServer::AcceptPending(int64_t) {}
 bool CollectorServer::ServiceRead(Connection&) { return false; }
 bool CollectorServer::ServiceWrite(Connection&) { return false; }
 
 #else
+
+namespace {
+
+// Milliseconds on the steady clock — deadline arithmetic only, never
+// wall time.
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 Status CollectorServer::Serve() {
   bool stop = false;
@@ -172,9 +189,20 @@ Status CollectorServer::LoopOnce(bool* stop) {
 
   // Reap closing connections that have already flushed their ERROR: they
   // register no poll interest, so without this sweep they would linger.
+  const int64_t now_ms = NowMs();
   for (size_t i = connections_.size(); i > 0; --i) {
-    if (connections_[i - 1]->closing &&
-        connections_[i - 1]->pending_out() == 0) {
+    Connection& reaping = *connections_[i - 1];
+    bool done = reaping.closing && reaping.pending_out() == 0;
+    // A peer that never drains the terminal ERROR (a slowloris socket
+    // with a full send window) must not pin the descriptor forever:
+    // hard-close once the linger deadline passes.
+    if (!done && reaping.closing && options_.evict_linger_ms > 0 &&
+        reaping.closing_since_ms > 0 &&
+        now_ms - reaping.closing_since_ms >=
+            static_cast<int64_t>(options_.evict_linger_ms)) {
+      done = true;
+    }
+    if (done) {
       CloseConnection(i - 1);
       const std::lock_guard<std::mutex> lock(mutex_);
       --stats_.connections_open;
@@ -182,10 +210,17 @@ Status CollectorServer::LoopOnce(bool* stop) {
     }
   }
 
+  EnforceDeadlines(now_ms);
+
   std::vector<struct pollfd> pollfds;
   pollfds.reserve(connections_.size() + 2);
   pollfds.push_back({wake_read_.get(), POLLIN, 0});
-  pollfds.push_back({listener_.get(), POLLIN, 0});
+  // During EMFILE backoff the level-triggered listener POLLIN would make
+  // poll() spin; withhold interest until the retry deadline.
+  short listener_events = POLLIN;
+  if (accept_backoff_until_ms_ > now_ms) listener_events = 0;
+  pollfds.push_back({listener_.get(), listener_events, 0});
+  bool any_closing = false;
   for (const auto& conn : connections_) {
     short events = 0;
     // Backpressure: a connection whose ACK buffer is at its bound (or
@@ -195,12 +230,26 @@ Status CollectorServer::LoopOnce(bool* stop) {
       events |= POLLIN;
     }
     if (conn->pending_out() > 0) events |= POLLOUT;
+    if (conn->closing) any_closing = true;
     pollfds.push_back({conn->fd.get(), events, 0});
+  }
+
+  // Deadlines, evict lingers and accept backoff all need the loop to wake
+  // without socket traffic; otherwise block in poll() indefinitely.
+  const bool sweeping =
+      !connections_.empty() &&
+      (options_.handshake_timeout_ms > 0 || options_.idle_timeout_ms > 0 ||
+       options_.min_bytes_per_sec > 0 ||
+       options_.max_connection_buffer_bytes > 0 ||
+       options_.max_total_buffer_bytes > 0);
+  int poll_timeout_ms = -1;
+  if (sweeping || any_closing || accept_backoff_until_ms_ > now_ms) {
+    poll_timeout_ms = 20;
   }
 
   int rc;
   do {
-    rc = ::poll(pollfds.data(), pollfds.size(), -1);
+    rc = ::poll(pollfds.data(), pollfds.size(), poll_timeout_ms);
   } while (rc < 0 && errno == EINTR);
   if (rc < 0) return ErrnoStatus("poll");
 
@@ -209,7 +258,7 @@ Status CollectorServer::LoopOnce(bool* stop) {
     while (::read(wake_read_.get(), drain, sizeof(drain)) > 0) {
     }
   }
-  if ((pollfds[1].revents & POLLIN) != 0) AcceptPending();
+  if ((pollfds[1].revents & POLLIN) != 0) AcceptPending(NowMs());
 
   // Service connections back to front so CloseConnection's swap-erase
   // never disturbs an index we have not visited yet. Only the polled
@@ -240,18 +289,141 @@ Status CollectorServer::LoopOnce(bool* stop) {
   return Status::OK();
 }
 
-void CollectorServer::AcceptPending() {
+void CollectorServer::AcceptPending(int64_t now_ms) {
   while (true) {
-    auto accepted = AcceptConnection(listener_);
-    if (!accepted.ok()) return;  // transient accept failure: retry later
+    bool fd_exhausted = false;
+    auto accepted = AcceptConnection(listener_, &fd_exhausted);
+    if (!accepted.ok()) {
+      if (fd_exhausted) {
+        // Out of descriptors: free one by shedding the connection that
+        // has been silent longest, and back the listener off so its
+        // level-triggered POLLIN does not spin until the close lands.
+        ShedOldestIdle();
+        accept_backoff_until_ms_ =
+            now_ms + static_cast<int64_t>(options_.accept_retry_ms);
+      }
+      return;  // transient accept failure: retry later
+    }
     if (!accepted.value().valid()) return;  // drained
     connections_.push_back(std::make_unique<Connection>(
         std::move(accepted).value(), options_.max_message_bytes));
     connections_.back()->id = ++next_connection_id_;
+    connections_.back()->accepted_ms = now_ms;
+    connections_.back()->last_read_ms = now_ms;
     const std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.connections_accepted;
     ++stats_.connections_open;
   }
+}
+
+void CollectorServer::EnforceDeadlines(int64_t now_ms) {
+  struct Candidate {
+    Connection* conn;
+    size_t footprint;
+  };
+  size_t total = 0;
+  std::vector<Candidate> open;
+  for (const auto& conn_ptr : connections_) {
+    Connection& conn = *conn_ptr;
+    if (conn.closing) continue;
+    const size_t footprint =
+        conn.splitter.buffered_bytes() + conn.pending_out();
+    if (options_.handshake_timeout_ms > 0 && !conn.got_hello &&
+        now_ms - conn.accepted_ms >=
+            static_cast<int64_t>(options_.handshake_timeout_ms)) {
+      EvictConnection(conn,
+                      "handshake deadline exceeded (" +
+                          std::to_string(options_.handshake_timeout_ms) +
+                          " ms without a complete HELLO)",
+                      &Stats::evicted_handshake);
+      continue;
+    }
+    if (options_.idle_timeout_ms > 0 && conn.got_hello &&
+        now_ms - conn.last_read_ms >=
+            static_cast<int64_t>(options_.idle_timeout_ms)) {
+      EvictConnection(conn,
+                      "idle deadline exceeded (" +
+                          std::to_string(options_.idle_timeout_ms) +
+                          " ms without data)",
+                      &Stats::evicted_idle);
+      continue;
+    }
+    if (options_.min_bytes_per_sec > 0) {
+      // Average-since-accept rate, checked only after a grace period so a
+      // connection gets a fair window to ramp up. Catches the slowloris
+      // shape the handshake deadline cannot: a peer trickling single
+      // bytes often enough to never look idle.
+      const int64_t grace_ms = static_cast<int64_t>(
+          std::max<size_t>(options_.handshake_timeout_ms, 1000));
+      const int64_t age_ms = now_ms - conn.accepted_ms;
+      if (age_ms >= grace_ms &&
+          conn.bytes_read * 1000 <
+              static_cast<uint64_t>(options_.min_bytes_per_sec) *
+                  static_cast<uint64_t>(age_ms)) {
+        EvictConnection(conn,
+                        "progress below " +
+                            std::to_string(options_.min_bytes_per_sec) +
+                            " bytes/sec",
+                        &Stats::evicted_slow);
+        continue;
+      }
+    }
+    if (options_.max_connection_buffer_bytes > 0 &&
+        footprint > options_.max_connection_buffer_bytes) {
+      EvictConnection(
+          conn,
+          "connection memory budget exceeded (" + std::to_string(footprint) +
+              " > " + std::to_string(options_.max_connection_buffer_bytes) +
+              " bytes buffered)",
+          &Stats::shed_budget);
+      continue;
+    }
+    total += footprint;
+    open.push_back({&conn, footprint});
+  }
+  if (options_.max_total_buffer_bytes == 0 ||
+      total <= options_.max_total_buffer_bytes) {
+    return;
+  }
+  // Over the global budget: shed the largest buffers first until under.
+  std::sort(open.begin(), open.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.footprint > b.footprint;
+            });
+  for (const Candidate& c : open) {
+    if (total <= options_.max_total_buffer_bytes) break;
+    EvictConnection(*c.conn,
+                    "collector memory budget exceeded (shedding " +
+                        std::to_string(c.footprint) + " buffered bytes)",
+                    &Stats::shed_budget);
+    total -= c.footprint;
+  }
+}
+
+void CollectorServer::EvictConnection(Connection& conn,
+                                      const std::string& reason,
+                                      size_t Stats::*counter) {
+  if (conn.closing) return;
+  AppendErrorMessage(&conn.outbuf, reason);
+  conn.closing = true;
+  conn.closing_since_ms = NowMs();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++(stats_.*counter);
+}
+
+void CollectorServer::ShedOldestIdle() {
+  Connection* oldest = nullptr;
+  for (const auto& conn : connections_) {
+    if (conn->closing) continue;
+    if (oldest == nullptr || conn->last_read_ms < oldest->last_read_ms) {
+      oldest = conn.get();
+    }
+  }
+  if (oldest == nullptr) return;
+  EvictConnection(*oldest,
+                  "collector out of file descriptors; shedding the oldest "
+                  "idle connection",
+                  &Stats::shed_fd_pressure);
 }
 
 bool CollectorServer::ServiceRead(Connection& conn) {
@@ -260,6 +432,8 @@ bool CollectorServer::ServiceRead(Connection& conn) {
       ReadSome(conn.fd.get(), read_chunk_, &n);
   if (outcome == IoOutcome::kWouldBlock) return true;
   if (outcome != IoOutcome::kProgress) return false;  // closed or error
+  conn.last_read_ms = NowMs();
+  conn.bytes_read += n;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     stats_.bytes_received += n;
@@ -297,6 +471,7 @@ void CollectorServer::FailConnection(Connection& conn,
                                      const std::string& reason) {
   AppendErrorMessage(&conn.outbuf, reason);
   conn.closing = true;
+  if (conn.closing_since_ms == 0) conn.closing_since_ms = NowMs();
   const std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.protocol_errors;
 }

@@ -75,6 +75,38 @@ class CollectorServer {
     /// Per-connection outgoing (ACK/ERROR) buffer bound; a connection at
     /// the bound stops being read until the buffer drains.
     size_t max_write_buffer_bytes = 256 * 1024;
+
+    // --- Connection lifecycle deadlines and load shedding. A deadline of
+    // 0 disables that check. Evicted connections get a terminal ERROR
+    // message and a clean close; see Stats for the per-cause counters and
+    // docs/ROBUSTNESS.md for the taxonomy.
+
+    /// A connection that has not completed its HELLO within this many ms
+    /// of being accepted is evicted (slowloris connections never finish a
+    /// handshake).
+    size_t handshake_timeout_ms = 10'000;
+    /// An established connection with no bytes read for this many ms is
+    /// evicted. Off by default: a producer may legitimately hold an open
+    /// idle connection between bursts.
+    size_t idle_timeout_ms = 0;
+    /// Minimum average inbound byte rate (bytes/sec since accept, checked
+    /// after the handshake grace period). Connections trickling below the
+    /// floor are evicted as slowloris peers.
+    size_t min_bytes_per_sec = 0;
+    /// Per-connection memory budget: splitter backlog + pending outgoing
+    /// bytes. An over-budget connection is shed (0 = unlimited).
+    size_t max_connection_buffer_bytes = 0;
+    /// Global memory budget across all connections' buffers; when
+    /// exceeded the largest-footprint connection is shed until back under
+    /// (0 = unlimited).
+    size_t max_total_buffer_bytes = 0;
+    /// After accept() fails with EMFILE/ENFILE the listener backs off for
+    /// this long (and the oldest idle connection is shed) instead of
+    /// spinning on a level-triggered POLLIN it cannot service.
+    size_t accept_retry_ms = 100;
+    /// An evicted connection whose peer never drains the terminal ERROR
+    /// is hard-closed after this long.
+    size_t evict_linger_ms = 1'000;
   };
 
   /// Aggregate collector statistics (monotonic, thread-safe snapshot).
@@ -89,6 +121,11 @@ class CollectorServer {
     size_t frames_deduped = 0;        ///< resent frames dropped by seq
     size_t records_applied = 0;       ///< wire records applied to receivers
     size_t protocol_errors = 0;       ///< connections failed by protocol
+    size_t evicted_handshake = 0;     ///< evicted: HELLO deadline missed
+    size_t evicted_idle = 0;          ///< evicted: idle deadline missed
+    size_t evicted_slow = 0;          ///< evicted: below min progress rate
+    size_t shed_budget = 0;           ///< shed: memory budget exceeded
+    size_t shed_fd_pressure = 0;      ///< shed: EMFILE/ENFILE on accept
   };
 
   /// Binds and listens on `endpoint` — `tcp(host=...,port=...)` (port 0
@@ -165,7 +202,16 @@ class CollectorServer {
 
   // One poll-loop iteration; sets *stop on shutdown.
   Status LoopOnce(bool* stop);
-  void AcceptPending();
+  void AcceptPending(int64_t now_ms);
+  // Sweeps every connection against the configured deadlines and memory
+  // budgets, evicting violators with a terminal ERROR.
+  void EnforceDeadlines(int64_t now_ms);
+  // Queues a terminal ERROR on `conn` and bumps the given Stats counter.
+  void EvictConnection(Connection& conn, const std::string& reason,
+                       size_t Stats::*counter);
+  // Under fd pressure: evicts the connection that has been silent
+  // longest, freeing its descriptor for the accept queue.
+  void ShedOldestIdle();
   // Reads one chunk and applies complete messages; false → close conn.
   bool ServiceRead(Connection& conn);
   // Flushes the connection's pending ACK/ERROR bytes; false → close.
@@ -216,6 +262,7 @@ class CollectorServer {
   std::unique_ptr<StorageBackend> storage_;
   std::vector<std::unique_ptr<Connection>> connections_;
   uint64_t next_connection_id_ = 0;  // Serve() thread only
+  int64_t accept_backoff_until_ms_ = 0;  // Serve() thread only
   std::vector<uint8_t> read_chunk_;  // reused per read
 };
 

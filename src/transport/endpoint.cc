@@ -42,8 +42,10 @@ Result<NetEndpoint> ParseNetEndpoint(const FilterSpec& spec) {
   NetEndpoint endpoint;
   if (spec.family == "tcp") {
     endpoint.kind = NetEndpoint::Kind::kTcp;
-    PLASTREAM_RETURN_NOT_OK(spec.ExpectParamsIn(
-        {"host", "port", "max_unacked_kb", "retries", "backoff_ms"}));
+    PLASTREAM_RETURN_NOT_OK(
+        spec.ExpectParamsIn({"host", "port", "max_unacked_kb", "retries",
+                             "backoff_ms", "backoff_max_ms",
+                             "connect_timeout_ms"}));
     if (const std::string* host = spec.FindParam("host")) {
       endpoint.host = *host;
     }
@@ -56,8 +58,10 @@ Result<NetEndpoint> ParseNetEndpoint(const FilterSpec& spec) {
     endpoint.port = static_cast<uint16_t>(port);
   } else if (spec.family == "uds") {
     endpoint.kind = NetEndpoint::Kind::kUds;
-    PLASTREAM_RETURN_NOT_OK(spec.ExpectParamsIn(
-        {"path", "max_unacked_kb", "retries", "backoff_ms"}));
+    PLASTREAM_RETURN_NOT_OK(
+        spec.ExpectParamsIn({"path", "max_unacked_kb", "retries",
+                             "backoff_ms", "backoff_max_ms",
+                             "connect_timeout_ms"}));
     const std::string* path = spec.FindParam("path");
     if (path == nullptr || path->empty()) {
       return Status::InvalidArgument("transport spec '" + spec.Format() +
@@ -77,6 +81,10 @@ Result<NetEndpoint> ParseNetEndpoint(const FilterSpec& spec) {
   PLASTREAM_RETURN_NOT_OK(ParseSizeParam(spec, "retries", 1000, &ignored));
   PLASTREAM_RETURN_NOT_OK(
       ParseSizeParam(spec, "backoff_ms", 60 * 1000, &ignored));
+  PLASTREAM_RETURN_NOT_OK(
+      ParseSizeParam(spec, "backoff_max_ms", 60 * 1000, &ignored));
+  PLASTREAM_RETURN_NOT_OK(
+      ParseSizeParam(spec, "connect_timeout_ms", 3600 * 1000, &ignored));
   return endpoint;
 }
 

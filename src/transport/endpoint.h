@@ -9,9 +9,10 @@
 //                                    listen side only)
 //   "uds(path=/run/plastream.sock)"  Unix-domain stream socket
 //
-// Producer-side tuning keys (max_unacked_kb, retries, backoff_ms) are
-// part of the same grammar so one spec string can be pasted on either
-// side; the collector ignores them.
+// Producer-side tuning keys (max_unacked_kb, retries, backoff_ms,
+// backoff_max_ms, connect_timeout_ms) are part of the same grammar so
+// one spec string can be pasted on either side; the collector ignores
+// them.
 
 #ifndef PLASTREAM_TRANSPORT_ENDPOINT_H_
 #define PLASTREAM_TRANSPORT_ENDPOINT_H_

@@ -47,6 +47,12 @@ Result<std::unique_ptr<ProducerClient>> ProducerClient::Connect(
   if (const std::string* backoff = spec.FindParam("backoff_ms")) {
     options.backoff_ms = std::stoull(*backoff);
   }
+  if (const std::string* cap = spec.FindParam("backoff_max_ms")) {
+    options.backoff_max_ms = std::stoull(*cap);
+  }
+  if (const std::string* timeout = spec.FindParam("connect_timeout_ms")) {
+    options.connect_timeout_ms = static_cast<int>(std::stoull(*timeout));
+  }
   return Connect(endpoint, std::move(codec_spec), options);
 }
 
@@ -60,6 +66,7 @@ ProducerClient::ProducerClient(NetEndpoint endpoint, std::string codec_spec,
     : endpoint_(std::move(endpoint)),
       codec_spec_(std::move(codec_spec)),
       options_(options),
+      jitter_(options.jitter_seed),
       incoming_(options.max_message_bytes) {}
 
 ProducerClient::~ProducerClient() = default;
@@ -67,8 +74,9 @@ ProducerClient::~ProducerClient() = default;
 Status ProducerClient::Dial() {
   Result<SocketFd> dialed =
       endpoint_.kind == NetEndpoint::Kind::kTcp
-          ? TcpConnect(endpoint_.host, endpoint_.port)
-          : UdsConnect(endpoint_.path);
+          ? TcpConnect(endpoint_.host, endpoint_.port,
+                       options_.connect_timeout_ms)
+          : UdsConnect(endpoint_.path, options_.connect_timeout_ms);
   PLASTREAM_RETURN_NOT_OK(dialed.status());
   fd_ = std::move(dialed).value();
   incoming_.Reset();
@@ -104,8 +112,19 @@ Status ProducerClient::EnsureConnected() {
       return sticky_;
     }
     if (attempt > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(attempt * options_.backoff_ms));
+      // Capped exponential backoff with half-jitter: the deterministic
+      // seeded draw keeps test runs reproducible while spreading a herd
+      // of producers restarting off the same outage.
+      uint64_t delay = options_.backoff_max_ms;
+      if (attempt - 1 < 20) {
+        delay = std::min<uint64_t>(
+            delay, static_cast<uint64_t>(options_.backoff_ms)
+                       << (attempt - 1));
+      }
+      if (delay > 0) {
+        delay = delay / 2 + jitter_.UniformInt(delay / 2 + 1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      }
     }
     last = Dial();
     if (last.ok()) return Status::OK();

@@ -8,8 +8,9 @@
 //  * Reconnect-and-resume. Every frame gets a per-stream sequence number
 //    and sits in a bounded resend buffer until the collector's cumulative
 //    ACK covers it. When the connection dies mid-stream the client
-//    redials (bounded retries, linear backoff), replays its hello +
-//    open-stream preamble, and resends everything unacknowledged. The
+//    redials (bounded retries, capped exponential backoff with seeded
+//    jitter), replays its hello + open-stream preamble, and resends
+//    everything unacknowledged. The
 //    collector drops already-applied sequence numbers before they reach
 //    the codec, so the resumed stream decodes byte-identically.
 //
@@ -36,6 +37,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/rng.h"
 #include "core/filter_spec.h"
 #include "stream/frame_splitter.h"
 #include "transport/endpoint.h"
@@ -54,8 +56,17 @@ class ProducerClient {
     size_t max_unacked_bytes = 4 * 1024 * 1024;
     /// Redial attempts per broken connection before giving up.
     size_t retries = 8;
-    /// Backoff between redials: attempt * backoff_ms milliseconds.
+    /// Base redial backoff. Attempt k sleeps roughly
+    /// min(backoff_max_ms, backoff_ms << (k-1)) with half-jitter (a
+    /// seeded draw in [delay/2, delay]) so producers restarting together
+    /// do not redial in lockstep.
     size_t backoff_ms = 50;
+    /// Cap on one backoff sleep.
+    size_t backoff_max_ms = 2000;
+    /// Deadline for one connect() attempt; -1 waits forever.
+    int connect_timeout_ms = 10'000;
+    /// Seed of the backoff-jitter stream (deterministic per seed).
+    uint64_t jitter_seed = 1;
     /// Bound on one incoming (ACK/ERROR) protocol message.
     size_t max_message_bytes = 4 * 1024 * 1024;
   };
@@ -81,8 +92,8 @@ class ProducerClient {
       const NetEndpoint& endpoint, std::string codec_spec);
 
   /// Parses `endpoint_text` ("tcp(host=...,port=...)" or "uds(path=...)",
-  /// optionally with max_unacked_kb/retries/backoff_ms params overriding
-  /// `options`) and dials it.
+  /// optionally with max_unacked_kb/retries/backoff_ms/backoff_max_ms/
+  /// connect_timeout_ms params overriding `options`) and dials it.
   static Result<std::unique_ptr<ProducerClient>> Connect(
       std::string_view endpoint_text, std::string codec_spec,
       Options options);
@@ -161,6 +172,7 @@ class ProducerClient {
   const Options options_;
 
   mutable std::mutex mutex_;
+  Rng jitter_;  // backoff jitter; guarded by mutex_
   SocketFd fd_;
   bool ever_connected_ = false;
   Status sticky_ = Status::OK();

@@ -17,13 +17,15 @@ Status Unsupported() {
 Result<SocketFd> TcpListen(const std::string&, uint16_t) {
   return Unsupported();
 }
-Result<SocketFd> TcpConnect(const std::string&, uint16_t) {
+Result<SocketFd> TcpConnect(const std::string&, uint16_t, int) {
   return Unsupported();
 }
 Result<SocketFd> UdsListen(const std::string&) { return Unsupported(); }
-Result<SocketFd> UdsConnect(const std::string&) { return Unsupported(); }
+Result<SocketFd> UdsConnect(const std::string&, int) { return Unsupported(); }
 Result<uint16_t> BoundTcpPort(const SocketFd&) { return Unsupported(); }
-Result<SocketFd> AcceptConnection(const SocketFd&) { return Unsupported(); }
+Result<SocketFd> AcceptConnection(const SocketFd&, bool*) {
+  return Unsupported();
+}
 Status SetNonBlocking(int) { return Unsupported(); }
 void SetTcpNoDelay(int) {}
 IoOutcome ReadSome(int, std::span<uint8_t>, size_t*) {
@@ -53,9 +55,28 @@ Status ErrnoStatus(std::string_view context) {
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "common/fault_injection.h"
 
 namespace plastream {
+namespace {
+
+// Applies an injected pre-operation delay, if any. Returns the decision so
+// the caller can act on fail/clamp.
+FaultDecision NextFault(FaultSite site, size_t io_len = 0) {
+  FaultInjector* faults = FaultInjector::Active();
+  if (faults == nullptr) return FaultDecision{};
+  const FaultDecision decision = faults->Next(site, io_len);
+  if (decision.delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(decision.delay_ms));
+  }
+  return decision;
+}
+
+}  // namespace
 
 void SocketFd::Close() {
   if (fd_ >= 0) {
@@ -88,9 +109,28 @@ void SetTcpNoDelay(int fd) {
 
 namespace {
 
+// Completes a nonblocking connect() within `timeout_ms` (-1 = forever):
+// waits for writability, then reads the connection result from SO_ERROR.
+Status FinishConnect(int fd, int timeout_ms, const std::string& what) {
+  if (!PollSocket(fd, /*want_write=*/true, timeout_ms)) {
+    return Status::IOError("connect(" + what + "): timed out after " +
+                           std::to_string(timeout_ms) + " ms");
+  }
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+    return ErrnoStatus("getsockopt(SO_ERROR)");
+  }
+  if (err != 0) {
+    errno = err;
+    return ErrnoStatus("connect(" + what + ")");
+  }
+  return Status::OK();
+}
+
 // Resolves host:port to an IPv4/IPv6 sockaddr via getaddrinfo.
 Result<SocketFd> TcpSocketFor(const std::string& host, uint16_t port,
-                              bool listen) {
+                              bool listen, int connect_timeout_ms) {
   struct addrinfo hints;
   std::memset(&hints, 0, sizeof(hints));
   hints.ai_family = AF_UNSPEC;
@@ -124,15 +164,35 @@ Result<SocketFd> TcpSocketFor(const std::string& host, uint16_t port,
         continue;
       }
     } else {
-      int crc;
-      do {
-        crc = ::connect(fd.get(), ai->ai_addr, ai->ai_addrlen);
-      } while (crc != 0 && errno == EINTR);
-      if (crc != 0) {
-        last = ErrnoStatus("connect(" + host + ":" + port_text + ")");
+      const std::string what = host + ":" + port_text;
+      if (NextFault(FaultSite::kSocketConnect).fail) {
+        ::freeaddrinfo(addrs);
+        return Status::IOError("connect(" + what + "): injected fault");
+      }
+      // Nonblocking connect so an unroutable host fails at our deadline
+      // instead of the kernel's (minutes). EINTR on a nonblocking connect
+      // means the attempt continues asynchronously, like EINPROGRESS.
+      Status nonblocking = SetNonBlocking(fd.get());
+      if (!nonblocking.ok()) {
+        ::freeaddrinfo(addrs);
+        return nonblocking;
+      }
+      const int rc = ::connect(fd.get(), ai->ai_addr, ai->ai_addrlen);
+      if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
+        last = ErrnoStatus("connect(" + what + ")");
         continue;
       }
+      if (rc != 0) {
+        const Status finished =
+            FinishConnect(fd.get(), connect_timeout_ms, what);
+        if (!finished.ok()) {
+          last = finished;
+          continue;
+        }
+      }
       SetTcpNoDelay(fd.get());
+      ::freeaddrinfo(addrs);
+      return fd;
     }
     ::freeaddrinfo(addrs);
     PLASTREAM_RETURN_NOT_OK(SetNonBlocking(fd.get()));
@@ -158,11 +218,12 @@ Result<struct sockaddr_un> UdsAddress(const std::string& path) {
 }  // namespace
 
 Result<SocketFd> TcpListen(const std::string& host, uint16_t port) {
-  return TcpSocketFor(host, port, /*listen=*/true);
+  return TcpSocketFor(host, port, /*listen=*/true, /*connect_timeout_ms=*/-1);
 }
 
-Result<SocketFd> TcpConnect(const std::string& host, uint16_t port) {
-  return TcpSocketFor(host, port, /*listen=*/false);
+Result<SocketFd> TcpConnect(const std::string& host, uint16_t port,
+                            int connect_timeout_ms) {
+  return TcpSocketFor(host, port, /*listen=*/false, connect_timeout_ms);
 }
 
 Result<SocketFd> UdsListen(const std::string& path) {
@@ -181,19 +242,37 @@ Result<SocketFd> UdsListen(const std::string& path) {
   return fd;
 }
 
-Result<SocketFd> UdsConnect(const std::string& path) {
+Result<SocketFd> UdsConnect(const std::string& path, int connect_timeout_ms) {
   PLASTREAM_ASSIGN_OR_RETURN(const struct sockaddr_un addr,
                              UdsAddress(path));
+  if (NextFault(FaultSite::kSocketConnect).fail) {
+    return Status::IOError("connect('" + path + "'): injected fault");
+  }
   SocketFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
   if (!fd.valid()) return ErrnoStatus("socket(AF_UNIX)");
-  int rc;
-  do {
-    rc = ::connect(fd.get(), reinterpret_cast<const struct sockaddr*>(&addr),
-                   sizeof(addr));
-  } while (rc != 0 && errno == EINTR);
-  if (rc != 0) return ErrnoStatus("connect('" + path + "')");
   PLASTREAM_RETURN_NOT_OK(SetNonBlocking(fd.get()));
-  return fd;
+  const auto start = std::chrono::steady_clock::now();
+  while (true) {
+    const int rc =
+        ::connect(fd.get(), reinterpret_cast<const struct sockaddr*>(&addr),
+                  sizeof(addr));
+    if (rc == 0) return fd;
+    if (errno == EINPROGRESS || errno == EINTR) {
+      PLASTREAM_RETURN_NOT_OK(
+          FinishConnect(fd.get(), connect_timeout_ms, "'" + path + "'"));
+      return fd;
+    }
+    // A nonblocking AF_UNIX connect reports a full listener backlog as
+    // EAGAIN with nothing to poll on; retry until the deadline.
+    if (errno != EAGAIN) return ErrnoStatus("connect('" + path + "')");
+    if (connect_timeout_ms >= 0 &&
+        std::chrono::steady_clock::now() - start >=
+            std::chrono::milliseconds(connect_timeout_ms)) {
+      return Status::IOError("connect('" + path + "'): timed out after " +
+                             std::to_string(connect_timeout_ms) + " ms");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
 }
 
 Result<uint16_t> BoundTcpPort(const SocketFd& fd) {
@@ -212,13 +291,22 @@ Result<uint16_t> BoundTcpPort(const SocketFd& fd) {
   return Status::InvalidArgument("socket is not TCP");
 }
 
-Result<SocketFd> AcceptConnection(const SocketFd& listener) {
+Result<SocketFd> AcceptConnection(const SocketFd& listener,
+                                  bool* fd_exhausted) {
+  if (fd_exhausted != nullptr) *fd_exhausted = false;
+  if (NextFault(FaultSite::kSocketAccept).fail) {
+    return Status::IOError("accept: injected fault");
+  }
   int fd;
   do {
     fd = ::accept(listener.get(), nullptr, nullptr);
   } while (fd < 0 && errno == EINTR);
   if (fd < 0) {
     if (errno == EAGAIN || errno == EWOULDBLOCK) return SocketFd();
+    if (fd_exhausted != nullptr &&
+        (errno == EMFILE || errno == ENFILE)) {
+      *fd_exhausted = true;
+    }
     return ErrnoStatus("accept");
   }
   SocketFd conn(fd);
@@ -228,6 +316,11 @@ Result<SocketFd> AcceptConnection(const SocketFd& listener) {
 }
 
 IoOutcome ReadSome(int fd, std::span<uint8_t> buf, size_t* n) {
+  const FaultDecision fault = NextFault(FaultSite::kSocketRead, buf.size());
+  if (fault.fail) return IoOutcome::kError;
+  if (fault.clamp_len > 0 && fault.clamp_len < buf.size()) {
+    buf = buf.first(fault.clamp_len);
+  }
   ssize_t rc;
   do {
     rc = ::recv(fd, buf.data(), buf.size(), 0);
@@ -242,6 +335,11 @@ IoOutcome ReadSome(int fd, std::span<uint8_t> buf, size_t* n) {
 }
 
 IoOutcome WriteSome(int fd, std::span<const uint8_t> buf, size_t* n) {
+  const FaultDecision fault = NextFault(FaultSite::kSocketWrite, buf.size());
+  if (fault.fail) return IoOutcome::kError;
+  if (fault.clamp_len > 0 && fault.clamp_len < buf.size()) {
+    buf = buf.first(fault.clamp_len);
+  }
   ssize_t rc;
   do {
     rc = ::send(fd, buf.data(), buf.size(), MSG_NOSIGNAL);

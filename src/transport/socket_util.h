@@ -4,7 +4,9 @@
 // collector server: RAII fds, TCP/UDS listen+connect, nonblocking I/O
 // with errno folded into Status. Everything network-facing in plastream
 // goes through these, so platform quirks (SIGPIPE, EINTR, ephemeral
-// ports) are handled once. On non-POSIX platforms every entry point
+// ports) are handled once — and so the seeded fault-injection hooks
+// (common/fault_injection.h) cover every network operation from one
+// place. On non-POSIX platforms every entry point
 // returns Unimplemented and the tcp/uds transports simply fail to build
 // their connections at Pipeline::Build() time.
 
@@ -70,22 +72,32 @@ enum class IoOutcome {
 /// trip TIME_WAIT.
 Result<SocketFd> TcpListen(const std::string& host, uint16_t port);
 
-/// Connects to `host:port` (blocking connect, then switched nonblocking).
-Result<SocketFd> TcpConnect(const std::string& host, uint16_t port);
+/// Connects to `host:port` with a nonblocking connect bounded by
+/// `connect_timeout_ms` (-1 = wait forever). An expired deadline fails
+/// with an IOError naming the timeout.
+Result<SocketFd> TcpConnect(const std::string& host, uint16_t port,
+                            int connect_timeout_ms = -1);
 
 /// Creates a nonblocking listening Unix-domain socket at `path`,
 /// unlinking a stale socket file first.
 Result<SocketFd> UdsListen(const std::string& path);
 
-/// Connects to the Unix-domain socket at `path`.
-Result<SocketFd> UdsConnect(const std::string& path);
+/// Connects to the Unix-domain socket at `path`, bounded by
+/// `connect_timeout_ms` (-1 = wait forever).
+Result<SocketFd> UdsConnect(const std::string& path,
+                            int connect_timeout_ms = -1);
 
 /// The actual port of a bound TCP socket — resolves port 0 requests.
 Result<uint16_t> BoundTcpPort(const SocketFd& fd);
 
 /// Accepts one pending connection as a nonblocking socket; kWouldBlock
 /// outcome is reported as an empty (invalid) SocketFd with OK status.
-Result<SocketFd> AcceptConnection(const SocketFd& listener);
+/// When `fd_exhausted` is non-null it is set to true iff the accept
+/// failed because the process or system is out of file descriptors
+/// (EMFILE/ENFILE) — callers shed load instead of spinning on the
+/// listener.
+Result<SocketFd> AcceptConnection(const SocketFd& listener,
+                                  bool* fd_exhausted = nullptr);
 
 /// Marks `fd` nonblocking.
 Status SetNonBlocking(int fd);

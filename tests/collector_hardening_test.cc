@@ -1,0 +1,332 @@
+// Copyright (c) 2026 The plastream Authors. MIT license.
+//
+// The collector's connection-lifecycle hardening: handshake/idle
+// deadlines, slowloris (minimum-progress-rate) eviction, per-connection
+// and global memory budgets with load shedding, the terminal ERROR an
+// evicted peer receives, and the producer-side satellites (capped
+// backoff under injected connect faults, PollSocket timeouts, the new
+// endpoint tuning keys).
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "plastream.h"
+#include "stream/frame_splitter.h"
+#include "transport/endpoint.h"
+#include "transport/net_protocol.h"
+
+namespace plastream {
+namespace {
+
+// A collector running its poll loop on a background thread; Shutdown()
+// and join on destruction.
+class ScopedCollector {
+ public:
+  explicit ScopedCollector(std::unique_ptr<CollectorServer> server)
+      : server_(std::move(server)),
+        thread_([this] { serve_status_ = server_->Serve(); }) {}
+  ~ScopedCollector() {
+    server_->Shutdown();
+    thread_.join();
+    EXPECT_TRUE(serve_status_.ok()) << serve_status_.message();
+  }
+  CollectorServer& operator*() { return *server_; }
+  CollectorServer* operator->() { return server_.get(); }
+
+ private:
+  std::unique_ptr<CollectorServer> server_;
+  Status serve_status_ = Status::OK();
+  std::thread thread_;
+};
+
+std::unique_ptr<CollectorServer> ListenLoopback(
+    CollectorServer::Options options) {
+  auto server =
+      CollectorServer::Listen("tcp(host=127.0.0.1,port=0)", options);
+  EXPECT_TRUE(server.ok()) << server.status().message();
+  return std::move(server).value();
+}
+
+Result<SocketFd> DialRaw(const CollectorServer& server) {
+  return TcpConnect("127.0.0.1", server.port(), /*connect_timeout_ms=*/5000);
+}
+
+// Polls `pred` every few ms until it holds or `timeout_ms` elapses.
+bool WaitFor(const std::function<bool()>& pred, int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+// Writes all of `bytes`, polling through partial writes.
+void SendAll(const SocketFd& fd, std::span<const uint8_t> bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    size_t n = 0;
+    const IoOutcome outcome = WriteSome(fd.get(), bytes.subspan(sent), &n);
+    if (outcome == IoOutcome::kProgress) {
+      sent += n;
+      continue;
+    }
+    ASSERT_EQ(outcome, IoOutcome::kWouldBlock);
+    ASSERT_TRUE(PollSocket(fd.get(), /*want_write=*/true, 1000));
+  }
+}
+
+// Reads until one complete protocol message arrives and returns the
+// reason of the ERROR it must be.
+std::string ReadEvictionReason(const SocketFd& fd, int timeout_ms) {
+  FrameSplitter splitter;
+  uint8_t chunk[4096];
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (!splitter.HasFrame()) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      ADD_FAILURE() << "no ERROR message within " << timeout_ms << " ms";
+      return "";
+    }
+    if (!PollSocket(fd.get(), /*want_write=*/false, 100)) continue;
+    size_t n = 0;
+    const IoOutcome outcome =
+        ReadSome(fd.get(), std::span<uint8_t>(chunk, sizeof(chunk)), &n);
+    if (outcome == IoOutcome::kWouldBlock) continue;
+    if (outcome != IoOutcome::kProgress) {
+      ADD_FAILURE() << "connection ended before the terminal ERROR";
+      return "";
+    }
+    EXPECT_TRUE(splitter.Feed(std::span<const uint8_t>(chunk, n)).ok());
+  }
+  const std::span<const uint8_t> payload = splitter.NextFrame();
+  const auto type = ParseMessageType(payload);
+  EXPECT_TRUE(type.ok() && *type == NetMessageType::kError)
+      << "expected a terminal ERROR message";
+  const auto reason = ParseErrorMessage(payload);
+  EXPECT_TRUE(reason.ok()) << reason.status().message();
+  return reason.ok() ? *reason : "";
+}
+
+// True once the peer has closed the connection (orderly EOF).
+bool ReadUntilClosed(const SocketFd& fd, int timeout_ms) {
+  uint8_t chunk[4096];
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (!PollSocket(fd.get(), /*want_write=*/false, 100)) continue;
+    size_t n = 0;
+    const IoOutcome outcome =
+        ReadSome(fd.get(), std::span<uint8_t>(chunk, sizeof(chunk)), &n);
+    if (outcome == IoOutcome::kClosed) return true;
+    if (outcome == IoOutcome::kError) return true;
+  }
+  return false;
+}
+
+std::vector<uint8_t> HelloBytes() {
+  std::vector<uint8_t> bytes;
+  AppendHelloMessage(&bytes, "frame");
+  return bytes;
+}
+
+// The length prefix of a message that will never be completed — the
+// reassembly backlog it leaves buffered is what the memory budgets see.
+std::vector<uint8_t> PartialMessage(uint32_t declared_len, size_t body_sent) {
+  std::vector<uint8_t> bytes = {
+      static_cast<uint8_t>(declared_len & 0xff),
+      static_cast<uint8_t>((declared_len >> 8) & 0xff),
+      static_cast<uint8_t>((declared_len >> 16) & 0xff),
+      static_cast<uint8_t>((declared_len >> 24) & 0xff),
+  };
+  bytes.push_back(static_cast<uint8_t>(NetMessageType::kFrame));
+  bytes.resize(bytes.size() + body_sent - 1, 0);
+  return bytes;
+}
+
+TEST(CollectorDeadlineTest, HandshakeTimeoutEvictsSilentConnection) {
+  CollectorServer::Options options;
+  options.handshake_timeout_ms = 50;
+  ScopedCollector collector(ListenLoopback(options));
+  auto conn = DialRaw(*collector);
+  ASSERT_TRUE(conn.ok()) << conn.status().message();
+  // Never send a byte: the HELLO deadline must fire.
+  ASSERT_TRUE(WaitFor(
+      [&] { return collector->GetStats().evicted_handshake >= 1; }, 5000));
+  const std::string reason = ReadEvictionReason(*conn, 2000);
+  EXPECT_NE(reason.find("handshake deadline"), std::string::npos) << reason;
+  // The eviction is a clean close, not a silent drop.
+  EXPECT_TRUE(ReadUntilClosed(*conn, 5000));
+  EXPECT_TRUE(
+      WaitFor([&] { return collector->GetStats().connections_open == 0; },
+              5000));
+}
+
+TEST(CollectorDeadlineTest, IdleTimeoutEvictsEstablishedConnection) {
+  CollectorServer::Options options;
+  options.idle_timeout_ms = 50;
+  ScopedCollector collector(ListenLoopback(options));
+  auto conn = DialRaw(*collector);
+  ASSERT_TRUE(conn.ok()) << conn.status().message();
+  SendAll(*conn, HelloBytes());
+  // Hello'd, then silent: the idle deadline must fire (not the handshake
+  // one — the handshake completed).
+  ASSERT_TRUE(WaitFor(
+      [&] { return collector->GetStats().evicted_idle >= 1; }, 5000));
+  EXPECT_EQ(collector->GetStats().evicted_handshake, 0u);
+  const std::string reason = ReadEvictionReason(*conn, 2000);
+  EXPECT_NE(reason.find("idle deadline"), std::string::npos) << reason;
+}
+
+TEST(CollectorDeadlineTest, SlowlorisTrickleIsEvicted) {
+  CollectorServer::Options options;
+  options.handshake_timeout_ms = 100;  // grace floor is still 1000 ms
+  options.min_bytes_per_sec = 100 * 1024 * 1024;
+  ScopedCollector collector(ListenLoopback(options));
+  auto conn = DialRaw(*collector);
+  ASSERT_TRUE(conn.ok()) << conn.status().message();
+  SendAll(*conn, HelloBytes());
+  // Trickle single bytes of a declared-but-never-completed frame, often
+  // enough to never look idle — the progress-rate floor must catch it.
+  const std::vector<uint8_t> partial = PartialMessage(1024, 1);
+  SendAll(*conn, partial);
+  uint8_t drip = 0;
+  bool evicted = false;
+  for (int i = 0; i < 100 && !evicted; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    size_t n = 0;
+    (void)WriteSome(conn->get(), std::span<const uint8_t>(&drip, 1), &n);
+    evicted = collector->GetStats().evicted_slow >= 1;
+  }
+  ASSERT_TRUE(evicted) << "slowloris trickle was never evicted";
+  const std::string reason = ReadEvictionReason(*conn, 2000);
+  EXPECT_NE(reason.find("progress below"), std::string::npos) << reason;
+}
+
+TEST(CollectorBudgetTest, PerConnectionBudgetShedsBacklog) {
+  CollectorServer::Options options;
+  options.max_connection_buffer_bytes = 1024;
+  ScopedCollector collector(ListenLoopback(options));
+  auto conn = DialRaw(*collector);
+  ASSERT_TRUE(conn.ok()) << conn.status().message();
+  SendAll(*conn, HelloBytes());
+  // An 8 KiB reassembly backlog against a 1 KiB budget.
+  SendAll(*conn, PartialMessage(512 * 1024, 8 * 1024));
+  ASSERT_TRUE(WaitFor(
+      [&] { return collector->GetStats().shed_budget >= 1; }, 5000));
+  const std::string reason = ReadEvictionReason(*conn, 2000);
+  EXPECT_NE(reason.find("connection memory budget"), std::string::npos)
+      << reason;
+}
+
+TEST(CollectorBudgetTest, GlobalBudgetShedsLargestFootprintFirst) {
+  CollectorServer::Options options;
+  options.max_total_buffer_bytes = 4096;
+  ScopedCollector collector(ListenLoopback(options));
+  auto big = DialRaw(*collector);
+  auto small = DialRaw(*collector);
+  ASSERT_TRUE(big.ok() && small.ok());
+  SendAll(*small, HelloBytes());
+  SendAll(*small, PartialMessage(1024, 600));
+  SendAll(*big, HelloBytes());
+  SendAll(*big, PartialMessage(512 * 1024, 4 * 1024));
+  ASSERT_TRUE(WaitFor(
+      [&] { return collector->GetStats().shed_budget >= 1; }, 5000));
+  // Shedding the big backlog brings the total back under budget; the
+  // small connection survives.
+  const std::string reason = ReadEvictionReason(*big, 2000);
+  EXPECT_NE(reason.find("collector memory budget"), std::string::npos)
+      << reason;
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(collector->GetStats().shed_budget, 1u);
+  EXPECT_FALSE(PollSocket(small->get(), /*want_write=*/false, 50))
+      << "the surviving connection unexpectedly received data";
+}
+
+TEST(CollectorDeadlineTest, HealthyProducerIsNotEvicted) {
+  CollectorServer::Options options;
+  options.handshake_timeout_ms = 200;
+  options.idle_timeout_ms = 10'000;
+  options.max_connection_buffer_bytes = 1 << 20;
+  ScopedCollector collector(ListenLoopback(options));
+  // A real producer conversation under active deadlines: nothing fires.
+  auto pipeline = Pipeline::Builder()
+                      .DefaultSpec("swing(eps=0.1)")
+                      .Transport(collector->endpoint())
+                      .Build();
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().message();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*pipeline)->Append("k", i, std::sin(i * 0.1)).ok());
+  }
+  ASSERT_TRUE((*pipeline)->Finish().ok());
+  const CollectorServer::Stats stats = collector->GetStats();
+  EXPECT_EQ(stats.evicted_handshake, 0u);
+  EXPECT_EQ(stats.evicted_idle, 0u);
+  EXPECT_EQ(stats.evicted_slow, 0u);
+  EXPECT_EQ(stats.shed_budget, 0u);
+  EXPECT_EQ(stats.streams_finished, 1u);
+}
+
+// --- producer-side satellites ----------------------------------------------
+
+TEST(ProducerBackoffTest, RetriesExhaustUnderInjectedConnectFaults) {
+  FaultPlan plan;
+  plan.err_rate = 1.0;
+  ScopedFaultInjection scope(plan);
+  const auto client = ProducerClient::Connect(
+      "tcp(host=127.0.0.1,port=9,retries=3,backoff_ms=1,backoff_max_ms=4,"
+      "connect_timeout_ms=100)",
+      "frame");
+  ASSERT_FALSE(client.ok());
+  EXPECT_NE(client.status().message().find("injected fault"),
+            std::string::npos)
+      << client.status().message();
+}
+
+TEST(PollSocketTest, TimesOutThenSeesData) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  SocketFd a(fds[0]);
+  SocketFd b(fds[1]);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(PollSocket(a.get(), /*want_write=*/false, 50));
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(waited.count(), 40);
+  const uint8_t byte = 1;
+  size_t n = 0;
+  ASSERT_EQ(WriteSome(b.get(), std::span<const uint8_t>(&byte, 1), &n),
+            IoOutcome::kProgress);
+  EXPECT_TRUE(PollSocket(a.get(), /*want_write=*/false, 1000));
+}
+
+TEST(EndpointTuningTest, AcceptsAndBoundsTheNewKeys) {
+  const auto spec = FilterSpec::Parse(
+      "tcp(host=127.0.0.1,port=9099,backoff_max_ms=500,"
+      "connect_timeout_ms=250)");
+  ASSERT_TRUE(spec.ok()) << spec.status().message();
+  const auto endpoint = ParseNetEndpoint(*spec);
+  ASSERT_TRUE(endpoint.ok()) << endpoint.status().message();
+  EXPECT_EQ(endpoint->port, 9099);
+
+  const auto out_of_range = FilterSpec::Parse(
+      "tcp(port=9099,connect_timeout_ms=999999999)");
+  ASSERT_TRUE(out_of_range.ok());
+  EXPECT_EQ(ParseNetEndpoint(*out_of_range).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace plastream

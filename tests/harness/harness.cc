@@ -6,9 +6,11 @@
 
 #include <atomic>
 #include <filesystem>
+#include <optional>
 #include <thread>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/simd.h"
 #include "transport/collector_server.h"
 
@@ -153,6 +155,16 @@ std::vector<PipelineVariant> VariantsFor(uint64_t seed) {
   if (seed % 8 == 0) {
     variants.push_back({"shards2-frame-uds", 2, false, "frame", false, true});
   }
+  if (seed % 8 == 4) {
+    // The chaos leg: the same uds pipeline under a seeded fault schedule
+    // (short I/O, transient socket errors). Reconnect-and-resume plus
+    // seq-dedup must keep it byte-identical to the fault-free reference.
+    PipelineVariant faulty{"shards2-frame-uds-faults", 2,     false,
+                           "frame",                    false, true};
+    faulty.fault_plan = "faults(seed=" + std::to_string(seed) +
+                        ",short_io=0.25,err_rate=0.04)";
+    variants.push_back(faulty);
+  }
   return variants;
 }
 
@@ -177,6 +189,17 @@ Result<RunOutput> RunScenario(const Scenario& scenario,
   }
   const ScopedRemove socket_cleanup(socket_path);
 
+  // The fault leg: install the variant's seeded schedule before the
+  // producer dials so connects, reads and writes on both sides run under
+  // it. Destroyed (restoring the previous schedule) before the collector
+  // is shut down and drained.
+  std::optional<ScopedFaultInjection> faults;
+  if (!variant.fault_plan.empty()) {
+    PLASTREAM_ASSIGN_OR_RETURN(const FaultPlan plan,
+                               FaultPlan::Parse(variant.fault_plan));
+    faults.emplace(plan);
+  }
+
   Pipeline::Builder builder;
   for (const ScenarioStream& stream : scenario.streams) {
     builder.PerKeySpec(stream.key, stream.spec);
@@ -188,7 +211,18 @@ Result<RunOutput> RunScenario(const Scenario& scenario,
   if (variant.file_storage) {
     builder.Storage("file(path=" + archive_path + ")");
   }
-  if (variant.uds_transport) builder.Transport(server->endpoint());
+  if (variant.uds_transport) {
+    std::string endpoint = server->endpoint();
+    if (faults.has_value()) {
+      // Injected transient errors break connections on purpose; give the
+      // producer a deep, fast redial budget so the run exercises
+      // reconnect-and-resume instead of timing out.
+      endpoint.insert(endpoint.size() - 1,
+                      ",retries=300,backoff_ms=1,backoff_max_ms=8,"
+                      "connect_timeout_ms=5000");
+    }
+    builder.Transport(endpoint);
+  }
   PLASTREAM_ASSIGN_OR_RETURN(std::unique_ptr<Pipeline> pipeline,
                              builder.Build());
 

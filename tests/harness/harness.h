@@ -50,6 +50,11 @@ struct PipelineVariant {
   bool file_storage = false;   // archive to a temp file instead of memory
   bool uds_transport = false;  // ship frames to a uds CollectorServer
   IngestMode ingest = IngestMode::kPoint;
+  // When non-empty, a FaultPlan spec (common/fault_injection.h) installed
+  // for the duration of the run: socket faults force reconnect/resend
+  // paths, and the run must STILL be byte-identical to the fault-free
+  // reference variant.
+  std::string fault_plan;
   // Routes the families' AppendBatch overrides back through the scalar
   // per-point path (simd::SetForceScalar) for the duration of the run, so
   // the matrix proves the SIMD kernels byte-identical to the scalar path
@@ -59,9 +64,10 @@ struct PipelineVariant {
 
 // The matrix for `seed`: the point-mode reference plus batch and columnar
 // SIMD legs on every seed, the forced-scalar batch leg every 2nd seed,
-// the file-storage leg every 4th and the uds-transport leg every 8th —
-// so sustained runs still sweep the full spread without paying socket
-// and disk setup on every scenario.
+// the file-storage leg every 4th, the uds-transport leg every 8th, and a
+// uds leg under a seeded FaultPlan (short reads/writes, transient socket
+// errors) on the other half of every 8th — so sustained runs still sweep
+// the full spread without paying socket and disk setup on every scenario.
 std::vector<PipelineVariant> VariantsFor(uint64_t seed);
 
 // The observable output of one scenario run.
